@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: SSD microprocessor speed.
+ *
+ * §6.1 observes that Translation consumes about half of RecSSD's FTL
+ * time on the 1GHz dual-core A9, and anticipates that "faster SSD
+ * microprocessors or custom logic" would shrink it. This ablation
+ * scales the firmware cost model (config scan + translation) and
+ * reports the standalone STR operator latency and its breakdown.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+int
+main()
+{
+    TablePrinter table(
+        "Ablation: FTL CPU speed vs NDP operator latency (STR, batch 64, "
+        "80 lookups, dim 32)",
+        {"cpu-scale", "ndp-latency", "translate", "flash-read",
+         "translate-share"});
+
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        SystemConfig cfg;
+        cfg.ssd.sls.configBaseCpu =
+            static_cast<Tick>(cfg.ssd.sls.configBaseCpu * scale);
+        cfg.ssd.sls.configPerIndexCpu =
+            static_cast<Tick>(cfg.ssd.sls.configPerIndexCpu * scale);
+        cfg.ssd.sls.translateBaseCpu =
+            static_cast<Tick>(cfg.ssd.sls.translateBaseCpu * scale);
+        cfg.ssd.sls.translatePerByteCpu = static_cast<Tick>(
+            std::max(1.0, cfg.ssd.sls.translatePerByteCpu * scale));
+        System sys(cfg);
+
+        unsigned dim = 32;
+        unsigned rows_per_page =
+            sys.config().ssd.flash.pageSize / (dim * 4);
+        auto tab = sys.installTable(1'000'000, dim, 4, rows_per_page);
+
+        TraceSpec spec;
+        spec.kind = TraceKind::Strided;
+        spec.universe = tab.rows;
+        spec.stride = rows_per_page;
+        spec.seed = 5;
+        TraceGenerator gen(spec);
+
+        NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(), sys.queues(),
+                          NdpSlsBackend::Options{});
+        Tick lat = avgOpLatency(sys, ndp, tab, gen, 64, 80, 3);
+        const SlsTiming &t = sys.ssd().slsEngine().lastTiming();
+        double span = double(t.flashDone - t.configProcessed);
+        table.row({TablePrinter::fmt(scale),
+                   TablePrinter::fmtUs(ticksToUs(lat)),
+                   TablePrinter::fmtUs(ticksToUs(t.translationTime())),
+                   TablePrinter::fmtUs(ticksToUs(t.flashReadTime())),
+                   TablePrinter::fmt(
+                       span > 0 ? 100.0 * double(t.translationTime()) / span
+                                : 0.0,
+                       0) +
+                       "%"});
+    }
+
+    std::printf("\nShape: below ~1x the operator is flash-bound (latency "
+                "flattens); above it the weak core makes Translation "
+                "dominate.\n");
+    return 0;
+}

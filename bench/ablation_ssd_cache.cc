@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: SSD-side embedding cache capacity.
+ *
+ * §4.2 argues a direct-mapped cache is the right point for the
+ * embedded FTL CPU; this sweep shows the capacity/hit-rate trade on
+ * RM1 across localities, including the conflict-miss plateau that a
+ * direct-mapped organization cannot escape.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+int
+main()
+{
+    TablePrinter table(
+        "Ablation: SSD embedding cache size, RM1, NDP backend (batch 16)",
+        {"cache", "K", "latency", "cache-hit%", "flash-reads"});
+
+    for (std::uint64_t mb : {0ull, 8ull, 32ull, 128ull, 512ull}) {
+        for (double k : {0.0, 2.0}) {
+            SystemConfig cfg;
+            cfg.ssd.sls.embeddingCacheBytes = mb * 1024 * 1024;
+            System sys(cfg);
+            RunnerOptions opt;
+            opt.backend = EmbeddingBackendKind::Ndp;
+            opt.forceAllTablesOnSsd = true;
+            opt.trace.kind = TraceKind::LocalityK;
+            opt.trace.k = k;
+            ModelRunner runner(sys, modelByName("RM1"), opt);
+            auto stats = runner.measure(16, 2, 3);
+            table.row({std::to_string(mb) + "MB",
+                       TablePrinter::fmt(k, 0),
+                       TablePrinter::fmtUs(stats.avgLatencyUs),
+                       TablePrinter::fmt(stats.ssdEmbedCacheHitRate * 100,
+                                         0),
+                       std::to_string(stats.flashPageReads)});
+        }
+    }
+
+    std::printf("\nShape: capacity helps until the direct-mapped conflict "
+                "plateau; low-locality (K=2) traffic caches poorly at any "
+                "size.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ */
+
+#ifndef RECSSD_BENCH_BENCH_COMMON_H
+#define RECSSD_BENCH_BENCH_COMMON_H
+
+#include <functional>
+#include <memory>
+
+#include "src/core/experiment.h"
+#include "src/core/system.h"
+#include "src/embedding/baseline_backend.h"
+#include "src/embedding/dram_backend.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/trace/trace_gen.h"
+
+namespace recssd::bench
+{
+
+/** Run one SLS op synchronously; @return simulated latency. */
+inline Tick
+timeOp(System &sys, SlsBackend &backend, const SlsOp &op)
+{
+    Tick t0 = sys.eq().now();
+    bool finished = false;
+    backend.run(op, [&](SlsResult) { finished = true; });
+    sys.run();
+    recssd_assert(finished, "SLS op did not complete");
+    return sys.eq().now() - t0;
+}
+
+/** Average SLS op latency over `reps` freshly generated batches. */
+inline Tick
+avgOpLatency(System &sys, SlsBackend &backend,
+             const EmbeddingTableDesc &table, TraceGenerator &gen,
+             unsigned batch, unsigned lookups, unsigned reps)
+{
+    Tick total = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(batch, lookups);
+        total += timeOp(sys, backend, op);
+    }
+    return total / reps;
+}
+
+}  // namespace recssd::bench
+
+#endif  // RECSSD_BENCH_BENCH_COMMON_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3: cumulative reuse (hit-count) distribution over embedding
+ * table pages at 256B / 1KB / 4KB granularities (§3.1).
+ *
+ * The paper's input was a production access log (marked not
+ * reproducible in its artifact); this bench substitutes a Zipf
+ * power-law trace, which reproduces the published shape: reuse
+ * concentrated in a small set of hot pages — a few hundred pages
+ * capture ~30% of reuses, a few thousand extend past 50% — with the
+ * tail slope flattening as pages grow.
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/trace/page_reuse.h"
+#include "src/trace/trace_gen.h"
+
+using namespace recssd;
+
+int
+main()
+{
+    constexpr std::uint64_t kRows = 1'000'000;
+    constexpr std::uint64_t kVectorBytes = 64;
+    constexpr std::uint64_t kAccesses = 2'000'000;
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Zipf;
+    spec.universe = kRows;
+    spec.zipfAlpha = 0.85;
+    spec.seed = 3;
+    TraceGenerator gen(spec);
+
+    std::vector<RowId> rows;
+    rows.reserve(kAccesses);
+    for (std::uint64_t i = 0; i < kAccesses; ++i)
+        rows.push_back(gen.next());
+
+    TablePrinter table(
+        "Figure 3: cumulative share of reuse vs hottest pages "
+        "(Zipf 0.85 trace, 2M accesses, 64B vectors)",
+        {"page-size", "pages-touched", "top-100", "top-1K", "top-10K",
+         "top-100K"});
+
+    for (std::uint64_t page : {256ull, 1024ull, 4096ull}) {
+        PageReuseAnalyzer analyzer(page, kVectorBytes);
+        for (RowId row : rows)
+            analyzer.access(row);
+        auto pct = [&](std::uint64_t top) {
+            return TablePrinter::fmt(
+                       analyzer.reuseCapturedByTopPages(top) * 100.0, 1) +
+                   "%";
+        };
+        table.row({std::to_string(page) + "B",
+                   std::to_string(analyzer.touchedPages()), pct(100),
+                   pct(1'000), pct(10'000), pct(100'000)});
+    }
+
+    std::printf("\nExpected shape (paper): power-law concentration — "
+                "hundreds of pages capture ~30%% of reuse, thousands "
+                ">50%%; larger pages flatten the tail.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 4: hit rate of a 16-way LRU 4KB page cache over per-table
+ * embedding traces, sweeping cache capacity (§3.1).
+ *
+ * The paper's per-table production traces are proprietary; eight
+ * synthetic tables with Zipf skews from 0.4 to 1.4 reproduce the
+ * published spread — under 10% to over 90% across tables, with every
+ * table exceeding 50% by 16MB.
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/trace/page_reuse.h"
+#include "src/trace/trace_gen.h"
+
+using namespace recssd;
+
+int
+main()
+{
+    constexpr std::uint64_t kVectorBytes = 128;
+    constexpr std::uint64_t kAccesses = 400'000;
+    constexpr std::uint64_t kPage = 4096;
+
+    // Eight tables with different skews *and* footprints, like the
+    // paper's per-table production traces.
+    const double alphas[] = {0.4, 0.6, 0.75, 0.9, 1.0, 1.1, 1.25, 1.4};
+    const std::uint64_t universes[] = {200'000,   400'000,   700'000,
+                                       1'000'000, 1'300'000, 1'600'000,
+                                       1'800'000, 2'000'000};
+
+    std::vector<std::string> cols = {"table(zipf)"};
+    const std::uint64_t caps_mb[] = {1, 2, 4, 8, 16, 32, 64};
+    for (auto mb : caps_mb)
+        cols.push_back(std::to_string(mb) + "MB");
+    TablePrinter table(
+        "Figure 4: 16-way LRU 4KB page cache hit rate vs capacity",
+        cols);
+
+    for (std::size_t t = 0; t < std::size(alphas); ++t) {
+        TraceSpec spec;
+        spec.kind = TraceKind::Zipf;
+        spec.universe = universes[t];
+        spec.zipfAlpha = alphas[t];
+        spec.seed = 100 + t;
+        TraceGenerator gen(spec);
+        std::vector<RowId> rows;
+        rows.reserve(kAccesses);
+        for (std::uint64_t i = 0; i < kAccesses; ++i)
+            rows.push_back(gen.next());
+
+        std::vector<std::string> cells = {
+            "T" + std::to_string(t) + "(" +
+            TablePrinter::fmt(alphas[t], 2) + ")"};
+        for (auto mb : caps_mb) {
+            double rate = lruPageCacheHitRate(rows, kVectorBytes, kPage,
+                                              mb * 1024 * 1024);
+            cells.push_back(TablePrinter::fmt(rate * 100.0, 1) + "%");
+        }
+        table.row(cells);
+    }
+
+    std::printf("\nExpected shape (paper): hit rates vary wildly across "
+                "tables (<10%% to >90%%); with a 16MB cache every table "
+                "clears 50%%.\n");
+    return 0;
+}

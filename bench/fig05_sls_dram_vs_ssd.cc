@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 5: a single SLS embedding operation, DRAM vs. conventional
+ * SSD storage, across batch sizes. Table: 1M rows, dim 32, 80 lookups
+ * per sample, one vector per 16KB page (§3.2 / §5).
+ *
+ * Paper shape: SSD roughly three orders of magnitude slower than
+ * DRAM (PCIe/software overhead + low random-read bandwidth).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+int
+main()
+{
+    const unsigned lookups = 80;
+    TablePrinter table(
+        "Figure 5: SLS operator latency, DRAM vs baseline SSD (1M rows, "
+        "dim 32, 80 lookups)",
+        {"batch", "dram", "ssd", "slowdown"});
+
+    for (unsigned batch : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        System sys;
+        auto tab = sys.installTable(1'000'000, 32);
+
+        TraceSpec spec;
+        spec.kind = TraceKind::Uniform;
+        spec.universe = tab.rows;
+        spec.seed = 11;
+        TraceGenerator gen(spec);
+
+        DramSlsBackend dram(sys.eq(), sys.cpu());
+        BaselineSsdSlsBackend base(sys.eq(), sys.cpu(), sys.driver(),
+                                   sys.queues(),
+                                   BaselineSsdSlsBackend::Options{});
+
+        Tick dram_t = avgOpLatency(sys, dram, tab, gen, batch, lookups, 3);
+        Tick ssd_t = avgOpLatency(sys, base, tab, gen, batch, lookups, 3);
+
+        table.row({std::to_string(batch),
+                   TablePrinter::fmtUs(ticksToUs(dram_t)),
+                   TablePrinter::fmtUs(ticksToUs(ssd_t)),
+                   TablePrinter::fmt(double(ssd_t) / double(dram_t), 0) +
+                       "x"});
+    }
+
+    std::printf("\nExpected shape (paper): storing the table in the SSD "
+                "costs ~3 orders of magnitude in operator latency.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 8: standalone SLS operator performance — conventional SSD
+ * vs. RecSSD NDP, sequential (SEQ) vs. strided (STR) access patterns,
+ * over a range of batch sizes; with the NDP time broken into Config
+ * Write / Config Process / Translation / Flash Read / Result Read as
+ * measured inside the FTL.
+ *
+ * Paper shape: STR — NDP up to ~4x faster (internal parallelism,
+ * fewer commands); SEQ — NDP slightly *slower* (the weak ARM core
+ * does all the accumulation that the host CPU would have done);
+ * Translation accounts for roughly half of NDP's FTL time.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+struct PatternResult
+{
+    Tick base;
+    Tick ndp;
+    SlsTiming timing;
+};
+
+PatternResult
+runPattern(TraceKind kind, unsigned batch, unsigned lookups)
+{
+    PatternResult out{};
+    // Fresh system per cell so caches/backlogs never leak across
+    // configurations.
+    for (int pass = 0; pass < 2; ++pass) {
+        System sys;
+        // Microbenchmark layout: vectors packed into pages so SEQ and
+        // STR differ (dim 32 -> 128 vectors per 16KB page).
+        unsigned dim = 32;
+        unsigned rows_per_page =
+            sys.config().ssd.flash.pageSize / (dim * 4);
+        auto table = sys.installTable(1'000'000, dim, 4, rows_per_page);
+
+        TraceSpec spec;
+        spec.kind = kind;
+        spec.universe = table.rows;
+        spec.stride = rows_per_page;  // STR: one vector per page
+        spec.seed = 7;
+        TraceGenerator gen(spec);
+
+        if (pass == 0) {
+            BaselineSsdSlsBackend base(sys.eq(), sys.cpu(), sys.driver(),
+                                       sys.queues(),
+                                       BaselineSsdSlsBackend::Options{});
+            out.base = avgOpLatency(sys, base, table, gen, batch, lookups,
+                                    3);
+        } else {
+            NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(),
+                              sys.queues(), NdpSlsBackend::Options{});
+            out.ndp = avgOpLatency(sys, ndp, table, gen, batch, lookups, 3);
+            out.timing = sys.ssd().slsEngine().lastTiming();
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const unsigned lookups = 80;
+    TablePrinter table(
+        "Figure 8: SLS operator, baseline SSD vs RecSSD NDP (80 lookups, "
+        "dim 32)",
+        {"pattern", "batch", "base", "ndp", "speedup", "cfg-write",
+         "cfg-proc", "translate", "flash-read", "result-rd"});
+
+    for (TraceKind kind : {TraceKind::Sequential, TraceKind::Strided}) {
+        const char *name = kind == TraceKind::Sequential ? "SEQ" : "STR";
+        for (unsigned batch : {1u, 4u, 8u, 16u, 32u, 64u}) {
+            auto res = runPattern(kind, batch, lookups);
+            const SlsTiming &t = res.timing;
+            table.row({name, std::to_string(batch),
+                       TablePrinter::fmtUs(ticksToUs(res.base)),
+                       TablePrinter::fmtUs(ticksToUs(res.ndp)),
+                       TablePrinter::fmt(double(res.base) /
+                                         double(res.ndp)),
+                       TablePrinter::fmtUs(ticksToUs(t.configWriteTime())),
+                       TablePrinter::fmtUs(ticksToUs(t.configProcessTime())),
+                       TablePrinter::fmtUs(ticksToUs(t.translationTime())),
+                       TablePrinter::fmtUs(ticksToUs(t.flashReadTime())),
+                       TablePrinter::fmtUs(ticksToUs(t.resultReadTime()))});
+        }
+    }
+
+    std::printf("\nExpected shape (paper): STR speedup up to ~4x at large "
+                "batch; SEQ speedup < 1 (host CPU aggregates faster than "
+                "the SSD's ARM core); Translation ~= half of NDP FTL "
+                "time on STR.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 9: relative speedup of RecSSD over the conventional SSD
+ * baseline for full models, in the simplest naive configuration — no
+ * operator pipelining, no host/SSD caching, uniformly random input
+ * indices (§6.2).
+ *
+ * Paper shape: MLP-dominated models see no benefit (~1x);
+ * embedding-dominated models gain substantially, up to ~7x, with RM2
+ * (most tables, most indices per lookup) gaining the most.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+double
+modelLatencyUs(const ModelConfig &model, EmbeddingBackendKind kind,
+               unsigned batch)
+{
+    System sys;
+    RunnerOptions opt;
+    opt.backend = kind;
+    opt.pipeline = false;  // naive: no operator pipelining
+    opt.hostLruCache = false;
+    opt.staticPartition = false;
+    opt.trace.kind = TraceKind::Uniform;
+    ModelRunner runner(sys, model, opt);
+    return runner.measure(batch, 1, 3).avgLatencyUs;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const unsigned batch = 64;
+    TablePrinter table(
+        "Figure 9: naive RecSSD speedup over baseline SSD, full models "
+        "(batch 64, random indices, no pipelining/caching)",
+        {"model", "class", "base-ssd", "recssd", "speedup"});
+
+    for (const auto &model : modelZoo()) {
+        double base = modelLatencyUs(model,
+                                     EmbeddingBackendKind::BaselineSsd,
+                                     batch);
+        double ndp = modelLatencyUs(model, EmbeddingBackendKind::Ndp,
+                                    batch);
+        table.row({model.name,
+                   model.embeddingDominated ? "embedding" : "mlp",
+                   TablePrinter::fmtUs(base), TablePrinter::fmtUs(ndp),
+                   TablePrinter::fmt(base / ndp) + "x"});
+    }
+
+    std::printf("\nExpected shape (paper): ~1x for MLP-dominated models; "
+                "multi-x (up to ~7x) for the embedding-dominated RM1/2/3, "
+                "largest for RM2.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 10: full-model speedup of RecSSD over the conventional SSD
+ * baseline with the locality optimizations of §4.2, for RM1/RM2/RM3,
+ * input localities K = 0/1/2 and batch sizes 1-32.
+ *
+ *  - Panels (a-c): RecSSD uses only the SSD-side direct-mapped
+ *    embedding cache; the baseline uses its fully associative host
+ *    LRU cache (2K entries/table).
+ *  - Panels (d-f): RecSSD additionally statically partitions each
+ *    table, keeping the profiled-hottest 2K rows in host DRAM.
+ *
+ * Paper shape: at high locality (K=0) the baseline's LRU wins; at low
+ * locality (K=2) RecSSD wins, up to ~1.5x with SSD caching only and
+ * ~2x with static partitioning. RM2's SSD cache hit rate trails
+ * RM1/RM3 (more lookups per request -> more conflict misses in the
+ * direct-mapped cache).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+struct CellResult
+{
+    double baseUs;
+    double ndpUs;
+    double baseLruHitRate;
+    double ndpCacheHitRate;  ///< SSD cache (a-c) or partition (d-f)
+};
+
+CellResult
+runCell(const ModelConfig &model, double k, unsigned batch, bool partition)
+{
+    CellResult out{};
+
+    // Warm long enough for the trace to cycle its active id universe
+    // a couple of times (steady-state hit rates), then measure a
+    // sample large enough for stable labels.
+    std::uint64_t lookups = model.tables[0].lookups;
+    auto clamp_u = [](std::uint64_t v, unsigned lo, unsigned hi) {
+        return static_cast<unsigned>(std::min<std::uint64_t>(
+            std::max<std::uint64_t>(v, lo), hi));
+    };
+    unsigned warmup = clamp_u(20'000 / (std::uint64_t(batch) * lookups),
+                              2, 128);
+    unsigned measure = clamp_u(256 / batch, 2, 12);
+
+    // Baseline: host LRU cache + pipelining.
+    {
+        System sys;
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::BaselineSsd;
+        opt.hostLruCache = true;
+        opt.forceAllTablesOnSsd = true;
+        opt.pipeline = true;
+        opt.trace.kind = TraceKind::LocalityK;
+        opt.trace.k = k;
+        ModelRunner runner(sys, model, opt);
+        auto stats = runner.measure(batch, warmup, measure);
+        out.baseUs = stats.avgLatencyUs;
+        out.baseLruHitRate = stats.hostCacheHitRate;
+    }
+
+    // RecSSD: SSD-side direct-mapped cache, optionally + partition.
+    {
+        SystemConfig cfg;
+        // Sized so the direct-mapped organization shows the conflict
+        // behaviour the paper reports (its traces touch a far larger
+        // id universe than our synthetic active set; a proportionally
+        // smaller cache reproduces the same load factor).
+        cfg.ssd.sls.embeddingCacheBytes = 512ull * 1024;
+        System sys(cfg);
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::Ndp;
+        opt.staticPartition = partition;
+        opt.forceAllTablesOnSsd = true;
+        opt.pipeline = true;
+        opt.trace.kind = TraceKind::LocalityK;
+        opt.trace.k = k;
+        ModelRunner runner(sys, model, opt);
+        auto stats = runner.measure(batch, warmup, measure);
+        out.ndpUs = stats.avgLatencyUs;
+        out.ndpCacheHitRate = partition ? stats.partitionHitRate
+                                        : stats.ssdEmbedCacheHitRate;
+    }
+    return out;
+}
+
+void
+panel(const char *title, bool partition)
+{
+    TablePrinter table(title, {"model", "K", "batch", "base-ssd", "recssd",
+                               "speedup", "recssd-hit%", "base-lru-hit%"});
+    for (const char *name : {"RM1", "RM2", "RM3"}) {
+        const ModelConfig &model = modelByName(name);
+        for (double k : {0.0, 1.0, 2.0}) {
+            for (unsigned batch : {1u, 4u, 16u, 32u}) {
+                auto r = runCell(model, k, batch, partition);
+                table.row({name, TablePrinter::fmt(k, 0),
+                           std::to_string(batch),
+                           TablePrinter::fmtUs(r.baseUs),
+                           TablePrinter::fmtUs(r.ndpUs),
+                           TablePrinter::fmt(r.baseUs / r.ndpUs) + "x",
+                           TablePrinter::fmt(r.ndpCacheHitRate * 100, 0),
+                           TablePrinter::fmt(r.baseLruHitRate * 100, 0)});
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    panel("Figure 10(a-c): RecSSD + SSD-side cache vs baseline + host LRU",
+          false);
+    panel("Figure 10(d-f): RecSSD + static partitioning (+SSD cache) vs "
+          "baseline + host LRU",
+          true);
+
+    std::printf("\nExpected shape (paper): baseline wins at K=0 (84%% LRU "
+                "hits); RecSSD wins at K=2, up to ~1.5x with SSD caching "
+                "alone and ~2x with static partitioning; partition hit "
+                "rate approaches 25%% (2K of 8K active rows) at high "
+                "batch.\n");
+    return 0;
+}

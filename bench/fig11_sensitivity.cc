@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 11: sensitivity of RecSSD's full-model speedup to model
+ * architecture parameters, on an RM3-like model (§6.4).
+ *
+ *  (a) Feature size (and quantization): larger vectors relative to
+ *      the page size shrink RecSSD's advantage — the baseline wastes
+ *      less of each block transfer while RecSSD's ARM core does more
+ *      Translation work per page.
+ *  (b) Table count and indices per lookup: more tables amortize the
+ *      per-table NDP command overhead less (slight loss); more
+ *      indices per lookup amortize it more and increase the value of
+ *      on-SSD accumulation (clear gain).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+ModelConfig
+rm3Like(unsigned tables, unsigned dim, unsigned lookups,
+        unsigned attr_bytes)
+{
+    ModelConfig m = modelByName("RM3");
+    m.name = "RM3-like";
+    m.tables = {TableGroup{tables, 1'000'000, dim, lookups, attr_bytes}};
+    return m;
+}
+
+double
+speedup(const ModelConfig &model, unsigned batch)
+{
+    double lat[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        // The 40-table sweep point needs >512GB of logical space;
+        // give the drive 2TB like the Cosmos+ board.
+        SystemConfig cfg;
+        cfg.ssd.flash.blocksPerDie = 16384;
+        System sys(cfg);
+        RunnerOptions opt;
+        opt.backend = pass == 0 ? EmbeddingBackendKind::BaselineSsd
+                                : EmbeddingBackendKind::Ndp;
+        opt.pipeline = false;
+        opt.forceAllTablesOnSsd = true;
+        opt.trace.kind = TraceKind::Uniform;
+        ModelRunner runner(sys, model, opt);
+        lat[pass] = runner.measure(batch, 1, 2).avgLatencyUs;
+    }
+    return lat[0] / lat[1];
+}
+
+}  // namespace
+
+int
+main()
+{
+    const unsigned batch = 64;
+
+    {
+        TablePrinter table(
+            "Figure 11a: speedup vs feature size / quantization "
+            "(RM3-like, 10 tables, 20 lookups)",
+            {"feature-dim", "attr-bytes", "vector-bytes", "speedup"});
+        for (unsigned dim : {8u, 16u, 32u, 64u, 128u}) {
+            auto m = rm3Like(10, dim, 20, 4);
+            table.row({std::to_string(dim), "4",
+                       std::to_string(dim * 4),
+                       TablePrinter::fmt(speedup(m, batch)) + "x"});
+        }
+        for (unsigned attr : {2u, 1u}) {
+            auto m = rm3Like(10, 32, 20, attr);
+            table.row({"32", std::to_string(attr),
+                       std::to_string(32 * attr),
+                       TablePrinter::fmt(speedup(m, batch)) + "x"});
+        }
+    }
+
+    {
+        // Table-count sweep at a fixed total gather budget (200
+        // indices/sample split across the tables): more tables means
+        // less work per NDP call, so the per-call command overheads
+        // amortize worse (§6.4).
+        TablePrinter table(
+            "Figure 11b: speedup vs table count and indices per lookup "
+            "(RM3-like, dim 32, batch 8)",
+            {"tables", "indices", "speedup"});
+        const std::pair<unsigned, unsigned> splits[] = {
+            {2, 100}, {5, 40}, {10, 20}, {20, 10}, {40, 5}};
+        for (auto [tables, indices] : splits) {
+            auto m = rm3Like(tables, 32, indices, 4);
+            table.row({std::to_string(tables), std::to_string(indices),
+                       TablePrinter::fmt(speedup(m, 8)) + "x"});
+        }
+        for (unsigned indices : {5u, 20u, 40u, 80u, 120u}) {
+            auto m = rm3Like(10, 32, indices, 4);
+            table.row({"10", std::to_string(indices),
+                       TablePrinter::fmt(speedup(m, 8)) + "x"});
+        }
+    }
+
+    std::printf("\nExpected shape (paper): speedup decreases as vector "
+                "bytes grow; decreases mildly with table count; increases "
+                "with indices per lookup.\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenches for the simulator's hot paths: the
+ * event kernel, the caches, trace generation, and the SLS interface
+ * encode/decode. These guard the simulator's own performance (the
+ * figure benches replay millions of events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/lru_cache.h"
+#include "src/cache/set_assoc_lru.h"
+#include "src/common/event_queue.h"
+#include "src/common/random.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/ndp/embedding_cache.h"
+#include "src/ndp/sls_config.h"
+#include "src/trace/trace_gen.h"
+
+namespace
+{
+
+using namespace recssd;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&sink]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_SetAssocLruAccess(benchmark::State &state)
+{
+    SetAssocLru cache(4096, 16);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.uniformInt(16384)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssocLruAccess);
+
+void
+BM_LruCachePutGet(benchmark::State &state)
+{
+    LruCache<std::uint64_t, std::uint64_t> cache(2048);
+    Rng rng(1);
+    for (auto _ : state) {
+        std::uint64_t key = rng.uniformInt(8192);
+        if (!cache.get(key))
+            cache.put(key, key);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCachePutGet);
+
+void
+BM_EmbeddingCacheLookup(benchmark::State &state)
+{
+    EmbeddingCache cache(32 * 1024 * 1024, 128);
+    std::vector<std::byte> vec(128);
+    for (std::uint64_t r = 0; r < 10000; ++r)
+        cache.insert(0, r, vec);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.lookup(0, rng.uniformInt(20000), vec));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmbeddingCacheLookup);
+
+void
+BM_SlsConfigRoundTrip(benchmark::State &state)
+{
+    SlsConfig cfg;
+    cfg.featureDim = 32;
+    cfg.numResults = 64;
+    for (std::uint32_t i = 0; i < 5120; ++i)
+        cfg.pairs.push_back(SlsPair{i * 7, i % 64});
+    std::sort(cfg.pairs.begin(), cfg.pairs.end(),
+              [](auto &a, auto &b) { return a.inputId < b.inputId; });
+    for (auto _ : state) {
+        auto bytes = cfg.serialize();
+        SlsConfig out;
+        bool ok = SlsConfig::deserialize(bytes, out);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.pairs.size());
+}
+BENCHMARK(BM_SlsConfigRoundTrip);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler zipf(1'000'000, 1.05);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_LocalityTraceNext(benchmark::State &state)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::LocalityK;
+    spec.k = 1.0;
+    TraceGenerator gen(spec);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalityTraceNext);
+
+void
+BM_SyntheticVectorFill(benchmark::State &state)
+{
+    EmbeddingTableDesc desc;
+    desc.id = 3;
+    desc.rows = 1'000'000;
+    desc.dim = 64;
+    std::vector<std::byte> out(desc.vectorBytes());
+    Rng rng(1);
+    for (auto _ : state)
+        synthetic::fillVector(desc, rng.uniformInt(desc.rows), out);
+    state.SetItemsProcessed(state.iterations() * desc.dim);
+}
+BENCHMARK(BM_SyntheticVectorFill);
+
+}  // namespace

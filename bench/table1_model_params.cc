@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 1: differentiating benchmark parameters of the
+ * embedding-dominated models (feature size, indices per lookup,
+ * table count) — printed from the model zoo, alongside the derived
+ * characteristics of all eight models.
+ */
+
+#include "src/core/experiment.h"
+#include "src/reco/model_config.h"
+
+using namespace recssd;
+
+int
+main()
+{
+    {
+        TablePrinter table("Table 1: differentiating benchmark parameters",
+                           {"benchmark", "feature-size", "indices",
+                            "table-count"});
+        for (const char *name : {"RM1", "RM2", "RM3"}) {
+            const ModelConfig &m = modelByName(name);
+            table.row({m.name, std::to_string(m.tables[0].dim),
+                       std::to_string(m.tables[0].lookups),
+                       std::to_string(m.numTables())});
+        }
+    }
+
+    {
+        TablePrinter table(
+            "Model zoo (derived characteristics)",
+            {"model", "class", "tables", "lookups/sample", "mlp-macs",
+             "emb-bytes/sample"});
+        for (const auto &m : modelZoo()) {
+            std::uint64_t emb_bytes = 0;
+            for (const auto &g : m.tables) {
+                emb_bytes += std::uint64_t(g.count) * g.lookups * g.dim *
+                             g.attrBytes;
+            }
+            table.row({m.name,
+                       m.embeddingDominated ? "embedding" : "mlp",
+                       std::to_string(m.numTables()),
+                       std::to_string(m.lookupsPerSample()),
+                       std::to_string(m.mlpMacsPerSample()),
+                       std::to_string(emb_bytes)});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Capacity planning: the paper's economic argument (§1-§3) in one
+ * table. For growing model sizes, compare where the embedding tables
+ * can live and what inference then costs:
+ *
+ *  - DRAM: fastest, but capacity-bound (the paper notes model sizes
+ *    are often *set* by server memory).
+ *  - Conventional SSD: an order of magnitude more capacity at 4-8x
+ *    lower cost per bit, but slow embedding gathers.
+ *  - RecSSD: same flash economics, much closer to DRAM performance.
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+
+namespace
+{
+
+double
+latencyUs(const ModelConfig &model, EmbeddingBackendKind kind)
+{
+    SystemConfig cfg;
+    cfg.ssd.flash.blocksPerDie = 16384;  // 2TB drive
+    System sys(cfg);
+    RunnerOptions opt;
+    opt.backend = kind;
+    opt.forceAllTablesOnSsd = kind != EmbeddingBackendKind::Dram;
+    opt.pipeline = true;
+    // Capacity-stressing access pattern: sparse uniform lookups over
+    // the whole table (caches cannot help; this is the regime that
+    // forces the DRAM-vs-flash decision).
+    opt.trace.kind = TraceKind::Uniform;
+    ModelRunner runner(sys, model, opt);
+    return runner.measure(16, 2, 3).avgLatencyUs;
+}
+
+}  // namespace
+
+int
+main()
+{
+    TablePrinter table(
+        "Capacity planning: RM1-like model with growing tables (batch 16, "
+        "uniform random lookups)",
+        {"rows/table", "emb-footprint", "fits-64GB?", "dram", "ssd-base",
+         "recssd", "recssd-vs-base"});
+
+    for (std::uint64_t rows : {1'000'000ull, 4'000'000ull, 16'000'000ull,
+                               64'000'000ull}) {
+        ModelConfig m = modelByName("RM1");
+        m.tables[0].rows = rows;
+        // Pack vectors into pages: at these capacities the
+        // one-vector-per-page evaluation layout would waste 99% of
+        // the drive.
+        m.tables[0].rowsPerPage = 16 * 1024 / (m.tables[0].dim * 4);
+        double gb = double(m.numTables()) * double(rows) *
+                    m.tables[0].dim * 4 / 1e9;
+        bool fits = gb < 48.0;  // leave room for the OS + model code
+
+        // DRAM latency only exists when the tables actually fit.
+        std::string dram = "n/a";
+        if (fits)
+            dram = TablePrinter::fmtUs(
+                latencyUs(m, EmbeddingBackendKind::Dram));
+        double base = latencyUs(m, EmbeddingBackendKind::BaselineSsd);
+        double ndp = latencyUs(m, EmbeddingBackendKind::Ndp);
+
+        char footprint[32];
+        std::snprintf(footprint, sizeof(footprint), "%.1fGB", gb);
+        table.row({std::to_string(rows), footprint, fits ? "yes" : "NO",
+                   dram, TablePrinter::fmtUs(base),
+                   TablePrinter::fmtUs(ndp),
+                   TablePrinter::fmt(base / ndp) + "x"});
+    }
+
+    std::printf("\nOnce tables outgrow server DRAM, flash is the only "
+                "option — and RecSSD keeps it usable. (Lookup latency "
+                "depends on access locality, not absolute table size, "
+                "per §6.4.)\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Serving simulation: the embedding-dominated DLRM-RMC1 model
+ * answering a stream of recommendation queries, comparing the
+ * optimized hybrid baseline (host LRU cache + pipelining) with
+ * RecSSD (static partitioning + SSD cache + pipelining).
+ *
+ * Prints a latency distribution per configuration — the "direct
+ * request latency" view §5 argues is the right metric for a
+ * single-model single-SSD prototype.
+ */
+
+#include <cstdio>
+
+#include "src/common/stats.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+
+namespace
+{
+
+void
+serve(const char *label, EmbeddingBackendKind kind, bool partition,
+      bool host_lru)
+{
+    SystemConfig cfg;
+    if (kind == EmbeddingBackendKind::Ndp)
+        cfg.ssd.sls.embeddingCacheBytes = 32ull * 1024 * 1024;
+    System sys(cfg);
+
+    RunnerOptions opt;
+    opt.backend = kind;
+    opt.hostLruCache = host_lru;
+    opt.staticPartition = partition;
+    opt.forceAllTablesOnSsd = kind != EmbeddingBackendKind::Dram;
+    opt.pipeline = true;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 1.0;  // production-like medium locality
+    ModelRunner runner(sys, modelByName("RM1"), opt);
+
+    const unsigned kBatch = 16;
+    const unsigned kQueries = 60;
+    // Warm caches into steady state, then serve.
+    for (unsigned i = 0; i < 10; ++i)
+        runner.runBatch(kBatch);
+
+    SampleStat latency;
+    for (unsigned i = 0; i < kQueries; ++i)
+        latency.record(ticksToUs(runner.runBatch(kBatch)));
+
+    std::printf("%-28s mean %8.0f us   min %8.0f us   max %8.0f us\n",
+                label, latency.mean(), latency.min(), latency.max());
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("DLRM-RMC1, batch 16, K=1 locality, %u-query stream\n\n",
+                60u);
+    serve("DRAM (reference)", EmbeddingBackendKind::Dram, false, false);
+    serve("hybrid SSD baseline + LRU", EmbeddingBackendKind::BaselineSsd,
+          false, true);
+    serve("RecSSD + SSD cache", EmbeddingBackendKind::Ndp, false, false);
+    serve("RecSSD + static partition", EmbeddingBackendKind::Ndp, true,
+          false);
+    std::printf("\nRecSSD narrows the gap between flash-resident and "
+                "DRAM-resident tables at a fraction of the memory cost.\n");
+    return 0;
+}

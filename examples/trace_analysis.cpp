@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Locality characterization workflow (§3.1): generate an input trace,
+ * then quantify its reuse — unique-access fraction, LRU hit rate as a
+ * function of cache capacity, and page-level reuse concentration.
+ *
+ * This is the tooling used to calibrate the K-parameterized trace
+ * generator against the paper's published numbers.
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/trace/page_reuse.h"
+#include "src/trace/stack_distance.h"
+#include "src/trace/trace_gen.h"
+
+using namespace recssd;
+
+int
+main()
+{
+    TablePrinter table(
+        "Locality trace characterization (40K lookups per K)",
+        {"K", "unique%", "lru-hit@512", "lru-hit@2K", "lru-hit@8K",
+         "reuse-in-top-100-pages"});
+
+    for (double k : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+        TraceSpec spec;
+        spec.kind = TraceKind::LocalityK;
+        spec.k = k;
+        spec.universe = 1'000'000;
+        // Draw fresh ids from the whole table (the default active
+        // universe of 8K is for the static-partitioning experiments)
+        // so the unique fraction is observable over this window.
+        spec.activeUniverse = spec.universe;
+        spec.seed = 7;
+        TraceGenerator gen(spec);
+
+        StackDistanceAnalyzer stack;
+        PageReuseAnalyzer pages(4096, 128);
+        for (int i = 0; i < 40'000; ++i) {
+            RowId row = gen.next();
+            stack.access(row);
+            pages.access(row);
+        }
+
+        table.row(
+            {TablePrinter::fmt(k, 1),
+             TablePrinter::fmt(stack.uniqueFraction() * 100, 1),
+             TablePrinter::fmt(stack.hitRateAtCapacity(512) * 100, 1),
+             TablePrinter::fmt(stack.hitRateAtCapacity(2048) * 100, 1),
+             TablePrinter::fmt(stack.hitRateAtCapacity(8192) * 100, 1),
+             TablePrinter::fmt(pages.reuseCapturedByTopPages(100) * 100,
+                               1) +
+                 "%"});
+    }
+
+    std::printf("\nPaper calibration points: K=0/1/2 give ~13/54/72%% "
+                "unique accesses and ~84/44/28%% hits in the 2K-entry "
+                "host LRU cache.\n");
+    return 0;
+}

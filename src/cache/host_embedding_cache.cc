@@ -1,0 +1,70 @@
+#include "src/cache/host_embedding_cache.h"
+
+namespace recssd
+{
+
+HostEmbeddingCache::HostEmbeddingCache(std::size_t entries_per_table)
+    : entriesPerTable_(entries_per_table)
+{
+    recssd_assert(entries_per_table > 0, "cache needs capacity");
+}
+
+HostEmbeddingCache::TableCache &
+HostEmbeddingCache::tableCache(std::uint32_t table_id)
+{
+    auto it = tables_.find(table_id);
+    if (it == tables_.end()) {
+        it = tables_
+                 .emplace(table_id,
+                          std::make_unique<TableCache>(entriesPerTable_))
+                 .first;
+    }
+    return *it->second;
+}
+
+const HostEmbeddingCache::Vector *
+HostEmbeddingCache::get(std::uint32_t table_id, RowId row)
+{
+    return tableCache(table_id).get(row);
+}
+
+void
+HostEmbeddingCache::put(std::uint32_t table_id, RowId row, Vector value)
+{
+    tableCache(table_id).put(row, std::move(value));
+}
+
+std::uint64_t
+HostEmbeddingCache::hits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[id, cache] : tables_)
+        total += cache->hits();
+    return total;
+}
+
+std::uint64_t
+HostEmbeddingCache::misses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[id, cache] : tables_)
+        total += cache->misses();
+    return total;
+}
+
+double
+HostEmbeddingCache::hitRate() const
+{
+    std::uint64_t h = hits();
+    std::uint64_t total = h + misses();
+    return total ? static_cast<double>(h) / total : 0.0;
+}
+
+void
+HostEmbeddingCache::resetStats()
+{
+    for (auto &[id, cache] : tables_)
+        cache->resetStats();
+}
+
+}  // namespace recssd

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Host DRAM software cache of embedding vectors.
+ *
+ * Fully associative LRU, sized per table (§5: "host-side DRAM caches
+ * store up to 2K entries per embedding table"). Used by the baseline
+ * SSD path; the NDP path cannot use it (the device returns accumulated
+ * sums, not raw vectors — §4.2) and relies on static partitioning
+ * instead.
+ */
+
+#ifndef RECSSD_CACHE_HOST_EMBEDDING_CACHE_H
+#define RECSSD_CACHE_HOST_EMBEDDING_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/lru_cache.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class HostEmbeddingCache
+{
+  public:
+    using Vector = std::vector<float>;
+
+    /** @param entries_per_table LRU capacity for each table. */
+    explicit HostEmbeddingCache(std::size_t entries_per_table);
+
+    /** Fetch a cached vector (promotes). @return nullptr on miss. */
+    const Vector *get(std::uint32_t table_id, RowId row);
+
+    /** Cache a vector fetched from the SSD. */
+    void put(std::uint32_t table_id, RowId row, Vector value);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    double hitRate() const;
+    void resetStats();
+
+    std::size_t entriesPerTable() const { return entriesPerTable_; }
+
+  private:
+    using TableCache = LruCache<RowId, Vector>;
+
+    TableCache &tableCache(std::uint32_t table_id);
+
+    std::size_t entriesPerTable_;
+    std::unordered_map<std::uint32_t, std::unique_ptr<TableCache>> tables_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_CACHE_HOST_EMBEDDING_CACHE_H

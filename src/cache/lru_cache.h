@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fully associative LRU cache template.
+ *
+ * Backs the host-side software embedding cache (§4.2: "for host DRAM
+ * caching, it is entirely feasible to use a large fully associative
+ * LRU software cache"). O(1) get/put via hash map + intrusive list.
+ */
+
+#ifndef RECSSD_CACHE_LRU_CACHE_H
+#define RECSSD_CACHE_LRU_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace recssd
+{
+
+template <typename Key, typename Value>
+class LruCache
+{
+  public:
+    explicit LruCache(std::size_t capacity) : capacity_(capacity)
+    {
+        recssd_assert(capacity > 0, "LRU cache needs capacity");
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return map_.size(); }
+
+    /** Fetch and promote to MRU. @return nullptr on miss. */
+    Value *
+    get(const Key &key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            misses_.inc();
+            return nullptr;
+        }
+        order_.splice(order_.begin(), order_, it->second);
+        hits_.inc();
+        return &it->second->second;
+    }
+
+    /** Probe without promoting or counting. */
+    bool contains(const Key &key) const { return map_.contains(key); }
+
+    /** Insert/overwrite; evicts the LRU entry at capacity. */
+    void
+    put(const Key &key, Value value)
+    {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        if (map_.size() >= capacity_) {
+            auto &lru = order_.back();
+            map_.erase(lru.first);
+            order_.pop_back();
+            evictions_.inc();
+        }
+        order_.emplace_front(key, std::move(value));
+        map_[key] = order_.begin();
+    }
+
+    void
+    clear()
+    {
+        map_.clear();
+        order_.clear();
+    }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? static_cast<double>(hits()) / total : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+        evictions_.reset();
+    }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::pair<Key, Value>> order_;
+    std::unordered_map<Key,
+                       typename std::list<std::pair<Key, Value>>::iterator>
+        map_;
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_CACHE_LRU_CACHE_H

@@ -1,0 +1,57 @@
+#include "src/cache/set_assoc_lru.h"
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+SetAssocLru::SetAssocLru(std::size_t capacity, unsigned ways) : ways_(ways)
+{
+    recssd_assert(ways > 0 && capacity >= ways && capacity % ways == 0,
+                  "capacity must be a positive multiple of ways");
+    numSets_ = capacity / ways;
+    entries_.resize(capacity);
+}
+
+std::size_t
+SetAssocLru::setOf(std::uint64_t key) const
+{
+    return (key * 0x9e3779b97f4a7c15ull >> 21) % numSets_;
+}
+
+bool
+SetAssocLru::access(std::uint64_t key)
+{
+    Entry *set = &entries_[setOf(key) * ways_];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].key == key) {
+            set[w].lastUse = ++clock_;
+            hits_.inc();
+            return true;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+        } else if (victim->valid && set[w].lastUse < victim->lastUse) {
+            victim = &set[w];
+        }
+    }
+    misses_.inc();
+    victim->key = key;
+    victim->valid = true;
+    victim->lastUse = ++clock_;
+    return false;
+}
+
+bool
+SetAssocLru::contains(std::uint64_t key) const
+{
+    const Entry *set = &entries_[setOf(key) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].key == key)
+            return true;
+    }
+    return false;
+}
+
+}  // namespace recssd

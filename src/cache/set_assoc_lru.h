@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Key-only set-associative LRU cache.
+ *
+ * Used by the locality analyses (the paper's Figure 4 sweeps a 16-way
+ * LRU 4KB page cache over capacities) where only hit/miss behaviour
+ * matters, not cached content.
+ */
+
+#ifndef RECSSD_CACHE_SET_ASSOC_LRU_H
+#define RECSSD_CACHE_SET_ASSOC_LRU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace recssd
+{
+
+class SetAssocLru
+{
+  public:
+    /**
+     * @param capacity Total entries (must be a multiple of ways).
+     * @param ways Associativity.
+     */
+    SetAssocLru(std::size_t capacity, unsigned ways);
+
+    /**
+     * Touch a key: record the hit and promote, or insert with LRU
+     * eviction on miss.
+     * @retval true on hit.
+     */
+    bool access(std::uint64_t key);
+
+    /** Probe only. */
+    bool contains(std::uint64_t key) const;
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? static_cast<double>(hits()) / total : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+    }
+
+    std::size_t capacity() const { return entries_.size(); }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = ~std::uint64_t(0);
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setOf(std::uint64_t key) const;
+
+    unsigned ways_;
+    std::size_t numSets_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+    Counter hits_;
+    Counter misses_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_CACHE_SET_ASSOC_LRU_H

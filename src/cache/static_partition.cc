@@ -1,0 +1,70 @@
+#include "src/cache/static_partition.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+StaticPartition::StaticPartition(std::size_t entries_per_table)
+    : entriesPerTable_(entries_per_table)
+{
+    recssd_assert(entries_per_table > 0, "partition needs capacity");
+}
+
+void
+StaticPartition::profile(std::uint32_t table_id, RowId row)
+{
+    recssd_assert(!built_, "cannot profile a frozen partition");
+    ++counts_[table_id][row];
+}
+
+void
+StaticPartition::build(ValueProvider values)
+{
+    recssd_assert(!built_, "partition already built");
+    for (auto &[table_id, rows] : counts_) {
+        std::vector<std::pair<RowId, std::uint64_t>> ranked(rows.begin(),
+                                                            rows.end());
+        std::size_t keep = std::min(entriesPerTable_, ranked.size());
+        std::partial_sort(ranked.begin(), ranked.begin() + keep,
+                          ranked.end(), [](const auto &a, const auto &b) {
+                              if (a.second != b.second)
+                                  return a.second > b.second;
+                              return a.first < b.first;
+                          });
+        auto &res = resident_[table_id];
+        for (std::size_t i = 0; i < keep; ++i)
+            res.emplace(ranked[i].first, values(table_id, ranked[i].first));
+    }
+    counts_.clear();
+    built_ = true;
+}
+
+const std::vector<float> *
+StaticPartition::lookup(std::uint32_t table_id, RowId row)
+{
+    recssd_assert(built_, "partition not built yet");
+    auto tit = resident_.find(table_id);
+    if (tit == resident_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    auto rit = tit->second.find(row);
+    if (rit == tit->second.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return &rit->second;
+}
+
+std::size_t
+StaticPartition::residentRows(std::uint32_t table_id) const
+{
+    auto it = resident_.find(table_id);
+    return it == resident_.end() ? 0 : it->second.size();
+}
+
+}  // namespace recssd

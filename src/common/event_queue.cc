@@ -1,0 +1,55 @@
+#include "src/common/event_queue.h"
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    recssd_assert(when >= now_, "cannot schedule in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    recssd_assert(cb != nullptr, "cannot schedule a null callback");
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top returns const ref; move the callback out via
+    // a const_cast, which is safe because we pop immediately.
+    Event &ev = const_cast<Event &>(events_.top());
+    Tick when = ev.when;
+    Callback cb = std::move(ev.cb);
+    events_.pop();
+    now_ = when;
+    ++executed_;
+    cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    if (events_.empty())
+        return now_;  // nothing to simulate; time does not flow
+    while (!events_.empty() && events_.top().when <= limit)
+        runOne();
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+}  // namespace recssd

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single `EventQueue` drives a whole simulated machine (host CPU,
+ * PCIe, SSD firmware, flash channels). Components schedule callbacks
+ * at absolute or relative ticks; events scheduled for the same tick
+ * fire in FIFO order, which keeps the simulation deterministic.
+ */
+
+#ifndef RECSSD_COMMON_EVENT_QUEUE_H
+#define RECSSD_COMMON_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** Priority queue of timed callbacks; the heart of the simulator. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback `delay` ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Execute the next event, advancing time to its tick.
+     * @retval false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run until the queue drains. @return final simulated time. */
+    Tick run();
+
+    /**
+     * Run events with tick <= limit; time ends at min(limit, drain).
+     * Events scheduled beyond the limit stay queued.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total number of events ever executed. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_COMMON_EVENT_QUEUE_H

@@ -1,0 +1,103 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace recssd
+{
+
+namespace
+{
+LogLevel gThreshold = LogLevel::Inform;
+}  // namespace
+
+void
+setLogThreshold(LogLevel level)
+{
+    gThreshold = level;
+}
+
+LogLevel
+logThreshold()
+{
+    return gThreshold;
+}
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+namespace
+{
+
+void
+emit(LogLevel level, const char *prefix, const char *fmt, std::va_list ap)
+{
+    if (level < gThreshold)
+        return;
+    std::string msg = vformat(fmt, ap);
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+}  // namespace
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Inform, "info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Warn, "warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Fatal, "fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Panic, "panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+}  // namespace recssd

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * `fatal()` is for user errors (bad configuration) and exits cleanly;
+ * `panic()` is for internal invariant violations and aborts; `warn()`
+ * and `inform()` never stop the simulation.
+ */
+
+#ifndef RECSSD_COMMON_LOGGING_H
+#define RECSSD_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace recssd
+{
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Minimum level that is actually printed. Tests raise this to keep
+ * expected-failure output quiet.
+ */
+void setLogThreshold(LogLevel level);
+
+/** Current print threshold. */
+LogLevel logThreshold();
+
+/** printf-style message formatting helper. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a condition the user should know about but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but survivable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to a user-caused error (bad parameters, impossible
+ * configuration). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to an internal simulator bug. Aborts so a debugger or
+ * core dump can capture the state.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the given condition holds. */
+#define recssd_assert(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::recssd::panic("assertion '%s' failed: %s", #cond,           \
+                            ::recssd::format(__VA_ARGS__).c_str());       \
+        }                                                                 \
+    } while (0)
+
+}  // namespace recssd
+
+#endif  // RECSSD_COMMON_LOGGING_H

@@ -1,0 +1,93 @@
+#include "src/common/stats.h"
+
+#include <bit>
+#include <cmath>
+#include <iomanip>
+
+namespace recssd
+{
+
+Histogram::Histogram(unsigned num_buckets) : buckets_(num_buckets, 0)
+{
+}
+
+void
+Histogram::record(std::uint64_t v)
+{
+    stat_.record(static_cast<double>(v));
+    unsigned bucket = v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v));
+    if (bucket >= buckets_.size())
+        bucket = static_cast<unsigned>(buckets_.size()) - 1;
+    ++buckets_[bucket];
+}
+
+void
+Histogram::reset()
+{
+    stat_.reset();
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (stat_.count() == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(stat_.count());
+    double seen = 0.0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += static_cast<double>(buckets_[i]);
+        if (seen >= target) {
+            // Bucket i holds values in [2^(i-1), 2^i); report the
+            // geometric midpoint as the representative value.
+            double lo = i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
+            double hi = std::pow(2.0, static_cast<double>(i));
+            return (lo + hi) / 2.0;
+        }
+    }
+    return stat_.max();
+}
+
+void
+StatGroup::addCounter(std::string name, const Counter *c)
+{
+    counters_.emplace_back(std::move(name), c);
+}
+
+void
+StatGroup::addSample(std::string name, const SampleStat *s)
+{
+    samples_.emplace_back(std::move(name), s);
+}
+
+void
+StatGroup::addHistogram(std::string name, const Histogram *h)
+{
+    histograms_.emplace_back(std::move(name), h);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "==== " << name_ << " ====\n";
+    for (const auto &[name, c] : counters_)
+        os << std::left << std::setw(40) << name << c->value() << "\n";
+    for (const auto &[name, s] : samples_) {
+        os << std::left << std::setw(40) << name
+           << "count=" << s->count() << " mean=" << s->mean()
+           << " min=" << s->min() << " max=" << s->max() << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        os << std::left << std::setw(40) << name
+           << "count=" << h->count() << " mean=" << h->mean()
+           << " p50=" << h->quantile(0.5) << " p99=" << h->quantile(0.99)
+           << " max=" << h->max() << "\n";
+    }
+}
+
+}  // namespace recssd

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components own `Counter` and `Histogram` instances and register them
+ * with a `StatGroup` so tools can dump everything uniformly. This is a
+ * deliberately small subset of the gem5 stats package: scalar counters,
+ * accumulating averages, and log-scale latency histograms.
+ */
+
+#ifndef RECSSD_COMMON_STATS_H
+#define RECSSD_COMMON_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** Simple named monotonic counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running scalar sample statistics (count / sum / min / max / mean).
+ */
+class SampleStat
+{
+  public:
+    void
+    record(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        sumSq_ += v * v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        return sumSq_ / count_ - m * m;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Power-of-two bucketed histogram, suitable for latency distributions
+ * spanning ns to seconds.
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets One bucket per power of two starting at 1. */
+    explicit Histogram(unsigned num_buckets = 48);
+
+    void record(std::uint64_t v);
+    void reset();
+
+    std::uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    double min() const { return stat_.min(); }
+    double max() const { return stat_.max(); }
+
+    /** Approximate quantile (0 <= q <= 1) from bucket boundaries. */
+    double quantile(double q) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    SampleStat stat_;
+};
+
+/**
+ * Named collection of statistics for dumping. Components register
+ * pointers; the group does not own them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(std::string name, const Counter *c);
+    void addSample(std::string name, const SampleStat *s);
+    void addHistogram(std::string name, const Histogram *h);
+
+    /** Pretty-print every registered stat. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const SampleStat *>> samples_;
+    std::vector<std::pair<std::string, const Histogram *>> histograms_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_COMMON_STATS_H

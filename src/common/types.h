@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every RecSSD subsystem.
+ *
+ * The simulation clock counts nanoseconds in a 64-bit unsigned tick.
+ * All latencies in the code base are expressed through the literal
+ * helpers below so units are visible at every call site.
+ */
+
+#ifndef RECSSD_COMMON_TYPES_H
+#define RECSSD_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace recssd
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Unit helpers: write `5 * usec` rather than `5000`. */
+constexpr Tick nsec = 1;
+constexpr Tick usec = 1000 * nsec;
+constexpr Tick msec = 1000 * usec;
+constexpr Tick sec = 1000 * msec;
+
+/** Convert a tick count to floating-point microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(usec);
+}
+
+/** Convert a tick count to floating-point milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(msec);
+}
+
+/** Logical block / page addressing used across NVMe, FTL and flash. */
+using Lpn = std::uint64_t;   ///< logical page number (host visible)
+using Ppn = std::uint64_t;   ///< physical page number (flash)
+constexpr Lpn invalidLpn = ~Lpn(0);
+constexpr Ppn invalidPpn = ~Ppn(0);
+
+/** Embedding table row identifier. */
+using RowId = std::uint64_t;
+
+}  // namespace recssd
+
+#endif  // RECSSD_COMMON_TYPES_H

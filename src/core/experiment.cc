@@ -1,0 +1,65 @@
+#include "src/core/experiment.h"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace recssd
+{
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> columns,
+                           std::ostream &os)
+    : title_(std::move(title)), columns_(std::move(columns)), os_(os)
+{
+    for (const auto &c : columns_)
+        widths_.push_back(std::max<std::size_t>(c.size() + 2, 12));
+}
+
+void
+TablePrinter::header()
+{
+    if (headerPrinted_)
+        return;
+    headerPrinted_ = true;
+    os_ << "\n== " << title_ << " ==\n";
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        os_ << std::left << std::setw(static_cast<int>(widths_[i]))
+            << columns_[i];
+    os_ << "\n";
+    std::size_t total = 0;
+    for (auto w : widths_)
+        total += w;
+    os_ << std::string(total, '-') << "\n";
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    header();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::size_t w = i < widths_.size() ? widths_[i] : 12;
+        os_ << std::left << std::setw(static_cast<int>(w)) << cells[i];
+    }
+    os_ << "\n" << std::flush;
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtUs(double us)
+{
+    char buf[64];
+    if (us >= 100000.0)
+        std::snprintf(buf, sizeof(buf), "%.1fms", us / 1000.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fus", us);
+    return buf;
+}
+
+}  // namespace recssd

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared experiment plumbing for the benches: aligned-column table
+ * printing so every bench emits the paper-shaped rows uniformly, and
+ * small helpers for speedup math.
+ */
+
+#ifndef RECSSD_CORE_EXPERIMENT_H
+#define RECSSD_CORE_EXPERIMENT_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace recssd
+{
+
+/** Fixed-width text table, printed incrementally row by row. */
+class TablePrinter
+{
+  public:
+    TablePrinter(std::string title, std::vector<std::string> columns,
+                 std::ostream &os = std::cout);
+
+    /** Print the title + header (called automatically on first row). */
+    void header();
+
+    void row(const std::vector<std::string> &cells);
+
+    /** Format helpers. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtUs(double us);
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::size_t> widths_;
+    std::ostream &os_;
+    bool headerPrinted_ = false;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_CORE_EXPERIMENT_H

@@ -1,0 +1,87 @@
+#include "src/core/system.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "src/nvme/nvme_command.h"
+
+namespace recssd
+{
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    ssd_ = std::make_unique<Ssd>(eq_, config_.ssd);
+    cpu_ = std::make_unique<HostCpu>(eq_, config_.host);
+    driver_ = std::make_unique<UnvmeDriver>(eq_, *cpu_, ssd_->controller());
+    queues_ = std::make_unique<QueueAllocator>(driver_->numQueues());
+}
+
+EmbeddingTableDesc
+System::installTable(std::uint64_t rows, std::uint32_t dim,
+                     std::uint32_t attr_bytes, std::uint32_t rows_per_page)
+{
+    EmbeddingTableDesc desc;
+    desc.id = nextTableId_++;
+    desc.baseLpn = nextTableSlot_++ * slsTableAlign;
+    desc.rows = rows;
+    desc.dim = dim;
+    desc.attrBytes = attr_bytes;
+    desc.rowsPerPage = rows_per_page;
+    recssd::installTable(ssd_->ftl(), desc);
+    return desc;
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    auto line = [&os](const char *name, std::uint64_t v) {
+        os << "  " << std::left << std::setw(36) << name << v << "\n";
+    };
+    Tick now = eq_.now();
+    os << "==== system stats @ " << ticksToMs(now) << "ms ====\n";
+    line("flash.pageReads", ssd_->flash().pageReads());
+    line("flash.pageWrites", ssd_->flash().pageWrites());
+    line("flash.blockErases", ssd_->flash().blockErases());
+    line("ftl.hostReads", ssd_->ftl().hostReads());
+    line("ftl.hostWrites", ssd_->ftl().hostWrites());
+    line("ftl.hostTrims", ssd_->ftl().hostTrims());
+    line("ftl.gcRuns", ssd_->ftl().gcRuns());
+    line("ftl.gcPagesMigrated", ssd_->ftl().gcPagesMigrated());
+    line("ftl.pageCache.hits", ssd_->ftl().pageCache().hits());
+    line("ftl.pageCache.misses", ssd_->ftl().pageCache().misses());
+    line("sls.requests", ssd_->slsEngine().requests());
+    line("sls.flashPagesRead", ssd_->slsEngine().flashPagesRead());
+    line("sls.pageCacheHits", ssd_->slsEngine().pageCacheHits());
+    line("sls.embedCacheHits", ssd_->slsEngine().embedCacheHits());
+    line("nvme.commands", ssd_->controller().commandsProcessed());
+    line("pcie.bytesMoved", ssd_->pcie().bytesMoved());
+    line("driver.commands", driver_->commandsIssued());
+    if (now > 0) {
+        auto pct = [now](Tick busy) {
+            return 100.0 * static_cast<double>(busy) /
+                   static_cast<double>(now);
+        };
+        os << "  " << std::left << std::setw(36) << "ftl.cpu.util%"
+           << pct(ssd_->ftl().cpu().busyTime()) << "\n";
+        os << "  " << std::left << std::setw(36) << "pcie.util%"
+           << pct(ssd_->pcie().busyTime()) << "\n";
+        os << "  " << std::left << std::setw(36) << "host.cores.util%"
+           << pct(cpu_->busyTime()) / cpu_->cores() << "\n";
+    }
+}
+
+EmbeddingTableDesc
+System::describeDramTable(std::uint64_t rows, std::uint32_t dim,
+                          std::uint32_t attr_bytes)
+{
+    EmbeddingTableDesc desc;
+    desc.id = nextTableId_++;
+    desc.baseLpn = nextTableSlot_++ * slsTableAlign;
+    desc.rows = rows;
+    desc.dim = dim;
+    desc.attrBytes = attr_bytes;
+    desc.rowsPerPage = 1;
+    return desc;
+}
+
+}  // namespace recssd

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The RecSSD system facade: one simulated host machine attached to one
+ * simulated SSD, with the embedding-table bookkeeping the paper's
+ * stack needs. This is the entry point downstream users start from
+ * (see examples/quickstart.cpp).
+ */
+
+#ifndef RECSSD_CORE_SYSTEM_H
+#define RECSSD_CORE_SYSTEM_H
+
+#include <iosfwd>
+#include <memory>
+
+#include "src/common/event_queue.h"
+#include "src/embedding/embedding_table.h"
+#include "src/host/host_cpu.h"
+#include "src/host/host_params.h"
+#include "src/host/queue_allocator.h"
+#include "src/host/unvme_driver.h"
+#include "src/ssd/ssd.h"
+
+namespace recssd
+{
+
+struct SystemConfig
+{
+    SsdConfig ssd;
+    HostParams host;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &config = SystemConfig());
+
+    EventQueue &eq() { return eq_; }
+    Ssd &ssd() { return *ssd_; }
+    HostCpu &cpu() { return *cpu_; }
+    UnvmeDriver &driver() { return *driver_; }
+    QueueAllocator &queues() { return *queues_; }
+    const SystemConfig &config() const { return config_; }
+
+    /**
+     * Create and bulk-load an embedding table on the SSD. Tables get
+     * consecutive slsTableAlign-aligned logical slots.
+     */
+    EmbeddingTableDesc installTable(std::uint64_t rows, std::uint32_t dim,
+                                    std::uint32_t attr_bytes = 4,
+                                    std::uint32_t rows_per_page = 1);
+
+    /**
+     * Describe a host-DRAM-resident table (no SSD space consumed);
+     * used for the hybrid placements and the DRAM baseline.
+     */
+    EmbeddingTableDesc describeDramTable(std::uint64_t rows,
+                                         std::uint32_t dim,
+                                         std::uint32_t attr_bytes = 4);
+
+    /** Drain the event queue. @return final simulated time. */
+    Tick run() { return eq_.run(); }
+
+    /** Dump every component's statistics (counters, utilization). */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SystemConfig config_;
+    EventQueue eq_;
+    std::unique_ptr<Ssd> ssd_;
+    std::unique_ptr<HostCpu> cpu_;
+    std::unique_ptr<UnvmeDriver> driver_;
+    std::unique_ptr<QueueAllocator> queues_;
+    std::uint32_t nextTableId_ = 0;
+    std::uint64_t nextTableSlot_ = 0;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_CORE_SYSTEM_H

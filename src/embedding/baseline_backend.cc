@@ -1,0 +1,186 @@
+#include "src/embedding/baseline_backend.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/ndp/attr_codec.h"
+
+namespace recssd
+{
+
+struct BaselineSsdSlsBackend::OpState
+{
+    EmbeddingTableDesc table;
+    /** One NVMe read each: a page and the lookups it serves. */
+    struct PageTask
+    {
+        Lpn lpn;
+        std::vector<std::pair<std::uint32_t, RowId>> entries;
+    };
+    std::vector<PageTask> pages;
+    std::size_t next = 0;
+    std::size_t inFlight = 0;
+    bool hitWorkPending = false;
+    bool completed = false;
+    SlsResult result;
+    Done done;
+
+    void
+    maybeComplete()
+    {
+        if (!completed && !hitWorkPending && inFlight == 0 &&
+            next >= pages.size()) {
+            completed = true;
+            done(result);
+        }
+    }
+};
+
+BaselineSsdSlsBackend::BaselineSsdSlsBackend(EventQueue &eq, HostCpu &cpu,
+                                             UnvmeDriver &driver,
+                                             QueueAllocator &queues,
+                                             Options options)
+    : eq_(eq), cpu_(cpu), driver_(driver), queues_(queues), options_(options)
+{
+}
+
+void
+BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
+{
+    recssd_assert(op.table != nullptr, "SLS op without table");
+    auto state = std::make_shared<OpState>();
+    state->table = *op.table;
+    state->result.assign(op.batch() * op.table->dim, 0.0f);
+    state->done = std::move(done);
+
+    const EmbeddingTableDesc &table = state->table;
+    std::unordered_map<Lpn, std::size_t> page_index;
+    std::uint64_t cache_hits = 0;
+
+    for (std::uint32_t b = 0; b < op.indices.size(); ++b) {
+        for (RowId row : op.indices[b]) {
+            if (options_.hostCache) {
+                if (const auto *vec = options_.hostCache->get(table.id,
+                                                              row)) {
+                    cacheServed_.inc();
+                    ++cache_hits;
+                    float *res = state->result.data() +
+                                 std::size_t(b) * table.dim;
+                    for (std::uint32_t e = 0; e < table.dim; ++e)
+                        res[e] += (*vec)[e];
+                    continue;
+                }
+                // A real (sequential) operator would have this row
+                // cached by the time a later lookup reaches it: the
+                // fetch below populates the cache mid-operation. Fill
+                // the entry now so intra-op reuse hits, exactly as it
+                // would at processing time.
+                options_.hostCache->put(table.id, row,
+                                        synthetic::vectorOf(table, row));
+            }
+            Lpn lpn = table.lpnOf(row);
+            if (options_.coalescePages) {
+                auto [it, fresh] =
+                    page_index.try_emplace(lpn, state->pages.size());
+                if (fresh)
+                    state->pages.push_back(OpState::PageTask{lpn, {}});
+                state->pages[it->second].entries.emplace_back(b, row);
+            } else {
+                state->pages.push_back(
+                    OpState::PageTask{lpn, {{b, row}}});
+            }
+        }
+    }
+
+    // The cache-served lookups are ordinary DRAM gathers on the
+    // operator's thread.
+    if (cache_hits > 0) {
+        state->hitWorkPending = true;
+        cpu_.run(cpu_.dramLookupCost(table.vectorBytes()) * cache_hits,
+                 [state]() {
+                     state->hitWorkPending = false;
+                     state->maybeComplete();
+                 });
+    }
+
+    if (state->pages.empty()) {
+        if (cache_hits == 0) {
+            // Fully degenerate op (empty lists): complete next tick.
+            eq_.scheduleAfter(1, [state]() { state->maybeComplete(); });
+        }
+        return;
+    }
+
+    // Worker chains matched to I/O queues (§4.2). Each chain owns a
+    // queue and drains this operation's page list in order, so
+    // concurrent operations complete in submission order rather than
+    // fair-sharing — which is what lets the inference pipeline
+    // overlap a finished sub-batch's MLP with the next one's I/O.
+    unsigned workers = options_.maxWorkers ? options_.maxWorkers
+                                           : driver_.numQueues();
+    workers = std::max(1u, workers);
+    unsigned chains = static_cast<unsigned>(
+        std::min<std::size_t>(workers, state->pages.size()));
+    for (unsigned w = 0; w < chains; ++w)
+        queues_.acquire([this, state](unsigned q) { pump(state, q); });
+}
+
+void
+BaselineSsdSlsBackend::pump(const std::shared_ptr<OpState> &state,
+                            unsigned q)
+{
+    if (state->next >= state->pages.size()) {
+        // This chain is done; hand the queue to the next waiter.
+        queues_.release(q);
+        state->maybeComplete();
+        return;
+    }
+    std::size_t task_idx = state->next++;
+    ++state->inFlight;
+
+    pageReads_.inc();
+    const auto &task = state->pages[task_idx];
+    driver_.readPage(q, task.lpn, [this, state, task_idx, q](
+                                      const PageView &view) {
+        const EmbeddingTableDesc &table = state->table;
+        const auto &task = state->pages[task_idx];
+        // Pull every needed vector out of the DMA buffer now; the
+        // extract+accumulate cost is charged per vector.
+        std::vector<std::vector<float>> vecs;
+        vecs.reserve(task.entries.size());
+        std::vector<std::byte> raw(table.vectorBytes());
+        for (auto [b, row] : task.entries) {
+            (void)b;
+            view.copyOut(table.pageOffsetOf(row), raw);
+            std::vector<float> vec(table.dim);
+            for (std::uint32_t e = 0; e < table.dim; ++e)
+                vec[e] = decodeAttr(raw, e, table.attrBytes);
+            vecs.push_back(std::move(vec));
+        }
+        // Extraction runs on the SLS worker thread that owns this
+        // queue, not on the NN cores.
+        Tick work =
+            cpu_.extractCost(table.vectorBytes()) * task.entries.size();
+        driver_.ioThread(q).acquire(work, [this, state, task_idx, q,
+                                           vecs = std::move(vecs)]() {
+            const EmbeddingTableDesc &table = state->table;
+            const auto &task = state->pages[task_idx];
+            for (std::size_t i = 0; i < task.entries.size(); ++i) {
+                auto [b, row] = task.entries[i];
+                float *res = state->result.data() +
+                             std::size_t(b) * table.dim;
+                for (std::uint32_t e = 0; e < table.dim; ++e)
+                    res[e] += vecs[i][e];
+                // (The host cache entry was populated when the fetch
+                // was scheduled; see run().)
+            }
+            recssd_assert(state->inFlight > 0, "in-flight underflow");
+            --state->inFlight;
+            pump(state, q);
+        });
+    });
+}
+
+}  // namespace recssd

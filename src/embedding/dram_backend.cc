@@ -1,0 +1,28 @@
+#include "src/embedding/dram_backend.h"
+
+#include "src/embedding/synthetic_values.h"
+
+namespace recssd
+{
+
+DramSlsBackend::DramSlsBackend(EventQueue &eq, HostCpu &cpu)
+    : eq_(eq), cpu_(cpu)
+{
+}
+
+void
+DramSlsBackend::run(const SlsOp &op, Done done)
+{
+    const EmbeddingTableDesc &table = *op.table;
+    Tick work = opOverhead + cpu_.dramLookupCost(table.vectorBytes()) *
+                                 op.totalLookups();
+    // Functional result computed up front; only its availability is
+    // delayed by the simulated gather time.
+    SlsResult result = synthetic::expectedSls(table, op.indices);
+    cpu_.run(work, [result = std::move(result),
+                    done = std::move(done)]() mutable {
+        done(std::move(result));
+    });
+}
+
+}  // namespace recssd

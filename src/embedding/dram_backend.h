@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Host-DRAM SLS backend: the paper's DRAM baseline.
+ *
+ * Models an optimized Caffe2 SparseLengthsSum (vectorized gather +
+ * accumulate with software prefetch) running on one host core: a
+ * fixed per-op setup cost plus a per-lookup random-access cost.
+ */
+
+#ifndef RECSSD_EMBEDDING_DRAM_BACKEND_H
+#define RECSSD_EMBEDDING_DRAM_BACKEND_H
+
+#include "src/common/event_queue.h"
+#include "src/embedding/sls_backend.h"
+#include "src/host/host_cpu.h"
+
+namespace recssd
+{
+
+class DramSlsBackend : public SlsBackend
+{
+  public:
+    DramSlsBackend(EventQueue &eq, HostCpu &cpu);
+
+    void run(const SlsOp &op, Done done) override;
+    std::string name() const override { return "dram"; }
+
+    /** Fixed per-operator dispatch overhead. */
+    static constexpr Tick opOverhead = 3 * usec;
+
+  private:
+    EventQueue &eq_;
+    HostCpu &cpu_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_EMBEDDING_DRAM_BACKEND_H

@@ -1,0 +1,26 @@
+#include "src/embedding/embedding_table.h"
+
+#include "src/common/logging.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/ftl/ftl.h"
+#include "src/nvme/nvme_command.h"
+
+namespace recssd
+{
+
+void
+installTable(Ftl &ftl, const EmbeddingTableDesc &desc)
+{
+    recssd_assert(desc.baseLpn % slsTableAlign == 0,
+                  "table base must be slsTableAlign-aligned");
+    recssd_assert(desc.rows > 0 && desc.dim > 0, "empty table");
+    recssd_assert(desc.rowsPerPage * desc.vectorBytes() <=
+                      ftl.flash().params().pageSize,
+                  "table layout exceeds the flash page");
+    recssd_assert(desc.pages() <= slsTableAlign,
+                  "table larger than its aligned slot");
+    ftl.bulkInstall(desc.baseLpn, desc.pages(),
+                    synthetic::makeGenerator(desc));
+}
+
+}  // namespace recssd

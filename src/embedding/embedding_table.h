@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Embedding table descriptors and their on-SSD layout.
+ *
+ * Tables occupy slsTableAlign-aligned logical ranges so SLS request
+ * ids can be folded into the SLBA (§4.3). The evaluation layout pins
+ * one vector per 16KB flash page (§5); packed layouts are supported
+ * for the microbenchmarks and tests.
+ */
+
+#ifndef RECSSD_EMBEDDING_EMBEDDING_TABLE_H
+#define RECSSD_EMBEDDING_EMBEDDING_TABLE_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class Ftl;
+
+struct EmbeddingTableDesc
+{
+    /** Dense table identifier (drives synthetic values). */
+    std::uint32_t id = 0;
+    /** First logical page; slsTableAlign-aligned. */
+    Lpn baseLpn = 0;
+    /** Rows in the table. */
+    std::uint64_t rows = 0;
+    /** Elements per embedding vector. */
+    std::uint32_t dim = 0;
+    /** Bytes per element (4 = fp32, 2/1 = quantized). */
+    std::uint32_t attrBytes = 4;
+    /** Vectors per flash page (1 in the paper's evaluation). */
+    std::uint32_t rowsPerPage = 1;
+
+    std::uint32_t vectorBytes() const { return dim * attrBytes; }
+
+    /** Logical pages the table spans. */
+    std::uint64_t
+    pages() const
+    {
+        return (rows + rowsPerPage - 1) / rowsPerPage;
+    }
+
+    Lpn lpnOf(RowId row) const { return baseLpn + row / rowsPerPage; }
+
+    std::uint32_t
+    pageOffsetOf(RowId row) const
+    {
+        return static_cast<std::uint32_t>(row % rowsPerPage) * vectorBytes();
+    }
+
+    /** Logical bytes (useful vs. padded footprint differs when
+     *  rowsPerPage leaves page tails unused). */
+    std::uint64_t usefulBytes() const { return rows * vectorBytes(); }
+};
+
+/**
+ * Bulk-load a table into the FTL: claims the physical region, installs
+ * the identity mapping and registers the deterministic synthetic value
+ * generator so reads return real bytes.
+ */
+void installTable(Ftl &ftl, const EmbeddingTableDesc &desc);
+
+}  // namespace recssd
+
+#endif  // RECSSD_EMBEDDING_EMBEDDING_TABLE_H

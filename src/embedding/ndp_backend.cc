@@ -1,0 +1,115 @@
+#include "src/embedding/ndp_backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/ndp/sls_config.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+struct NdpOpState
+{
+    EmbeddingTableDesc table;
+    SlsConfig config;
+    /** Hot contributions: (result index, resident vector). */
+    std::vector<std::pair<std::uint32_t, const std::vector<float> *>> hot;
+    SlsResult result;
+    SlsBackend::Done done;
+};
+
+}  // namespace
+
+NdpSlsBackend::NdpSlsBackend(EventQueue &eq, HostCpu &cpu,
+                             UnvmeDriver &driver, QueueAllocator &queues,
+                             Options options)
+    : eq_(eq), cpu_(cpu), driver_(driver), queues_(queues), options_(options)
+{
+}
+
+void
+NdpSlsBackend::run(const SlsOp &op, Done done)
+{
+    recssd_assert(op.table != nullptr, "SLS op without table");
+    ops_.inc();
+    auto state = std::make_shared<NdpOpState>();
+    state->table = *op.table;
+    state->result.assign(op.batch() * op.table->dim, 0.0f);
+    state->done = std::move(done);
+
+    SlsConfig &cfg = state->config;
+    cfg.featureDim = op.table->dim;
+    cfg.attrBytes = op.table->attrBytes;
+    cfg.rowsPerPage = op.table->rowsPerPage;
+    cfg.numResults = static_cast<std::uint32_t>(op.batch());
+
+    for (std::uint32_t b = 0; b < op.indices.size(); ++b) {
+        for (RowId row : op.indices[b]) {
+            if (options_.partition) {
+                if (const auto *vec =
+                        options_.partition->lookup(state->table.id, row)) {
+                    hotLookups_.inc();
+                    state->hot.emplace_back(b, vec);
+                    continue;
+                }
+            }
+            coldLookups_.inc();
+            cfg.pairs.push_back(
+                SlsPair{static_cast<std::uint32_t>(row), b});
+        }
+    }
+    // The interface requires the list sorted by input id so the device
+    // can group by page in one scan (§4.3).
+    std::stable_sort(cfg.pairs.begin(), cfg.pairs.end(),
+                     [](const SlsPair &a, const SlsPair &b) {
+                         return a.inputId < b.inputId;
+                     });
+
+    auto finish = [this, state]() {
+        // Merge the hot (host-resident) contributions into the
+        // returned partial sums.
+        const std::uint32_t dim = state->table.dim;
+        Tick merge = cpu_.params().extractBase;
+        for (auto &[b, vec] : state->hot) {
+            float *res = state->result.data() + std::size_t(b) * dim;
+            for (std::uint32_t e = 0; e < dim; ++e)
+                res[e] += (*vec)[e];
+            merge += cpu_.dramLookupCost(state->table.vectorBytes());
+        }
+        cpu_.run(merge, [state]() { state->done(state->result); });
+    };
+
+    if (cfg.pairs.empty()) {
+        // Everything was host resident; no device round trip at all.
+        finish();
+        return;
+    }
+
+    queues_.acquire([this, state, finish](unsigned q) {
+        std::uint64_t req = driver_.allocRequestId();
+        Lpn base = state->table.baseLpn;
+        driver_.slsConfigWrite(q, base, req, state->config, [this, state, q,
+                                                             base, req,
+                                                             finish]() {
+            driver_.slsResultRead(
+                q, base, req,
+                [this, state, q, finish](
+                    std::shared_ptr<std::vector<std::byte>> bytes) {
+                    queues_.release(q);
+                    // Unpack the device's partial sums.
+                    std::size_t raw = state->result.size() * sizeof(float);
+                    recssd_assert(bytes->size() >= raw,
+                                  "short SLS result payload");
+                    std::memcpy(state->result.data(), bytes->data(), raw);
+                    finish();
+                });
+        });
+    });
+}
+
+}  // namespace recssd

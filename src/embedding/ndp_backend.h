@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RecSSD NDP SLS backend.
+ *
+ * The entire gather/reduce is offloaded: the host builds a sorted
+ * (input id, result id) pair list, ships it with one config-write
+ * command, and collects the accumulated result pages with one
+ * result-read command. With static partitioning enabled, rows
+ * resident in host DRAM are peeled off the pair list and merged into
+ * the device's partial sums afterwards (§4.2).
+ */
+
+#ifndef RECSSD_EMBEDDING_NDP_BACKEND_H
+#define RECSSD_EMBEDDING_NDP_BACKEND_H
+
+#include "src/cache/static_partition.h"
+#include "src/common/event_queue.h"
+#include "src/common/stats.h"
+#include "src/embedding/sls_backend.h"
+#include "src/host/host_cpu.h"
+#include "src/host/queue_allocator.h"
+#include "src/host/unvme_driver.h"
+
+namespace recssd
+{
+
+class NdpSlsBackend : public SlsBackend
+{
+  public:
+    struct Options
+    {
+        /** Hot rows resident in host DRAM; nullptr disables. */
+        StaticPartition *partition = nullptr;
+    };
+
+    NdpSlsBackend(EventQueue &eq, HostCpu &cpu, UnvmeDriver &driver,
+                  QueueAllocator &queues, Options options);
+
+    void run(const SlsOp &op, Done done) override;
+    std::string name() const override { return "recssd-ndp"; }
+
+    std::uint64_t opsIssued() const { return ops_.value(); }
+    std::uint64_t hotLookups() const { return hotLookups_.value(); }
+    std::uint64_t coldLookups() const { return coldLookups_.value(); }
+
+  private:
+    EventQueue &eq_;
+    HostCpu &cpu_;
+    UnvmeDriver &driver_;
+    QueueAllocator &queues_;
+    Options options_;
+
+    Counter ops_;
+    Counter hotLookups_;
+    Counter coldLookups_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_EMBEDDING_NDP_BACKEND_H

@@ -1,0 +1,110 @@
+#include "src/embedding/synthetic_values.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/ndp/attr_codec.h"
+
+namespace recssd
+{
+
+namespace synthetic
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+}  // namespace
+
+float
+value(std::uint32_t table_id, RowId row, std::uint32_t element)
+{
+    std::uint64_t h = mix((std::uint64_t(table_id) << 48) ^ (row << 12) ^
+                          element);
+    return static_cast<float>(h & 0xF);
+}
+
+void
+fillVector(const EmbeddingTableDesc &desc, RowId row,
+           std::span<std::byte> out)
+{
+    recssd_assert(out.size() >= desc.vectorBytes(),
+                  "output smaller than vector");
+    for (std::uint32_t e = 0; e < desc.dim; ++e)
+        encodeAttr(out, e, desc.attrBytes, value(desc.id, row, e));
+}
+
+std::vector<float>
+vectorOf(const EmbeddingTableDesc &desc, RowId row)
+{
+    std::vector<float> v(desc.dim);
+    for (std::uint32_t e = 0; e < desc.dim; ++e)
+        v[e] = value(desc.id, row, e);
+    return v;
+}
+
+std::vector<float>
+expectedSls(const EmbeddingTableDesc &desc,
+            const std::vector<std::vector<RowId>> &indices)
+{
+    std::vector<float> out(indices.size() * desc.dim, 0.0f);
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+        for (RowId row : indices[b]) {
+            for (std::uint32_t e = 0; e < desc.dim; ++e)
+                out[b * desc.dim + e] += value(desc.id, row, e);
+        }
+    }
+    return out;
+}
+
+DataStore::Generator
+makeGenerator(const EmbeddingTableDesc &desc)
+{
+    // Copy the descriptor; the generator may outlive the caller's.
+    EmbeddingTableDesc d = desc;
+    return [d](std::uint64_t page_in_region, std::size_t offset,
+               std::span<std::byte> out) {
+        const std::uint32_t vec_bytes = d.vectorBytes();
+        std::vector<std::byte> vec(vec_bytes);
+        std::size_t end = offset + out.size();
+        std::uint32_t first_slot =
+            static_cast<std::uint32_t>(offset / vec_bytes);
+        std::uint32_t last_slot =
+            static_cast<std::uint32_t>((end + vec_bytes - 1) / vec_bytes);
+        for (std::uint32_t slot = first_slot; slot < last_slot; ++slot) {
+            RowId row = page_in_region * d.rowsPerPage + slot;
+            std::size_t slot_begin = std::size_t(slot) * vec_bytes;
+            if (slot >= d.rowsPerPage || row >= d.rows) {
+                // Page tail padding / rows past the end: zero fill.
+                std::size_t from = std::max(offset, slot_begin);
+                std::size_t to = std::min(end, slot_begin + vec_bytes);
+                if (to > from) {
+                    std::fill(out.begin() + (from - offset),
+                              out.begin() + (to - offset), std::byte{0});
+                }
+                continue;
+            }
+            fillVector(d, row, vec);
+            std::size_t from = std::max(offset, slot_begin);
+            std::size_t to = std::min(end, slot_begin + vec_bytes);
+            std::memcpy(out.data() + (from - offset),
+                        vec.data() + (from - slot_begin), to - from);
+        }
+    };
+}
+
+}  // namespace synthetic
+
+}  // namespace recssd

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic synthetic embedding values.
+ *
+ * Every backend — host DRAM, baseline SSD, NDP — must produce exactly
+ * the same sums, so table content is a pure function of
+ * (table id, row, element): a hash reduced to a small non-negative
+ * integer. Integer-valued floats make fp32 accumulation exact and
+ * order independent for the pooling factors the models use, which is
+ * what lets the tests demand bit-identical results across backends.
+ */
+
+#ifndef RECSSD_EMBEDDING_SYNTHETIC_VALUES_H
+#define RECSSD_EMBEDDING_SYNTHETIC_VALUES_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/flash/data_store.h"
+#include "src/embedding/embedding_table.h"
+
+namespace recssd
+{
+
+namespace synthetic
+{
+
+/** Value of one embedding element; integer in [0, 16). */
+float value(std::uint32_t table_id, RowId row, std::uint32_t element);
+
+/** Encode one full vector at the table's attribute size. */
+void fillVector(const EmbeddingTableDesc &desc, RowId row,
+                std::span<std::byte> out);
+
+/** Decoded fp32 vector of a row. */
+std::vector<float> vectorOf(const EmbeddingTableDesc &desc, RowId row);
+
+/**
+ * Exact expected SLS sum for a batch of index lists — the reference
+ * the tests compare every backend against.
+ */
+std::vector<float>
+expectedSls(const EmbeddingTableDesc &desc,
+            const std::vector<std::vector<RowId>> &indices);
+
+/**
+ * DataStore generator serving the table's pages, honoring layout
+ * (rowsPerPage) and arbitrary byte sub-ranges.
+ */
+DataStore::Generator makeGenerator(const EmbeddingTableDesc &desc);
+
+}  // namespace synthetic
+
+}  // namespace recssd
+
+#endif  // RECSSD_EMBEDDING_SYNTHETIC_VALUES_H

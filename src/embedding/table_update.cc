@@ -1,0 +1,61 @@
+#include "src/embedding/table_update.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/ndp/attr_codec.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+void
+patchSlot(std::vector<std::byte> &page, const EmbeddingTableDesc &table,
+          RowId row, std::span<const float> values)
+{
+    std::span<std::byte> slot(page.data() + table.pageOffsetOf(row),
+                              table.vectorBytes());
+    for (std::uint32_t e = 0; e < table.dim; ++e)
+        encodeAttr(slot, e, table.attrBytes, values[e]);
+}
+
+}  // namespace
+
+void
+updateRow(UnvmeDriver &driver, unsigned queue,
+          const EmbeddingTableDesc &table, RowId row,
+          std::span<const float> values, std::function<void()> done)
+{
+    recssd_assert(row < table.rows, "row out of range");
+    recssd_assert(values.size() == table.dim,
+                  "value width does not match the table");
+    Lpn lpn = table.lpnOf(row);
+
+    if (table.rowsPerPage == 1) {
+        // The row owns the page: write directly.
+        auto page = std::make_shared<std::vector<std::byte>>(
+            driver.pageSize(), std::byte{0});
+        patchSlot(*page, table, row, values);
+        driver.writePage(queue, lpn, page, std::move(done));
+        return;
+    }
+
+    // Packed layout: read-modify-write the shared page.
+    auto desc = table;
+    auto vals = std::vector<float>(values.begin(), values.end());
+    driver.readPage(queue, lpn, [&driver, queue, desc, row, lpn,
+                                 vals = std::move(vals),
+                                 done = std::move(done)](
+                                    const PageView &view) mutable {
+        auto page = std::make_shared<std::vector<std::byte>>(
+            driver.pageSize());
+        view.copyOut(0, *page);
+        patchSlot(*page, desc, row, vals);
+        driver.writePage(queue, lpn, page, std::move(done));
+    });
+}
+
+}  // namespace recssd

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Online embedding-table updates over the standard block interface.
+ *
+ * Production recommendation models are retrained and their embedding
+ * tables refreshed while serving. RecSSD needs no special support —
+ * updates are ordinary NVMe writes — but the host must read-modify-
+ * write the 16KB page and the device must keep its SLS embedding
+ * cache coherent (the engine invalidates on every host write).
+ * This helper performs one timed, functional row update.
+ */
+
+#ifndef RECSSD_EMBEDDING_TABLE_UPDATE_H
+#define RECSSD_EMBEDDING_TABLE_UPDATE_H
+
+#include <functional>
+#include <span>
+
+#include "src/embedding/embedding_table.h"
+#include "src/host/unvme_driver.h"
+
+namespace recssd
+{
+
+/**
+ * Overwrite one row's vector in place.
+ *
+ * Packed layouts read the page first (RMW); the one-vector-per-page
+ * layout writes directly. The new value is visible to every backend
+ * on completion.
+ *
+ * @param queue Driver I/O queue to use (held for the whole update).
+ * @param values New fp32 element values (encoded at the table's
+ *        attribute size).
+ */
+void updateRow(UnvmeDriver &driver, unsigned queue,
+               const EmbeddingTableDesc &table, RowId row,
+               std::span<const float> values, std::function<void()> done);
+
+}  // namespace recssd
+
+#endif  // RECSSD_EMBEDDING_TABLE_UPDATE_H

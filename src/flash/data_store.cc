@@ -1,0 +1,73 @@
+#include "src/flash/data_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+void
+DataStore::write(Ppn ppn, std::span<const std::byte> data)
+{
+    recssd_assert(data.size() <= pageSize_,
+                  "write larger than page (%zu > %u)", data.size(),
+                  pageSize_);
+    auto &page = stored_[ppn];
+    page.assign(pageSize_, std::byte{0});
+    std::memcpy(page.data(), data.data(), data.size());
+}
+
+const std::pair<const Ppn, DataStore::Region> *
+DataStore::findRegion(Ppn ppn) const
+{
+    auto it = regions_.upper_bound(ppn);
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    if (ppn < it->first + it->second.pages)
+        return &*it;
+    return nullptr;
+}
+
+void
+DataStore::read(Ppn ppn, std::size_t offset, std::span<std::byte> out) const
+{
+    recssd_assert(offset + out.size() <= pageSize_,
+                  "read beyond page end (%zu + %zu > %u)", offset,
+                  out.size(), pageSize_);
+    auto it = stored_.find(ppn);
+    if (it != stored_.end()) {
+        std::memcpy(out.data(), it->second.data() + offset, out.size());
+        return;
+    }
+    if (const auto *region = findRegion(ppn)) {
+        region->second.gen(ppn - region->first, offset, out);
+        return;
+    }
+    std::ranges::fill(out, std::byte{0});
+}
+
+void
+DataStore::erase(Ppn ppn)
+{
+    stored_.erase(ppn);
+}
+
+void
+DataStore::registerSynthetic(Ppn start, std::uint64_t pages, Generator gen)
+{
+    recssd_assert(pages > 0, "empty synthetic region");
+    // Reject overlap with existing regions; overlapping content would
+    // be ambiguous.
+    recssd_assert(findRegion(start) == nullptr &&
+                      findRegion(start + pages - 1) == nullptr,
+                  "synthetic regions must not overlap");
+    auto it = regions_.lower_bound(start);
+    recssd_assert(it == regions_.end() || it->first >= start + pages,
+                  "synthetic regions must not overlap");
+    regions_.emplace(start, Region{pages, std::move(gen)});
+}
+
+}  // namespace recssd

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Functional page contents for the simulated flash array.
+ *
+ * The evaluation tables are hundreds of gigabytes of *logical* data,
+ * so the store keeps two tiers:
+ *
+ *  - explicitly written pages, held sparsely in memory (the real write
+ *    path used by FTL/GC tests and small workloads), and
+ *  - synthetic regions: PPN ranges whose content is produced on demand
+ *    by a registered generator (used to "pre-load" embedding tables
+ *    without materializing them).
+ *
+ * Reads can ask for a byte sub-range so a 256B embedding vector does
+ *   not force a 16KB materialization.
+ */
+
+#ifndef RECSSD_FLASH_DATA_STORE_H
+#define RECSSD_FLASH_DATA_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** Byte-level backing store for physical flash pages. */
+class DataStore
+{
+  public:
+    /**
+     * Generator for synthetic page content.
+     * @param page_in_region Page index relative to the region start.
+     * @param offset Byte offset within the page being requested.
+     * @param out Destination span to fill.
+     */
+    using Generator = std::function<void(std::uint64_t page_in_region,
+                                         std::size_t offset,
+                                         std::span<std::byte> out)>;
+
+    explicit DataStore(unsigned page_size) : pageSize_(page_size) {}
+
+    unsigned pageSize() const { return pageSize_; }
+
+    /** Store explicit page content (copies the bytes). */
+    void write(Ppn ppn, std::span<const std::byte> data);
+
+    /**
+     * Copy `out.size()` bytes starting at `offset` within the page.
+     * Falls back to a synthetic region, then to zero fill.
+     */
+    void read(Ppn ppn, std::size_t offset, std::span<std::byte> out) const;
+
+    /** Drop explicit content for a page (block erase path). */
+    void erase(Ppn ppn);
+
+    /** Register a synthetic region covering [start, start+pages). */
+    void registerSynthetic(Ppn start, std::uint64_t pages, Generator gen);
+
+    /** True if the page has explicitly written content. */
+    bool hasStored(Ppn ppn) const { return stored_.contains(ppn); }
+
+    /** Number of explicitly stored pages. */
+    std::size_t storedPages() const { return stored_.size(); }
+
+  private:
+    struct Region
+    {
+        std::uint64_t pages;
+        Generator gen;
+    };
+
+    /** Find the synthetic region covering ppn, or nullptr. */
+    const std::pair<const Ppn, Region> *findRegion(Ppn ppn) const;
+
+    unsigned pageSize_;
+    std::unordered_map<Ppn, std::vector<std::byte>> stored_;
+    std::map<Ppn, Region> regions_;  // keyed by region start
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FLASH_DATA_STORE_H

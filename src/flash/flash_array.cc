@@ -1,0 +1,127 @@
+#include "src/flash/flash_array.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+FlashArray::FlashArray(EventQueue &eq, const FlashParams &params,
+                       DataStore &store)
+    : eq_(eq), params_(params), store_(store), retryRng_(0x5EED)
+{
+    recssd_assert(params_.pageSize == store_.pageSize(),
+                  "flash/page store size mismatch");
+    for (unsigned c = 0; c < params_.numChannels; ++c) {
+        channels_.push_back(std::make_unique<SerialResource>(
+            eq_, "flash.ch" + std::to_string(c)));
+        for (unsigned d = 0; d < params_.diesPerChannel; ++d) {
+            dies_.push_back(std::make_unique<SerialResource>(
+                eq_,
+                "flash.ch" + std::to_string(c) + ".die" + std::to_string(d)));
+        }
+    }
+}
+
+Tick
+FlashArray::channelBusyTime(unsigned ch) const
+{
+    return channels_.at(ch)->busyTime();
+}
+
+Tick
+FlashArray::arrayReadTime()
+{
+    Tick t = params_.readLatency;
+    if (params_.readRetryRate > 0.0) {
+        for (unsigned r = 0; r < params_.maxReadRetries; ++r) {
+            if (!retryRng_.bernoulli(params_.readRetryRate))
+                break;
+            readRetries_.inc();
+            t += params_.readLatency;
+        }
+    }
+    return t;
+}
+
+Tick
+FlashArray::backlogFor(Ppn ppn) const
+{
+    auto addr = FlashAddress::decode(ppn, params_);
+    Tick ch_free = channels_[addr.channel]->freeAt();
+    Tick die_free =
+        dies_[addr.channel * params_.diesPerChannel + addr.die]->freeAt();
+    return std::max(ch_free, die_free);
+}
+
+void
+FlashArray::readPage(Ppn ppn, ReadCallback done)
+{
+    recssd_assert(ppn < params_.totalPages(), "PPN out of range");
+    auto addr = FlashAddress::decode(ppn, params_);
+    pageReads_.inc();
+
+    // Phase 1: command issue occupies the channel bus.
+    channel(addr.channel).acquire(params_.cmdLatency, [this, addr, ppn,
+                                                       done =
+                                                           std::move(done)]()
+                                                          mutable {
+        // Phase 2: array read occupies the die (plus any injected
+        // read retries on marginal cells).
+        die(addr.channel, addr.die)
+            .acquire(arrayReadTime(), [this, addr, ppn,
+                                       done = std::move(done)]() mutable {
+                // Phase 3: page data crosses the channel bus.
+                channel(addr.channel)
+                    .acquire(params_.pageTransferTime(),
+                             [this, ppn, done = std::move(done)]() {
+                                 done(PageView(store_, ppn));
+                             });
+            });
+    });
+}
+
+void
+FlashArray::writePage(Ppn ppn, std::span<const std::byte> data,
+                      DoneCallback done)
+{
+    recssd_assert(ppn < params_.totalPages(), "PPN out of range");
+    auto addr = FlashAddress::decode(ppn, params_);
+    pageWrites_.inc();
+
+    // Functional content lands immediately; only timing is deferred.
+    store_.write(ppn, data);
+
+    // Command + data transfer occupy the channel, then tPROG the die.
+    Tick xfer = params_.cmdLatency + params_.pageTransferTime();
+    channel(addr.channel).acquire(xfer, [this, addr,
+                                         done = std::move(done)]() mutable {
+        die(addr.channel, addr.die)
+            .acquire(params_.programLatency, std::move(done));
+    });
+}
+
+void
+FlashArray::eraseBlock(Ppn any_ppn_in_block, DoneCallback done)
+{
+    recssd_assert(any_ppn_in_block < params_.totalPages(), "PPN out of range");
+    auto addr = FlashAddress::decode(any_ppn_in_block, params_);
+    blockErases_.inc();
+
+    // Drop functional content of the whole block.
+    for (std::uint64_t pg = 0; pg < params_.pagesPerBlock; ++pg) {
+        store_.erase(
+            FlashAddress::encode(addr.channel, addr.die, addr.block, pg,
+                                 params_));
+    }
+
+    channel(addr.channel).acquire(params_.cmdLatency, [this, addr,
+                                                       done = std::move(
+                                                           done)]() mutable {
+        die(addr.channel, addr.die)
+            .acquire(params_.eraseLatency, std::move(done));
+    });
+}
+
+}  // namespace recssd

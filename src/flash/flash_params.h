@@ -1,0 +1,133 @@
+/**
+ * @file
+ * NAND flash geometry and timing parameters.
+ *
+ * Defaults model the Cosmos+ OpenSSD board the paper prototypes on:
+ * 8 channels, 16KB pages, roughly 10K page reads per second per
+ * channel, and just under 1.4GB/s of aggregate sequential read
+ * bandwidth (§5 "Physical Compute Infrastructure").
+ */
+
+#ifndef RECSSD_FLASH_FLASH_PARAMS_H
+#define RECSSD_FLASH_FLASH_PARAMS_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** Static description of a flash array. */
+struct FlashParams
+{
+    /** Independent channels, each with its own bus and controller. */
+    unsigned numChannels = 8;
+    /** NAND dies sharing each channel bus. */
+    unsigned diesPerChannel = 4;
+    /** Erase blocks per die. */
+    unsigned blocksPerDie = 4096;
+    /** Pages per erase block. */
+    unsigned pagesPerBlock = 256;
+    /** Page size in bytes (16KB on the Cosmos+ board). */
+    unsigned pageSize = 16 * 1024;
+
+    /** Array read latency (cell array to die register). */
+    Tick readLatency = 60 * usec;
+    /** Program latency (die register to cell array). */
+    Tick programLatency = 800 * usec;
+    /** Block erase latency. */
+    Tick eraseLatency = 3 * msec;
+    /** Command issue occupancy on the channel bus. */
+    Tick cmdLatency = 2 * usec;
+    /** Channel bus bandwidth for page data transfers, bytes/sec. */
+    std::uint64_t channelBytesPerSec = 175ull * 1000 * 1000;
+
+    /**
+     * Failure injection: probability that a page read needs one
+     * read-retry (marginal cells / ECC re-read at a shifted
+     * reference voltage). Each retry costs another tR on the die.
+     * 0 disables injection; retries are deterministic per seed.
+     */
+    double readRetryRate = 0.0;
+    /** Maximum consecutive retries for one read. */
+    unsigned maxReadRetries = 3;
+
+    /** Pages per die. */
+    std::uint64_t
+    pagesPerDie() const
+    {
+        return std::uint64_t(blocksPerDie) * pagesPerBlock;
+    }
+
+    /** Total physical pages in the array. */
+    std::uint64_t
+    totalPages() const
+    {
+        return std::uint64_t(numChannels) * diesPerChannel * pagesPerDie();
+    }
+
+    /** Total erase blocks in the array. */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return std::uint64_t(numChannels) * diesPerChannel * blocksPerDie;
+    }
+
+    /** Total capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return totalPages() * pageSize;
+    }
+
+    /** Channel occupancy for one page data transfer. */
+    Tick
+    pageTransferTime() const
+    {
+        return static_cast<Tick>(static_cast<double>(pageSize) /
+                                 static_cast<double>(channelBytesPerSec) *
+                                 static_cast<double>(sec));
+    }
+};
+
+/**
+ * Physical address decomposition.
+ *
+ * Physical page numbers stripe across channels first, then dies, so
+ * consecutive PPNs exercise maximum parallelism:
+ *   ppn = ((pageInDie * diesPerChannel) + die) * numChannels + channel
+ */
+struct FlashAddress
+{
+    unsigned channel;
+    unsigned die;
+    std::uint64_t block;       ///< block within the die
+    std::uint64_t page;        ///< page within the block
+
+    static FlashAddress
+    decode(Ppn ppn, const FlashParams &p)
+    {
+        FlashAddress a;
+        a.channel = static_cast<unsigned>(ppn % p.numChannels);
+        std::uint64_t rest = ppn / p.numChannels;
+        a.die = static_cast<unsigned>(rest % p.diesPerChannel);
+        std::uint64_t page_in_die = rest / p.diesPerChannel;
+        a.block = page_in_die / p.pagesPerBlock;
+        a.page = page_in_die % p.pagesPerBlock;
+        return a;
+    }
+
+    static Ppn
+    encode(unsigned channel, unsigned die, std::uint64_t block,
+           std::uint64_t page, const FlashParams &p)
+    {
+        std::uint64_t page_in_die = block * p.pagesPerBlock + page;
+        return (page_in_die * p.diesPerChannel + die) * p.numChannels +
+               channel;
+    }
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FLASH_FLASH_PARAMS_H

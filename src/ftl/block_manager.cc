@@ -1,0 +1,214 @@
+#include "src/ftl/block_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+BlockManager::BlockManager(const FlashParams &flash, const FtlParams &ftl)
+    : flash_(flash), params_(ftl)
+{
+    pagesPerRow_ = std::uint64_t(flash_.pagesPerBlock) * flash_.numChannels *
+                   flash_.diesPerChannel;
+    std::uint64_t rows = flash_.totalPages() / pagesPerRow_;
+    recssd_assert(rows >= 4, "flash too small for log-structured layout");
+    rows_.resize(rows);
+    freeRows_ = rows;
+    regionBoundary_ = rows;
+}
+
+void
+BlockManager::ensureLpns(RowMeta &row)
+{
+    if (!row.lpns) {
+        row.lpns = std::make_unique<std::vector<Lpn>>(pagesPerRow_,
+                                                      invalidLpn);
+    }
+}
+
+bool
+BlockManager::openNewActiveRow()
+{
+    // Wear-levelled free-row choice: normally any free row works, but
+    // when the erase spread grows past the threshold, insist on the
+    // youngest one.
+    std::uint64_t best = UINT64_MAX;
+    std::uint32_t best_erases = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint64_t r = 0; r < regionBoundary_; ++r) {
+        if (rows_[r].state != RowState::Free)
+            continue;
+        if (rows_[r].eraseCount < best_erases) {
+            best_erases = rows_[r].eraseCount;
+            best = r;
+        }
+    }
+    if (best == UINT64_MAX)
+        return false;
+    activeRow_ = best;
+    rows_[best].state = RowState::Active;
+    rows_[best].writeCursor = 0;
+    rows_[best].validCount = 0;
+    ensureLpns(rows_[best]);
+    std::ranges::fill(*rows_[best].lpns, invalidLpn);
+    --freeRows_;
+    return true;
+}
+
+Ppn
+BlockManager::allocatePage(Lpn lpn)
+{
+    if (activeRow_ == UINT64_MAX || rows_[activeRow_].writeCursor >=
+                                        pagesPerRow_) {
+        if (activeRow_ != UINT64_MAX &&
+            rows_[activeRow_].writeCursor >= pagesPerRow_) {
+            rows_[activeRow_].state = RowState::Sealed;
+        }
+        if (!openNewActiveRow())
+            return invalidPpn;
+    }
+    RowMeta &row = rows_[activeRow_];
+    std::uint32_t slot = row.writeCursor++;
+    (*row.lpns)[slot] = lpn;
+    ++row.validCount;
+    pagesAllocated_.inc();
+    return activeRow_ * pagesPerRow_ + slot;
+}
+
+void
+BlockManager::invalidate(Ppn ppn)
+{
+    std::uint64_t r = rowOf(ppn);
+    recssd_assert(r < rows_.size(), "invalidate: PPN out of range");
+    RowMeta &row = rows_[r];
+    if (row.state == RowState::Region) {
+        // Overwrite of a bulk-loaded page: count it, but region rows
+        // are immutable and never collected, so no bitmap is needed.
+        if (row.validCount > 0)
+            --row.validCount;
+        return;
+    }
+    recssd_assert(row.lpns != nullptr, "invalidate on unwritten row");
+    std::uint32_t slot = static_cast<std::uint32_t>(ppn % pagesPerRow_);
+    if ((*row.lpns)[slot] != invalidLpn) {
+        (*row.lpns)[slot] = invalidLpn;
+        recssd_assert(row.validCount > 0, "valid count underflow");
+        --row.validCount;
+    }
+}
+
+Ppn
+BlockManager::allocateRegion(std::uint64_t pages)
+{
+    std::uint64_t rows_needed = (pages + pagesPerRow_ - 1) / pagesPerRow_;
+    recssd_assert(rows_needed <= regionBoundary_,
+                  "not enough space for bulk region");
+    std::uint64_t new_boundary = regionBoundary_ - rows_needed;
+    // All claimed rows must still be free (they are, unless the write
+    // log already grew into them).
+    for (std::uint64_t r = new_boundary; r < regionBoundary_; ++r) {
+        recssd_assert(rows_[r].state == RowState::Free,
+                      "bulk region collides with written data");
+        rows_[r].state = RowState::Region;
+        rows_[r].validCount = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pagesPerRow_, pages));
+        pages -= rows_[r].validCount;
+        --freeRows_;
+        ++regionRows_;
+    }
+    regionBoundary_ = new_boundary;
+    return new_boundary * pagesPerRow_;
+}
+
+bool
+BlockManager::needsGc() const
+{
+    return freeRows_ < params_.gcLowWatermarkRows;
+}
+
+bool
+BlockManager::wantsMoreGc() const
+{
+    return freeRows_ < params_.gcHighWatermarkRows;
+}
+
+std::uint64_t
+BlockManager::pickGcVictim() const
+{
+    // Greedy (fewest valid pages) with wear-aware refinements: ties
+    // break toward the least-erased row, and rows already worn past
+    // the threshold are passed over when an alternative exists.
+    std::uint32_t min_erases = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint64_t r = 0; r < regionBoundary_; ++r) {
+        if (rows_[r].state == RowState::Sealed)
+            min_erases = std::min(min_erases, rows_[r].eraseCount);
+    }
+
+    auto better = [](const RowMeta &a, const RowMeta &b) {
+        if (a.validCount != b.validCount)
+            return a.validCount < b.validCount;
+        return a.eraseCount < b.eraseCount;
+    };
+
+    std::uint64_t best = UINT64_MAX;
+    std::uint64_t best_any = UINT64_MAX;
+    for (std::uint64_t r = 0; r < regionBoundary_; ++r) {
+        if (rows_[r].state != RowState::Sealed)
+            continue;
+        if (best_any == UINT64_MAX || better(rows_[r], rows_[best_any]))
+            best_any = r;
+        if (rows_[r].eraseCount > min_erases + params_.wearLevelThreshold)
+            continue;  // too worn; spare it if possible
+        if (best == UINT64_MAX || better(rows_[r], rows_[best]))
+            best = r;
+    }
+    return best != UINT64_MAX ? best : best_any;
+}
+
+std::vector<std::pair<Lpn, Ppn>>
+BlockManager::validPagesIn(std::uint64_t row) const
+{
+    recssd_assert(row < rows_.size(), "row out of range");
+    std::vector<std::pair<Lpn, Ppn>> out;
+    const RowMeta &meta = rows_[row];
+    if (!meta.lpns)
+        return out;
+    for (std::uint64_t slot = 0; slot < pagesPerRow_; ++slot) {
+        Lpn lpn = (*meta.lpns)[slot];
+        if (lpn != invalidLpn)
+            out.emplace_back(lpn, row * pagesPerRow_ + slot);
+    }
+    return out;
+}
+
+void
+BlockManager::onRowErased(std::uint64_t row)
+{
+    recssd_assert(row < rows_.size(), "row out of range");
+    RowMeta &meta = rows_[row];
+    recssd_assert(meta.state == RowState::Sealed,
+                  "only sealed rows are erased");
+    meta.state = RowState::Free;
+    meta.validCount = 0;
+    meta.writeCursor = 0;
+    ++meta.eraseCount;
+    ++freeRows_;
+}
+
+std::uint32_t
+BlockManager::eraseCountSpread() const
+{
+    std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t hi = 0;
+    for (std::uint64_t r = 0; r < regionBoundary_; ++r) {
+        lo = std::min(lo, rows_[r].eraseCount);
+        hi = std::max(hi, rows_[r].eraseCount);
+    }
+    if (lo == std::numeric_limits<std::uint32_t>::max())
+        return 0;
+    return hi - lo;
+}
+
+}  // namespace recssd

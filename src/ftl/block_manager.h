@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Physical space management at superblock-row granularity.
+ *
+ * Like production FTLs, writes are striped across all channels and
+ * dies by appending to an active "row" — the set of one erase block
+ * per die, covering a contiguous PPN range. Rows are the unit of
+ * allocation, garbage collection and wear levelling.
+ *
+ * Bulk-loaded embedding tables claim rows from the top of the address
+ * space as immutable `Region` rows; the log-structured write path
+ * allocates from the remaining pool.
+ */
+
+#ifndef RECSSD_FTL_BLOCK_MANAGER_H
+#define RECSSD_FTL_BLOCK_MANAGER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/flash/flash_params.h"
+#include "src/ftl/ftl_params.h"
+
+namespace recssd
+{
+
+class BlockManager
+{
+  public:
+    enum class RowState : std::uint8_t
+    {
+        Free,      ///< erased, available for allocation
+        Active,    ///< currently receiving appended writes
+        Sealed,    ///< full; GC candidate
+        Region,    ///< immutable bulk-loaded data
+    };
+
+    BlockManager(const FlashParams &flash, const FtlParams &ftl);
+
+    /** Pages covered by one row (pagesPerBlock x channels x dies). */
+    std::uint64_t pagesPerRow() const { return pagesPerRow_; }
+    std::uint64_t numRows() const { return rows_.size(); }
+    std::uint64_t rowOf(Ppn ppn) const { return ppn / pagesPerRow_; }
+
+    /**
+     * Allocate the next physical page of the append log and record
+     * that `lpn` will live there. May seal the active row and open a
+     * fresh one (wear-levelled choice among free rows).
+     * @return the allocated PPN, or invalidPpn if space is exhausted.
+     */
+    Ppn allocatePage(Lpn lpn);
+
+    /** Mark the page holding stale data invalid (after remap). */
+    void invalidate(Ppn ppn);
+
+    /**
+     * Claim `pages` worth of rows (rounded up) from the top of the
+     * address space for an immutable bulk region.
+     * @return the starting PPN of the claimed range.
+     */
+    Ppn allocateRegion(std::uint64_t pages);
+
+    /** True once free rows fall below the GC low watermark. */
+    bool needsGc() const;
+
+    /** True while free rows are below the GC high watermark. */
+    bool wantsMoreGc() const;
+
+    /**
+     * Choose the sealed row with the fewest valid pages.
+     * @return row index, or UINT64_MAX when no sealed row exists.
+     */
+    std::uint64_t pickGcVictim() const;
+
+    /** Valid LPNs (and their PPNs) remaining in a row. */
+    std::vector<std::pair<Lpn, Ppn>> validPagesIn(std::uint64_t row) const;
+
+    /** Return a row to the free pool after its blocks were erased. */
+    void onRowErased(std::uint64_t row);
+
+    RowState rowState(std::uint64_t row) const { return rows_[row].state; }
+    std::uint32_t rowValidCount(std::uint64_t row) const
+    {
+        return rows_[row].validCount;
+    }
+    std::uint32_t rowEraseCount(std::uint64_t row) const
+    {
+        return rows_[row].eraseCount;
+    }
+
+    std::uint64_t freeRows() const { return freeRows_; }
+    std::uint64_t regionRows() const { return regionRows_; }
+
+    /** Largest minus smallest erase count over non-region rows. */
+    std::uint32_t eraseCountSpread() const;
+
+    /** Total pages appended through allocatePage. */
+    std::uint64_t pagesAllocated() const { return pagesAllocated_.value(); }
+
+  private:
+    struct RowMeta
+    {
+        RowState state = RowState::Free;
+        std::uint32_t validCount = 0;
+        std::uint32_t eraseCount = 0;
+        std::uint32_t writeCursor = 0;
+        /** LPN per page slot; allocated lazily for written rows. */
+        std::unique_ptr<std::vector<Lpn>> lpns;
+    };
+
+    /** Pick and open a fresh active row. @return false if none free. */
+    bool openNewActiveRow();
+
+    void ensureLpns(RowMeta &row);
+
+    FlashParams flash_;
+    FtlParams params_;
+    std::uint64_t pagesPerRow_;
+    std::vector<RowMeta> rows_;
+    std::uint64_t activeRow_ = UINT64_MAX;
+    std::uint64_t freeRows_ = 0;
+    std::uint64_t regionRows_ = 0;
+    /** Rows at or above this index belong to bulk regions. */
+    std::uint64_t regionBoundary_;
+
+    Counter pagesAllocated_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_BLOCK_MANAGER_H

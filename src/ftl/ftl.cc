@@ -1,0 +1,187 @@
+#include "src/ftl/ftl.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash)
+    : eq_(eq),
+      params_(params),
+      flash_(flash),
+      blocks_(flash.params(), params),
+      cache_(params.pageCachePages, params.pageCacheWays),
+      cpu_(eq, "ftl.cpu")
+{
+}
+
+void
+Ftl::hostRead(Lpn lpn, ReadDone done)
+{
+    hostReads_.inc();
+    cpu_.acquire(params_.readCmdCpu, [this, lpn, done = std::move(done)]() {
+        Ppn cached;
+        if (cache_.lookup(lpn, cached)) {
+            // Served straight from controller DRAM.
+            done(PageView(flash_.store(), cached));
+            return;
+        }
+        Ppn ppn = map_.lookup(lpn);
+        if (ppn == invalidPpn) {
+            // Unwritten page: a real drive returns zeroes without
+            // touching flash.
+            done(PageView(flash_.store(), invalidPpn));
+            return;
+        }
+        flash_.readPage(ppn, [this, lpn, ppn,
+                              done = std::move(done)](const PageView &view) {
+            cache_.insert(lpn, ppn);
+            done(view);
+        });
+    });
+}
+
+void
+Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done)
+{
+    hostWrites_.inc();
+    if (writeObserver_)
+        writeObserver_(lpn);
+    // Copy the payload now; the caller's buffer may not outlive the
+    // simulated DMA.
+    auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
+                                                            data.end());
+    cpu_.acquire(params_.writeCmdCpu, [this, lpn, payload,
+                                       done = std::move(done)]() mutable {
+        Ppn old = map_.lookup(lpn);
+        Ppn ppn = blocks_.allocatePage(lpn);
+        recssd_assert(ppn != invalidPpn, "drive out of space");
+        map_.set(lpn, ppn);
+        if (old != invalidPpn)
+            blocks_.invalidate(old);
+        cache_.invalidate(lpn);
+        flash_.writePage(ppn, *payload,
+                         [this, lpn, ppn, payload,
+                          done = std::move(done)]() {
+                             cache_.insert(lpn, ppn);
+                             if (done)
+                                 done();
+                             maybeStartGc();
+                         });
+    });
+}
+
+void
+Ftl::hostTrim(Lpn lpn, DoneCallback done)
+{
+    hostTrims_.inc();
+    if (writeObserver_)
+        writeObserver_(lpn);
+    cpu_.acquire(params_.trimCmdCpu, [this, lpn,
+                                      done = std::move(done)]() {
+        // Only overlay mappings can be dropped; a region page with no
+        // overlay simply has nothing to deallocate.
+        Ppn old = map_.lookup(lpn);
+        map_.unset(lpn);
+        if (old != invalidPpn && map_.lookup(lpn) != old) {
+            // The overlay (not a region) held the page: reclaim it.
+            blocks_.invalidate(old);
+        }
+        cache_.invalidate(lpn);
+        if (done)
+            done();
+        maybeStartGc();
+    });
+}
+
+void
+Ftl::bulkInstall(Lpn lpn_start, std::uint64_t pages, DataStore::Generator gen)
+{
+    Ppn ppn_start = blocks_.allocateRegion(pages);
+    map_.installRegion(lpn_start, ppn_start, pages);
+    flash_.store().registerSynthetic(ppn_start, pages, std::move(gen));
+}
+
+void
+Ftl::maybeStartGc()
+{
+    if (gcActive_ || !blocks_.needsGc())
+        return;
+    gcActive_ = true;
+    runGcPass();
+}
+
+void
+Ftl::runGcPass()
+{
+    std::uint64_t victim = blocks_.pickGcVictim();
+    if (victim == UINT64_MAX) {
+        gcActive_ = false;
+        return;
+    }
+    gcRuns_.inc();
+
+    auto valid = std::make_shared<std::vector<std::pair<Lpn, Ppn>>>(
+        blocks_.validPagesIn(victim));
+    auto remaining = std::make_shared<std::size_t>(valid->size());
+
+    auto finish_row = [this, victim]() {
+        // Erase every block in the row; dies erase in parallel, so
+        // charge one erase per die through the flash model.
+        const FlashParams &fp = flash_.params();
+        unsigned dies = fp.numChannels * fp.diesPerChannel;
+        auto erases_left = std::make_shared<unsigned>(dies);
+        std::uint64_t row_start = victim * blocks_.pagesPerRow();
+        for (unsigned d = 0; d < dies; ++d) {
+            // One PPN per die within the row selects its block.
+            Ppn ppn = row_start + d;
+            flash_.eraseBlock(ppn, [this, erases_left, victim]() {
+                if (--*erases_left == 0) {
+                    blocks_.onRowErased(victim);
+                    if (blocks_.wantsMoreGc())
+                        runGcPass();
+                    else
+                        gcActive_ = false;
+                }
+            });
+        }
+    };
+
+    if (valid->empty()) {
+        finish_row();
+        return;
+    }
+
+    for (auto [lpn, ppn] : *valid) {
+        flash_.readPage(ppn, [this, lpn, old_ppn = ppn, remaining,
+                              finish_row](const PageView &view) {
+            cpu_.acquire(params_.gcPerPageCpu, [this, lpn, old_ppn, view,
+                                                remaining, finish_row]() {
+                // Skip pages rewritten by the host while GC was in
+                // flight; their data already moved.
+                if (map_.lookup(lpn) == old_ppn) {
+                    std::vector<std::byte> buf(flash_.params().pageSize);
+                    view.copyOut(0, buf);
+                    Ppn fresh = blocks_.allocatePage(lpn);
+                    recssd_assert(fresh != invalidPpn,
+                                  "GC found no destination space");
+                    map_.set(lpn, fresh);
+                    blocks_.invalidate(old_ppn);
+                    cache_.invalidate(lpn);
+                    gcPagesMigrated_.inc();
+                    flash_.writePage(fresh, buf, [remaining, finish_row]() {
+                        if (--*remaining == 0)
+                            finish_row();
+                    });
+                } else if (--*remaining == 0) {
+                    finish_row();
+                }
+            });
+        });
+    }
+}
+
+}  // namespace recssd

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The flash translation layer firmware model.
+ *
+ * One serialized firmware CPU (half of the board's dual-core A9) runs
+ * command handling, translation, garbage collection bookkeeping — and,
+ * in RecSSD, the NDP SLS engine's config processing and per-page
+ * reduction (`src/ndp`). Flash operations themselves proceed in
+ * parallel on the channel/die resources once issued.
+ *
+ * Logical pages equal flash pages (16KB); the NVMe layer addresses the
+ * drive in those units.
+ */
+
+#ifndef RECSSD_FTL_FTL_H
+#define RECSSD_FTL_FTL_H
+
+#include <functional>
+#include <span>
+
+#include "src/common/event_queue.h"
+#include "src/common/resource.h"
+#include "src/common/stats.h"
+#include "src/flash/flash_array.h"
+#include "src/ftl/block_manager.h"
+#include "src/ftl/ftl_params.h"
+#include "src/ftl/mapping_table.h"
+#include "src/ftl/page_cache.h"
+
+namespace recssd
+{
+
+class Ftl
+{
+  public:
+    using ReadDone = std::function<void(const PageView &)>;
+    using DoneCallback = std::function<void()>;
+
+    Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash);
+
+    /** @{ Host-visible block interface (used by the NVMe dispatcher). */
+
+    /**
+     * Service a host read of one logical page. Charges firmware CPU,
+     * consults the page cache, then the flash array. The callback
+     * receives a lazily-copied view of the page bytes (zero-filled
+     * for never-written pages, like a trimmed real drive).
+     */
+    void hostRead(Lpn lpn, ReadDone done);
+
+    /** Service a host write of one logical page (log append). */
+    void hostWrite(Lpn lpn, std::span<const std::byte> data,
+                   DoneCallback done);
+
+    /**
+     * Deallocate a logical page (NVMe DSM). The mapping is dropped
+     * and the physical copy invalidated, so subsequent reads return
+     * zeroes and GC skips the data. Bulk-region pages lose their
+     * overlay only (the immutable region shows through again).
+     */
+    void hostTrim(Lpn lpn, DoneCallback done);
+    /** @} */
+
+    /**
+     * Observe every host write (the SLS engine registers here to keep
+     * its embedding cache coherent with in-place table updates).
+     */
+    void setWriteObserver(std::function<void(Lpn)> observer)
+    {
+        writeObserver_ = std::move(observer);
+    }
+
+    /** @{ Services for the in-FTL SLS engine. */
+
+    /** The serialized firmware core. */
+    SerialResource &cpu() { return cpu_; }
+
+    /** Untimed L2P translation (engine charges CPU itself). */
+    Ppn translate(Lpn lpn) { return map_.lookup(lpn); }
+
+    /** Untimed page-cache probe (engine charges CPU itself). */
+    bool cacheLookup(Lpn lpn, Ppn &ppn) { return cache_.lookup(lpn, ppn); }
+    void cacheInsert(Lpn lpn, Ppn ppn) { cache_.insert(lpn, ppn); }
+
+    /** Direct flash page read, bypassing command-handling costs. */
+    void readPhysical(Ppn ppn, FlashArray::ReadCallback done)
+    {
+        flash_.readPage(ppn, std::move(done));
+    }
+    /** @} */
+
+    /**
+     * Bulk-load a logical range with synthetically generated content
+     * (embedding table install). O(1) in the range length: claims
+     * immutable rows, installs an identity mapping region and
+     * registers the generator with the data store.
+     */
+    void bulkInstall(Lpn lpn_start, std::uint64_t pages,
+                     DataStore::Generator gen);
+
+    MappingTable &map() { return map_; }
+    BlockManager &blocks() { return blocks_; }
+    PageCache &pageCache() { return cache_; }
+    FlashArray &flash() { return flash_; }
+    const FtlParams &params() const { return params_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    /** @{ Stats. */
+    std::uint64_t hostReads() const { return hostReads_.value(); }
+    std::uint64_t hostWrites() const { return hostWrites_.value(); }
+    std::uint64_t hostTrims() const { return hostTrims_.value(); }
+    std::uint64_t gcRuns() const { return gcRuns_.value(); }
+    std::uint64_t gcPagesMigrated() const { return gcPagesMigrated_.value(); }
+    /** @} */
+
+  private:
+    /** Kick garbage collection if watermarks demand it. */
+    void maybeStartGc();
+
+    /** Collect one victim row, then re-check watermarks. */
+    void runGcPass();
+
+    EventQueue &eq_;
+    FtlParams params_;
+    FlashArray &flash_;
+    MappingTable map_;
+    BlockManager blocks_;
+    PageCache cache_;
+    SerialResource cpu_;
+    std::function<void(Lpn)> writeObserver_;
+    bool gcActive_ = false;
+
+    Counter hostReads_;
+    Counter hostWrites_;
+    Counter hostTrims_;
+    Counter gcRuns_;
+    Counter gcPagesMigrated_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_FTL_H

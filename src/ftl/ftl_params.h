@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FTL firmware configuration: CPU cost model and policies.
+ *
+ * The Cosmos+ FTL runs on a 1GHz dual-core ARM Cortex-A9. One core
+ * runs the scheduler/translation firmware (modelled as the serialized
+ * `Ftl::cpu()` resource); the other services the NVMe host interface
+ * (charged by the NVMe layer). All costs below are charged to the
+ * firmware core.
+ */
+
+#ifndef RECSSD_FTL_FTL_PARAMS_H
+#define RECSSD_FTL_FTL_PARAMS_H
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+struct FtlParams
+{
+    /** Firmware cost to parse/schedule one host read command. */
+    Tick readCmdCpu = 20 * usec;
+    /** Firmware cost to parse/schedule one host write command. */
+    Tick writeCmdCpu = 24 * usec;
+    /** Firmware cost to deallocate (trim) one logical page. */
+    Tick trimCmdCpu = 8 * usec;
+    /** Firmware cost per page migrated during garbage collection. */
+    Tick gcPerPageCpu = 6 * usec;
+
+    /** SSD-DRAM page cache capacity, in pages (16KB each). */
+    unsigned pageCachePages = 2048;
+    /** Page cache associativity. */
+    unsigned pageCacheWays = 8;
+
+    /** Start GC when free superblock rows drop below this. */
+    unsigned gcLowWatermarkRows = 2;
+    /** Stop GC once free rows reach this. */
+    unsigned gcHighWatermarkRows = 4;
+
+    /**
+     * Wear levelling: a sealed row whose erase count exceeds the
+     * current sealed minimum by more than this is passed over during
+     * GC victim selection when an alternative exists (allocation
+     * already prefers the least-erased free row).
+     */
+    unsigned wearLevelThreshold = 2;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_FTL_PARAMS_H

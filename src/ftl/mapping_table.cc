@@ -1,0 +1,51 @@
+#include "src/ftl/mapping_table.h"
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+Ppn
+MappingTable::lookup(Lpn lpn) const
+{
+    auto it = overlay_.find(lpn);
+    if (it != overlay_.end())
+        return it->second;
+    auto rit = regions_.upper_bound(lpn);
+    if (rit == regions_.begin())
+        return invalidPpn;
+    --rit;
+    if (lpn < rit->first + rit->second.pages)
+        return rit->second.ppnStart + (lpn - rit->first);
+    return invalidPpn;
+}
+
+void
+MappingTable::set(Lpn lpn, Ppn ppn)
+{
+    overlay_[lpn] = ppn;
+}
+
+void
+MappingTable::unset(Lpn lpn)
+{
+    overlay_.erase(lpn);
+}
+
+void
+MappingTable::installRegion(Lpn lpn_start, Ppn ppn_start, std::uint64_t pages)
+{
+    recssd_assert(pages > 0, "empty mapping region");
+    // Reject overlapping regions.
+    auto it = regions_.upper_bound(lpn_start);
+    if (it != regions_.begin()) {
+        auto prev = std::prev(it);
+        recssd_assert(prev->first + prev->second.pages <= lpn_start,
+                      "mapping regions must not overlap");
+    }
+    recssd_assert(it == regions_.end() || it->first >= lpn_start + pages,
+                  "mapping regions must not overlap");
+    regions_.emplace(lpn_start, Region{ppn_start, pages});
+}
+
+}  // namespace recssd

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Logical-to-physical page mapping.
+ *
+ * Two tiers keep the memory footprint proportional to what is
+ * actually written rather than to drive capacity:
+ *
+ *  - identity regions: contiguous (LPN, PPN) ranges installed when an
+ *    embedding table is bulk-loaded (O(1) per table), and
+ *  - a sparse overlay map for pages written through the normal
+ *    log-structured write path (which always wins over a region).
+ */
+
+#ifndef RECSSD_FTL_MAPPING_TABLE_H
+#define RECSSD_FTL_MAPPING_TABLE_H
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class MappingTable
+{
+  public:
+    /** Current physical page for a logical page, or invalidPpn. */
+    Ppn lookup(Lpn lpn) const;
+
+    /** Point-update from the write path (overlays any region). */
+    void set(Lpn lpn, Ppn ppn);
+
+    /** Remove a point mapping (trim). Regions are unaffected. */
+    void unset(Lpn lpn);
+
+    /** Install a contiguous identity-style region mapping. */
+    void installRegion(Lpn lpn_start, Ppn ppn_start, std::uint64_t pages);
+
+    bool mapped(Lpn lpn) const { return lookup(lpn) != invalidPpn; }
+
+    /** Number of point (overlay) entries. */
+    std::size_t overlayEntries() const { return overlay_.size(); }
+
+    /** Number of installed regions. */
+    std::size_t regions() const { return regions_.size(); }
+
+  private:
+    struct Region
+    {
+        Ppn ppnStart;
+        std::uint64_t pages;
+    };
+
+    std::unordered_map<Lpn, Ppn> overlay_;
+    std::map<Lpn, Region> regions_;  // keyed by lpn_start
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_MAPPING_TABLE_H

@@ -1,0 +1,11 @@
+#include "src/host/host_cpu.h"
+
+namespace recssd
+{
+
+HostCpu::HostCpu(EventQueue &eq, const HostParams &params)
+    : params_(params), cores_(eq, "host.cores", params.cores)
+{
+}
+
+}  // namespace recssd

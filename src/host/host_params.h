@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Host machine parameters (§5: quad-core Skylake, 64GB DDR4-3200).
+ */
+
+#ifndef RECSSD_HOST_HOST_PARAMS_H
+#define RECSSD_HOST_HOST_PARAMS_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+struct HostParams
+{
+    /** Physical cores available to workers. */
+    unsigned cores = 4;
+
+    /** I/O queues the driver binds (UNVMe uses the maximum). */
+    unsigned ioQueues = 4;
+
+    /** CPU cost to build + submit one NVMe command (userspace). */
+    Tick submitCost = 2 * usec;
+    /** CPU cost to poll + consume one completion. */
+    Tick completionCost = 1500 * nsec;
+
+    /** Fixed cost of one random DRAM embedding lookup. */
+    Tick dramLookupBase = 40 * nsec;
+    /** Streaming cost per byte read from DRAM (~4GB/s per core). */
+    double dramPerByteNs = 0.25;
+
+    /** Fixed cost to locate a vector inside a DMAed 16KB page. */
+    Tick extractBase = 500 * nsec;
+    /** Per-byte cost to extract + accumulate a vector on the host. */
+    double extractPerByteNs = 0.5;
+
+    /** Effective dense-math throughput per core (MACs/sec; fp32
+     *  Caffe2 GEMM on desktop Skylake, memory-bound layers included). */
+    double gemmMacsPerSec = 3.0e9;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_HOST_HOST_PARAMS_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * FIFO allocator of driver I/O queues.
+ *
+ * The UNVMe sync API carries one command per queue at a time; SLS
+ * workers are matched to queues (§4.2). Backends acquire a queue per
+ * operation (or per command) and park in FIFO order when all queues
+ * are busy.
+ */
+
+#ifndef RECSSD_HOST_QUEUE_ALLOCATOR_H
+#define RECSSD_HOST_QUEUE_ALLOCATOR_H
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+class QueueAllocator
+{
+  public:
+    using Grant = std::function<void(unsigned queue)>;
+
+    explicit QueueAllocator(unsigned queues)
+    {
+        recssd_assert(queues > 0, "need at least one I/O queue");
+        for (unsigned q = 0; q < queues; ++q)
+            free_.push_back(q);
+        total_ = queues;
+    }
+
+    unsigned total() const { return total_; }
+    unsigned available() const { return static_cast<unsigned>(free_.size()); }
+
+    /** Grant a queue now, or when one frees (FIFO). */
+    void
+    acquire(Grant grant)
+    {
+        if (!free_.empty()) {
+            unsigned q = free_.front();
+            free_.pop_front();
+            grant(q);
+        } else {
+            waiting_.push_back(std::move(grant));
+        }
+    }
+
+    /** Return a queue; wakes the longest waiter if any. */
+    void
+    release(unsigned queue)
+    {
+        recssd_assert(queue < total_, "bogus queue id");
+        if (!waiting_.empty()) {
+            Grant grant = std::move(waiting_.front());
+            waiting_.pop_front();
+            grant(queue);
+        } else {
+            free_.push_back(queue);
+        }
+    }
+
+  private:
+    unsigned total_;
+    std::deque<unsigned> free_;
+    std::deque<Grant> waiting_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_HOST_QUEUE_ALLOCATOR_H

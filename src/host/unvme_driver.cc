@@ -1,0 +1,221 @@
+#include "src/host/unvme_driver.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl)
+    : eq_(eq), cpu_(cpu), ctrl_(ctrl)
+{
+    numQueues_ = std::min(cpu.params().ioQueues, ctrl.params().numQueues);
+    recssd_assert(numQueues_ > 0, "driver bound zero I/O queues");
+    queueBusy_.assign(numQueues_, false);
+    for (unsigned q = 0; q < numQueues_; ++q) {
+        ioThreads_.push_back(std::make_unique<SerialResource>(
+            eq_, "unvme.worker" + std::to_string(q)));
+        queuePairs_.push_back(std::make_unique<NvmeQueuePair>(64));
+    }
+}
+
+NvmeCommand
+UnvmeDriver::enqueue(unsigned queue, const NvmeCommand &cmd)
+{
+    NvmeQueuePair &qp = queuePair(queue);
+    recssd_assert(qp.canSubmit(), "submission ring full");
+    qp.submit(cmd);
+    auto fetched = qp.fetch();
+    recssd_assert(fetched.has_value(), "ring lost a command");
+    return *fetched;
+}
+
+void
+UnvmeDriver::consumeCompletion(unsigned queue, std::uint16_t cid)
+{
+    NvmeQueuePair &qp = queuePair(queue);
+    qp.complete(cid);
+    auto cqe = qp.poll();
+    recssd_assert(cqe.has_value() && cqe->cid == cid,
+                  "completion did not match the submitted command");
+    recssd_assert(cqe->status == 0, "command failed");
+}
+
+void
+UnvmeDriver::occupy(unsigned queue)
+{
+    recssd_assert(queue < numQueues_, "I/O queue index out of range");
+    recssd_assert(!queueBusy_[queue],
+                  "sync API misuse: queue %u already has a command in "
+                  "flight", queue);
+    queueBusy_[queue] = true;
+}
+
+void
+UnvmeDriver::release(unsigned queue)
+{
+    queueBusy_[queue] = false;
+}
+
+std::uint64_t
+UnvmeDriver::allocRequestId()
+{
+    std::uint64_t id = nextRequestId_++;
+    // Keep ids well below the table alignment so base+id decoding is
+    // unambiguous.
+    if (nextRequestId_ >= slsTableAlign / 2)
+        nextRequestId_ = 1;
+    return id;
+}
+
+void
+UnvmeDriver::readPage(unsigned queue, Lpn lpn, ReadDone done)
+{
+    occupy(queue);
+    commands_.inc();
+    NvmeCommand cmd;
+    cmd.opcode = NvmeOpcode::Read;
+    cmd.slba = lpn;
+    // Submission burns host CPU, then the device takes over; on
+    // completion the polling thread burns CPU again before the
+    // caller's continuation runs.
+    ioThread(queue).acquire(
+        cpu_.params().submitCost, [this, cmd, queue,
+                                   done = std::move(done)]() {
+            NvmeCommand entry = enqueue(queue, cmd);
+            ctrl_.submitRead(entry, [this, queue, cid = entry.cid,
+                                     done = std::move(done)](
+                                        const PageView &view) {
+                ioThread(queue).acquire(
+                    cpu_.params().completionCost,
+                    [this, queue, cid, view, done = std::move(done)]() {
+                        consumeCompletion(queue, cid);
+                        release(queue);
+                        done(view);
+                    });
+            });
+        });
+}
+
+void
+UnvmeDriver::writePage(unsigned queue, Lpn lpn,
+                       std::shared_ptr<std::vector<std::byte>> data,
+                       Done done)
+{
+    occupy(queue);
+    commands_.inc();
+    NvmeCommand cmd;
+    cmd.opcode = NvmeOpcode::Write;
+    cmd.slba = lpn;
+    cmd.payload = std::move(data);
+    ioThread(queue).acquire(
+        cpu_.params().submitCost, [this, cmd, queue,
+                                   done = std::move(done)]() {
+            NvmeCommand entry = enqueue(queue, cmd);
+            ctrl_.submitWrite(entry, [this, queue, cid = entry.cid,
+                                      done = std::move(done)]() {
+                ioThread(queue).acquire(
+                    cpu_.params().completionCost,
+                    [this, queue, cid, done = std::move(done)]() {
+                        consumeCompletion(queue, cid);
+                        release(queue);
+                        done();
+                    });
+            });
+        });
+}
+
+void
+UnvmeDriver::trimPage(unsigned queue, Lpn lpn, Done done)
+{
+    occupy(queue);
+    commands_.inc();
+    NvmeCommand cmd;
+    cmd.opcode = NvmeOpcode::Dsm;
+    cmd.slba = lpn;
+    ioThread(queue).acquire(
+        cpu_.params().submitCost, [this, cmd, queue,
+                                   done = std::move(done)]() {
+            NvmeCommand entry = enqueue(queue, cmd);
+            ctrl_.submitTrim(entry, [this, queue, cid = entry.cid,
+                                     done = std::move(done)]() {
+                ioThread(queue).acquire(
+                    cpu_.params().completionCost,
+                    [this, queue, cid, done = std::move(done)]() {
+                        consumeCompletion(queue, cid);
+                        release(queue);
+                        done();
+                    });
+            });
+        });
+}
+
+void
+UnvmeDriver::slsConfigWrite(unsigned queue, Lpn table_base,
+                            std::uint64_t request_id,
+                            const SlsConfig &config, Done done)
+{
+    recssd_assert(table_base % slsTableAlign == 0,
+                  "embedding table base must be aligned");
+    recssd_assert(request_id > 0 && request_id < slsTableAlign,
+                  "SLS request id out of range");
+    occupy(queue);
+    commands_.inc();
+    NvmeCommand cmd;
+    cmd.opcode = NvmeOpcode::Write;
+    cmd.slsFlag = true;
+    cmd.slba = SlsAddress::encode(table_base, request_id);
+    cmd.payload = std::make_shared<std::vector<std::byte>>(
+        config.serialize());
+    // Building the pair list costs more than a plain 64B command:
+    // charge the submit cost plus a store per pair.
+    Tick build = cpu_.params().submitCost +
+                 static_cast<Tick>(config.pairs.size()) * 2;
+    ioThread(queue).acquire(build, [this, cmd, queue,
+                                    done = std::move(done)]() {
+        NvmeCommand entry = enqueue(queue, cmd);
+        ctrl_.submitSlsConfig(entry, [this, queue, cid = entry.cid,
+                                      done = std::move(done)]() {
+            ioThread(queue).acquire(
+                cpu_.params().completionCost,
+                [this, queue, cid, done = std::move(done)]() {
+                    consumeCompletion(queue, cid);
+                    release(queue);
+                    done();
+                });
+        });
+    });
+}
+
+void
+UnvmeDriver::slsResultRead(unsigned queue, Lpn table_base,
+                           std::uint64_t request_id, SlsResultDone done)
+{
+    occupy(queue);
+    commands_.inc();
+    NvmeCommand cmd;
+    cmd.opcode = NvmeOpcode::Read;
+    cmd.slsFlag = true;
+    cmd.slba = SlsAddress::encode(table_base, request_id);
+    ioThread(queue).acquire(
+        cpu_.params().submitCost, [this, cmd, queue,
+                                   done = std::move(done)]() {
+            NvmeCommand entry = enqueue(queue, cmd);
+            ctrl_.submitSlsRead(
+                entry, [this, queue, cid = entry.cid,
+                        done = std::move(done)](
+                           std::shared_ptr<std::vector<std::byte>> data) {
+                    ioThread(queue).acquire(
+                        cpu_.params().completionCost,
+                        [this, queue, cid, data,
+                         done = std::move(done)]() {
+                            consumeCompletion(queue, cid);
+                            release(queue);
+                            done(data);
+                        });
+                });
+        });
+}
+
+}  // namespace recssd

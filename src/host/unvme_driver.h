@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Userspace NVMe driver model, after Micron's UNVMe library which the
+ * paper extends with the two SLS commands (§5 "Micron UNVMe").
+ *
+ * The driver exposes N independent I/O queues. Like the real sync
+ * API, each queue carries one outstanding command: the submitting
+ * worker burns CPU to build/submit, the device executes, and the
+ * worker burns CPU again polling the completion. The SLS extension
+ * adds a config-write and a result-read built on the standard command
+ * structures with the spare flag bit set.
+ *
+ * Each queue is driven by its own SLS worker thread (§4.2 matches
+ * workers to queues). The threads are I/O bound — they sleep in the
+ * poll loop most of the time — so they are modelled as dedicated
+ * serial resources that the OS schedules promptly rather than as
+ * contenders for the host core pool; the dense-compute NN workers own
+ * the cores.
+ */
+
+#ifndef RECSSD_HOST_UNVME_DRIVER_H
+#define RECSSD_HOST_UNVME_DRIVER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/common/stats.h"
+#include "src/host/host_cpu.h"
+#include "src/ndp/sls_config.h"
+#include "src/nvme/host_controller.h"
+#include "src/nvme/nvme_command.h"
+#include "src/nvme/nvme_queue.h"
+
+namespace recssd
+{
+
+class UnvmeDriver
+{
+  public:
+    using ReadDone = std::function<void(const PageView &)>;
+    using Done = std::function<void()>;
+    using SlsResultDone =
+        std::function<void(std::shared_ptr<std::vector<std::byte>>)>;
+
+    UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl);
+
+    /** Usable I/O queues: min(driver binding, controller support). */
+    unsigned numQueues() const { return numQueues_; }
+
+    /** Logical block size of the attached namespace. */
+    unsigned pageSize() const { return ctrl_.pageSize(); }
+
+    /** @{ Standard data path (one logical page per command). */
+    void readPage(unsigned queue, Lpn lpn, ReadDone done);
+    void writePage(unsigned queue, Lpn lpn,
+                   std::shared_ptr<std::vector<std::byte>> data, Done done);
+
+    /** Deallocate one logical page (DSM / trim). */
+    void trimPage(unsigned queue, Lpn lpn, Done done);
+    /** @} */
+
+    /** @{ RecSSD SLS extension. */
+
+    /**
+     * Issue the config-write for an SLS operation.
+     * @param table_base First logical page of the target table (must
+     *        be slsTableAlign-aligned).
+     * @param request_id Caller-chosen id, unique among in-flight
+     *        requests to the same table.
+     */
+    void slsConfigWrite(unsigned queue, Lpn table_base,
+                        std::uint64_t request_id, const SlsConfig &config,
+                        Done done);
+
+    /** Issue the result-read that completes an SLS operation. */
+    void slsResultRead(unsigned queue, Lpn table_base,
+                       std::uint64_t request_id, SlsResultDone done);
+    /** @} */
+
+    /** Fresh request id for slsConfigWrite. */
+    std::uint64_t allocRequestId();
+
+    std::uint64_t commandsIssued() const { return commands_.value(); }
+
+    /** The I/O worker thread bound to a queue (for extract work). */
+    SerialResource &ioThread(unsigned queue)
+    {
+        return *ioThreads_.at(queue);
+    }
+
+    /** The NVMe ring pair backing a queue. */
+    NvmeQueuePair &queuePair(unsigned queue)
+    {
+        return *queuePairs_.at(queue);
+    }
+
+  private:
+    /** Mark the queue busy; panics on concurrent use (sync API). */
+    void occupy(unsigned queue);
+    void release(unsigned queue);
+
+    /**
+     * Move a command through the queue pair: submit + controller
+     * fetch. @return the ring-assigned command with its CID.
+     */
+    NvmeCommand enqueue(unsigned queue, const NvmeCommand &cmd);
+
+    /** Consume the completion for `cid` from the queue's CQ ring. */
+    void consumeCompletion(unsigned queue, std::uint16_t cid);
+
+    EventQueue &eq_;
+    HostCpu &cpu_;
+    HostController &ctrl_;
+    unsigned numQueues_;
+    std::vector<bool> queueBusy_;
+    std::vector<std::unique_ptr<SerialResource>> ioThreads_;
+    std::vector<std::unique_ptr<NvmeQueuePair>> queuePairs_;
+    std::uint64_t nextRequestId_ = 1;
+
+    Counter commands_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_HOST_UNVME_DRIVER_H

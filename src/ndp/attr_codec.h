@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Encoding of embedding elements at different attribute sizes.
+ *
+ * The SLS interface supports quantized tables (attribute size 1 or 2
+ * bytes) in addition to fp32. Quantized codes decode to their integer
+ * value; accumulation always happens in fp32, on the device and on the
+ * host alike, so results are comparable bit for bit across backends.
+ */
+
+#ifndef RECSSD_NDP_ATTR_CODEC_H
+#define RECSSD_NDP_ATTR_CODEC_H
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+/** Decode one element at byte position `idx * attr_bytes`. */
+inline float
+decodeAttr(std::span<const std::byte> raw, std::uint32_t idx,
+           std::uint32_t attr_bytes)
+{
+    switch (attr_bytes) {
+      case 4: {
+        float v;
+        std::memcpy(&v, raw.data() + std::size_t(idx) * 4, 4);
+        return v;
+      }
+      case 2: {
+        std::uint16_t v;
+        std::memcpy(&v, raw.data() + std::size_t(idx) * 2, 2);
+        return static_cast<float>(v);
+      }
+      case 1: {
+        std::uint8_t v;
+        std::memcpy(&v, raw.data() + idx, 1);
+        return static_cast<float>(v);
+      }
+      default:
+        panic("unsupported attribute size %u", attr_bytes);
+    }
+}
+
+/** Encode one element at byte position `idx * attr_bytes`. */
+inline void
+encodeAttr(std::span<std::byte> raw, std::uint32_t idx,
+           std::uint32_t attr_bytes, float value)
+{
+    switch (attr_bytes) {
+      case 4: {
+        std::memcpy(raw.data() + std::size_t(idx) * 4, &value, 4);
+        return;
+      }
+      case 2: {
+        auto v = static_cast<std::uint16_t>(value);
+        std::memcpy(raw.data() + std::size_t(idx) * 2, &v, 2);
+        return;
+      }
+      case 1: {
+        auto v = static_cast<std::uint8_t>(value);
+        std::memcpy(raw.data() + idx, &v, 1);
+        return;
+      }
+      default:
+        panic("unsupported attribute size %u", attr_bytes);
+    }
+}
+
+}  // namespace recssd
+
+#endif  // RECSSD_NDP_ATTR_CODEC_H

@@ -1,0 +1,67 @@
+#include "src/ndp/embedding_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+EmbeddingCache::EmbeddingCache(std::uint64_t capacity_bytes,
+                               std::uint32_t vector_bytes)
+    : vectorBytes_(vector_bytes)
+{
+    recssd_assert(vector_bytes > 0, "embedding cache needs a vector size");
+    slots_ = std::max<std::uint64_t>(1, capacity_bytes / vector_bytes);
+    tags_.assign(slots_, kNoKey);
+    values_.assign(slots_ * vectorBytes_, std::byte{0});
+}
+
+bool
+EmbeddingCache::lookup(std::uint64_t table_base, RowId row,
+                       std::span<std::byte> out)
+{
+    recssd_assert(out.size() <= vectorBytes_,
+                  "lookup larger than cache slot");
+    std::uint64_t key = keyOf(table_base, row);
+    std::uint64_t slot = slotOf(key);
+    if (tags_[slot] != key) {
+        misses_.inc();
+        return false;
+    }
+    std::memcpy(out.data(), values_.data() + slot * vectorBytes_,
+                out.size());
+    hits_.inc();
+    return true;
+}
+
+void
+EmbeddingCache::insert(std::uint64_t table_base, RowId row,
+                       std::span<const std::byte> value)
+{
+    recssd_assert(value.size() <= vectorBytes_,
+                  "insert larger than cache slot");
+    std::uint64_t key = keyOf(table_base, row);
+    std::uint64_t slot = slotOf(key);
+    tags_[slot] = key;
+    std::memcpy(values_.data() + slot * vectorBytes_, value.data(),
+                value.size());
+}
+
+void
+EmbeddingCache::invalidate(std::uint64_t table_base, RowId row)
+{
+    std::uint64_t key = keyOf(table_base, row);
+    std::uint64_t slot = slotOf(key);
+    if (tags_[slot] == key)
+        tags_[slot] = kNoKey;
+}
+
+void
+EmbeddingCache::clear()
+{
+    std::ranges::fill(tags_, kNoKey);
+}
+
+}  // namespace recssd

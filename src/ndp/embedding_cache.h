@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The SSD-side embedding cache (§4.2, "SSD-side DRAM Caching").
+ *
+ * The FTL runs on a weak embedded CPU with no dynamic allocation, so
+ * the paper implements a *direct-mapped* cache of individual embedding
+ * vectors in controller DRAM: maintaining (pseudo-)LRU metadata on
+ * every access would not be worth the hit-rate gain. A hit during the
+ * config scan skips the flash page read entirely (Fig 7, step 2a).
+ */
+
+#ifndef RECSSD_NDP_EMBEDDING_CACHE_H
+#define RECSSD_NDP_EMBEDDING_CACHE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class EmbeddingCache
+{
+  public:
+    /**
+     * @param capacity_bytes DRAM budget for cached vectors.
+     * @param vector_bytes Size of one cached vector (all tables in a
+     *        deployment share the slot size; the paper sizes it for
+     *        the largest feature dimension).
+     */
+    EmbeddingCache(std::uint64_t capacity_bytes, std::uint32_t vector_bytes);
+
+    /** Number of vector slots. */
+    std::uint64_t slots() const { return slots_; }
+
+    /**
+     * Direct-mapped probe for (table_base, row).
+     * @param[out] out Receives the cached vector bytes on a hit.
+     */
+    bool lookup(std::uint64_t table_base, RowId row,
+                std::span<std::byte> out);
+
+    /** Fill the (single) slot this row maps to, evicting its tenant. */
+    void insert(std::uint64_t table_base, RowId row,
+                std::span<const std::byte> value);
+
+    /** Drop one row's entry if cached (row updated in place). */
+    void invalidate(std::uint64_t table_base, RowId row);
+
+    /** Drop every entry (table rewritten). */
+    void clear();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? static_cast<double>(hits()) / total : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+    }
+
+  private:
+    static constexpr std::uint64_t kNoKey = ~std::uint64_t(0);
+
+    std::uint64_t keyOf(std::uint64_t table_base, RowId row) const
+    {
+        // Table bases are slsTableAlign-aligned and rows are far
+        // smaller, so base+row is collision free.
+        return table_base + row;
+    }
+
+    std::uint64_t slotOf(std::uint64_t key) const
+    {
+        return (key * 0x9e3779b97f4a7c15ull >> 13) % slots_;
+    }
+
+    std::uint32_t vectorBytes_;
+    std::uint64_t slots_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::byte> values_;
+
+    Counter hits_;
+    Counter misses_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_NDP_EMBEDDING_CACHE_H

@@ -1,0 +1,98 @@
+#include "src/ndp/sls_config.h"
+
+#include <cstring>
+
+namespace recssd
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x524c5353;  // "SSLR"
+
+void
+putU32(std::vector<std::byte> &buf, std::uint32_t v)
+{
+    const auto *p = reinterpret_cast<const std::byte *>(&v);
+    buf.insert(buf.end(), p, p + 4);
+}
+
+bool
+getU32(std::span<const std::byte> data, std::size_t &off, std::uint32_t &v)
+{
+    if (off + 4 > data.size())
+        return false;
+    std::memcpy(&v, data.data() + off, 4);
+    off += 4;
+    return true;
+}
+
+}  // namespace
+
+bool
+SlsConfig::valid() const
+{
+    if (featureDim == 0 || numResults == 0 || pairs.empty())
+        return false;
+    if (attrBytes != 1 && attrBytes != 2 && attrBytes != 4)
+        return false;
+    if (rowsPerPage == 0)
+        return false;
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (i > 0 && pairs[i].inputId < prev)
+            return false;
+        prev = pairs[i].inputId;
+        if (pairs[i].resultId >= numResults)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::byte>
+SlsConfig::serialize() const
+{
+    std::vector<std::byte> buf;
+    buf.reserve(wireBytes());
+    putU32(buf, kMagic);
+    putU32(buf, featureDim);
+    putU32(buf, attrBytes);
+    putU32(buf, rowsPerPage);
+    putU32(buf, numResults);
+    putU32(buf, static_cast<std::uint32_t>(pairs.size()));
+    for (const auto &pair : pairs) {
+        putU32(buf, pair.inputId);
+        putU32(buf, pair.resultId);
+    }
+    return buf;
+}
+
+bool
+SlsConfig::deserialize(std::span<const std::byte> data, SlsConfig &out)
+{
+    std::size_t off = 0;
+    std::uint32_t magic = 0;
+    std::uint32_t count = 0;
+    if (!getU32(data, off, magic) || magic != kMagic)
+        return false;
+    if (!getU32(data, off, out.featureDim) ||
+        !getU32(data, off, out.attrBytes) ||
+        !getU32(data, off, out.rowsPerPage) ||
+        !getU32(data, off, out.numResults) || !getU32(data, off, count)) {
+        return false;
+    }
+    // The count must be consistent with the payload length before any
+    // allocation happens (defends against corrupt/hostile configs).
+    if (count > (data.size() - off) / 8)
+        return false;
+    out.pairs.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (!getU32(data, off, out.pairs[i].inputId) ||
+            !getU32(data, off, out.pairs[i].resultId)) {
+            return false;
+        }
+    }
+    return out.valid();
+}
+
+}  // namespace recssd

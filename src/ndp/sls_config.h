@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The SLS configuration payload of the RecSSD NVMe interface (§4.3).
+ *
+ * A config-write command carries: embedding vector dimensions
+ * (attribute size and vector length), the table layout, the number of
+ * result embeddings, and a list of (input ID, result ID) pairs sorted
+ * by input ID — the sort is required so the weak device CPU can group
+ * work by flash page in one scan.
+ */
+
+#ifndef RECSSD_NDP_SLS_CONFIG_H
+#define RECSSD_NDP_SLS_CONFIG_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** One gather: accumulate table row `inputId` into result `resultId`. */
+struct SlsPair
+{
+    std::uint32_t inputId;
+    std::uint32_t resultId;
+
+    bool operator==(const SlsPair &) const = default;
+};
+
+struct SlsConfig
+{
+    /** Elements per embedding vector. */
+    std::uint32_t featureDim = 0;
+    /** Bytes per element (4 = fp32; 1/2 model quantized tables). */
+    std::uint32_t attrBytes = 4;
+    /** Vectors packed per flash page (1 for the paper's evaluation). */
+    std::uint32_t rowsPerPage = 1;
+    /** Number of result embeddings to return. */
+    std::uint32_t numResults = 0;
+    /** Gather list, sorted by inputId. */
+    std::vector<SlsPair> pairs;
+
+    /** Bytes of one embedding vector. */
+    std::uint32_t vectorBytes() const { return featureDim * attrBytes; }
+
+    /** Serialized size of this configuration. */
+    std::size_t wireBytes() const { return 24 + pairs.size() * 8; }
+
+    /** True when dimensions are sane and the pair list is sorted. */
+    bool valid() const;
+
+    /** Encode to the NVMe write payload layout. */
+    std::vector<std::byte> serialize() const;
+
+    /**
+     * Decode from a payload.
+     * @retval false on malformed input (bad magic, truncated list,
+     *         unsorted pairs, zero dimensions).
+     */
+    static bool deserialize(std::span<const std::byte> data, SlsConfig &out);
+
+    bool operator==(const SlsConfig &) const = default;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_NDP_SLS_CONFIG_H

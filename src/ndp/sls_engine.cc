@@ -1,0 +1,294 @@
+#include "src/ndp/sls_engine.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/ndp/attr_codec.h"
+
+namespace recssd
+{
+
+SlsEngine::SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl)
+    : eq_(eq), params_(params), ftl_(ftl)
+{
+    if (params_.embeddingCacheBytes > 0) {
+        cache_ = std::make_unique<EmbeddingCache>(
+            params_.embeddingCacheBytes, params_.embeddingCacheVectorBytes);
+        // Keep the cache coherent with in-place embedding updates:
+        // a host write to a table page drops every vector cached
+        // from it.
+        ftl_.setWriteObserver([this](Lpn lpn) {
+            std::uint64_t base = lpn - lpn % slsTableAlign;
+            auto it = tableLayout_.find(base);
+            if (it == tableLayout_.end())
+                return;  // never served from this table; nothing cached
+            std::uint64_t page = lpn - base;
+            for (std::uint32_t slot = 0; slot < it->second; ++slot)
+                cache_->invalidate(base, page * it->second + slot);
+        });
+    }
+}
+
+Lpn
+SlsEngine::lpnOf(const Entry &entry, RowId row) const
+{
+    return entry.tableBase + row / entry.cfg.rowsPerPage;
+}
+
+std::uint32_t
+SlsEngine::pageOffsetOf(const Entry &entry, RowId row) const
+{
+    return static_cast<std::uint32_t>(row % entry.cfg.rowsPerPage) *
+           entry.cfg.vectorBytes();
+}
+
+void
+SlsEngine::configWrite(const NvmeCommand &cmd, std::function<void()> done)
+{
+    if (entries_.size() >= params_.maxEntries) {
+        // Request buffer full: hold the command until an entry frees.
+        waiting_.emplace_back(cmd, std::move(done));
+        return;
+    }
+    admit(cmd, std::move(done));
+}
+
+void
+SlsEngine::admit(const NvmeCommand &cmd, std::function<void()> done)
+{
+    requests_.inc();
+    auto addr = SlsAddress::decode(cmd.slba);
+    auto entry = std::make_shared<Entry>();
+    entry->key = cmd.slba;
+    entry->tableBase = addr.tableBase;
+    // The controller stamps the command when the doorbell rings; the
+    // payload DMA has completed by the time we are dispatched.
+    entry->timing.submitted = cmd.submitTick ? cmd.submitTick : eq_.now();
+    entry->timing.configArrived = eq_.now();
+
+    bool ok = SlsConfig::deserialize(*cmd.payload, entry->cfg);
+    recssd_assert(ok, "malformed SLS config payload");
+    tableLayout_[entry->tableBase] = entry->cfg.rowsPerPage;
+    entry->results.assign(
+        std::size_t(entry->cfg.numResults) * entry->cfg.featureDim, 0.0f);
+
+    recssd_assert(!entries_.contains(entry->key),
+                  "duplicate in-flight SLS request id");
+    entries_.emplace(entry->key, entry);
+    rrOrder_.push_back(entry->key);
+
+    // The config write completes as soon as the entry is allocated;
+    // processing continues asynchronously (Fig 7).
+    done();
+    processConfig(entry);
+}
+
+void
+SlsEngine::processConfig(const EntryPtr &entry)
+{
+    const SlsConfig &cfg = entry->cfg;
+    Tick scan_cost = params_.configBaseCpu +
+                     params_.configPerIndexCpu * cfg.pairs.size();
+    ftl_.cpu().acquire(scan_cost, [this, entry]() {
+        const SlsConfig &cfg = entry->cfg;
+        std::vector<std::byte> vec_buf(cfg.vectorBytes());
+        std::uint64_t cache_hits = 0;
+
+        // One scan over the (sorted) pair list: group by flash page,
+        // diverting embedding-cache hits to the fast path (step 2a).
+        PageWork current;
+        current.lpn = invalidLpn;
+        for (std::uint32_t i = 0; i < cfg.pairs.size(); ++i) {
+            const SlsPair &pair = cfg.pairs[i];
+            if (cache_ && cache_->lookup(entry->tableBase, pair.inputId,
+                                         vec_buf)) {
+                float *res = entry->results.data() +
+                             std::size_t(pair.resultId) * cfg.featureDim;
+                for (std::uint32_t e = 0; e < cfg.featureDim; ++e)
+                    res[e] += decodeAttr(vec_buf, e, cfg.attrBytes);
+                ++cache_hits;
+                continue;
+            }
+            Lpn lpn = lpnOf(*entry, pair.inputId);
+            if (lpn != current.lpn) {
+                if (current.lpn != invalidLpn)
+                    entry->pages.push_back(std::move(current));
+                current = PageWork{lpn, {}};
+            }
+            current.pairIdx.push_back(i);
+        }
+        if (current.lpn != invalidLpn)
+            entry->pages.push_back(std::move(current));
+
+        entry->pagesOutstanding =
+            static_cast<std::uint32_t>(entry->pages.size());
+
+        auto finish = [this, entry]() {
+            entry->configured = true;
+            entry->timing.configProcessed = eq_.now();
+            if (entry->pagesOutstanding == 0) {
+                entry->timing.flashDone = eq_.now();
+                maybeComplete(entry);
+            } else {
+                pump();
+            }
+        };
+
+        if (cache_hits > 0) {
+            ftl_.cpu().acquire(params_.cacheHitAccumCpu * cache_hits,
+                               std::move(finish));
+        } else {
+            finish();
+        }
+    });
+}
+
+void
+SlsEngine::pump()
+{
+    // Feed individual page requests from the in-flight SLS entries
+    // into the flash queues, round-robin for fairness (§4.1 "Issuing
+    // individual Flash requests").
+    std::size_t entries_with_work = rrOrder_.size();
+    while (outstandingFlash_ < params_.maxOutstandingFlash &&
+           entries_with_work > 0) {
+        std::uint64_t key = rrOrder_.front();
+        rrOrder_.pop_front();
+        rrOrder_.push_back(key);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            // Entry completed and was deallocated; drop it from the
+            // rotation.
+            rrOrder_.pop_back();
+            entries_with_work = rrOrder_.size();
+            continue;
+        }
+        EntryPtr entry = it->second;
+        if (!entry->configured || entry->nextPage >= entry->pages.size()) {
+            --entries_with_work;
+            continue;
+        }
+        entries_with_work = rrOrder_.size();
+
+        PageWork work = entry->pages[entry->nextPage++];
+        Ppn cached;
+        if (ftl_.cacheLookup(work.lpn, cached)) {
+            // Step 3b: the page already sits in the FTL page cache;
+            // process it directly without a flash access.
+            pageCacheHits_.inc();
+            PageView view(ftl_.flash().store(), cached);
+            translate(entry, std::move(work), &view);
+            continue;
+        }
+        Ppn ppn = ftl_.translate(work.lpn);
+        recssd_assert(ppn != invalidPpn,
+                      "SLS request touches an unmapped page");
+        ++outstandingFlash_;
+        flashPages_.inc();
+        ftl_.readPhysical(ppn, [this, entry, work = std::move(work)](
+                                   const PageView &view) mutable {
+            --outstandingFlash_;
+            translate(entry, std::move(work), &view);
+            pump();
+        });
+    }
+}
+
+void
+SlsEngine::translate(const EntryPtr &entry, PageWork work,
+                     const PageView *view)
+{
+    const SlsConfig &cfg = entry->cfg;
+    std::uint64_t gathered =
+        std::uint64_t(work.pairIdx.size()) * cfg.vectorBytes();
+    Tick cost = params_.translateBaseCpu +
+                params_.translatePerByteCpu * gathered;
+    entry->timing.translateBusy += cost;
+
+    // Functional extract + reduce happens when the firmware core gets
+    // to it; capture the page identity now (the view is only valid
+    // for the duration of this callback, so re-create it from the
+    // store + PPN which stay stable).
+    PageView page = *view;
+    ftl_.cpu().acquire(cost, [this, entry, work = std::move(work), page]() {
+        const SlsConfig &cfg = entry->cfg;
+        std::vector<std::byte> vec_buf(cfg.vectorBytes());
+        for (std::uint32_t idx : work.pairIdx) {
+            const SlsPair &pair = cfg.pairs[idx];
+            page.copyOut(pageOffsetOf(*entry, pair.inputId), vec_buf);
+            float *res = entry->results.data() +
+                         std::size_t(pair.resultId) * cfg.featureDim;
+            for (std::uint32_t e = 0; e < cfg.featureDim; ++e)
+                res[e] += decodeAttr(vec_buf, e, cfg.attrBytes);
+            if (cache_)
+                cache_->insert(entry->tableBase, pair.inputId, vec_buf);
+        }
+        recssd_assert(entry->pagesOutstanding > 0,
+                      "translation without outstanding pages");
+        if (--entry->pagesOutstanding == 0 &&
+            entry->nextPage >= entry->pages.size()) {
+            entry->timing.flashDone = eq_.now();
+            maybeComplete(entry);
+        }
+    });
+}
+
+std::shared_ptr<std::vector<std::byte>>
+SlsEngine::packResults(const Entry &entry)
+{
+    const SlsConfig &cfg = entry.cfg;
+    std::size_t raw = std::size_t(cfg.numResults) * cfg.featureDim * 4;
+    // Results are packed into whole logical blocks (§4: "packing
+    // useful data together into returned logical blocks").
+    std::size_t page = ftl_.flash().params().pageSize;
+    std::size_t padded = (raw + page - 1) / page * page;
+    auto bytes = std::make_shared<std::vector<std::byte>>(padded,
+                                                          std::byte{0});
+    std::memcpy(bytes->data(), entry.results.data(), raw);
+    return bytes;
+}
+
+void
+SlsEngine::maybeComplete(const EntryPtr &entry)
+{
+    if (!entry->configured || entry->pagesOutstanding != 0 ||
+        entry->nextPage < entry->pages.size()) {
+        return;
+    }
+    if (!entry->readDone)
+        return;  // waiting for the host's result-read command
+
+    auto done = std::move(entry->readDone);
+    entry->readDone = nullptr;
+    auto bytes = packResults(*entry);
+
+    entry->timing.resultSent = eq_.now();
+    lastTiming_ = entry->timing;
+    entries_.erase(entry->key);
+
+    // Admit a waiting config now that a buffer entry freed up.
+    if (!waiting_.empty()) {
+        auto [cmd, cb] = std::move(waiting_.front());
+        waiting_.pop_front();
+        admit(cmd, std::move(cb));
+    }
+
+    done(bytes);
+}
+
+void
+SlsEngine::resultRead(
+    const NvmeCommand &cmd,
+    std::function<void(std::shared_ptr<std::vector<std::byte>>)> done)
+{
+    auto it = entries_.find(cmd.slba);
+    recssd_assert(it != entries_.end(),
+                  "result read for unknown SLS request id");
+    EntryPtr entry = it->second;
+    recssd_assert(!entry->readDone,
+                  "duplicate result read for SLS request");
+    entry->readDone = std::move(done);
+    maybeComplete(entry);
+}
+
+}  // namespace recssd

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The RecSSD NDP SLS engine — the paper's core contribution (§4).
+ *
+ * Lives inside the FTL firmware. A config-write NVMe command allocates
+ * an entry in the pending-SLS-request buffer; the firmware core scans
+ * the (input, result) pair list, groups it by flash page, takes the
+ * embedding-cache fast path where possible, and feeds the remaining
+ * page reads into the flash array in round-robin order across all
+ * in-flight SLS entries (the added scheduling layer of §4.1). Each
+ * completed page read triggers the Translation step on the firmware
+ * core: extract the needed vectors from the 16KB page and accumulate
+ * them into the entry's result scratchpad. A result-read NVMe command
+ * returns the packed result pages once everything has landed.
+ */
+
+#ifndef RECSSD_NDP_SLS_ENGINE_H
+#define RECSSD_NDP_SLS_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/common/stats.h"
+#include "src/ftl/ftl.h"
+#include "src/ndp/embedding_cache.h"
+#include "src/ndp/sls_config.h"
+#include "src/nvme/host_controller.h"
+
+namespace recssd
+{
+
+struct SlsEngineParams
+{
+    /** Fixed firmware cost to set up one SLS request entry. */
+    Tick configBaseCpu = 10 * usec;
+    /** Firmware cost per (input, result) pair during the config scan. */
+    Tick configPerIndexCpu = 350 * nsec;
+    /** Fixed Translation cost per processed flash page. */
+    Tick translateBaseCpu = 2200 * nsec;
+    /** Translation cost per gathered byte (extract + accumulate). */
+    Tick translatePerByteCpu = 40;  // 40ns per byte on the 1GHz A9
+    /** Firmware cost to accumulate one embedding-cache hit. */
+    Tick cacheHitAccumCpu = 300 * nsec;
+
+    /** Pending-SLS-request buffer entries (§4.1 "Data-structures"). */
+    unsigned maxEntries = 16;
+    /** Page reads the scheduling layer keeps in flight at once. */
+    unsigned maxOutstandingFlash = 64;
+
+    /** SSD-side embedding cache budget; 0 disables the cache. */
+    std::uint64_t embeddingCacheBytes = 0;
+    /** Slot size of the embedding cache. */
+    std::uint32_t embeddingCacheVectorBytes = 256;
+};
+
+/** Per-request FTL-side time breakdown, as reported in Fig 8. */
+struct SlsTiming
+{
+    Tick submitted = 0;        ///< config write accepted by controller
+    Tick configArrived = 0;    ///< config DMA complete (step 1a done)
+    Tick configProcessed = 0;  ///< status structures populated (step 2)
+    Tick flashDone = 0;        ///< last page translated (steps 3-5)
+    Tick resultSent = 0;       ///< result DMA complete (step 6)
+    Tick translateBusy = 0;    ///< firmware core time spent translating
+
+    Tick configWriteTime() const { return configArrived - submitted; }
+    Tick configProcessTime() const { return configProcessed - configArrived; }
+    Tick translationTime() const { return translateBusy; }
+    Tick
+    flashReadTime() const
+    {
+        Tick span = flashDone - configProcessed;
+        return span > translateBusy ? span - translateBusy : 0;
+    }
+    Tick resultReadTime() const { return resultSent - flashDone; }
+};
+
+class SlsEngine : public SlsHandler
+{
+  public:
+    SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl);
+
+    /** @{ SlsHandler (called by the NVMe host controller). */
+    void configWrite(const NvmeCommand &cmd,
+                     std::function<void()> done) override;
+    void resultRead(const NvmeCommand &cmd,
+                    std::function<void(
+                        std::shared_ptr<std::vector<std::byte>>)>
+                        done) override;
+    /** @} */
+
+    /** Time breakdown of the most recently completed request. */
+    const SlsTiming &lastTiming() const { return lastTiming_; }
+
+    /** The optional SSD-side embedding cache (null when disabled). */
+    EmbeddingCache *embeddingCache() { return cache_.get(); }
+
+    const SlsEngineParams &params() const { return params_; }
+
+    /** @{ Stats. */
+    std::uint64_t requests() const { return requests_.value(); }
+    std::uint64_t flashPagesRead() const { return flashPages_.value(); }
+    std::uint64_t pageCacheHits() const { return pageCacheHits_.value(); }
+    std::uint64_t embedCacheHits() const
+    {
+        return cache_ ? cache_->hits() : 0;
+    }
+    /** @} */
+
+  private:
+    /** Work for one flash page: which pairs gather from it. */
+    struct PageWork
+    {
+        Lpn lpn;
+        std::vector<std::uint32_t> pairIdx;
+    };
+
+    /** One pending-SLS-request buffer entry (Fig 7, red structures). */
+    struct Entry
+    {
+        std::uint64_t key;        ///< tableBase + requestId
+        std::uint64_t tableBase;
+        SlsConfig cfg;            ///< element 1: input config
+        /* element 2: status */
+        bool configured = false;
+        std::uint32_t pagesOutstanding = 0;
+        /* element 3: pending flash page requests */
+        std::vector<PageWork> pages;
+        std::size_t nextPage = 0;
+        /* element 4: pending host page request */
+        std::function<void(std::shared_ptr<std::vector<std::byte>>)>
+            readDone;
+        /* element 5: result scratchpad */
+        std::vector<float> results;
+
+        SlsTiming timing;
+    };
+
+    using EntryPtr = std::shared_ptr<Entry>;
+
+    /** Admit a config into the request buffer (or the wait queue). */
+    void admit(const NvmeCommand &cmd, std::function<void()> done);
+
+    /** Config scan on the firmware core (step 2). */
+    void processConfig(const EntryPtr &entry);
+
+    /** Round-robin page issue across in-flight entries (step 3a). */
+    void pump();
+
+    /** Translation for one completed page (steps 4-5). */
+    void translate(const EntryPtr &entry, PageWork work,
+                   const PageView *view);
+
+    /** Mark done, satisfy a waiting result read (step 6). */
+    void maybeComplete(const EntryPtr &entry);
+
+    /** Pack the scratchpad into page-aligned result bytes. */
+    std::shared_ptr<std::vector<std::byte>> packResults(const Entry &entry);
+
+    Lpn lpnOf(const Entry &entry, RowId row) const;
+    std::uint32_t pageOffsetOf(const Entry &entry, RowId row) const;
+
+    EventQueue &eq_;
+    SlsEngineParams params_;
+    Ftl &ftl_;
+    std::unique_ptr<EmbeddingCache> cache_;
+
+    /** Table layout learned from configs (tableBase -> rowsPerPage),
+     *  used to map host writes back to cached rows. */
+    std::unordered_map<std::uint64_t, std::uint32_t> tableLayout_;
+
+    std::unordered_map<std::uint64_t, EntryPtr> entries_;
+    std::deque<std::uint64_t> rrOrder_;  ///< round-robin issue order
+    std::deque<std::pair<NvmeCommand, std::function<void()>>> waiting_;
+    unsigned outstandingFlash_ = 0;
+
+    SlsTiming lastTiming_;
+
+    Counter requests_;
+    Counter flashPages_;
+    Counter pageCacheHits_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_NDP_SLS_ENGINE_H

@@ -1,0 +1,142 @@
+#include "src/nvme/host_controller.h"
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+HostController::HostController(EventQueue &eq, const NvmeParams &params,
+                               PcieLink &pcie, Ftl &ftl)
+    : eq_(eq), params_(params), pcie_(pcie), ftl_(ftl),
+      ctrl_(eq, "nvme.ctrl")
+{
+}
+
+void
+HostController::fetchCommand(EventQueue::Callback then)
+{
+    commands_.inc();
+    pcie_.transfer(params_.sqeBytes, [this, then = std::move(then)]() {
+        ctrl_.acquire(params_.cmdProcessCost, std::move(then));
+    });
+}
+
+void
+HostController::postCompletion(EventQueue::Callback then)
+{
+    ctrl_.acquire(params_.completionPostCost,
+                  [this, then = std::move(then)]() {
+                      pcie_.transfer(params_.cqeBytes, std::move(then));
+                  });
+}
+
+void
+HostController::submitRead(const NvmeCommand &cmd, ReadDone done)
+{
+    recssd_assert(!cmd.slsFlag, "use submitSlsRead for SLS commands");
+    recssd_assert(cmd.nlb == 1, "data path reads one page per command");
+    Lpn lpn = cmd.slba;
+    fetchCommand([this, lpn, done = std::move(done)]() {
+        ftl_.hostRead(lpn, [this, done = std::move(done)](
+                               const PageView &view) {
+            // Page data DMA to host, then the completion entry.
+            pcie_.transfer(ftl_.flash().params().pageSize,
+                           [this, view, done = std::move(done)]() {
+                               postCompletion([view, done = std::move(done)]() {
+                                   done(view);
+                               });
+                           });
+        });
+    });
+}
+
+void
+HostController::submitWrite(const NvmeCommand &cmd, WriteDone done)
+{
+    recssd_assert(!cmd.slsFlag, "use submitSlsConfig for SLS commands");
+    recssd_assert(cmd.nlb == 1, "data path writes one page per command");
+    recssd_assert(cmd.payload != nullptr, "write without payload");
+    Lpn lpn = cmd.slba;
+    auto payload = cmd.payload;
+    fetchCommand([this, lpn, payload, done = std::move(done)]() {
+        // Pull the data from host memory before programming.
+        pcie_.transfer(ftl_.flash().params().pageSize,
+                       [this, lpn, payload, done = std::move(done)]() {
+                           ftl_.hostWrite(lpn, *payload,
+                                          [this, done = std::move(done)]() {
+                                              postCompletion(std::move(done));
+                                          });
+                       });
+    });
+}
+
+void
+HostController::submitTrim(const NvmeCommand &cmd, WriteDone done)
+{
+    recssd_assert(cmd.opcode == NvmeOpcode::Dsm, "submitTrim needs DSM");
+    Lpn lpn = cmd.slba;
+    fetchCommand([this, lpn, done = std::move(done)]() {
+        ftl_.hostTrim(lpn, [this, done = std::move(done)]() {
+            postCompletion(std::move(done));
+        });
+    });
+}
+
+void
+HostController::submitSlsConfig(const NvmeCommand &cmd, WriteDone done)
+{
+    recssd_assert(cmd.slsFlag, "submitSlsConfig requires the SLS flag");
+    recssd_assert(sls_ != nullptr, "no SLS handler registered");
+    recssd_assert(cmd.payload != nullptr, "SLS config without payload");
+    NvmeCommand copy = cmd;
+    copy.submitTick = eq_.now();
+    fetchCommand([this, copy, done = std::move(done)]() {
+        // Step 1a (Fig 7): DMA the configuration data from the host.
+        pcie_.transfer(copy.payload->size(),
+                       [this, copy, done = std::move(done)]() {
+                           sls_->configWrite(copy, [this, done =
+                                                        std::move(done)]() {
+                               postCompletion(std::move(done));
+                           });
+                       });
+    });
+}
+
+void
+HostController::submitSlsRead(const NvmeCommand &cmd, SlsReadDone done)
+{
+    recssd_assert(cmd.slsFlag, "submitSlsRead requires the SLS flag");
+    recssd_assert(sls_ != nullptr, "no SLS handler registered");
+    NvmeCommand copy = cmd;
+    fetchCommand([this, copy, done = std::move(done)]() {
+        // Step 1b (Fig 7): register the host page request; the engine
+        // calls back with packed result bytes when ready, which we
+        // then DMA to the host.
+        sls_->resultRead(
+            copy,
+            [this, done = std::move(done)](
+                std::shared_ptr<std::vector<std::byte>> data) {
+                pcie_.transfer(data->size(),
+                               [this, data, done = std::move(done)]() {
+                                   postCompletion(
+                                       [data, done = std::move(done)]() {
+                                           done(data);
+                                       });
+                               });
+            });
+    });
+}
+
+void
+HostController::dmaToHost(std::uint64_t bytes, EventQueue::Callback done)
+{
+    pcie_.transfer(bytes, std::move(done));
+}
+
+void
+HostController::dmaFromHost(std::uint64_t bytes, EventQueue::Callback done)
+{
+    pcie_.transfer(bytes, std::move(done));
+}
+
+}  // namespace recssd

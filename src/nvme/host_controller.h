@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The SSD-side NVMe host controller.
+ *
+ * Fetches commands over PCIe, runs them through a small controller
+ * resource (the second A9 core plus the NVMe DMA engine), dispatches
+ * to the FTL — or, for commands carrying the SLS flag, to a registered
+ * `SlsHandler` (the RecSSD engine) — and posts completions back across
+ * the link.
+ */
+
+#ifndef RECSSD_NVME_HOST_CONTROLLER_H
+#define RECSSD_NVME_HOST_CONTROLLER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/common/resource.h"
+#include "src/common/stats.h"
+#include "src/ftl/ftl.h"
+#include "src/nvme/nvme_command.h"
+#include "src/nvme/pcie_link.h"
+
+namespace recssd
+{
+
+struct NvmeParams
+{
+    /** Controller occupancy to fetch + parse one command. */
+    Tick cmdProcessCost = 1 * usec;
+    /** Controller occupancy to post one completion. */
+    Tick completionPostCost = 500 * nsec;
+    /** Submission/completion queue pairs exposed to the host. */
+    unsigned numQueues = 8;
+    /** Submission queue entry / completion entry sizes (bytes). */
+    unsigned sqeBytes = 64;
+    unsigned cqeBytes = 16;
+};
+
+/**
+ * Device-side hooks for SLS commands. Implemented by the RecSSD
+ * engine in `src/ndp`; declared here so the NVMe layer needs no
+ * dependency on it.
+ */
+class SlsHandler
+{
+  public:
+    virtual ~SlsHandler() = default;
+
+    /**
+     * A config (write-like) SLS command arrived; its payload has been
+     * DMAed into controller DRAM. Call `done` when the device has
+     * accepted the configuration (completes the NVMe write).
+     */
+    virtual void configWrite(const NvmeCommand &cmd,
+                             std::function<void()> done) = 0;
+
+    /**
+     * A result (read-like) SLS command arrived. Call `done` with the
+     * packed result bytes once they are ready to DMA.
+     */
+    virtual void
+    resultRead(const NvmeCommand &cmd,
+               std::function<void(std::shared_ptr<std::vector<std::byte>>)>
+                   done) = 0;
+};
+
+class HostController
+{
+  public:
+    /** Completion of a data-read command (lazy page view). */
+    using ReadDone = std::function<void(const PageView &)>;
+    using WriteDone = std::function<void()>;
+    using SlsReadDone =
+        std::function<void(std::shared_ptr<std::vector<std::byte>>)>;
+
+    HostController(EventQueue &eq, const NvmeParams &params, PcieLink &pcie,
+                   Ftl &ftl);
+
+    void setSlsHandler(SlsHandler *handler) { sls_ = handler; }
+
+    /** @{ Host driver entry points (one call = one NVMe command). */
+
+    /** Single-page data read. */
+    void submitRead(const NvmeCommand &cmd, ReadDone done);
+
+    /** Single-page data write. */
+    void submitWrite(const NvmeCommand &cmd, WriteDone done);
+
+    /** Deallocate (trim) a single logical page. */
+    void submitTrim(const NvmeCommand &cmd, WriteDone done);
+
+    /** SLS config write (slsFlag set, write-like). */
+    void submitSlsConfig(const NvmeCommand &cmd, WriteDone done);
+
+    /** SLS result read (slsFlag set, read-like). */
+    void submitSlsRead(const NvmeCommand &cmd, SlsReadDone done);
+    /** @} */
+
+    /** @{ DMA services used by the SLS engine (step 6 in Fig 7). */
+    void dmaToHost(std::uint64_t bytes, EventQueue::Callback done);
+    void dmaFromHost(std::uint64_t bytes, EventQueue::Callback done);
+    /** @} */
+
+    PcieLink &pcie() { return pcie_; }
+    const NvmeParams &params() const { return params_; }
+
+    /** Logical block (= flash page) size the namespace exposes. */
+    unsigned pageSize() const { return ftl_.flash().params().pageSize; }
+
+    std::uint64_t commandsProcessed() const { return commands_.value(); }
+
+  private:
+    /** Command fetch: SQE DMA + controller parse cost. */
+    void fetchCommand(EventQueue::Callback then);
+
+    /** Completion: controller post cost + CQE DMA. */
+    void postCompletion(EventQueue::Callback then);
+
+    EventQueue &eq_;
+    NvmeParams params_;
+    PcieLink &pcie_;
+    Ftl &ftl_;
+    SlsHandler *sls_ = nullptr;
+    SerialResource ctrl_;
+
+    Counter commands_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_NVME_HOST_CONTROLLER_H

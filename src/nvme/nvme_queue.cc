@@ -1,0 +1,74 @@
+#include "src/nvme/nvme_queue.h"
+
+namespace recssd
+{
+
+NvmeQueuePair::NvmeQueuePair(std::uint16_t depth)
+    : depth_(depth), sq_(depth), cq_(depth)
+{
+    recssd_assert(depth >= 2, "queue depth must be at least 2");
+    // Phase tags start at 0 in the ring so the first controller write
+    // (phase 1) is detectable.
+    for (auto &cqe : cq_)
+        cqe.phase = false;
+}
+
+bool
+NvmeQueuePair::canSubmit() const
+{
+    // One slot is sacrificed to distinguish full from empty.
+    return next(sqTail_) != sqHead_;
+}
+
+std::uint16_t
+NvmeQueuePair::submit(const NvmeCommand &cmd)
+{
+    recssd_assert(canSubmit(), "submission queue full");
+    NvmeCommand entry = cmd;
+    entry.cid = nextCid_++;
+    sq_[sqTail_] = entry;
+    sqTail_ = next(sqTail_);  // tail doorbell write
+    ++outstanding_;
+    return entry.cid;
+}
+
+std::optional<NvmeCommand>
+NvmeQueuePair::fetch()
+{
+    if (sqHead_ == sqTail_)
+        return std::nullopt;
+    NvmeCommand cmd = sq_[sqHead_];
+    sqHead_ = next(sqHead_);
+    return cmd;
+}
+
+void
+NvmeQueuePair::complete(std::uint16_t cid, std::uint16_t status)
+{
+    NvmeCompletion cqe;
+    cqe.cid = cid;
+    cqe.status = status;
+    cqe.sqHead = sqHead_;
+    cqe.phase = cqPhase_;
+    cq_[cqTail_] = cqe;
+    cqTail_ = next(cqTail_);
+    if (cqTail_ == 0)
+        cqPhase_ = !cqPhase_;  // wrapped: flip the phase
+}
+
+std::optional<NvmeCompletion>
+NvmeQueuePair::poll()
+{
+    const NvmeCompletion &cqe = cq_[cqHead_];
+    if (cqe.phase != hostPhase_)
+        return std::nullopt;  // stale entry: nothing new
+    NvmeCompletion out = cqe;
+    cqHead_ = next(cqHead_);
+    if (cqHead_ == 0)
+        hostPhase_ = !hostPhase_;
+    recssd_assert(outstanding_ > 0, "completion without submission");
+    --outstanding_;
+    return out;
+}
+
+}  // namespace recssd

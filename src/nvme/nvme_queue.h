@@ -1,0 +1,98 @@
+/**
+ * @file
+ * NVMe submission/completion queue pair.
+ *
+ * The functional ring structures of the spec: a submission queue the
+ * host appends SQEs to (ringing the tail doorbell), and a completion
+ * queue the controller posts CQEs to with the standard phase-tag
+ * protocol so a polling host can detect new entries without reading a
+ * doorbell. RecSSD's interface compatibility claim (§4.3) rests on
+ * SLS commands flowing through these unchanged structures; the driver
+ * moves every command through a queue pair so command identifiers,
+ * ring occupancy and completion matching behave like the real stack.
+ */
+
+#ifndef RECSSD_NVME_NVME_QUEUE_H
+#define RECSSD_NVME_NVME_QUEUE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/nvme/nvme_command.h"
+
+namespace recssd
+{
+
+/** Completion queue entry (the fields this model needs). */
+struct NvmeCompletion
+{
+    std::uint16_t cid = 0;
+    std::uint16_t status = 0;       ///< 0 = success
+    std::uint16_t sqHead = 0;       ///< SQ head at completion time
+    bool phase = false;             ///< phase tag
+};
+
+class NvmeQueuePair
+{
+  public:
+    /** @param depth Entries in each ring (must be >= 2). */
+    explicit NvmeQueuePair(std::uint16_t depth);
+
+    std::uint16_t depth() const { return depth_; }
+
+    /** @{ Host side. */
+
+    /** True when another SQE fits. */
+    bool canSubmit() const;
+
+    /**
+     * Append an SQE and ring the tail doorbell.
+     * @return the command identifier assigned to this entry.
+     */
+    std::uint16_t submit(const NvmeCommand &cmd);
+
+    /**
+     * Poll the CQ head: consume one completion if its phase tag
+     * indicates a fresh entry (the spec's doorbell-free polling).
+     */
+    std::optional<NvmeCompletion> poll();
+    /** @} */
+
+    /** @{ Controller side. */
+
+    /** Fetch the next submitted command, advancing the SQ head. */
+    std::optional<NvmeCommand> fetch();
+
+    /** Post a completion for a previously fetched command. */
+    void complete(std::uint16_t cid, std::uint16_t status = 0);
+    /** @} */
+
+    /** Commands submitted but not yet completed+polled. */
+    std::uint16_t outstanding() const { return outstanding_; }
+
+  private:
+    std::uint16_t next(std::uint16_t idx) const
+    {
+        return static_cast<std::uint16_t>((idx + 1) % depth_);
+    }
+
+    std::uint16_t depth_;
+    /* Submission ring. */
+    std::vector<NvmeCommand> sq_;
+    std::uint16_t sqHead_ = 0;
+    std::uint16_t sqTail_ = 0;  ///< tail doorbell value
+    /* Completion ring with phase tags. */
+    std::vector<NvmeCompletion> cq_;
+    std::uint16_t cqHead_ = 0;
+    std::uint16_t cqTail_ = 0;
+    bool cqPhase_ = true;       ///< phase the controller writes
+    bool hostPhase_ = true;     ///< phase the host expects
+    std::uint16_t nextCid_ = 0;
+    std::uint16_t outstanding_ = 0;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_NVME_NVME_QUEUE_H

@@ -1,0 +1,30 @@
+#include "src/nvme/pcie_link.h"
+
+namespace recssd
+{
+
+PcieLink::PcieLink(EventQueue &eq, const PcieParams &params)
+    : eq_(eq), params_(params), link_(eq, "pcie")
+{
+}
+
+Tick
+PcieLink::occupancy(std::uint64_t bytes) const
+{
+    return static_cast<Tick>(static_cast<double>(bytes) /
+                             static_cast<double>(params_.bytesPerSec) *
+                             static_cast<double>(sec));
+}
+
+void
+PcieLink::transfer(std::uint64_t bytes, EventQueue::Callback done)
+{
+    bytesMoved_ += bytes;
+    Tick lat = params_.latency;
+    link_.acquire(occupancy(bytes), [this, lat, done = std::move(done)]() {
+        if (done)
+            eq_.scheduleAfter(lat, std::move(done));
+    });
+}
+
+}  // namespace recssd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PCIe link timing model.
+ *
+ * A single full-duplex-approximated serial resource: transfers occupy
+ * the link for bytes/bandwidth and complete one propagation latency
+ * later. Command fetches and completion postings are small (64B/16B)
+ * transfers plus the same latency.
+ */
+
+#ifndef RECSSD_NVME_PCIE_LINK_H
+#define RECSSD_NVME_PCIE_LINK_H
+
+#include <cstdint>
+
+#include "src/common/event_queue.h"
+#include "src/common/resource.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+struct PcieParams
+{
+    /** Effective data bandwidth (PCIe Gen2 x8 board, ~1.6GB/s). */
+    std::uint64_t bytesPerSec = 1600ull * 1000 * 1000;
+    /** One-way propagation + root-complex latency. */
+    Tick latency = 1 * usec;
+};
+
+class PcieLink
+{
+  public:
+    PcieLink(EventQueue &eq, const PcieParams &params);
+
+    /** Move `bytes` across the link; `done` fires on arrival. */
+    void transfer(std::uint64_t bytes, EventQueue::Callback done);
+
+    /** Link occupancy for a transfer of the given size. */
+    Tick occupancy(std::uint64_t bytes) const;
+
+    Tick busyTime() const { return link_.busyTime(); }
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    const PcieParams &params() const { return params_; }
+
+  private:
+    EventQueue &eq_;
+    PcieParams params_;
+    SerialResource link_;
+    std::uint64_t bytesMoved_ = 0;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_NVME_PCIE_LINK_H

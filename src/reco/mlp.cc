@@ -1,0 +1,81 @@
+#include "src/reco/mlp.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+std::uint64_t
+mlpMacs(std::size_t input_dim, const std::vector<std::size_t> &layer_dims)
+{
+    std::uint64_t macs = 0;
+    std::size_t in = input_dim;
+    for (std::size_t out : layer_dims) {
+        macs += static_cast<std::uint64_t>(in) * out;
+        in = out;
+    }
+    return macs;
+}
+
+Mlp::Mlp(std::size_t input_dim, std::vector<std::size_t> layer_dims,
+         std::uint64_t seed, bool sigmoid_output)
+    : inputDim_(input_dim), sigmoidOutput_(sigmoid_output)
+{
+    recssd_assert(!layer_dims.empty(), "MLP needs at least one layer");
+    Rng rng(seed);
+    std::size_t in = input_dim;
+    for (std::size_t out : layer_dims) {
+        Layer layer;
+        layer.in = in;
+        layer.out = out;
+        layer.weights.resize(in * out);
+        layer.bias.resize(out);
+        double scale = 1.0 / std::sqrt(static_cast<double>(in ? in : 1));
+        for (auto &w : layer.weights)
+            w = static_cast<float>((rng.uniformDouble() * 2.0 - 1.0) * scale);
+        for (auto &b : layer.bias)
+            b = static_cast<float>((rng.uniformDouble() * 2.0 - 1.0) * 0.1);
+        macsPerSample_ += static_cast<std::uint64_t>(in) * out;
+        layers_.push_back(std::move(layer));
+        in = out;
+    }
+}
+
+std::size_t
+Mlp::outputDim() const
+{
+    return layers_.back().out;
+}
+
+Matrix
+Mlp::forward(const Matrix &input) const
+{
+    recssd_assert(input.cols == inputDim_,
+                  "MLP input width mismatch (%zu != %zu)", input.cols,
+                  inputDim_);
+    Matrix cur = input;
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        Matrix next(cur.rows, layer.out);
+        for (std::size_t r = 0; r < cur.rows; ++r) {
+            for (std::size_t o = 0; o < layer.out; ++o) {
+                float acc = layer.bias[o];
+                for (std::size_t i = 0; i < layer.in; ++i)
+                    acc += cur.at(r, i) * layer.weights[i * layer.out + o];
+                bool last = li + 1 == layers_.size();
+                if (!last) {
+                    acc = acc > 0.0f ? acc : 0.0f;  // ReLU
+                } else if (sigmoidOutput_) {
+                    acc = 1.0f / (1.0f + std::exp(-acc));
+                }
+                next.at(r, o) = acc;
+            }
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+}  // namespace recssd

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal functional dense layers for the recommendation models.
+ *
+ * Real math (row-major matmul + bias + ReLU/sigmoid) with weights
+ * derived deterministically from a seed, so end-to-end outputs are
+ * reproducible and identical across embedding backends. Timing never
+ * comes from this code — the host cost model charges GEMM time — so
+ * the implementation favors clarity over speed.
+ */
+
+#ifndef RECSSD_RECO_MLP_H
+#define RECSSD_RECO_MLP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace recssd
+{
+
+/** Row-major dense matrix. */
+struct Matrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<float> data;
+
+    Matrix() = default;
+    Matrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c) {}
+
+    float &at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+};
+
+/** Multi-layer perceptron with ReLU hidden layers. */
+class Mlp
+{
+  public:
+    /**
+     * @param input_dim Features per sample.
+     * @param layer_dims Output width of each layer, in order.
+     * @param seed Weight initialization seed.
+     * @param sigmoid_output Apply a sigmoid after the last layer.
+     */
+    Mlp(std::size_t input_dim, std::vector<std::size_t> layer_dims,
+        std::uint64_t seed, bool sigmoid_output = false);
+
+    /** Forward pass over a batch (rows = samples). */
+    Matrix forward(const Matrix &input) const;
+
+    /** Multiply-accumulate operations per sample. */
+    std::uint64_t macsPerSample() const { return macsPerSample_; }
+
+    std::size_t inputDim() const { return inputDim_; }
+    std::size_t outputDim() const;
+
+  private:
+    struct Layer
+    {
+        std::size_t in;
+        std::size_t out;
+        std::vector<float> weights;  // in x out, row-major
+        std::vector<float> bias;
+    };
+
+    std::size_t inputDim_;
+    bool sigmoidOutput_;
+    std::vector<Layer> layers_;
+    std::uint64_t macsPerSample_ = 0;
+};
+
+/** MACs/sample of an MLP with the given dims (no instantiation). */
+std::uint64_t mlpMacs(std::size_t input_dim,
+                      const std::vector<std::size_t> &layer_dims);
+
+}  // namespace recssd
+
+#endif  // RECSSD_RECO_MLP_H

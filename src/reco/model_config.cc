@@ -1,0 +1,162 @@
+#include "src/reco/model_config.h"
+
+#include "src/common/logging.h"
+#include "src/reco/mlp.h"
+
+namespace recssd
+{
+
+unsigned
+ModelConfig::numTables() const
+{
+    unsigned n = 0;
+    for (const auto &g : tables)
+        n += g.count;
+    return n;
+}
+
+std::uint64_t
+ModelConfig::lookupsPerSample() const
+{
+    std::uint64_t n = 0;
+    for (const auto &g : tables)
+        n += std::uint64_t(g.count) * g.lookups;
+    return n;
+}
+
+std::size_t
+ModelConfig::topInputDim() const
+{
+    std::size_t dim = bottomMlp.empty()
+                          ? denseInputs
+                          : bottomMlp.back();
+    for (const auto &g : tables)
+        dim += std::size_t(g.count) * g.dim;
+    return dim;
+}
+
+std::uint64_t
+ModelConfig::mlpMacsPerSample() const
+{
+    std::uint64_t macs = extraMacsPerSample;
+    if (!bottomMlp.empty())
+        macs += mlpMacs(denseInputs, bottomMlp);
+    if (!topMlp.empty())
+        macs += mlpMacs(topInputDim(), topMlp);
+    return macs;
+}
+
+const std::vector<ModelConfig> &
+modelZoo()
+{
+    static const std::vector<ModelConfig> zoo = [] {
+        std::vector<ModelConfig> models;
+
+        // ---- Embedding-dominated (Table 1 parameters) ----
+        {
+            ModelConfig m;
+            m.name = "RM1";  // DLRM-RMC1
+            m.tables = {TableGroup{8, 1'000'000, 32, 80}};
+            m.denseInputs = 32;
+            m.bottomMlp = {64, 32};
+            m.topMlp = {128, 64, 1};
+            m.embeddingDominated = true;
+            models.push_back(m);
+        }
+        {
+            ModelConfig m;
+            m.name = "RM2";  // DLRM-RMC2
+            m.tables = {TableGroup{32, 1'000'000, 64, 120}};
+            m.denseInputs = 64;
+            m.bottomMlp = {128, 64};
+            m.topMlp = {256, 128, 1};
+            m.embeddingDominated = true;
+            models.push_back(m);
+        }
+        {
+            ModelConfig m;
+            m.name = "RM3";  // DLRM-RMC3
+            m.tables = {TableGroup{10, 1'000'000, 32, 20}};
+            m.denseInputs = 32;
+            m.bottomMlp = {64, 32};
+            m.topMlp = {128, 64, 1};
+            m.embeddingDominated = true;
+            models.push_back(m);
+        }
+
+        // ---- MLP-dominated ----
+        {
+            ModelConfig m;
+            m.name = "WND";  // Wide and Deep
+            m.tables = {TableGroup{7, 65'536, 64, 1},
+                        TableGroup{1, 1'000'000, 64, 1}};
+            m.denseInputs = 512;
+            m.bottomMlp = {};
+            m.topMlp = {1024, 1024, 512, 256, 1};
+            models.push_back(m);
+        }
+        {
+            ModelConfig m;
+            m.name = "MTWND";  // Multi-Task Wide and Deep
+            m.tables = {TableGroup{7, 65'536, 64, 1},
+                        TableGroup{1, 1'000'000, 64, 1}};
+            m.denseInputs = 512;
+            m.bottomMlp = {};
+            m.topMlp = {1024, 1024, 512, 256, 1};
+            // Two extra task towers of 256->128->1.
+            m.extraMacsPerSample = 2 * (256ull * 128 + 128);
+            models.push_back(m);
+        }
+        {
+            ModelConfig m;
+            m.name = "DIN";  // Deep Interest Network
+            m.tables = {TableGroup{8, 65'536, 64, 2},
+                        TableGroup{1, 1'000'000, 64, 1}};
+            m.denseInputs = 256;
+            m.bottomMlp = {};
+            m.topMlp = {1024, 512, 256, 1};
+            // Local-activation attention over a 16-item history.
+            m.extraMacsPerSample = 16ull * 64 * 64 * 2;
+            models.push_back(m);
+        }
+        {
+            ModelConfig m;
+            m.name = "DIEN";  // Deep Interest Evolution Network
+            m.tables = {TableGroup{4, 65'536, 64, 2},
+                        TableGroup{1, 1'000'000, 64, 2}};
+            m.denseInputs = 256;
+            m.bottomMlp = {};
+            m.topMlp = {512, 256, 128, 1};
+            // GRU + AUGRU over a 32-step behaviour sequence:
+            // 2 passes x 32 steps x 3 gates x 64x64 MACs x 2 (input +
+            // recurrent weights).
+            m.extraMacsPerSample = 2ull * 32 * 3 * 64 * 64 * 2;
+            models.push_back(m);
+        }
+        {
+            ModelConfig m;
+            m.name = "NCF";  // Neural Collaborative Filtering
+            // User/item tables for the MF and MLP branches; all small
+            // enough to stay host resident in the hybrid placement.
+            m.tables = {TableGroup{4, 262'144, 64, 1}};
+            m.denseInputs = 0;
+            m.bottomMlp = {};
+            m.topMlp = {256, 128, 64, 1};
+            models.push_back(m);
+        }
+        return models;
+    }();
+    return zoo;
+}
+
+const ModelConfig &
+modelByName(const std::string &name)
+{
+    for (const auto &m : modelZoo()) {
+        if (m.name == name)
+            return m;
+    }
+    fatal("unknown model '%s'", name.c_str());
+}
+
+}  // namespace recssd

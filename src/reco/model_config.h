@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The eight-model benchmark zoo (§3.3 / §5, after DeepRecInfra).
+ *
+ * Embedding-dominated: DLRM-RMC1/2/3, whose differentiating parameters
+ * come straight from the paper's Table 1 (feature size / indices per
+ * lookup / table count). MLP-dominated: WND, MTWND, DIN, DIEN, NCF,
+ * whose exact DeepRecInfra dimensions are not in the paper; the
+ * configurations here are chosen to land the published operator mix —
+ * heavy dense compute, few embedding lookups, mostly small
+ * (DRAM-residable) tables plus at most one large SSD-bound table —
+ * so the Fig 6/9 behaviours reproduce. See DESIGN.md.
+ */
+
+#ifndef RECSSD_RECO_MODEL_CONFIG_H
+#define RECSSD_RECO_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recssd
+{
+
+/** A homogeneous group of embedding tables. */
+struct TableGroup
+{
+    unsigned count = 1;          ///< tables in the group
+    std::uint64_t rows = 1'000'000;
+    unsigned dim = 32;           ///< feature size (Table 1)
+    unsigned lookups = 80;       ///< indices gathered per sample
+    unsigned attrBytes = 4;
+    /** Vectors per flash page when placed on the SSD (1 = paper's
+     *  evaluation layout; pageSize/vectorBytes = packed). */
+    unsigned rowsPerPage = 1;
+};
+
+struct ModelConfig
+{
+    std::string name;
+    std::vector<TableGroup> tables;
+    /** Continuous input features per sample. */
+    unsigned denseInputs = 0;
+    /** Bottom MLP widths (empty = dense features used directly). */
+    std::vector<std::size_t> bottomMlp;
+    /** Top MLP widths (last entry should be 1: the CTR output). */
+    std::vector<std::size_t> topMlp;
+    /** Extra dense MACs/sample (attention, GRU, task heads). */
+    std::uint64_t extraMacsPerSample = 0;
+    /** Paper classification (§3.3). */
+    bool embeddingDominated = false;
+
+    unsigned numTables() const;
+    std::uint64_t lookupsPerSample() const;
+    /** Width of the feature-interaction concat fed to the top MLP. */
+    std::size_t topInputDim() const;
+    /** Total dense MACs per sample (bottom + top + extra). */
+    std::uint64_t mlpMacsPerSample() const;
+};
+
+/** The eight models evaluated in the paper. */
+const std::vector<ModelConfig> &modelZoo();
+
+/** Lookup by name ("RM1", "WND", ...). Fatal on unknown names. */
+const ModelConfig &modelByName(const std::string &name);
+
+}  // namespace recssd
+
+#endif  // RECSSD_RECO_MODEL_CONFIG_H

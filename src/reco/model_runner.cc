@@ -1,0 +1,345 @@
+#include "src/reco/model_runner.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/embedding/synthetic_values.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+/** Split `total` CPU work evenly across the host cores; `done` fires
+ *  when every share completes (models a parallel GEMM). */
+void
+runParallel(HostCpu &cpu, Tick total, EventQueue::Callback done)
+{
+    unsigned shares = cpu.cores();
+    auto remaining = std::make_shared<unsigned>(shares);
+    Tick each = total / shares + 1;
+    for (unsigned s = 0; s < shares; ++s) {
+        cpu.run(each, [remaining, done]() {
+            if (--*remaining == 0)
+                done();
+        });
+    }
+}
+
+}  // namespace
+
+/** In-flight state of one inference batch. */
+struct BatchState
+{
+    Tick start = 0;
+    unsigned subBatchesLeft = 0;
+    bool done = false;
+    Tick latency = 0;
+    /** Per-sub-batch functional pieces (kept for functionalMlp). */
+    Matrix scores;
+    unsigned batchSize = 0;
+    unsigned scoresFilled = 0;
+    /** Completion hook for launchBatch callers. */
+    std::function<void(Tick)> onDone;
+};
+
+/** In-flight state of one sub-batch. */
+struct SubBatchState
+{
+    unsigned size = 0;
+    unsigned firstSample = 0;
+    unsigned joinsLeft = 0;  ///< tables + bottom MLP
+    Matrix dense;
+    Matrix bottomOut;
+    std::vector<SlsResult> pooled;  ///< per table
+};
+
+ModelRunner::ModelRunner(System &sys, const ModelConfig &model,
+                         const RunnerOptions &options)
+    : sys_(sys), model_(model), options_(options),
+      denseRng_(options.seed ^ 0xDEADBEEF)
+{
+    // Instantiate tables with hybrid placement.
+    for (const auto &group : model_.tables) {
+        for (unsigned i = 0; i < group.count; ++i) {
+            TableRt rt;
+            bool on_ssd = options_.backend != EmbeddingBackendKind::Dram &&
+                          (options_.forceAllTablesOnSsd ||
+                           group.rows > options_.dramResidentMaxRows);
+            if (on_ssd) {
+                rt.desc = sys_.installTable(group.rows, group.dim,
+                                            group.attrBytes,
+                                            group.rowsPerPage);
+            } else {
+                rt.desc = sys_.describeDramTable(group.rows, group.dim,
+                                                 group.attrBytes);
+            }
+            rt.onSsd = on_ssd;
+            rt.lookups = group.lookups;
+            TraceSpec spec = options_.trace;
+            spec.universe = group.rows;
+            spec.seed = options_.seed * 7919 + rt.desc.id * 104729 + 1;
+            rt.gen = std::make_unique<TraceGenerator>(spec);
+            tables_.push_back(std::move(rt));
+        }
+    }
+
+    // Backends and caches.
+    dramBackend_ = std::make_unique<DramSlsBackend>(sys_.eq(), sys_.cpu());
+    if (options_.backend == EmbeddingBackendKind::BaselineSsd) {
+        if (options_.hostLruCache) {
+            hostCache_ = std::make_unique<HostEmbeddingCache>(
+                options_.hostCacheEntries);
+        }
+        BaselineSsdSlsBackend::Options bopt;
+        bopt.hostCache = hostCache_.get();
+        baselineBackend_ = std::make_unique<BaselineSsdSlsBackend>(
+            sys_.eq(), sys_.cpu(), sys_.driver(), sys_.queues(), bopt);
+    } else if (options_.backend == EmbeddingBackendKind::Ndp) {
+        if (options_.staticPartition) {
+            partition_ = std::make_unique<StaticPartition>(
+                options_.partitionEntries);
+            buildPartition();
+        }
+        NdpSlsBackend::Options nopt;
+        nopt.partition = partition_.get();
+        ndpBackend_ = std::make_unique<NdpSlsBackend>(
+            sys_.eq(), sys_.cpu(), sys_.driver(), sys_.queues(), nopt);
+    }
+
+    // Dense layers.
+    if (!model_.bottomMlp.empty() && model_.denseInputs > 0) {
+        bottomMlp_ = std::make_unique<Mlp>(model_.denseInputs,
+                                           model_.bottomMlp,
+                                           options_.seed + 11);
+    }
+    if (!model_.topMlp.empty()) {
+        topMlp_ = std::make_unique<Mlp>(model_.topInputDim(), model_.topMlp,
+                                        options_.seed + 13, true);
+    }
+}
+
+unsigned
+ModelRunner::ssdTables() const
+{
+    unsigned n = 0;
+    for (const auto &t : tables_)
+        n += t.onSsd ? 1 : 0;
+    return n;
+}
+
+SlsBackend &
+ModelRunner::backendFor(const TableRt &table)
+{
+    if (!table.onSsd)
+        return *dramBackend_;
+    switch (options_.backend) {
+      case EmbeddingBackendKind::Dram:
+        return *dramBackend_;
+      case EmbeddingBackendKind::BaselineSsd:
+        return *baselineBackend_;
+      case EmbeddingBackendKind::Ndp:
+        return *ndpBackend_;
+    }
+    panic("unreachable backend kind");
+}
+
+void
+ModelRunner::buildPartition()
+{
+    // Profile a separate stream drawn from the same distribution
+    // ("utilizing input data profiling", §4.2), then freeze the
+    // hottest rows per table into host DRAM.
+    for (auto &table : tables_) {
+        if (!table.onSsd)
+            continue;
+        TraceSpec spec = table.gen->spec();
+        spec.seed ^= 0x5055ULL;
+        TraceGenerator profiler(spec);
+        std::uint64_t draws = std::max<std::uint64_t>(
+            20'000, std::uint64_t(options_.profileBatches) * 32 *
+                        table.lookups);
+        for (std::uint64_t i = 0; i < draws; ++i)
+            partition_->profile(table.desc.id, profiler.next());
+    }
+    partition_->build([this](std::uint32_t table_id, RowId row) {
+        for (const auto &t : tables_) {
+            if (t.desc.id == table_id)
+                return synthetic::vectorOf(t.desc, row);
+        }
+        panic("partition value for unknown table %u", table_id);
+    });
+}
+
+void
+ModelRunner::launchBatch(unsigned batch_size,
+                         std::function<void(Tick)> done)
+{
+    recssd_assert(batch_size > 0, "empty batch");
+    auto batch = std::make_shared<BatchState>();
+    batch->start = sys_.eq().now();
+    batch->batchSize = batch_size;
+    batch->onDone = std::move(done);
+    unsigned subs = options_.pipeline
+                        ? std::max(1u, std::min<unsigned>(options_.subBatches,
+                                                          batch_size))
+                        : 1u;
+    batch->subBatchesLeft = subs;
+    if (options_.functionalMlp && topMlp_)
+        batch->scores = Matrix(batch_size, 1);
+
+    unsigned base = batch_size / subs;
+    unsigned extra = batch_size % subs;
+    unsigned first = 0;
+    for (unsigned s = 0; s < subs; ++s) {
+        unsigned size = base + (s < extra ? 1 : 0);
+        launchSubBatch(size, first, batch);
+        first += size;
+    }
+}
+
+Tick
+ModelRunner::runBatch(unsigned batch_size)
+{
+    Tick latency = 0;
+    bool finished = false;
+    launchBatch(batch_size, [&](Tick t) {
+        latency = t;
+        finished = true;
+    });
+    sys_.eq().run();
+    recssd_assert(finished, "batch did not complete");
+    return latency;
+}
+
+void
+ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
+                            const std::shared_ptr<BatchState> &batch)
+{
+    auto state = std::make_shared<SubBatchState>();
+    state->size = size;
+    state->firstSample = first_sample;
+    // Joins: one per table's SLS op, plus one for the bottom MLP.
+    state->joinsLeft = static_cast<unsigned>(tables_.size()) + 1;
+    state->pooled.resize(tables_.size());
+
+    auto join = [this, state, batch]() {
+        if (--state->joinsLeft > 0)
+            return;
+        // Interaction + top MLP (+ the model's extra dense compute:
+        // attention, GRUs, task towers).
+        std::uint64_t top_macs =
+            (topMlp_ ? topMlp_->macsPerSample() : 0) +
+            model_.extraMacsPerSample;
+        Tick top_work = sys_.cpu().gemmCost(top_macs * state->size);
+        if (top_work == 0)
+            top_work = 1;
+        runParallel(sys_.cpu(), top_work, [this, state, batch]() {
+            if (options_.functionalMlp && topMlp_) {
+                // Concatenate bottom output and pooled embeddings.
+                std::size_t top_in = model_.topInputDim();
+                Matrix input(state->size, top_in);
+                for (unsigned r = 0; r < state->size; ++r) {
+                    std::size_t c = 0;
+                    if (state->bottomOut.rows > 0) {
+                        for (std::size_t i = 0; i < state->bottomOut.cols;
+                             ++i)
+                            input.at(r, c++) = state->bottomOut.at(r, i);
+                    } else if (model_.denseInputs > 0) {
+                        for (std::size_t i = 0; i < state->dense.cols; ++i)
+                            input.at(r, c++) = state->dense.at(r, i);
+                    }
+                    for (std::size_t t = 0; t < tables_.size(); ++t) {
+                        const auto &pooled = state->pooled[t];
+                        std::uint32_t dim = tables_[t].desc.dim;
+                        for (std::uint32_t e = 0; e < dim; ++e)
+                            input.at(r, c++) = pooled[r * dim + e];
+                    }
+                    recssd_assert(c == top_in, "interaction width mismatch");
+                }
+                Matrix out = topMlp_->forward(input);
+                for (unsigned r = 0; r < state->size; ++r)
+                    batch->scores.at(state->firstSample + r, 0) =
+                        out.at(r, 0);
+                batch->scoresFilled += state->size;
+            }
+            if (--batch->subBatchesLeft == 0) {
+                batch->done = true;
+                batch->latency = sys_.eq().now() - batch->start;
+                if (options_.functionalMlp && topMlp_)
+                    lastScores_ = batch->scores;
+                if (batch->onDone)
+                    batch->onDone(batch->latency);
+            }
+        });
+    };
+
+    // Dense features + bottom MLP.
+    if (model_.denseInputs > 0) {
+        state->dense = Matrix(size, model_.denseInputs);
+        for (auto &v : state->dense.data)
+            v = static_cast<float>(denseRng_.uniformDouble());
+    }
+    Tick bottom_work =
+        bottomMlp_ ? sys_.cpu().gemmCost(bottomMlp_->macsPerSample() * size)
+                   : 1;
+    runParallel(sys_.cpu(), bottom_work, [this, state, join]() {
+        if (options_.functionalMlp && bottomMlp_)
+            state->bottomOut = bottomMlp_->forward(state->dense);
+        join();
+    });
+
+    // Embedding operations, one per table.
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        TableRt &table = tables_[t];
+        SlsOp op;
+        op.table = &table.desc;
+        op.indices = table.gen->nextBatch(size, table.lookups);
+        backendFor(table).run(op, [state, t, join](SlsResult result) {
+            state->pooled[t] = std::move(result);
+            join();
+        });
+    }
+}
+
+RunStats
+ModelRunner::measure(unsigned batch_size, unsigned warmup_batches,
+                     unsigned batches)
+{
+    for (unsigned i = 0; i < warmup_batches; ++i)
+        runBatch(batch_size);
+
+    if (hostCache_)
+        hostCache_->resetStats();
+    if (partition_)
+        partition_->resetStats();
+    if (auto *cache = sys_.ssd().slsEngine().embeddingCache())
+        cache->resetStats();
+    std::uint64_t flash_before = sys_.ssd().flash().pageReads();
+
+    RunStats stats;
+    stats.batches = batches;
+    double total = 0.0;
+    double lo = 1e300;
+    double hi = 0.0;
+    for (unsigned i = 0; i < batches; ++i) {
+        double us = ticksToUs(runBatch(batch_size));
+        total += us;
+        lo = std::min(lo, us);
+        hi = std::max(hi, us);
+    }
+    stats.avgLatencyUs = total / batches;
+    stats.minLatencyUs = lo;
+    stats.maxLatencyUs = hi;
+    if (hostCache_)
+        stats.hostCacheHitRate = hostCache_->hitRate();
+    if (partition_)
+        stats.partitionHitRate = partition_->hitRate();
+    if (auto *cache = sys_.ssd().slsEngine().embeddingCache())
+        stats.ssdEmbedCacheHitRate = cache->hitRate();
+    stats.flashPageReads = sys_.ssd().flash().pageReads() - flash_before;
+    return stats;
+}
+
+}  // namespace recssd

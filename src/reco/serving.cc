@@ -1,0 +1,91 @@
+#include "src/reco/serving.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace recssd
+{
+
+ServingStats
+runOpenLoop(ModelRunner &runner, const ServingConfig &config)
+{
+    recssd_assert(config.qps > 0.0, "arrival rate must be positive");
+    System &sys = runner.sys();
+    EventQueue &eq = sys.eq();
+
+    struct Harness
+    {
+        Rng rng;
+        std::vector<double> samples;
+        SampleStat stat;
+        unsigned issued = 0;
+        unsigned completed = 0;
+        unsigned sloMet = 0;
+        Tick measureStart = 0;
+        Tick lastDone = 0;
+
+        explicit Harness(std::uint64_t seed) : rng(seed) {}
+    };
+    auto h = std::make_shared<Harness>(config.seed);
+    const unsigned total = config.warmupQueries + config.queries;
+    const double mean_gap_ns =
+        static_cast<double>(sec) / config.qps;
+
+    // Arrival process: each arrival schedules the next with an
+    // exponential gap (Poisson process). The recursive closure lives
+    // in a shared holder so later firings outlive this frame.
+    auto stable = std::make_shared<std::function<void()>>();
+    *stable = [&runner, &eq, h, total, mean_gap_ns, config, stable]() {
+        unsigned idx = h->issued++;
+        if (idx == config.warmupQueries)
+            h->measureStart = eq.now();
+        runner.launchBatch(config.batchSize,
+                           [h, idx, config, &eq](Tick latency) {
+                               ++h->completed;
+                               h->lastDone = eq.now();
+                               if (idx >= config.warmupQueries) {
+                                   h->samples.push_back(
+                                       ticksToUs(latency));
+                                   h->stat.record(ticksToUs(latency));
+                                   if (latency <= config.latencySlo)
+                                       ++h->sloMet;
+                               }
+                           });
+        if (h->issued < total) {
+            Tick gap = static_cast<Tick>(
+                h->rng.exponential(mean_gap_ns));
+            eq.scheduleAfter(gap, *stable);
+        }
+    };
+    (*stable)();
+    sys.run();
+    recssd_assert(h->completed == total, "open loop lost queries");
+
+    ServingStats out;
+    out.meanLatencyUs = h->stat.mean();
+    out.maxLatencyUs = h->stat.max();
+    std::sort(h->samples.begin(), h->samples.end());
+    auto pct = [&](double q) {
+        if (h->samples.empty())
+            return 0.0;
+        auto idx = static_cast<std::size_t>(q * (h->samples.size() - 1));
+        return h->samples[idx];
+    };
+    out.p50Us = pct(0.50);
+    out.p95Us = pct(0.95);
+    out.p99Us = pct(0.99);
+    out.sloAttainment =
+        static_cast<double>(h->sloMet) / config.queries;
+    Tick span = h->lastDone > h->measureStart
+                    ? h->lastDone - h->measureStart
+                    : 1;
+    out.achievedQps = static_cast<double>(config.queries) /
+                      (static_cast<double>(span) / sec);
+    return out;
+}
+
+}  // namespace recssd

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Open-loop serving harness: latency-bounded throughput.
+ *
+ * The paper's single-model/single-SSD prototype restricted it to
+ * direct request latencies (§5); this extension explores the metric
+ * datacenter operators actually provision for. Queries arrive as a
+ * Poisson process at a target QPS, overlap freely on the simulated
+ * machine, and the harness reports the tail-latency distribution and
+ * the fraction of queries meeting an SLO.
+ */
+
+#ifndef RECSSD_RECO_SERVING_H
+#define RECSSD_RECO_SERVING_H
+
+#include <cstdint>
+
+#include "src/common/stats.h"
+#include "src/reco/model_runner.h"
+
+namespace recssd
+{
+
+struct ServingConfig
+{
+    /** Mean arrival rate (queries per simulated second). */
+    double qps = 100.0;
+    /** Queries to issue after warmup. */
+    unsigned queries = 200;
+    /** Warmup queries (not measured). */
+    unsigned warmupQueries = 20;
+    /** Samples per query. */
+    unsigned batchSize = 16;
+    /** Latency target for SLO accounting. */
+    Tick latencySlo = 50 * msec;
+    std::uint64_t seed = 99;
+};
+
+struct ServingStats
+{
+    double meanLatencyUs = 0.0;
+    double maxLatencyUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    /** Fraction of measured queries within the SLO. */
+    double sloAttainment = 0.0;
+    /** Completed queries / simulated wall time. */
+    double achievedQps = 0.0;
+};
+
+/**
+ * Drive one model runner open loop and measure. Arrivals and
+ * completions interleave on the runner's System; the call returns
+ * when every query has completed.
+ */
+ServingStats runOpenLoop(ModelRunner &runner, const ServingConfig &config);
+
+}  // namespace recssd
+
+#endif  // RECSSD_RECO_SERVING_H

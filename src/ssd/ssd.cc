@@ -1,0 +1,18 @@
+#include "src/ssd/ssd.h"
+
+namespace recssd
+{
+
+Ssd::Ssd(EventQueue &eq, const SsdConfig &config) : config_(config)
+{
+    store_ = std::make_unique<DataStore>(config_.flash.pageSize);
+    flash_ = std::make_unique<FlashArray>(eq, config_.flash, *store_);
+    ftl_ = std::make_unique<Ftl>(eq, config_.ftl, *flash_);
+    pcie_ = std::make_unique<PcieLink>(eq, config_.pcie);
+    controller_ =
+        std::make_unique<HostController>(eq, config_.nvme, *pcie_, *ftl_);
+    sls_ = std::make_unique<SlsEngine>(eq, config_.sls, *ftl_);
+    controller_->setSlsHandler(sls_.get());
+}
+
+}  // namespace recssd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The assembled SSD device: flash array + FTL + RecSSD SLS engine +
+ * NVMe host controller, wired to one event queue and one PCIe link.
+ *
+ * Defaults model the Cosmos+ OpenSSD prototype. Hosts talk to the
+ * device exclusively through `controller()`.
+ */
+
+#ifndef RECSSD_SSD_SSD_H
+#define RECSSD_SSD_SSD_H
+
+#include <memory>
+
+#include "src/common/event_queue.h"
+#include "src/flash/data_store.h"
+#include "src/flash/flash_array.h"
+#include "src/flash/flash_params.h"
+#include "src/ftl/ftl.h"
+#include "src/ftl/ftl_params.h"
+#include "src/ndp/sls_engine.h"
+#include "src/nvme/host_controller.h"
+#include "src/nvme/pcie_link.h"
+
+namespace recssd
+{
+
+/** Everything needed to instantiate a device. */
+struct SsdConfig
+{
+    FlashParams flash;
+    FtlParams ftl;
+    SlsEngineParams sls;
+    NvmeParams nvme;
+    PcieParams pcie;
+};
+
+class Ssd
+{
+  public:
+    Ssd(EventQueue &eq, const SsdConfig &config);
+
+    HostController &controller() { return *controller_; }
+    Ftl &ftl() { return *ftl_; }
+    SlsEngine &slsEngine() { return *sls_; }
+    FlashArray &flash() { return *flash_; }
+    PcieLink &pcie() { return *pcie_; }
+    DataStore &store() { return *store_; }
+    const SsdConfig &config() const { return config_; }
+
+  private:
+    SsdConfig config_;
+    std::unique_ptr<DataStore> store_;
+    std::unique_ptr<FlashArray> flash_;
+    std::unique_ptr<Ftl> ftl_;
+    std::unique_ptr<PcieLink> pcie_;
+    std::unique_ptr<HostController> controller_;
+    std::unique_ptr<SlsEngine> sls_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_SSD_SSD_H

@@ -1,0 +1,70 @@
+#include "src/trace/page_reuse.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+PageReuseAnalyzer::PageReuseAnalyzer(std::uint64_t page_bytes,
+                                     std::uint64_t vector_bytes)
+    : pageBytes_(page_bytes), vectorBytes_(vector_bytes)
+{
+    recssd_assert(page_bytes > 0 && vector_bytes > 0,
+                  "page/vector size must be positive");
+}
+
+void
+PageReuseAnalyzer::access(RowId row)
+{
+    ++accesses_;
+    std::uint64_t page = row * vectorBytes_ / pageBytes_;
+    ++counts_[page];
+}
+
+std::vector<std::uint64_t>
+PageReuseAnalyzer::sortedHitCounts() const
+{
+    std::vector<std::uint64_t> hits;
+    hits.reserve(counts_.size());
+    for (const auto &[page, count] : counts_)
+        hits.push_back(count > 0 ? count - 1 : 0);
+    std::sort(hits.begin(), hits.end());
+    return hits;
+}
+
+double
+PageReuseAnalyzer::reuseCapturedByTopPages(std::uint64_t pages) const
+{
+    auto hits = sortedHitCounts();
+    std::uint64_t total = 0;
+    for (auto h : hits)
+        total += h;
+    if (total == 0)
+        return 0.0;
+    std::uint64_t captured = 0;
+    std::uint64_t taken = 0;
+    for (auto it = hits.rbegin(); it != hits.rend() && taken < pages;
+         ++it, ++taken) {
+        captured += *it;
+    }
+    return static_cast<double>(captured) / static_cast<double>(total);
+}
+
+double
+lruPageCacheHitRate(const std::vector<RowId> &rows,
+                    std::uint64_t vector_bytes, std::uint64_t page_bytes,
+                    std::uint64_t capacity_bytes, unsigned ways)
+{
+    std::uint64_t entries = std::max<std::uint64_t>(ways,
+                                                    capacity_bytes /
+                                                        page_bytes);
+    entries = entries / ways * ways;
+    SetAssocLru cache(entries, ways);
+    for (RowId row : rows)
+        cache.access(row * vector_bytes / page_bytes);
+    return cache.hitRate();
+}
+
+}  // namespace recssd

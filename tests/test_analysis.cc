@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Locality analysis tooling tests (the Fig 3/4 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/trace/page_reuse.h"
+#include "src/trace/trace_gen.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(PageReuse, RowsMapToPages)
+{
+    // 64B vectors, 256B pages: rows 0-3 page 0, rows 4-7 page 1.
+    PageReuseAnalyzer a(256, 64);
+    a.access(0);
+    a.access(3);
+    a.access(4);
+    EXPECT_EQ(a.touchedPages(), 2u);
+    EXPECT_EQ(a.accesses(), 3u);
+}
+
+TEST(PageReuse, HitCountsExcludeFirstTouch)
+{
+    PageReuseAnalyzer a(256, 64);
+    for (int i = 0; i < 5; ++i)
+        a.access(0);  // page 0: 4 reuses
+    a.access(100);    // page 25: 0 reuses
+    auto hits = a.sortedHitCounts();
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits.front(), 0u);
+    EXPECT_EQ(hits.back(), 4u);
+}
+
+TEST(PageReuse, TopPagesCaptureShare)
+{
+    PageReuseAnalyzer a(256, 256);  // 1 row per page
+    for (int i = 0; i < 101; ++i)
+        a.access(1);  // 100 reuses on page 1
+    for (int i = 0; i < 11; ++i)
+        a.access(2);  // 10 reuses on page 2
+    EXPECT_NEAR(a.reuseCapturedByTopPages(1), 100.0 / 110.0, 1e-9);
+    EXPECT_NEAR(a.reuseCapturedByTopPages(2), 1.0, 1e-9);
+}
+
+TEST(PageReuse, ZipfTraceShowsPowerLawConcentration)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::Zipf;
+    spec.universe = 100'000;
+    spec.zipfAlpha = 1.05;
+    spec.seed = 1;
+    TraceGenerator gen(spec);
+    PageReuseAnalyzer a(4096, 64);
+    for (int i = 0; i < 200'000; ++i)
+        a.access(gen.next());
+    double top100 = a.reuseCapturedByTopPages(100);
+    double top1000 = a.reuseCapturedByTopPages(1000);
+    EXPECT_GT(top100, 0.25) << "hot pages must concentrate reuse (§3.1)";
+    EXPECT_GT(top1000, top100);
+    EXPECT_GT(top1000, 0.5);
+}
+
+TEST(LruPageCache, HitRateGrowsWithCapacity)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::Zipf;
+    spec.universe = 500'000;
+    spec.zipfAlpha = 0.9;
+    spec.seed = 2;
+    TraceGenerator gen(spec);
+    std::vector<RowId> rows;
+    for (int i = 0; i < 100'000; ++i)
+        rows.push_back(gen.next());
+
+    double r1 = lruPageCacheHitRate(rows, 128, 4096, 1 << 20);
+    double r16 = lruPageCacheHitRate(rows, 128, 4096, 16 << 20);
+    double r64 = lruPageCacheHitRate(rows, 128, 4096, 64 << 20);
+    EXPECT_LT(r1, r16);
+    EXPECT_LE(r16, r64);
+    EXPECT_GT(r64, 0.3);
+}
+
+TEST(LruPageCache, SkewSpreadsHitRates)
+{
+    // Fig 4's point: different tables' locality spans <10% to >90%.
+    auto rate = [](double alpha) {
+        TraceSpec spec;
+        spec.kind = TraceKind::Zipf;
+        spec.universe = 2'000'000;
+        spec.zipfAlpha = alpha;
+        spec.seed = 3;
+        TraceGenerator gen(spec);
+        std::vector<RowId> rows;
+        for (int i = 0; i < 50'000; ++i)
+            rows.push_back(gen.next());
+        return lruPageCacheHitRate(rows, 128, 4096, 4 << 20);
+    };
+    EXPECT_LT(rate(0.4), 0.2);
+    EXPECT_GT(rate(1.4), 0.8);
+}
+
+}  // namespace
+}  // namespace recssd

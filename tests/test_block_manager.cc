@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for log-structured space management: allocation,
+ * invalidation, GC victim selection, bulk regions, wear levelling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/block_manager.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+class BlockManagerTest : public ::testing::Test
+{
+  protected:
+    BlockManagerTest() : mgr_(test::tinyFlash(), FtlParams{}) {}
+
+    FlashParams flash_ = test::tinyFlash();
+    BlockManager mgr_;
+};
+
+TEST_F(BlockManagerTest, GeometryDerived)
+{
+    // 2ch x 2dies x 8 pages/block = 32 pages per row; 8 rows.
+    EXPECT_EQ(mgr_.pagesPerRow(), 32u);
+    EXPECT_EQ(mgr_.numRows(), 8u);
+    EXPECT_EQ(mgr_.freeRows(), 8u);
+}
+
+TEST_F(BlockManagerTest, AllocationIsSequentialWithinRow)
+{
+    Ppn first = mgr_.allocatePage(100);
+    Ppn second = mgr_.allocatePage(101);
+    EXPECT_EQ(second, first + 1) << "append log strides channels";
+    EXPECT_EQ(mgr_.rowOf(first), mgr_.rowOf(second));
+    EXPECT_EQ(mgr_.pagesAllocated(), 2u);
+}
+
+TEST_F(BlockManagerTest, RowSealsWhenFull)
+{
+    std::uint64_t row = UINT64_MAX;
+    for (std::uint64_t i = 0; i < mgr_.pagesPerRow(); ++i) {
+        Ppn p = mgr_.allocatePage(i);
+        ASSERT_NE(p, invalidPpn);
+        row = mgr_.rowOf(p);
+    }
+    // Next allocation opens a new row and seals the previous.
+    Ppn p = mgr_.allocatePage(999);
+    EXPECT_NE(mgr_.rowOf(p), row);
+    EXPECT_EQ(mgr_.rowState(row), BlockManager::RowState::Sealed);
+}
+
+TEST_F(BlockManagerTest, InvalidateDecrementsValidCount)
+{
+    Ppn p = mgr_.allocatePage(5);
+    std::uint64_t row = mgr_.rowOf(p);
+    EXPECT_EQ(mgr_.rowValidCount(row), 1u);
+    mgr_.invalidate(p);
+    EXPECT_EQ(mgr_.rowValidCount(row), 0u);
+    // Idempotent on already-invalid slots.
+    mgr_.invalidate(p);
+    EXPECT_EQ(mgr_.rowValidCount(row), 0u);
+}
+
+TEST_F(BlockManagerTest, VictimIsMinValidSealedRow)
+{
+    // Fill two rows; invalidate more pages in the second.
+    std::vector<Ppn> pages;
+    for (std::uint64_t i = 0; i < 2 * mgr_.pagesPerRow() + 1; ++i)
+        pages.push_back(mgr_.allocatePage(i));
+    std::uint64_t row0 = mgr_.rowOf(pages[0]);
+    std::uint64_t row1 = mgr_.rowOf(pages[mgr_.pagesPerRow()]);
+    mgr_.invalidate(pages[0]);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        mgr_.invalidate(pages[mgr_.pagesPerRow() + i]);
+    EXPECT_EQ(mgr_.pickGcVictim(), row1);
+    (void)row0;
+}
+
+TEST_F(BlockManagerTest, ValidPagesListsSurvivors)
+{
+    std::vector<Ppn> pages;
+    for (std::uint64_t i = 0; i < mgr_.pagesPerRow() + 1; ++i)
+        pages.push_back(mgr_.allocatePage(i));
+    mgr_.invalidate(pages[3]);
+    auto valid = mgr_.validPagesIn(mgr_.rowOf(pages[0]));
+    EXPECT_EQ(valid.size(), mgr_.pagesPerRow() - 1);
+    for (auto [lpn, ppn] : valid)
+        EXPECT_NE(lpn, 3u);
+}
+
+TEST_F(BlockManagerTest, ErasedRowRejoinsFreePool)
+{
+    for (std::uint64_t i = 0; i < mgr_.pagesPerRow() + 1; ++i)
+        mgr_.allocatePage(i);
+    std::uint64_t row = mgr_.pickGcVictim();
+    ASSERT_NE(row, UINT64_MAX);
+    std::uint64_t free_before = mgr_.freeRows();
+    mgr_.onRowErased(row);
+    EXPECT_EQ(mgr_.freeRows(), free_before + 1);
+    EXPECT_EQ(mgr_.rowState(row), BlockManager::RowState::Free);
+    EXPECT_EQ(mgr_.rowEraseCount(row), 1u);
+}
+
+TEST_F(BlockManagerTest, RegionsClaimFromTheTop)
+{
+    Ppn start = mgr_.allocateRegion(40);  // 2 rows of 32 pages
+    EXPECT_EQ(mgr_.regionRows(), 2u);
+    EXPECT_EQ(mgr_.rowOf(start), mgr_.numRows() - 2);
+    EXPECT_EQ(mgr_.rowState(mgr_.numRows() - 1),
+              BlockManager::RowState::Region);
+    EXPECT_EQ(mgr_.freeRows(), 6u);
+}
+
+TEST_F(BlockManagerTest, RegionInvalidateIsTolerated)
+{
+    Ppn start = mgr_.allocateRegion(32);
+    std::uint64_t row = mgr_.rowOf(start);
+    std::uint32_t valid = mgr_.rowValidCount(row);
+    mgr_.invalidate(start);
+    EXPECT_EQ(mgr_.rowValidCount(row), valid - 1);
+}
+
+TEST_F(BlockManagerTest, WearLevellingPrefersYoungRows)
+{
+    // Exhaust and erase row cycles to age specific rows, then check
+    // the allocator picks the youngest free row.
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        for (std::uint64_t i = 0; i < mgr_.pagesPerRow(); ++i) {
+            Ppn p = mgr_.allocatePage(i);
+            mgr_.invalidate(p);
+        }
+        // Seal by starting the next row.
+        Ppn p = mgr_.allocatePage(1000);
+        mgr_.invalidate(p);
+        std::uint64_t victim = mgr_.pickGcVictim();
+        ASSERT_NE(victim, UINT64_MAX);
+        mgr_.onRowErased(victim);
+    }
+    EXPECT_LE(mgr_.eraseCountSpread(), 2u);
+}
+
+TEST_F(BlockManagerTest, ExhaustionReturnsInvalid)
+{
+    FtlParams ftl;
+    ftl.gcLowWatermarkRows = 0;
+    BlockManager mgr(test::tinyFlash(), ftl);
+    std::uint64_t total = mgr.numRows() * mgr.pagesPerRow();
+    for (std::uint64_t i = 0; i < total; ++i)
+        ASSERT_NE(mgr.allocatePage(i), invalidPpn);
+    EXPECT_EQ(mgr.allocatePage(0), invalidPpn);
+}
+
+TEST_F(BlockManagerTest, GcWatermarks)
+{
+    FtlParams ftl;
+    EXPECT_FALSE(mgr_.needsGc());
+    // Consume rows until below the low watermark.
+    std::uint64_t to_fill = mgr_.numRows() - ftl.gcLowWatermarkRows + 1;
+    for (std::uint64_t r = 0; r < to_fill; ++r) {
+        for (std::uint64_t i = 0; i < mgr_.pagesPerRow(); ++i)
+            mgr_.allocatePage(r * mgr_.pagesPerRow() + i);
+    }
+    EXPECT_TRUE(mgr_.needsGc());
+    EXPECT_TRUE(mgr_.wantsMoreGc());
+}
+
+}  // namespace
+}  // namespace recssd

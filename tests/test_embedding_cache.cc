@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the SSD-side direct-mapped embedding cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/ndp/embedding_cache.h"
+#include "src/nvme/nvme_command.h"
+
+namespace recssd
+{
+namespace
+{
+
+std::vector<std::byte>
+vec(std::uint8_t seed, std::size_t n = 128)
+{
+    std::vector<std::byte> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = std::byte(static_cast<std::uint8_t>(seed + i));
+    return v;
+}
+
+TEST(EmbeddingCache, MissThenHit)
+{
+    EmbeddingCache cache(1 << 20, 128);
+    std::vector<std::byte> out(128);
+    EXPECT_FALSE(cache.lookup(0, 5, out));
+    cache.insert(0, 5, vec(3));
+    ASSERT_TRUE(cache.lookup(0, 5, out));
+    EXPECT_EQ(out, vec(3));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(EmbeddingCache, DistinctTablesDistinctKeys)
+{
+    EmbeddingCache cache(1 << 20, 128);
+    std::uint64_t base0 = 0;
+    std::uint64_t base1 = slsTableAlign;
+    cache.insert(base0, 9, vec(1));
+    cache.insert(base1, 9, vec(2));
+    std::vector<std::byte> out(128);
+    ASSERT_TRUE(cache.lookup(base0, 9, out));
+    EXPECT_EQ(out, vec(1));
+    ASSERT_TRUE(cache.lookup(base1, 9, out));
+    EXPECT_EQ(out, vec(2));
+}
+
+TEST(EmbeddingCache, DirectMappedConflictEvicts)
+{
+    // One slot: every key maps there.
+    EmbeddingCache cache(128, 128);
+    ASSERT_EQ(cache.slots(), 1u);
+    cache.insert(0, 1, vec(1));
+    cache.insert(0, 2, vec(2));
+    std::vector<std::byte> out(128);
+    EXPECT_FALSE(cache.lookup(0, 1, out)) << "conflict evicted row 1";
+    EXPECT_TRUE(cache.lookup(0, 2, out));
+}
+
+TEST(EmbeddingCache, ClearDropsEverything)
+{
+    EmbeddingCache cache(1 << 16, 128);
+    cache.insert(0, 1, vec(1));
+    cache.clear();
+    std::vector<std::byte> out(128);
+    EXPECT_FALSE(cache.lookup(0, 1, out));
+}
+
+TEST(EmbeddingCache, PartialSlotUse)
+{
+    // Smaller vectors than the slot size work (dim-32 table in a
+    // 256B-slot cache).
+    EmbeddingCache cache(1 << 16, 256);
+    cache.insert(0, 4, vec(7, 128));
+    std::vector<std::byte> out(128);
+    ASSERT_TRUE(cache.lookup(0, 4, out));
+    EXPECT_EQ(out, vec(7, 128));
+}
+
+TEST(EmbeddingCache, HitRateAndReset)
+{
+    EmbeddingCache cache(1 << 16, 128);
+    std::vector<std::byte> out(128);
+    cache.lookup(0, 1, out);
+    cache.insert(0, 1, vec(0));
+    cache.lookup(0, 1, out);
+    EXPECT_NEAR(cache.hitRate(), 0.5, 1e-9);
+    cache.resetStats();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(EmbeddingCacheDeathTest, OversizedValuePanics)
+{
+    EmbeddingCache cache(1 << 16, 64);
+    EXPECT_DEATH(cache.insert(0, 1, vec(0, 128)), "larger than");
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * FTL firmware tests: read/write data path, page cache behaviour,
+ * bulk table install, and garbage collection on a tiny geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/flash/flash_array.h"
+#include "src/ftl/ftl.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+class FtlTest : public ::testing::Test
+{
+  protected:
+    FtlTest()
+        : store_(flashParams_.pageSize),
+          flash_(eq_, flashParams_, store_),
+          ftl_(eq_, ftlParams(), flash_)
+    {
+    }
+
+    static FtlParams
+    ftlParams()
+    {
+        FtlParams p;
+        p.pageCachePages = 8;
+        p.pageCacheWays = 4;
+        return p;
+    }
+
+    std::vector<std::byte>
+    page(std::uint8_t seed)
+    {
+        std::vector<std::byte> data(flashParams_.pageSize);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = std::byte(static_cast<std::uint8_t>(seed + i % 13));
+        return data;
+    }
+
+    std::vector<std::byte>
+    readSync(Lpn lpn)
+    {
+        std::vector<std::byte> out(flashParams_.pageSize);
+        bool done = false;
+        ftl_.hostRead(lpn, [&](const PageView &view) {
+            view.copyOut(0, out);
+            done = true;
+        });
+        eq_.run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    void
+    writeSync(Lpn lpn, const std::vector<std::byte> &data)
+    {
+        bool done = false;
+        ftl_.hostWrite(lpn, data, [&]() { done = true; });
+        eq_.run();
+        EXPECT_TRUE(done);
+    }
+
+    FlashParams flashParams_ = test::tinyFlash();
+    EventQueue eq_;
+    DataStore store_;
+    FlashArray flash_;
+    Ftl ftl_;
+};
+
+TEST_F(FtlTest, WriteReadRoundTrip)
+{
+    auto data = page(5);
+    writeSync(3, data);
+    EXPECT_EQ(readSync(3), data);
+    EXPECT_EQ(ftl_.hostWrites(), 1u);
+    EXPECT_EQ(ftl_.hostReads(), 1u);
+}
+
+TEST_F(FtlTest, UnmappedReadsZero)
+{
+    auto out = readSync(42);
+    for (auto b : out)
+        EXPECT_EQ(b, std::byte{0});
+    EXPECT_EQ(flash_.pageReads(), 0u) << "no flash access for trimmed page";
+}
+
+TEST_F(FtlTest, OverwriteReturnsNewData)
+{
+    writeSync(1, page(1));
+    auto newer = page(2);
+    writeSync(1, newer);
+    EXPECT_EQ(readSync(1), newer);
+}
+
+TEST_F(FtlTest, PageCacheServesRepeatReads)
+{
+    writeSync(9, page(9));
+    // The write itself inserts into the page cache, so the first
+    // read is already a hit.
+    std::uint64_t flash_reads = flash_.pageReads();
+    readSync(9);
+    readSync(9);
+    EXPECT_EQ(flash_.pageReads(), flash_reads)
+        << "cached reads must not touch flash";
+}
+
+TEST_F(FtlTest, CacheMissGoesToFlashThenCaches)
+{
+    writeSync(1, page(1));
+    // Evict LPN 1 by filling its set with conflicting writes is
+    // fiddly; instead invalidate directly.
+    ftl_.pageCache().invalidate(1);
+    std::uint64_t before = flash_.pageReads();
+    readSync(1);
+    EXPECT_EQ(flash_.pageReads(), before + 1);
+    readSync(1);
+    EXPECT_EQ(flash_.pageReads(), before + 1) << "second read cached";
+}
+
+TEST_F(FtlTest, BulkInstallReadsSynthetic)
+{
+    ftl_.bulkInstall(100, 32, [](std::uint64_t page_idx, std::size_t off,
+                                 std::span<std::byte> out) {
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = std::byte(
+                static_cast<std::uint8_t>(page_idx * 3 + off + i));
+    });
+    auto out = readSync(117);
+    EXPECT_EQ(out[0], std::byte(static_cast<std::uint8_t>(17 * 3)));
+    EXPECT_EQ(out[5], std::byte(static_cast<std::uint8_t>(17 * 3 + 5)));
+}
+
+TEST_F(FtlTest, BulkRegionCanBeOverwritten)
+{
+    ftl_.bulkInstall(0, 32, [](std::uint64_t, std::size_t,
+                               std::span<std::byte> out) {
+        std::ranges::fill(out, std::byte{0x11});
+    });
+    auto data = page(77);
+    writeSync(3, data);
+    EXPECT_EQ(readSync(3), data);
+    // Neighbours still come from the synthetic region.
+    EXPECT_EQ(readSync(4)[0], std::byte{0x11});
+}
+
+TEST_F(FtlTest, GcPreservesAllData)
+{
+    // Tiny drive: 8 rows x 32 pages = 256 physical pages. Write 64
+    // logical pages four times over to force garbage collection.
+    constexpr Lpn kLogical = 64;
+    std::vector<std::uint8_t> seed(kLogical, 0);
+    for (int round = 0; round < 4; ++round) {
+        for (Lpn l = 0; l < kLogical; ++l) {
+            seed[l] = static_cast<std::uint8_t>(round * 64 + l % 50);
+            writeSync(l, page(seed[l]));
+        }
+    }
+    EXPECT_GT(ftl_.gcRuns(), 0u) << "workload must trigger GC";
+    for (Lpn l = 0; l < kLogical; ++l)
+        EXPECT_EQ(readSync(l), page(seed[l])) << "LPN " << l;
+}
+
+TEST_F(FtlTest, GcReclaimsSpace)
+{
+    constexpr Lpn kLogical = 48;
+    for (int round = 0; round < 6; ++round) {
+        for (Lpn l = 0; l < kLogical; ++l)
+            writeSync(l, page(static_cast<std::uint8_t>(l + round)));
+    }
+    // 288 writes on a 256-page drive only works if GC reclaims.
+    // (Greedy victimization may find fully-invalid rows, so zero
+    // migrated pages is legitimate; reclaimed space is the contract.)
+    EXPECT_GE(ftl_.hostWrites(), 6u * kLogical);
+    EXPECT_GT(ftl_.gcRuns(), 0u);
+    EXPECT_GE(ftl_.blocks().freeRows(), 1u);
+}
+
+TEST_F(FtlTest, TrimDropsDataAndReclaimsSpace)
+{
+    writeSync(5, page(5));
+    std::uint64_t row =
+        ftl_.blocks().rowOf(ftl_.map().lookup(5));
+    std::uint32_t valid_before = ftl_.blocks().rowValidCount(row);
+
+    bool trimmed = false;
+    ftl_.hostTrim(5, [&]() { trimmed = true; });
+    eq_.run();
+    EXPECT_TRUE(trimmed);
+    EXPECT_EQ(ftl_.hostTrims(), 1u);
+    EXPECT_EQ(ftl_.blocks().rowValidCount(row), valid_before - 1);
+
+    auto out = readSync(5);
+    for (auto b : out)
+        EXPECT_EQ(b, std::byte{0}) << "trimmed page must read zero";
+    EXPECT_FALSE(ftl_.map().mapped(5));
+}
+
+TEST_F(FtlTest, TrimOfRegionPageExposesRegionAgain)
+{
+    ftl_.bulkInstall(0, 32, [](std::uint64_t, std::size_t,
+                               std::span<std::byte> out) {
+        std::ranges::fill(out, std::byte{0x33});
+    });
+    writeSync(4, page(9));
+    EXPECT_EQ(readSync(4), page(9));
+    ftl_.hostTrim(4, nullptr);
+    eq_.run();
+    // The overlay is gone; the immutable bulk data shows through.
+    EXPECT_EQ(readSync(4)[0], std::byte{0x33});
+}
+
+TEST_F(FtlTest, TrimUnmappedPageIsHarmless)
+{
+    ftl_.hostTrim(77, nullptr);
+    eq_.run();
+    auto out = readSync(77);
+    EXPECT_EQ(out[0], std::byte{0});
+}
+
+TEST_F(FtlTest, CpuSerializesCommandHandling)
+{
+    // Two concurrent reads of uncached pages: command handling is
+    // serialized on the firmware core even though flash is parallel.
+    writeSync(0, page(1));
+    writeSync(1, page(2));
+    ftl_.pageCache().invalidate(0);
+    ftl_.pageCache().invalidate(1);
+    Tick t0 = eq_.now();
+    int done = 0;
+    ftl_.hostRead(0, [&](const PageView &) { ++done; });
+    ftl_.hostRead(1, [&](const PageView &) { ++done; });
+    eq_.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_GE(eq_.now() - t0, 2 * ftl_.params().readCmdCpu);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared fixtures and builders for the test suite.
+ */
+
+#ifndef RECSSD_TESTS_TEST_HELPERS_H
+#define RECSSD_TESTS_TEST_HELPERS_H
+
+#include <cstdint>
+
+#include "src/core/system.h"
+#include "src/flash/flash_params.h"
+#include "src/ssd/ssd.h"
+
+namespace recssd::test
+{
+
+/** Tiny flash geometry so write/GC paths run in milliseconds. */
+inline FlashParams
+tinyFlash()
+{
+    FlashParams p;
+    p.numChannels = 2;
+    p.diesPerChannel = 2;
+    p.blocksPerDie = 8;
+    p.pagesPerBlock = 8;
+    p.pageSize = 4096;
+    return p;
+}
+
+/** Small but realistic system for integration tests. */
+inline SystemConfig
+smallSystem()
+{
+    SystemConfig cfg;
+    cfg.ssd.flash.blocksPerDie = 256;  // 8GB; fast to construct
+    return cfg;
+}
+
+}  // namespace recssd::test
+
+#endif  // RECSSD_TESTS_TEST_HELPERS_H

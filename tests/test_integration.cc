@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Whole-stack smoke and equivalence tests: host driver -> NVMe ->
+ * FTL -> flash, for all three SLS backends, on one System.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/embedding/baseline_backend.h"
+#include "src/embedding/dram_backend.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/trace/trace_gen.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sys_ = std::make_unique<System>(test::smallSystem());
+    }
+
+    SlsOp
+    makeOp(const EmbeddingTableDesc &table, unsigned batch,
+           unsigned lookups, TraceKind kind)
+    {
+        TraceSpec spec;
+        spec.kind = kind;
+        spec.universe = table.rows;
+        spec.stride = 17;
+        spec.seed = 99;
+        TraceGenerator gen(spec);
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(batch, lookups);
+        return op;
+    }
+
+    SlsResult
+    runSync(SlsBackend &backend, const SlsOp &op)
+    {
+        SlsResult out;
+        bool done = false;
+        backend.run(op, [&](SlsResult r) {
+            out = std::move(r);
+            done = true;
+        });
+        sys_->run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    std::unique_ptr<System> sys_;
+};
+
+TEST_F(IntegrationTest, DramBackendMatchesReference)
+{
+    auto table = sys_->describeDramTable(100'000, 32);
+    DramSlsBackend dram(sys_->eq(), sys_->cpu());
+    auto op = makeOp(table, 8, 20, TraceKind::Uniform);
+    auto result = runSync(dram, op);
+    EXPECT_EQ(result, synthetic::expectedSls(table, op.indices));
+}
+
+TEST_F(IntegrationTest, BaselineSsdMatchesReference)
+{
+    auto table = sys_->installTable(100'000, 32);
+    BaselineSsdSlsBackend base(sys_->eq(), sys_->cpu(), sys_->driver(),
+                               sys_->queues(),
+                               BaselineSsdSlsBackend::Options{});
+    auto op = makeOp(table, 4, 10, TraceKind::Uniform);
+    auto result = runSync(base, op);
+    EXPECT_EQ(result, synthetic::expectedSls(table, op.indices));
+}
+
+TEST_F(IntegrationTest, NdpMatchesReference)
+{
+    auto table = sys_->installTable(100'000, 32);
+    NdpSlsBackend ndp(sys_->eq(), sys_->cpu(), sys_->driver(),
+                      sys_->queues(), NdpSlsBackend::Options{});
+    auto op = makeOp(table, 4, 10, TraceKind::Uniform);
+    auto result = runSync(ndp, op);
+    EXPECT_EQ(result, synthetic::expectedSls(table, op.indices));
+}
+
+TEST_F(IntegrationTest, AllBackendsBitIdentical)
+{
+    auto ssd_table = sys_->installTable(50'000, 64);
+    DramSlsBackend dram(sys_->eq(), sys_->cpu());
+    BaselineSsdSlsBackend base(sys_->eq(), sys_->cpu(), sys_->driver(),
+                               sys_->queues(),
+                               BaselineSsdSlsBackend::Options{});
+    NdpSlsBackend ndp(sys_->eq(), sys_->cpu(), sys_->driver(),
+                      sys_->queues(), NdpSlsBackend::Options{});
+    auto op = makeOp(ssd_table, 16, 40, TraceKind::Strided);
+    auto a = runSync(dram, op);
+    auto b = runSync(base, op);
+    auto c = runSync(ndp, op);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+}
+
+TEST_F(IntegrationTest, NdpFasterThanBaselineOnStrided)
+{
+    auto table = sys_->installTable(1'000'000, 32);
+    BaselineSsdSlsBackend base(sys_->eq(), sys_->cpu(), sys_->driver(),
+                               sys_->queues(),
+                               BaselineSsdSlsBackend::Options{});
+    NdpSlsBackend ndp(sys_->eq(), sys_->cpu(), sys_->driver(),
+                      sys_->queues(), NdpSlsBackend::Options{});
+    auto op = makeOp(table, 32, 80, TraceKind::Strided);
+
+    Tick t0 = sys_->eq().now();
+    runSync(base, op);
+    Tick base_time = sys_->eq().now() - t0;
+
+    t0 = sys_->eq().now();
+    runSync(ndp, op);
+    Tick ndp_time = sys_->eq().now() - t0;
+
+    EXPECT_LT(ndp_time * 2, base_time)
+        << "NDP should be at least 2x faster on strided accesses";
+}
+
+TEST_F(IntegrationTest, DramOrdersOfMagnitudeFasterThanSsd)
+{
+    auto table = sys_->installTable(1'000'000, 32);
+    DramSlsBackend dram(sys_->eq(), sys_->cpu());
+    BaselineSsdSlsBackend base(sys_->eq(), sys_->cpu(), sys_->driver(),
+                               sys_->queues(),
+                               BaselineSsdSlsBackend::Options{});
+    auto op = makeOp(table, 16, 80, TraceKind::Uniform);
+
+    Tick t0 = sys_->eq().now();
+    runSync(dram, op);
+    Tick dram_time = sys_->eq().now() - t0;
+
+    t0 = sys_->eq().now();
+    runSync(base, op);
+    Tick ssd_time = sys_->eq().now() - t0;
+
+    EXPECT_GT(ssd_time, dram_time * 100);
+}
+
+}  // namespace
+}  // namespace recssd

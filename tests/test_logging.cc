@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for message formatting and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(Logging, FormatBasics)
+{
+    EXPECT_EQ(format("plain"), "plain");
+    EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(Logging, FormatLongStrings)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(format("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Logging, ThresholdRoundTrips)
+{
+    LogLevel prev = logThreshold();
+    setLogThreshold(LogLevel::Fatal);
+    EXPECT_EQ(logThreshold(), LogLevel::Fatal);
+    setLogThreshold(prev);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeathTest, AssertMacroNamesCondition)
+{
+    int x = 1;
+    EXPECT_DEATH(recssd_assert(x == 2, "x was %d", x), "x == 2");
+}
+
+}  // namespace
+}  // namespace recssd

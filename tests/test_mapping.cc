@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the two-tier logical-to-physical mapping table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/mapping_table.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(MappingTable, UnmappedIsInvalid)
+{
+    MappingTable map;
+    EXPECT_EQ(map.lookup(0), invalidPpn);
+    EXPECT_FALSE(map.mapped(123));
+}
+
+TEST(MappingTable, PointSetAndUnset)
+{
+    MappingTable map;
+    map.set(10, 99);
+    EXPECT_EQ(map.lookup(10), 99u);
+    EXPECT_TRUE(map.mapped(10));
+    map.set(10, 100);
+    EXPECT_EQ(map.lookup(10), 100u);
+    map.unset(10);
+    EXPECT_EQ(map.lookup(10), invalidPpn);
+}
+
+TEST(MappingTable, RegionTranslatesLinearly)
+{
+    MappingTable map;
+    map.installRegion(1000, 5000, 100);
+    EXPECT_EQ(map.lookup(999), invalidPpn);
+    EXPECT_EQ(map.lookup(1000), 5000u);
+    EXPECT_EQ(map.lookup(1057), 5057u);
+    EXPECT_EQ(map.lookup(1099), 5099u);
+    EXPECT_EQ(map.lookup(1100), invalidPpn);
+    EXPECT_EQ(map.regions(), 1u);
+}
+
+TEST(MappingTable, OverlayWinsOverRegion)
+{
+    MappingTable map;
+    map.installRegion(0, 1000, 50);
+    map.set(25, 7777);
+    EXPECT_EQ(map.lookup(25), 7777u);
+    EXPECT_EQ(map.lookup(24), 1024u);
+    map.unset(25);
+    EXPECT_EQ(map.lookup(25), 1025u) << "region shows through again";
+}
+
+TEST(MappingTable, MultipleDisjointRegions)
+{
+    MappingTable map;
+    map.installRegion(0, 100, 10);
+    map.installRegion(50, 500, 10);
+    map.installRegion(10, 300, 10);
+    EXPECT_EQ(map.lookup(5), 105u);
+    EXPECT_EQ(map.lookup(15), 305u);
+    EXPECT_EQ(map.lookup(55), 505u);
+    EXPECT_EQ(map.lookup(30), invalidPpn);
+}
+
+TEST(MappingTableDeathTest, OverlappingRegionsPanic)
+{
+    MappingTable map;
+    map.installRegion(100, 0, 50);
+    EXPECT_DEATH(map.installRegion(120, 1000, 10), "overlap");
+    EXPECT_DEATH(map.installRegion(90, 1000, 20), "overlap");
+}
+
+TEST(MappingTableDeathTest, EmptyRegionPanics)
+{
+    MappingTable map;
+    EXPECT_DEATH(map.installRegion(0, 0, 0), "empty");
+}
+
+TEST(MappingTable, OverlayEntriesCounted)
+{
+    MappingTable map;
+    for (Lpn l = 0; l < 10; ++l)
+        map.set(l, l + 100);
+    EXPECT_EQ(map.overlayEntries(), 10u);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional dense-layer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/reco/mlp.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(Mlp, ShapesPropagate)
+{
+    Mlp mlp(8, {16, 4}, 1);
+    Matrix in(3, 8);
+    Matrix out = mlp.forward(in);
+    EXPECT_EQ(out.rows, 3u);
+    EXPECT_EQ(out.cols, 4u);
+    EXPECT_EQ(mlp.inputDim(), 8u);
+    EXPECT_EQ(mlp.outputDim(), 4u);
+}
+
+TEST(Mlp, MacsPerSample)
+{
+    Mlp mlp(8, {16, 4}, 1);
+    EXPECT_EQ(mlp.macsPerSample(), 8u * 16 + 16 * 4);
+    EXPECT_EQ(mlpMacs(8, {16, 4}), mlp.macsPerSample());
+    EXPECT_EQ(mlpMacs(100, {}), 0u);
+}
+
+TEST(Mlp, DeterministicForSeed)
+{
+    Mlp a(4, {8, 1}, 7);
+    Mlp b(4, {8, 1}, 7);
+    Matrix in(2, 4);
+    for (std::size_t i = 0; i < in.data.size(); ++i)
+        in.data[i] = static_cast<float>(i) * 0.25f;
+    EXPECT_EQ(a.forward(in).data, b.forward(in).data);
+
+    Mlp c(4, {8, 1}, 8);
+    EXPECT_NE(a.forward(in).data, c.forward(in).data);
+}
+
+TEST(Mlp, ReluHiddenLayersAreNonNegative)
+{
+    Mlp mlp(6, {32, 32}, 3);
+    Matrix in(4, 6);
+    for (auto &v : in.data)
+        v = -1.0f;
+    Matrix out = mlp.forward(in);
+    // Final layer has no ReLU, so check an intermediate effect
+    // indirectly: outputs are finite and bounded.
+    for (float v : out.data)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Mlp, SigmoidOutputInUnitInterval)
+{
+    Mlp mlp(6, {16, 1}, 5, true);
+    Matrix in(8, 6);
+    for (std::size_t i = 0; i < in.data.size(); ++i)
+        in.data[i] = static_cast<float>(static_cast<int>(i % 11) - 5);
+    Matrix out = mlp.forward(in);
+    for (float v : out.data) {
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(MlpDeathTest, InputWidthMismatchPanics)
+{
+    Mlp mlp(8, {4}, 1);
+    Matrix in(1, 7);
+    EXPECT_DEATH(mlp.forward(in), "width mismatch");
+}
+
+TEST(Matrix, AtIndexing)
+{
+    Matrix m(2, 3);
+    m.at(1, 2) = 42.0f;
+    EXPECT_EQ(m.data[5], 42.0f);
+    const Matrix &cm = m;
+    EXPECT_EQ(cm.at(1, 2), 42.0f);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Model zoo tests, anchored on the paper's Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/reco/model_config.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(ModelZoo, HasAllEightModels)
+{
+    const auto &zoo = modelZoo();
+    EXPECT_EQ(zoo.size(), 8u);
+    for (const char *name :
+         {"RM1", "RM2", "RM3", "WND", "MTWND", "DIN", "DIEN", "NCF"})
+        EXPECT_NO_FATAL_FAILURE(modelByName(name));
+}
+
+TEST(ModelZoo, Table1ParametersMatchPaper)
+{
+    // Table 1: RM1 = (32, 80, 8); RM2 = (64, 120, 32); RM3 = (32, 20, 10).
+    const auto &rm1 = modelByName("RM1");
+    EXPECT_EQ(rm1.tables[0].dim, 32u);
+    EXPECT_EQ(rm1.tables[0].lookups, 80u);
+    EXPECT_EQ(rm1.numTables(), 8u);
+
+    const auto &rm2 = modelByName("RM2");
+    EXPECT_EQ(rm2.tables[0].dim, 64u);
+    EXPECT_EQ(rm2.tables[0].lookups, 120u);
+    EXPECT_EQ(rm2.numTables(), 32u);
+
+    const auto &rm3 = modelByName("RM3");
+    EXPECT_EQ(rm3.tables[0].dim, 32u);
+    EXPECT_EQ(rm3.tables[0].lookups, 20u);
+    EXPECT_EQ(rm3.numTables(), 10u);
+}
+
+TEST(ModelZoo, ClassificationMatchesPaper)
+{
+    for (const char *name : {"RM1", "RM2", "RM3"})
+        EXPECT_TRUE(modelByName(name).embeddingDominated) << name;
+    for (const char *name : {"WND", "MTWND", "DIN", "DIEN", "NCF"})
+        EXPECT_FALSE(modelByName(name).embeddingDominated) << name;
+}
+
+TEST(ModelZoo, MlpDominatedModelsHaveHeavyDenseLightEmbedding)
+{
+    for (const auto &m : modelZoo()) {
+        if (m.embeddingDominated)
+            continue;
+        EXPECT_GT(m.mlpMacsPerSample(), 100'000u) << m.name;
+        EXPECT_LE(m.lookupsPerSample(), 20u) << m.name;
+    }
+}
+
+TEST(ModelZoo, EmbeddingDominatedModelsHaveManyLookups)
+{
+    for (const char *name : {"RM1", "RM2", "RM3"}) {
+        const auto &m = modelByName(name);
+        EXPECT_GE(m.lookupsPerSample(), 200u) << name;
+        EXPECT_EQ(m.tables[0].rows, 1'000'000u) << name;
+    }
+}
+
+TEST(ModelZoo, DerivedQuantitiesConsistent)
+{
+    for (const auto &m : modelZoo()) {
+        std::size_t emb_dim = 0;
+        for (const auto &g : m.tables)
+            emb_dim += std::size_t(g.count) * g.dim;
+        std::size_t bottom_out =
+            m.bottomMlp.empty() ? m.denseInputs : m.bottomMlp.back();
+        EXPECT_EQ(m.topInputDim(), bottom_out + emb_dim) << m.name;
+        EXPECT_GT(m.mlpMacsPerSample(), 0u) << m.name;
+        if (!m.topMlp.empty()) {
+            EXPECT_EQ(m.topMlp.back(), 1u) << m.name << " CTR head";
+        }
+    }
+}
+
+TEST(ModelZooDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(modelByName("NOPE"), ::testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * End-to-end inference engine tests: placement, pipelining,
+ * functional scores across backends, measurement statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/reco/model_runner.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+ModelConfig
+tinyModel(unsigned tables = 2, std::uint64_t rows = 50'000,
+          unsigned lookups = 8)
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{tables, rows, 16, lookups}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+TEST(ModelRunner, DramBatchCompletes)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Dram;
+    ModelRunner runner(sys, tinyModel(), opt);
+    Tick lat = runner.runBatch(8);
+    EXPECT_GT(lat, 0u);
+    EXPECT_EQ(runner.ssdTables(), 0u);
+}
+
+TEST(ModelRunner, HybridPlacementSplitsBySize)
+{
+    System sys(test::smallSystem());
+    ModelConfig m;
+    m.name = "mixed";
+    m.tables = {TableGroup{2, 1'000, 16, 2},
+                TableGroup{1, 900'000, 16, 2}};
+    m.denseInputs = 4;
+    m.topMlp = {8, 1};
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::BaselineSsd;
+    opt.dramResidentMaxRows = 100'000;
+    ModelRunner runner(sys, m, opt);
+    EXPECT_EQ(runner.ssdTables(), 1u);
+    EXPECT_GT(runner.runBatch(4), 0u);
+}
+
+TEST(ModelRunner, ForceAllTablesOnSsd)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::BaselineSsd;
+    opt.forceAllTablesOnSsd = true;
+    ModelRunner runner(sys, tinyModel(), opt);
+    EXPECT_EQ(runner.ssdTables(), 2u);
+}
+
+TEST(ModelRunner, FunctionalScoresIdenticalAcrossBackends)
+{
+    std::vector<float> scores[3];
+    EmbeddingBackendKind kinds[3] = {EmbeddingBackendKind::Dram,
+                                     EmbeddingBackendKind::BaselineSsd,
+                                     EmbeddingBackendKind::Ndp};
+    for (int i = 0; i < 3; ++i) {
+        System sys(test::smallSystem());
+        RunnerOptions opt;
+        opt.backend = kinds[i];
+        opt.forceAllTablesOnSsd = true;
+        opt.functionalMlp = true;
+        opt.seed = 2024;
+        ModelRunner runner(sys, tinyModel(), opt);
+        runner.runBatch(8);
+        scores[i] = runner.lastScores().data;
+        ASSERT_EQ(scores[i].size(), 8u);
+    }
+    EXPECT_EQ(scores[0], scores[1]);
+    EXPECT_EQ(scores[0], scores[2]);
+}
+
+TEST(ModelRunner, ScoresAreProbabilities)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.functionalMlp = true;
+    ModelRunner runner(sys, tinyModel(), opt);
+    runner.runBatch(16);
+    for (float v : runner.lastScores().data) {
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(ModelRunner, PipeliningReducesLatency)
+{
+    double lat[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        System sys(test::smallSystem());
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::BaselineSsd;
+        opt.forceAllTablesOnSsd = true;
+        opt.pipeline = pass == 1;
+        opt.subBatches = 4;
+        // Give the MLP real weight so overlap matters.
+        ModelConfig m = tinyModel(2, 200'000, 16);
+        m.topMlp = {512, 256, 1};
+        ModelRunner runner(sys, m, opt);
+        lat[pass] = runner.measure(16, 1, 3).avgLatencyUs;
+    }
+    EXPECT_LT(lat[1], lat[0]) << "pipelined run must not be slower";
+}
+
+TEST(ModelRunner, NdpBeatsBaselineOnEmbeddingDominatedModel)
+{
+    double lat[2];
+    EmbeddingBackendKind kinds[2] = {EmbeddingBackendKind::BaselineSsd,
+                                     EmbeddingBackendKind::Ndp};
+    for (int pass = 0; pass < 2; ++pass) {
+        System sys;  // full-size drive for a 1M-row table
+        RunnerOptions opt;
+        opt.backend = kinds[pass];
+        opt.forceAllTablesOnSsd = true;
+        opt.pipeline = false;
+        opt.trace.kind = TraceKind::Uniform;
+        ModelConfig m = tinyModel(2, 1'000'000, 40);
+        ModelRunner runner(sys, m, opt);
+        lat[pass] = runner.measure(16, 1, 2).avgLatencyUs;
+    }
+    EXPECT_LT(lat[1] * 1.5, lat[0]);
+}
+
+TEST(ModelRunner, MeasureReportsStats)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::BaselineSsd;
+    opt.forceAllTablesOnSsd = true;
+    opt.hostLruCache = true;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 0.0;
+    ModelRunner runner(sys, tinyModel(), opt);
+    auto stats = runner.measure(8, 2, 4);
+    EXPECT_EQ(stats.batches, 4u);
+    EXPECT_GT(stats.avgLatencyUs, 0.0);
+    EXPECT_LE(stats.minLatencyUs, stats.avgLatencyUs);
+    EXPECT_GE(stats.maxLatencyUs, stats.avgLatencyUs);
+    EXPECT_GT(stats.hostCacheHitRate, 0.3)
+        << "K=0 traffic must hit the host LRU cache";
+}
+
+TEST(ModelRunner, StaticPartitionAbsorbsLookups)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    opt.staticPartition = true;
+    opt.partitionEntries = 512;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 0.0;
+    opt.trace.activeUniverse = 1024;
+    ModelRunner runner(sys, tinyModel(), opt);
+    auto stats = runner.measure(8, 1, 4);
+    EXPECT_GT(stats.partitionHitRate, 0.2);
+}
+
+TEST(ModelRunner, LatencyScalesWithBatchSize)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::BaselineSsd;
+    opt.forceAllTablesOnSsd = true;
+    ModelRunner runner(sys, tinyModel(), opt);
+    Tick small = runner.runBatch(2);
+    Tick large = runner.runBatch(32);
+    EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Regression guards for the paper's headline results, at reduced
+ * scale so the suite stays fast. If a model change breaks one of
+ * these, the corresponding figure bench will no longer reproduce the
+ * published shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/embedding/baseline_backend.h"
+#include "src/embedding/dram_backend.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/reco/model_runner.h"
+#include "src/trace/trace_gen.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+Tick
+opLatency(System &sys, SlsBackend &backend, const EmbeddingTableDesc &table,
+          TraceKind kind, unsigned stride, unsigned batch, unsigned lookups)
+{
+    TraceSpec spec;
+    spec.kind = kind;
+    spec.universe = table.rows;
+    spec.stride = stride;
+    spec.seed = 33;
+    TraceGenerator gen(spec);
+    SlsOp op;
+    op.table = &table;
+    op.indices = gen.nextBatch(batch, lookups);
+    Tick t0 = sys.eq().now();
+    bool done = false;
+    backend.run(op, [&](SlsResult) { done = true; });
+    sys.run();
+    EXPECT_TRUE(done);
+    return sys.eq().now() - t0;
+}
+
+/** Fig 8 STR: the offloaded operator beats conventional reads 3-4.5x. */
+TEST(PaperShapes, Fig8StridedNdpSpeedup)
+{
+    // Fresh system per backend so neither rides the other's warm
+    // device page cache.
+    Tick lat[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        System sys;
+        unsigned rpp = sys.config().ssd.flash.pageSize / (32 * 4);
+        auto table = sys.installTable(1'000'000, 32, 4, rpp);
+        if (pass == 0) {
+            BaselineSsdSlsBackend base(sys.eq(), sys.cpu(), sys.driver(),
+                                       sys.queues(),
+                                       BaselineSsdSlsBackend::Options{});
+            lat[0] = opLatency(sys, base, table, TraceKind::Strided, rpp,
+                               32, 80);
+        } else {
+            NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(),
+                              sys.queues(), NdpSlsBackend::Options{});
+            lat[1] = opLatency(sys, ndp, table, TraceKind::Strided, rpp,
+                               32, 80);
+        }
+    }
+    double speedup = double(lat[0]) / double(lat[1]);
+    EXPECT_GT(speedup, 3.0);
+    EXPECT_LT(speedup, 4.8);
+}
+
+/** Fig 8 SEQ: the weak device CPU loses to the host on aggregation. */
+TEST(PaperShapes, Fig8SequentialNdpSlowdown)
+{
+    System sys;
+    unsigned rpp = sys.config().ssd.flash.pageSize / (32 * 4);
+    auto table = sys.installTable(1'000'000, 32, 4, rpp);
+    BaselineSsdSlsBackend base(sys.eq(), sys.cpu(), sys.driver(),
+                               sys.queues(),
+                               BaselineSsdSlsBackend::Options{});
+    NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(), sys.queues(),
+                      NdpSlsBackend::Options{});
+    Tick b = opLatency(sys, base, table, TraceKind::Sequential, 1, 32, 80);
+    Tick n = opLatency(sys, ndp, table, TraceKind::Sequential, 1, 32, 80);
+    EXPECT_LT(b, n) << "baseline must win on sequential accesses";
+}
+
+/** Fig 8: Translation is roughly half of NDP's FTL time on STR. */
+TEST(PaperShapes, Fig8TranslationShare)
+{
+    System sys;
+    unsigned rpp = sys.config().ssd.flash.pageSize / (32 * 4);
+    auto table = sys.installTable(1'000'000, 32, 4, rpp);
+    NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(), sys.queues(),
+                      NdpSlsBackend::Options{});
+    opLatency(sys, ndp, table, TraceKind::Strided, rpp, 32, 80);
+    const SlsTiming &t = sys.ssd().slsEngine().lastTiming();
+    double span = double(t.flashDone - t.configProcessed);
+    double share = double(t.translationTime()) / span;
+    EXPECT_GT(share, 0.3);
+    EXPECT_LT(share, 0.75);
+}
+
+/** Fig 5: SSD-resident SLS costs orders of magnitude over DRAM. */
+TEST(PaperShapes, Fig5DramVsSsdGap)
+{
+    System sys;
+    auto table = sys.installTable(1'000'000, 32);
+    DramSlsBackend dram(sys.eq(), sys.cpu());
+    BaselineSsdSlsBackend base(sys.eq(), sys.cpu(), sys.driver(),
+                               sys.queues(),
+                               BaselineSsdSlsBackend::Options{});
+    Tick d = opLatency(sys, dram, table, TraceKind::Uniform, 1, 16, 80);
+    Tick s = opLatency(sys, base, table, TraceKind::Uniform, 1, 16, 80);
+    EXPECT_GT(double(s) / double(d), 300.0);
+}
+
+/** Fig 6: MLP-dominated models barely notice the hybrid SSD. */
+TEST(PaperShapes, Fig6MlpDominatedDegradationSmall)
+{
+    double lat[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        System sys;
+        RunnerOptions opt;
+        opt.backend = pass ? EmbeddingBackendKind::BaselineSsd
+                           : EmbeddingBackendKind::Dram;
+        opt.pipeline = true;
+        opt.subBatches = 8;
+        opt.hostLruCache = pass == 1;
+        opt.trace.kind = TraceKind::Uniform;
+        ModelRunner runner(sys, modelByName("WND"), opt);
+        lat[pass] = runner.measure(32, 1, 2).avgLatencyUs;
+    }
+    EXPECT_LT(lat[1] / lat[0], 1.25);
+}
+
+/** Fig 6: embedding-dominated models degrade by orders of magnitude. */
+TEST(PaperShapes, Fig6EmbeddingDominatedDegradationHuge)
+{
+    double lat[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        System sys;
+        RunnerOptions opt;
+        opt.backend = pass ? EmbeddingBackendKind::BaselineSsd
+                           : EmbeddingBackendKind::Dram;
+        opt.trace.kind = TraceKind::Uniform;
+        ModelRunner runner(sys, modelByName("RM3"), opt);
+        lat[pass] = runner.measure(16, 1, 1).avgLatencyUs;
+    }
+    EXPECT_GT(lat[1] / lat[0], 50.0);
+}
+
+/** Fig 10 crossover: the baseline's LRU wins at K=0, loses at K=2. */
+TEST(PaperShapes, Fig10LocalityCrossover)
+{
+    auto run = [](double k, bool ndp) {
+        SystemConfig cfg;
+        if (ndp)
+            cfg.ssd.sls.embeddingCacheBytes = 512 * 1024;
+        System sys(cfg);
+        RunnerOptions opt;
+        opt.backend = ndp ? EmbeddingBackendKind::Ndp
+                          : EmbeddingBackendKind::BaselineSsd;
+        opt.hostLruCache = !ndp;
+        opt.forceAllTablesOnSsd = true;
+        opt.trace.kind = TraceKind::LocalityK;
+        opt.trace.k = k;
+        ModelRunner runner(sys, modelByName("RM1"), opt);
+        return runner.measure(4, 16, 4).avgLatencyUs;
+    };
+    double k0 = run(0.0, false) / run(0.0, true);
+    double k2 = run(2.0, false) / run(2.0, true);
+    EXPECT_LT(k0, 1.3) << "high locality: LRU baseline competitive";
+    EXPECT_GT(k2, 2.0) << "low locality: RecSSD must win clearly";
+    EXPECT_GT(k2, k0) << "RecSSD's edge must grow as locality drops";
+}
+
+/** §6.3: the static partition hit rate tends to 25% (2K of 8K rows). */
+TEST(PaperShapes, PartitionHitRateApproachesQuarter)
+{
+    System sys;
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.staticPartition = true;
+    opt.forceAllTablesOnSsd = true;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 2.0;
+    ModelRunner runner(sys, modelByName("RM3"), opt);
+    // Warm until the trace has cycled its 8K-row active universe a
+    // few times; the asymptote only appears in steady state.
+    auto stats = runner.measure(16, 80, 8);
+    EXPECT_GT(stats.partitionHitRate, 0.15);
+    EXPECT_LT(stats.partitionHitRate, 0.45);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the queued-server resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/resource.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(SerialResource, BackToBackQueueing)
+{
+    EventQueue eq;
+    SerialResource res(eq, "r");
+    Tick done1 = 0;
+    Tick done2 = 0;
+    res.acquire(100, [&]() { done1 = eq.now(); });
+    res.acquire(50, [&]() { done2 = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done1, 100u);
+    EXPECT_EQ(done2, 150u);
+    EXPECT_EQ(res.busyTime(), 150u);
+}
+
+TEST(SerialResource, IdleGapsAreNotBusy)
+{
+    EventQueue eq;
+    SerialResource res(eq, "r");
+    res.acquire(10);
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+    // Request arriving later starts at its arrival time.
+    eq.schedule(100, [&]() { res.acquire(5); });
+    eq.run();
+    EXPECT_EQ(res.freeAt(), 105u);
+    EXPECT_EQ(res.busyTime(), 15u);
+}
+
+TEST(SerialResource, IdleReflectsBacklog)
+{
+    EventQueue eq;
+    SerialResource res(eq, "r");
+    EXPECT_TRUE(res.idle());
+    res.acquire(10);
+    EXPECT_FALSE(res.idle());
+    eq.run();
+    EXPECT_TRUE(res.idle());
+}
+
+TEST(PoolResource, ParallelServers)
+{
+    EventQueue eq;
+    PoolResource pool(eq, "p", 4);
+    int completed = 0;
+    for (int i = 0; i < 4; ++i)
+        pool.acquire(100, [&]() { ++completed; });
+    eq.run();
+    EXPECT_EQ(completed, 4);
+    EXPECT_EQ(eq.now(), 100u) << "4 servers run 4 jobs concurrently";
+}
+
+TEST(PoolResource, QueuesBeyondServerCount)
+{
+    EventQueue eq;
+    PoolResource pool(eq, "p", 2);
+    Tick last = 0;
+    for (int i = 0; i < 6; ++i)
+        pool.acquire(100, [&]() { last = eq.now(); });
+    eq.run();
+    EXPECT_EQ(last, 300u) << "6 jobs on 2 servers take 3 rounds";
+    EXPECT_EQ(pool.busyTime(), 600u);
+}
+
+TEST(PoolResource, PicksEarliestFreeServer)
+{
+    EventQueue eq;
+    PoolResource pool(eq, "p", 2);
+    pool.acquire(100);
+    pool.acquire(10);
+    // Server 2 frees at 10; a third job should land there.
+    Tick done = 0;
+    pool.acquire(10, [&]() { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 20u);
+}
+
+TEST(PoolResourceDeathTest, ZeroServersPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(PoolResource(eq, "p", 0), "at least one server");
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Open-loop serving harness tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/reco/serving.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 50'000, 16, 8}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+TEST(Serving, CompletesAllQueriesAndReportsStats)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::BaselineSsd;
+    opt.forceAllTablesOnSsd = true;
+    ModelRunner runner(sys, tinyModel(), opt);
+
+    ServingConfig cfg;
+    cfg.qps = 200.0;
+    cfg.queries = 40;
+    cfg.warmupQueries = 5;
+    cfg.batchSize = 4;
+    auto stats = runOpenLoop(runner, cfg);
+
+    EXPECT_GT(stats.meanLatencyUs, 0.0);
+    EXPECT_GE(stats.maxLatencyUs, stats.meanLatencyUs);
+    EXPECT_LE(stats.p50Us, stats.p99Us + 1.0);
+    EXPECT_GT(stats.achievedQps, 0.0);
+    EXPECT_GE(stats.sloAttainment, 0.0);
+    EXPECT_LE(stats.sloAttainment, 1.0);
+}
+
+TEST(Serving, OverloadInflatesLatency)
+{
+    double mean[2];
+    double rates[2] = {20.0, 2000.0};
+    for (int i = 0; i < 2; ++i) {
+        System sys(test::smallSystem());
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::BaselineSsd;
+        opt.forceAllTablesOnSsd = true;
+        ModelRunner runner(sys, tinyModel(), opt);
+        ServingConfig cfg;
+        cfg.qps = rates[i];
+        cfg.queries = 30;
+        cfg.warmupQueries = 3;
+        cfg.batchSize = 4;
+        mean[i] = runOpenLoop(runner, cfg).meanLatencyUs;
+    }
+    EXPECT_GT(mean[1], mean[0] * 1.5)
+        << "queueing delay must appear beyond the service rate";
+}
+
+TEST(Serving, SloAccountingConsistent)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Dram;
+    ModelRunner runner(sys, tinyModel(), opt);
+    ServingConfig cfg;
+    cfg.qps = 100.0;
+    cfg.queries = 20;
+    cfg.warmupQueries = 2;
+    cfg.batchSize = 4;
+    cfg.latencySlo = 1 * sec;  // generous: everything meets it
+    auto stats = runOpenLoop(runner, cfg);
+    EXPECT_DOUBLE_EQ(stats.sloAttainment, 1.0);
+
+    System sys2(test::smallSystem());
+    ModelRunner runner2(sys2, tinyModel(), opt);
+    cfg.latencySlo = 1;  // impossible: 1ns
+    auto stats2 = runOpenLoop(runner2, cfg);
+    EXPECT_DOUBLE_EQ(stats2.sloAttainment, 0.0);
+}
+
+TEST(Serving, DeterministicForSeed)
+{
+    double means[2];
+    for (int i = 0; i < 2; ++i) {
+        System sys(test::smallSystem());
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::BaselineSsd;
+        opt.forceAllTablesOnSsd = true;
+        ModelRunner runner(sys, tinyModel(), opt);
+        ServingConfig cfg;
+        cfg.qps = 150.0;
+        cfg.queries = 25;
+        cfg.warmupQueries = 2;
+        cfg.batchSize = 4;
+        cfg.seed = 1234;
+        means[i] = runOpenLoop(runner, cfg).meanLatencyUs;
+    }
+    EXPECT_DOUBLE_EQ(means[0], means[1]);
+}
+
+}  // namespace
+}  // namespace recssd

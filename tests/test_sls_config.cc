@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the NVMe-compatible SLS interface encoding: config
+ * payload serialization and SLBA request-id embedding (§4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ndp/sls_config.h"
+#include "src/nvme/nvme_command.h"
+
+namespace recssd
+{
+namespace
+{
+
+SlsConfig
+sampleConfig()
+{
+    SlsConfig cfg;
+    cfg.featureDim = 32;
+    cfg.attrBytes = 4;
+    cfg.rowsPerPage = 1;
+    cfg.numResults = 4;
+    cfg.pairs = {{10, 0}, {10, 2}, {55, 1}, {99, 3}, {120, 0}};
+    return cfg;
+}
+
+TEST(SlsConfig, SerializeDeserializeRoundTrip)
+{
+    SlsConfig cfg = sampleConfig();
+    auto bytes = cfg.serialize();
+    EXPECT_EQ(bytes.size(), cfg.wireBytes());
+    SlsConfig out;
+    ASSERT_TRUE(SlsConfig::deserialize(bytes, out));
+    EXPECT_EQ(out, cfg);
+}
+
+TEST(SlsConfig, ValidityChecks)
+{
+    SlsConfig cfg = sampleConfig();
+    EXPECT_TRUE(cfg.valid());
+
+    SlsConfig bad = cfg;
+    bad.featureDim = 0;
+    EXPECT_FALSE(bad.valid());
+
+    bad = cfg;
+    bad.attrBytes = 3;
+    EXPECT_FALSE(bad.valid());
+
+    bad = cfg;
+    bad.rowsPerPage = 0;
+    EXPECT_FALSE(bad.valid());
+
+    bad = cfg;
+    bad.pairs.clear();
+    EXPECT_FALSE(bad.valid());
+
+    bad = cfg;
+    bad.pairs = {{50, 0}, {10, 0}};  // unsorted
+    EXPECT_FALSE(bad.valid());
+
+    bad = cfg;
+    bad.pairs = {{10, 9}};  // resultId >= numResults
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(SlsConfig, DeserializeRejectsGarbage)
+{
+    SlsConfig out;
+    std::vector<std::byte> empty;
+    EXPECT_FALSE(SlsConfig::deserialize(empty, out));
+
+    std::vector<std::byte> junk(64, std::byte{0x5A});
+    EXPECT_FALSE(SlsConfig::deserialize(junk, out));
+
+    // Truncated pair list.
+    auto bytes = sampleConfig().serialize();
+    bytes.resize(bytes.size() - 4);
+    EXPECT_FALSE(SlsConfig::deserialize(bytes, out));
+
+    // Unsorted payload fails validation after decode.
+    SlsConfig unsorted = sampleConfig();
+    std::swap(unsorted.pairs[0], unsorted.pairs[3]);
+    EXPECT_FALSE(SlsConfig::deserialize(unsorted.serialize(), out));
+}
+
+TEST(SlsConfig, VectorBytesAndDuplicates)
+{
+    SlsConfig cfg = sampleConfig();
+    EXPECT_EQ(cfg.vectorBytes(), 128u);
+    // Duplicate (input, result) pairs are legal: sum twice.
+    cfg.pairs = {{5, 0}, {5, 0}};
+    EXPECT_TRUE(cfg.valid());
+}
+
+TEST(SlsAddress, EncodeDecodeRoundTrip)
+{
+    for (std::uint64_t table : {0ull, 1ull, 7ull}) {
+        std::uint64_t base = table * slsTableAlign;
+        for (std::uint64_t req :
+             {std::uint64_t(1), std::uint64_t(42), slsTableAlign - 1}) {
+            std::uint64_t slba = SlsAddress::encode(base, req);
+            auto addr = SlsAddress::decode(slba);
+            EXPECT_EQ(addr.tableBase, base);
+            EXPECT_EQ(addr.requestId, req);
+        }
+    }
+}
+
+TEST(SlsAddress, TableAlignmentLargeEnoughForPaperTables)
+{
+    // 1M rows at one 16KB page per row must fit one aligned slot.
+    EXPECT_GE(slsTableAlign, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for counters, sample stats, histograms and stat groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/stats.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SampleStat, BasicMoments)
+{
+    SampleStat s;
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        s.record(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 5.0);
+}
+
+TEST(SampleStat, EmptyIsSafe)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndExtremes)
+{
+    Histogram h;
+    for (std::uint64_t v : {1ull, 2ull, 4ull, 1024ull, 1000000ull})
+        h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 1000000.0);
+}
+
+TEST(Histogram, QuantilesAreMonotonic)
+{
+    Histogram h;
+    for (std::uint64_t i = 1; i <= 10000; ++i)
+        h.record(i);
+    double p50 = h.quantile(0.5);
+    double p90 = h.quantile(0.9);
+    double p99 = h.quantile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    // Bucketed estimate: p50 of 1..10000 should land within its
+    // power-of-two bucket of 5000.
+    EXPECT_GT(p50, 2000.0);
+    EXPECT_LT(p50, 10000.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(7);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(StatGroup, DumpsRegisteredStats)
+{
+    Counter c;
+    c.inc(3);
+    SampleStat s;
+    s.record(2.5);
+    Histogram h;
+    h.record(100);
+
+    StatGroup group("unit");
+    group.addCounter("count", &c);
+    group.addSample("sample", &s);
+    group.addHistogram("hist", &h);
+
+    std::ostringstream os;
+    group.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("unit"), std::string::npos);
+    EXPECT_NE(text.find("count"), std::string::npos);
+    EXPECT_NE(text.find("3"), std::string::npos);
+    EXPECT_NE(text.find("sample"), std::string::npos);
+    EXPECT_NE(text.find("hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace generator tests, including the paper's K-locality calibration
+ * points (unique fractions and LRU hit rates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/trace/stack_distance.h"
+#include "src/trace/trace_gen.h"
+
+namespace recssd
+{
+namespace
+{
+
+TEST(TraceGen, SequentialWrapsUniverse)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::Sequential;
+    spec.universe = 5;
+    TraceGenerator gen(spec);
+    std::vector<RowId> got;
+    for (int i = 0; i < 7; ++i)
+        got.push_back(gen.next());
+    EXPECT_EQ(got, (std::vector<RowId>{0, 1, 2, 3, 4, 0, 1}));
+}
+
+TEST(TraceGen, StridedStepsByStride)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::Strided;
+    spec.universe = 1000;
+    spec.stride = 128;
+    TraceGenerator gen(spec);
+    EXPECT_EQ(gen.next(), 0u);
+    EXPECT_EQ(gen.next(), 128u);
+    EXPECT_EQ(gen.next(), 256u);
+}
+
+TEST(TraceGen, UniformStaysInUniverseAndCovers)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = 64;
+    TraceGenerator gen(spec);
+    std::unordered_set<RowId> seen;
+    for (int i = 0; i < 2000; ++i) {
+        RowId id = gen.next();
+        ASSERT_LT(id, 64u);
+        seen.insert(id);
+    }
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(TraceGen, DeterministicPerSeed)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::LocalityK;
+    spec.k = 1.0;
+    spec.seed = 5;
+    TraceGenerator a(spec);
+    TraceGenerator b(spec);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    TraceSpec other = spec;
+    other.seed = 6;
+    TraceGenerator c(spec);
+    TraceGenerator d(other);
+    int same = 0;
+    for (int i = 0; i < 500; ++i)
+        same += c.next() == d.next() ? 1 : 0;
+    EXPECT_LT(same, 400) << "different seeds must diverge";
+}
+
+TEST(TraceGen, NextBatchShapes)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = 100;
+    TraceGenerator gen(spec);
+    auto batch = gen.nextBatch(4, 7);
+    ASSERT_EQ(batch.size(), 4u);
+    for (const auto &list : batch)
+        EXPECT_EQ(list.size(), 7u);
+}
+
+TEST(TraceGen, UniqueFractionAnchors)
+{
+    EXPECT_NEAR(uniqueFractionForK(0.0), 0.13, 0.005);
+    EXPECT_NEAR(uniqueFractionForK(2.0), 0.72, 0.005);
+    EXPECT_NEAR(uniqueFractionForK(1.0), 0.54, 0.05);
+    EXPECT_LT(uniqueFractionForK(0.0), uniqueFractionForK(1.0));
+    EXPECT_LT(uniqueFractionForK(1.0), uniqueFractionForK(2.0));
+}
+
+class LocalityKTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LocalityKTest, HitRateTracksPaperCalibration)
+{
+    double k = GetParam();
+    TraceSpec spec;
+    spec.kind = TraceKind::LocalityK;
+    spec.k = k;
+    spec.universe = 1'000'000;
+    spec.seed = 31;
+    TraceGenerator gen(spec);
+
+    StackDistanceAnalyzer analyzer;
+    constexpr int n = 40'000;
+    for (int i = 0; i < n; ++i)
+        analyzer.access(gen.next());
+
+    // The paper quotes 84% / 44% / 28% LRU cache hit rates for
+    // K = 0 / 1 / 2 with the 2K-entry host cache.
+    double hit = analyzer.hitRateAtCapacity(2048);
+    double expect = 1.0 - uniqueFractionForK(k);
+    EXPECT_NEAR(hit, expect, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LocalityKTest,
+                         ::testing::Values(0.0, 1.0, 2.0));
+
+TEST(LocalityK, FreshIdsCycleActiveUniverse)
+{
+    TraceSpec spec;
+    spec.kind = TraceKind::LocalityK;
+    spec.k = 2.0;
+    spec.activeUniverse = 100;
+    spec.universe = 1'000'000;
+    TraceGenerator gen(spec);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_LT(gen.next(), 100u);
+}
+
+TEST(StackDistance, KnownSequence)
+{
+    StackDistanceAnalyzer a;
+    EXPECT_EQ(a.access(1), StackDistanceAnalyzer::coldDistance);
+    EXPECT_EQ(a.access(2), StackDistanceAnalyzer::coldDistance);
+    EXPECT_EQ(a.access(1), 1u);
+    EXPECT_EQ(a.access(1), 0u);
+    EXPECT_EQ(a.access(2), 1u);
+    EXPECT_EQ(a.accesses(), 5u);
+    EXPECT_EQ(a.uniqueKeys(), 2u);
+    EXPECT_NEAR(a.uniqueFraction(), 0.4, 1e-9);
+    EXPECT_NEAR(a.hitRateAtCapacity(1), 0.2, 1e-9);
+    EXPECT_NEAR(a.hitRateAtCapacity(2), 0.6, 1e-9);
+}
+
+}  // namespace
+}  // namespace recssd

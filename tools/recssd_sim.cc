@@ -1,0 +1,200 @@
+/**
+ * @file
+ * recssd_sim — command-line frontend to the simulator.
+ *
+ * Runs one end-to-end configuration and prints latency stats plus the
+ * full device counters, without writing any C++:
+ *
+ *   recssd_sim --model RM1 --backend ndp --trace k --k 1 --batch 16
+ *   recssd_sim --model RM2 --backend base --host-cache --batches 8
+ *   recssd_sim --list-models
+ *
+ * Flags:
+ *   --model NAME        model from the zoo (default RM1)
+ *   --backend KIND      dram | base | ndp (default ndp)
+ *   --trace KIND        uniform | k | seq | str | zipf (default uniform)
+ *   --k VALUE           locality K for --trace k (default 1.0)
+ *   --batch N           batch size (default 16)
+ *   --batches N         measured batches (default 4)
+ *   --warmup N          warmup batches (default 2)
+ *   --host-cache        baseline: enable the host LRU cache
+ *   --partition         ndp: enable static partitioning
+ *   --ssd-cache MB      ndp: SSD-side embedding cache size (default 0)
+ *   --no-pipeline       disable sub-batch pipelining
+ *   --all-ssd           place every table on the SSD
+ *   --seed N            RNG seed (default 42)
+ *   --stats             dump device counters after the run
+ *   --list-models       print the zoo and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--model NAME] [--backend dram|base|ndp] "
+                 "[--trace uniform|k|seq|str|zipf] [--k V] [--batch N] "
+                 "[--batches N] [--warmup N] [--host-cache] [--partition] "
+                 "[--ssd-cache MB] [--no-pipeline] [--all-ssd] [--seed N] "
+                 "[--stats] [--list-models]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+listModels()
+{
+    TablePrinter table("Model zoo",
+                       {"model", "class", "tables", "lookups/sample",
+                        "mlp-macs/sample"});
+    for (const auto &m : modelZoo()) {
+        table.row({m.name, m.embeddingDominated ? "embedding" : "mlp",
+                   std::to_string(m.numTables()),
+                   std::to_string(m.lookupsPerSample()),
+                   std::to_string(m.mlpMacsPerSample())});
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = "RM1";
+    std::string backend = "ndp";
+    std::string trace = "uniform";
+    double k = 1.0;
+    unsigned batch = 16;
+    unsigned batches = 4;
+    unsigned warmup = 2;
+    bool host_cache = false;
+    bool partition = false;
+    std::uint64_t ssd_cache_mb = 0;
+    bool pipeline = true;
+    bool all_ssd = false;
+    std::uint64_t seed = 42;
+    bool dump_stats = false;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--model")) {
+            model_name = need_value(i);
+        } else if (!std::strcmp(arg, "--backend")) {
+            backend = need_value(i);
+        } else if (!std::strcmp(arg, "--trace")) {
+            trace = need_value(i);
+        } else if (!std::strcmp(arg, "--k")) {
+            k = std::atof(need_value(i));
+        } else if (!std::strcmp(arg, "--batch")) {
+            batch = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--batches")) {
+            batches = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--warmup")) {
+            warmup = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--host-cache")) {
+            host_cache = true;
+        } else if (!std::strcmp(arg, "--partition")) {
+            partition = true;
+        } else if (!std::strcmp(arg, "--ssd-cache")) {
+            ssd_cache_mb =
+                static_cast<std::uint64_t>(std::atoll(need_value(i)));
+        } else if (!std::strcmp(arg, "--no-pipeline")) {
+            pipeline = false;
+        } else if (!std::strcmp(arg, "--all-ssd")) {
+            all_ssd = true;
+        } else if (!std::strcmp(arg, "--seed")) {
+            seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+        } else if (!std::strcmp(arg, "--stats")) {
+            dump_stats = true;
+        } else if (!std::strcmp(arg, "--list-models")) {
+            listModels();
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (batch == 0 || batches == 0)
+        usage(argv[0]);
+
+    SystemConfig cfg;
+    cfg.ssd.sls.embeddingCacheBytes = ssd_cache_mb * 1024 * 1024;
+    System sys(cfg);
+
+    RunnerOptions opt;
+    if (backend == "dram") {
+        opt.backend = EmbeddingBackendKind::Dram;
+    } else if (backend == "base") {
+        opt.backend = EmbeddingBackendKind::BaselineSsd;
+    } else if (backend == "ndp") {
+        opt.backend = EmbeddingBackendKind::Ndp;
+    } else {
+        usage(argv[0]);
+    }
+    if (trace == "uniform") {
+        opt.trace.kind = TraceKind::Uniform;
+    } else if (trace == "k") {
+        opt.trace.kind = TraceKind::LocalityK;
+        opt.trace.k = k;
+    } else if (trace == "seq") {
+        opt.trace.kind = TraceKind::Sequential;
+    } else if (trace == "str") {
+        opt.trace.kind = TraceKind::Strided;
+    } else if (trace == "zipf") {
+        opt.trace.kind = TraceKind::Zipf;
+    } else {
+        usage(argv[0]);
+    }
+    opt.hostLruCache = host_cache;
+    opt.staticPartition = partition;
+    opt.pipeline = pipeline;
+    opt.forceAllTablesOnSsd = all_ssd;
+    opt.seed = seed;
+
+    const ModelConfig &model = modelByName(model_name);
+    ModelRunner runner(sys, model, opt);
+
+    std::printf("model %s, backend %s, trace %s, batch %u, %u+%u "
+                "batches, %u/%u tables on SSD\n",
+                model.name.c_str(), backend.c_str(), trace.c_str(), batch,
+                warmup, batches, runner.ssdTables(), model.numTables());
+
+    auto stats = runner.measure(batch, warmup, batches);
+    std::printf("latency: avg %.1fus  min %.1fus  max %.1fus\n",
+                stats.avgLatencyUs, stats.minLatencyUs,
+                stats.maxLatencyUs);
+    if (host_cache)
+        std::printf("host LRU hit rate: %.1f%%\n",
+                    stats.hostCacheHitRate * 100);
+    if (partition)
+        std::printf("partition hit rate: %.1f%%\n",
+                    stats.partitionHitRate * 100);
+    if (ssd_cache_mb)
+        std::printf("SSD embed cache hit rate: %.1f%%\n",
+                    stats.ssdEmbedCacheHitRate * 100);
+    std::printf("flash page reads: %llu\n",
+                static_cast<unsigned long long>(stats.flashPageReads));
+
+    if (dump_stats)
+        sys.dumpStats(std::cout);
+    return 0;
+}
