@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension: tail latency under batched, multi-queue serving.
+ *
+ * The at-scale regime the paper could not measure on its prototype:
+ * Poisson arrivals feed the coalescing batch scheduler, whose fused
+ * batches split between the host-resident partition and the SSD and
+ * fan SSD work out across the driver's NVMe queue pairs. The sweep
+ * crosses arrival rate x per-query batch size x queue-pair count and
+ * reports exact p50/p95/p99 tails, sustained QPS and the fused-batch
+ * coalescing factor.
+ *
+ * Expected shape: more queue pairs push the saturation knee to higher
+ * arrival rates (SSD work no longer serializes on one sync queue),
+ * and past the knee latency grows without any query being dropped.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/reco/serving.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+ServeStats
+measure(double qps, unsigned batch, unsigned queue_pairs)
+{
+    SystemConfig cfg;
+    cfg.ssd.sls.embeddingCacheBytes = 32ull * 1024 * 1024;
+    cfg.host.ioQueues = queue_pairs;
+    cfg.ssd.nvme.numQueues = queue_pairs;
+    cfg.host.balancedQueueGrants = true;
+    System sys(cfg);
+
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    opt.pipeline = true;
+    opt.staticPartition = true;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 1.0;
+    ModelRunner runner(sys, modelByName("RM1"), opt);
+
+    ServeConfig scfg;
+    scfg.arrivals.process = ArrivalProcess::Poisson;
+    scfg.arrivals.qps = qps;
+    scfg.shape.minBatch = batch;
+    scfg.shape.maxBatch = batch;
+    scfg.batching.maxBatchSamples = 4 * batch;
+    scfg.batching.maxWait = 500 * usec;
+    scfg.batching.maxInFlight = 4;
+    scfg.queries = 48;
+    scfg.warmupQueries = 6;
+    scfg.latencySlo = 100 * msec;
+    return runServe(runner, scfg);
+}
+
+}  // namespace
+
+int
+main()
+{
+    TablePrinter table(
+        "Extension: batched multi-queue tail latency, RM1 + RecSSD "
+        "(Poisson, K=1, coalesce cap 4x batch)",
+        {"qps", "batch", "queues", "p50", "p95", "p99", "qps-out",
+         "coalesce", "host%"});
+
+    for (double qps : {25.0, 50.0, 100.0}) {
+        for (unsigned batch : {4u, 16u}) {
+            for (unsigned queues : {1u, 4u, 8u}) {
+                auto s = measure(qps, batch, queues);
+                table.row({TablePrinter::fmt(qps, 0),
+                           std::to_string(batch), std::to_string(queues),
+                           TablePrinter::fmtUs(s.p50Us),
+                           TablePrinter::fmtUs(s.p95Us),
+                           TablePrinter::fmtUs(s.p99Us),
+                           TablePrinter::fmt(s.achievedQps, 1),
+                           TablePrinter::fmt(s.avgCoalescedSamples, 1),
+                           TablePrinter::fmt(s.hostServedFraction * 100,
+                                             0)});
+            }
+        }
+    }
+
+    std::printf("\nShape: added queue pairs move the saturation knee to "
+                "higher arrival rates; past it, queueing delay (not "
+                "drops) absorbs the overload.\n");
+    return 0;
+}

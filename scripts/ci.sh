@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: configure, build, then test in two stages —
+# `ctest -L quick` first (the sub-second unit suites, fails fast on
+# broken plumbing), then the full suite. Pass a generator via
+# CMAKE_GENERATOR if you want Ninja; the default works everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+
+echo
+echo "=== stage 1: quick unit suites (ctest -L quick) ==="
+ctest --test-dir build -L quick --output-on-failure -j
+
+echo
+echo "=== stage 2: full tier-1 suite ==="
+ctest --test-dir build --output-on-failure -j
+
+echo
+echo "CI gate passed."

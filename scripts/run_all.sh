@@ -2,6 +2,9 @@
 # Build everything, run the full test suite, regenerate every figure
 # and table, and leave the transcripts in test_output.txt /
 # bench_output.txt — the end-to-end reproduction in one command.
+# (For the fast test-only gate use scripts/ci.sh; the bench loop below
+# also picks up ext_tail_latency, the batched multi-queue serving
+# sweep.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

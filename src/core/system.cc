@@ -2,6 +2,7 @@
 
 #include <iomanip>
 #include <ostream>
+#include <string>
 
 #include "src/nvme/nvme_command.h"
 
@@ -13,7 +14,10 @@ System::System(const SystemConfig &config) : config_(config)
     ssd_ = std::make_unique<Ssd>(eq_, config_.ssd);
     cpu_ = std::make_unique<HostCpu>(eq_, config_.host);
     driver_ = std::make_unique<UnvmeDriver>(eq_, *cpu_, ssd_->controller());
-    queues_ = std::make_unique<QueueAllocator>(driver_->numQueues());
+    queues_ = std::make_unique<QueueAllocator>(
+        driver_->numQueues(), config_.host.balancedQueueGrants
+                                  ? QueueAllocator::Policy::LeastUsed
+                                  : QueueAllocator::Policy::Fifo);
 }
 
 EmbeddingTableDesc
@@ -56,6 +60,13 @@ System::dumpStats(std::ostream &os)
     line("nvme.commands", ssd_->controller().commandsProcessed());
     line("pcie.bytesMoved", ssd_->pcie().bytesMoved());
     line("driver.commands", driver_->commandsIssued());
+    for (unsigned q = 0; q < driver_->numQueues(); ++q) {
+        std::string prefix = "driver.queue" + std::to_string(q);
+        line((prefix + ".commands").c_str(), driver_->commandsOnQueue(q));
+        line((prefix + ".maxDepth").c_str(),
+             driver_->queuePair(q).maxOutstanding());
+        line((prefix + ".grants").c_str(), queues_->grantsOn(q));
+    }
     if (now > 0) {
         auto pct = [now](Tick busy) {
             return 100.0 * static_cast<double>(busy) /

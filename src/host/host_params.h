@@ -21,6 +21,13 @@ struct HostParams
     /** I/O queues the driver binds (UNVMe uses the maximum). */
     unsigned ioQueues = 4;
 
+    /**
+     * Grant I/O queues least-used-first instead of longest-idle-first
+     * so round-robin stays balanced under out-of-order releases (the
+     * multi-queue serving path turns this on).
+     */
+    bool balancedQueueGrants = false;
+
     /** CPU cost to build + submit one NVMe command (userspace). */
     Tick submitCost = 2 * usec;
     /** CPU cost to poll + consume one completion. */

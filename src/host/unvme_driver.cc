@@ -13,11 +13,27 @@ UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl)
     numQueues_ = std::min(cpu.params().ioQueues, ctrl.params().numQueues);
     recssd_assert(numQueues_ > 0, "driver bound zero I/O queues");
     queueBusy_.assign(numQueues_, false);
+    perQueueCommands_.resize(numQueues_);
     for (unsigned q = 0; q < numQueues_; ++q) {
         ioThreads_.push_back(std::make_unique<SerialResource>(
             eq_, "unvme.worker" + std::to_string(q)));
         queuePairs_.push_back(std::make_unique<NvmeQueuePair>(64));
     }
+}
+
+unsigned
+UnvmeDriver::pickQueue()
+{
+    for (unsigned i = 0; i < numQueues_; ++i) {
+        unsigned q = (rrNext_ + i) % numQueues_;
+        if (!queueBusy_[q]) {
+            rrNext_ = (q + 1) % numQueues_;
+            return q;
+        }
+    }
+    unsigned q = rrNext_;
+    rrNext_ = (rrNext_ + 1) % numQueues_;
+    return q;
 }
 
 NvmeCommand
@@ -50,6 +66,7 @@ UnvmeDriver::occupy(unsigned queue)
                   "sync API misuse: queue %u already has a command in "
                   "flight", queue);
     queueBusy_[queue] = true;
+    perQueueCommands_[queue].inc();
 }
 
 void

@@ -85,6 +85,32 @@ class UnvmeDriver
 
     std::uint64_t commandsIssued() const { return commands_.value(); }
 
+    /** @{ Per-queue accounting and round-robin dispatch. */
+
+    /** Commands ever issued on one queue. */
+    std::uint64_t commandsOnQueue(unsigned queue) const
+    {
+        return perQueueCommands_.at(queue).value();
+    }
+
+    /** Ring occupancy of one queue pair right now. */
+    std::uint16_t queueDepth(unsigned queue) const
+    {
+        return queuePairs_.at(queue)->outstanding();
+    }
+
+    /** True while the sync API has a command in flight on the queue. */
+    bool queueBusy(unsigned queue) const { return queueBusy_.at(queue); }
+
+    /**
+     * Next queue in round-robin order, preferring idle queues: scans
+     * from the rotor for a free queue and falls back to the plain
+     * rotor position when every queue is busy (the caller must then
+     * wait, e.g. through the QueueAllocator, before submitting).
+     */
+    unsigned pickQueue();
+    /** @} */
+
     /** The I/O worker thread bound to a queue (for extract work). */
     SerialResource &ioThread(unsigned queue)
     {
@@ -119,8 +145,10 @@ class UnvmeDriver
     std::vector<std::unique_ptr<SerialResource>> ioThreads_;
     std::vector<std::unique_ptr<NvmeQueuePair>> queuePairs_;
     std::uint64_t nextRequestId_ = 1;
+    unsigned rrNext_ = 0;  ///< round-robin rotor for pickQueue()
 
     Counter commands_;
+    std::vector<Counter> perQueueCommands_;
 };
 
 }  // namespace recssd

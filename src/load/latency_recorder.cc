@@ -1,0 +1,85 @@
+#include "src/load/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+void
+LatencyRecorder::record(Tick latency)
+{
+    samples_.push_back(latency);
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::reset()
+{
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+}
+
+double
+LatencyRecorder::meanUs() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (Tick t : samples_)
+        total += ticksToUs(t);
+    return total / static_cast<double>(samples_.size());
+}
+
+double
+LatencyRecorder::maxUs() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return ticksToUs(*std::max_element(samples_.begin(), samples_.end()));
+}
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+Tick
+LatencyRecorder::percentile(double q) const
+{
+    recssd_assert(q > 0.0 && q <= 1.0, "percentile out of range");
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted_.size())));
+    rank = std::max<std::size_t>(1, std::min(rank, sorted_.size()));
+    return sorted_[rank - 1];
+}
+
+double
+LatencyRecorder::percentileUs(double q) const
+{
+    return ticksToUs(percentile(q));
+}
+
+double
+LatencyRecorder::fractionWithin(Tick slo) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (Tick t : samples_)
+        n += t <= slo ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+}  // namespace recssd

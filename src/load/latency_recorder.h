@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Exact tail-latency accounting for serving experiments.
+ *
+ * The power-of-two `Histogram` in src/common/stats is fine for device
+ * internals but too coarse for SLO work, where the difference between
+ * p95 and p99 is the whole result. This recorder keeps every sample
+ * and computes exact nearest-rank percentiles, plus the throughput a
+ * completion stream sustained.
+ */
+
+#ifndef RECSSD_LOAD_LATENCY_RECORDER_H
+#define RECSSD_LOAD_LATENCY_RECORDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class LatencyRecorder
+{
+  public:
+    void record(Tick latency);
+    void reset();
+
+    std::size_t count() const { return samples_.size(); }
+    double meanUs() const;
+    double maxUs() const;
+
+    /**
+     * Exact nearest-rank percentile: the smallest recorded sample
+     * such that at least q of the samples are <= it (so with 100
+     * samples, percentile(0.99) is the 99th smallest).
+     * @param q in (0, 1].
+     */
+    Tick percentile(double q) const;
+    double percentileUs(double q) const;
+
+    /** Fraction of samples at or under `slo`. */
+    double fractionWithin(Tick slo) const;
+
+    const std::vector<Tick> &samples() const { return samples_; }
+
+  private:
+    std::vector<Tick> samples_;
+    mutable std::vector<Tick> sorted_;  ///< lazily (re)built
+    mutable bool sortedValid_ = false;
+
+    void ensureSorted() const;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_LOAD_LATENCY_RECORDER_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Open-loop load generation.
+ *
+ * DeepRecSys-style traffic synthesis (Gupta et al., the serving
+ * infrastructure RecSSD's models come from): queries arrive on a
+ * configurable arrival process — Poisson, fixed interval, or a bursty
+ * hyperexponential whose coefficient of variation is a knob — and each
+ * query independently draws its own shape (samples per query, tables
+ * touched, pooling-factor scale). Everything is deterministic from the
+ * seed so serving experiments replay exactly.
+ */
+
+#ifndef RECSSD_LOAD_LOAD_GEN_H
+#define RECSSD_LOAD_LOAD_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** Inter-arrival time process of the open-loop generator. */
+enum class ArrivalProcess
+{
+    Fixed,    ///< deterministic gaps of exactly 1/qps (CoV 0)
+    Poisson,  ///< exponential gaps (CoV 1): independent user traffic
+    Bursty,   ///< hyperexponential gaps (CoV > 1): flash-crowd traffic
+};
+
+struct ArrivalSpec
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /** Mean arrival rate (queries per simulated second). */
+    double qps = 100.0;
+    /**
+     * Bursty: burst factor B >= 1. Gaps are drawn from a two-phase
+     * hyperexponential with mean 1/qps whose short phase is B times
+     * faster than the mean; B = 1 degenerates to Poisson, larger B
+     * raises the coefficient of variation monotonically.
+     */
+    double burstiness = 4.0;
+};
+
+/** Per-query work shape drawn by the generator. */
+struct QueryShape
+{
+    /** Samples (inference requests) in this query. */
+    unsigned batchSize = 16;
+    /** Embedding tables the query touches (capped at the model). */
+    unsigned tablesTouched = ~0u;
+    /** Multiplier on every table's lookups-per-sample. */
+    double poolingScale = 1.0;
+};
+
+/** Distribution the per-query shapes are drawn from (all uniform). */
+struct QueryShapeSpec
+{
+    unsigned minBatch = 8;
+    unsigned maxBatch = 8;
+    /** 0 = touch every table the model has. */
+    unsigned minTables = 0;
+    unsigned maxTables = 0;
+    double minPoolingScale = 1.0;
+    double maxPoolingScale = 1.0;
+};
+
+/** One generated query: when it arrives and what it asks for. */
+struct QueryDesc
+{
+    Tick arrival = 0;
+    QueryShape shape;
+};
+
+class LoadGenerator
+{
+  public:
+    LoadGenerator(const ArrivalSpec &arrivals, const QueryShapeSpec &shape,
+                  std::uint64_t seed);
+
+    /** Next inter-arrival gap in ticks (>= 1). */
+    Tick nextGap();
+
+    /** Draw one query shape. */
+    QueryShape nextShape();
+
+    /**
+     * Generate a full arrival schedule of `count` queries; the first
+     * arrival lands one gap after tick 0.
+     */
+    std::vector<QueryDesc> schedule(unsigned count);
+
+    const ArrivalSpec &arrivals() const { return arrivals_; }
+    const QueryShapeSpec &shape() const { return shape_; }
+
+  private:
+    ArrivalSpec arrivals_;
+    QueryShapeSpec shape_;
+    Rng rng_;
+    double meanGapNs_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_LOAD_LOAD_GEN_H

@@ -29,6 +29,9 @@ NvmeQueuePair::submit(const NvmeCommand &cmd)
     sq_[sqTail_] = entry;
     sqTail_ = next(sqTail_);  // tail doorbell write
     ++outstanding_;
+    ++submitted_;
+    if (outstanding_ > maxOutstanding_)
+        maxOutstanding_ = outstanding_;
     return entry.cid;
 }
 

@@ -72,6 +72,15 @@ class NvmeQueuePair
     /** Commands submitted but not yet completed+polled. */
     std::uint16_t outstanding() const { return outstanding_; }
 
+    /** @{ Per-queue depth accounting (serving-path load balance). */
+
+    /** Total SQEs ever submitted to this pair. */
+    std::uint64_t submitted() const { return submitted_; }
+
+    /** High-water mark of `outstanding()` over the pair's lifetime. */
+    std::uint16_t maxOutstanding() const { return maxOutstanding_; }
+    /** @} */
+
   private:
     std::uint16_t next(std::uint16_t idx) const
     {
@@ -91,6 +100,8 @@ class NvmeQueuePair
     bool hostPhase_ = true;     ///< phase the host expects
     std::uint16_t nextCid_ = 0;
     std::uint16_t outstanding_ = 0;
+    std::uint64_t submitted_ = 0;
+    std::uint16_t maxOutstanding_ = 0;
 };
 
 }  // namespace recssd

@@ -1,6 +1,7 @@
 #include "src/reco/model_runner.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 #include "src/embedding/synthetic_values.h"
@@ -36,6 +37,9 @@ struct BatchState
     unsigned subBatchesLeft = 0;
     bool done = false;
     Tick latency = 0;
+    /** Shape of the query this batch executes. */
+    unsigned tablesTouched = ~0u;
+    double poolingScale = 1.0;
     /** Per-sub-batch functional pieces (kept for functionalMlp). */
     Matrix scores;
     unsigned batchSize = 0;
@@ -176,10 +180,33 @@ void
 ModelRunner::launchBatch(unsigned batch_size,
                          std::function<void(Tick)> done)
 {
+    QueryShape shape;
+    shape.batchSize = batch_size;
+    launchQuery(shape, std::move(done));
+}
+
+unsigned
+ModelRunner::scaledLookups(const TableRt &table, double scale) const
+{
+    if (scale == 1.0)
+        return table.lookups;
+    auto scaled = static_cast<long long>(
+        std::llround(static_cast<double>(table.lookups) * scale));
+    return static_cast<unsigned>(std::max<long long>(1, scaled));
+}
+
+void
+ModelRunner::launchQuery(const QueryShape &shape,
+                         std::function<void(Tick)> done)
+{
+    unsigned batch_size = shape.batchSize;
     recssd_assert(batch_size > 0, "empty batch");
+    recssd_assert(shape.poolingScale > 0.0, "pooling scale must be > 0");
     auto batch = std::make_shared<BatchState>();
     batch->start = sys_.eq().now();
     batch->batchSize = batch_size;
+    batch->tablesTouched = shape.tablesTouched;
+    batch->poolingScale = shape.poolingScale;
     batch->onDone = std::move(done);
     unsigned subs = options_.pipeline
                         ? std::max(1u, std::min<unsigned>(options_.subBatches,
@@ -290,12 +317,20 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
         join();
     });
 
-    // Embedding operations, one per table.
+    // Embedding operations, one per table. Tables beyond the query's
+    // tablesTouched horizon run with empty index lists: the operator
+    // still dispatches (and the result keeps its layout) but gathers
+    // nothing, which is how sparse queries skip feature groups.
     for (std::size_t t = 0; t < tables_.size(); ++t) {
         TableRt &table = tables_[t];
         SlsOp op;
         op.table = &table.desc;
-        op.indices = table.gen->nextBatch(size, table.lookups);
+        if (t < batch->tablesTouched) {
+            op.indices = table.gen->nextBatch(
+                size, scaledLookups(table, batch->poolingScale));
+        } else {
+            op.indices.assign(size, {});
+        }
         backendFor(table).run(op, [state, t, join](SlsResult result) {
             state->pooled[t] = std::move(result);
             join();

@@ -23,6 +23,7 @@
 #include "src/embedding/baseline_backend.h"
 #include "src/embedding/dram_backend.h"
 #include "src/embedding/ndp_backend.h"
+#include "src/load/load_gen.h"
 #include "src/reco/mlp.h"
 #include "src/reco/model_config.h"
 #include "src/trace/trace_gen.h"
@@ -97,6 +98,16 @@ class ModelRunner
      */
     void launchBatch(unsigned batch_size, std::function<void(Tick)> done);
 
+    /**
+     * Launch one query with an explicit shape: `shape.batchSize`
+     * samples touching the first `shape.tablesTouched` tables with
+     * per-table lookups scaled by `shape.poolingScale`. The default
+     * shape reproduces launchBatch exactly; untouched tables
+     * contribute zero vectors (and no backend traffic beyond the
+     * operator dispatch), so the result layout never changes.
+     */
+    void launchQuery(const QueryShape &shape, std::function<void(Tick)> done);
+
     /** Warm up, then measure the average over `batches` batches. */
     RunStats measure(unsigned batch_size, unsigned warmup_batches,
                      unsigned batches);
@@ -132,6 +143,9 @@ class ModelRunner
     /** Launch one sub-batch; joins into the shared completion count. */
     void launchSubBatch(unsigned size, unsigned first_sample,
                         const std::shared_ptr<struct BatchState> &batch);
+
+    /** Lookups per sample for one table under a pooling scale. */
+    unsigned scaledLookups(const TableRt &table, double scale) const;
 
     System &sys_;
     ModelConfig model_;

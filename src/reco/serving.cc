@@ -88,4 +88,216 @@ runOpenLoop(ModelRunner &runner, const ServingConfig &config)
     return out;
 }
 
+BatchScheduler::BatchScheduler(ModelRunner &runner,
+                               const BatchPolicy &policy)
+    : runner_(runner), policy_(policy)
+{
+    recssd_assert(policy_.maxBatchSamples > 0, "zero fused-batch cap");
+    recssd_assert(policy_.maxInFlight > 0, "zero in-flight cap");
+}
+
+void
+BatchScheduler::submit(const QueryShape &shape, QueryDone done)
+{
+    recssd_assert(shape.batchSize > 0, "empty query");
+    PendingQuery p;
+    p.shape = shape;
+    p.arrival = runner_.sys().eq().now();
+    p.done = std::move(done);
+    pending_.push_back(std::move(p));
+    pendingSamples_ += shape.batchSize;
+    maxDepth_ = std::max(maxDepth_,
+                         static_cast<unsigned>(pending_.size()));
+    maybeDispatch();
+}
+
+void
+BatchScheduler::maybeDispatch()
+{
+    EventQueue &eq = runner_.sys().eq();
+    while (!pending_.empty() && inFlight_ < policy_.maxInFlight &&
+           (pendingSamples_ >= policy_.maxBatchSamples ||
+            eq.now() - pending_.front().arrival >= policy_.maxWait)) {
+        dispatchOne();
+    }
+    if (!pending_.empty() && inFlight_ < policy_.maxInFlight)
+        armTimer();
+}
+
+void
+BatchScheduler::armTimer()
+{
+    EventQueue &eq = runner_.sys().eq();
+    Tick due = pending_.front().arrival + policy_.maxWait;
+    if (due < eq.now())
+        due = eq.now();
+    // An armed timer that fires no later than `due` still covers us:
+    // its callback re-evaluates and re-arms.
+    if (timerArmed_ && timerDue_ <= due)
+        return;
+    timerArmed_ = true;
+    timerDue_ = due;
+    std::uint64_t gen = ++timerGen_;
+    eq.schedule(due, [this, gen]() {
+        if (gen != timerGen_)
+            return;  // superseded by a later arm
+        timerArmed_ = false;
+        maybeDispatch();
+    });
+}
+
+void
+BatchScheduler::dispatchOne()
+{
+    EventQueue &eq = runner_.sys().eq();
+    Tick dispatch = eq.now();
+
+    // Fuse queries from the head of the queue, never splitting one.
+    auto members = std::make_shared<std::vector<PendingQuery>>();
+    unsigned samples = 0;
+    unsigned tables = 0;
+    double weighted_scale = 0.0;
+    while (!pending_.empty()) {
+        unsigned next = pending_.front().shape.batchSize;
+        if (!members->empty() && samples + next > policy_.maxBatchSamples)
+            break;
+        PendingQuery p = std::move(pending_.front());
+        pending_.pop_front();
+        pendingSamples_ -= next;
+        samples += next;
+        tables = std::max(tables, p.shape.tablesTouched);
+        weighted_scale += static_cast<double>(next) * p.shape.poolingScale;
+        members->push_back(std::move(p));
+        if (samples >= policy_.maxBatchSamples)
+            break;
+    }
+
+    QueryShape fused;
+    fused.batchSize = samples;
+    fused.tablesTouched = tables;
+    fused.poolingScale = weighted_scale / static_cast<double>(samples);
+
+    ++inFlight_;
+    ++dispatched_;
+    dispatchedSamples_ += samples;
+    runner_.launchQuery(fused, [this, members, dispatch](Tick) {
+        Tick complete = runner_.sys().eq().now();
+        for (auto &m : *members) {
+            QueryTimes t;
+            t.arrival = m.arrival;
+            t.dispatch = dispatch;
+            t.complete = complete;
+            m.done(t);
+        }
+        recssd_assert(inFlight_ > 0, "in-flight underflow");
+        --inFlight_;
+        maybeDispatch();
+    });
+}
+
+ServeStats
+runServe(ModelRunner &runner, const ServeConfig &config)
+{
+    System &sys = runner.sys();
+    EventQueue &eq = sys.eq();
+    const unsigned total = config.warmupQueries + config.queries;
+    recssd_assert(config.queries > 0, "nothing to measure");
+
+    BatchScheduler scheduler(runner, config.batching);
+    LoadGenerator gen(config.arrivals, config.shape, config.seed);
+    auto arrivals = gen.schedule(total);
+
+    struct Measure
+    {
+        LatencyRecorder latency;
+        LatencyRecorder queueing;
+        LatencyRecorder service;
+        unsigned completed = 0;
+        unsigned sloMet = 0;
+        Tick lastDone = 0;
+    };
+    auto m = std::make_shared<Measure>();
+
+    // Host-vs-SSD split accounting over the whole run: lookups the
+    // host LRU cache / static partition absorb never reach the SSD.
+    std::uint64_t host_before = 0;
+    std::uint64_t total_before = 0;
+    auto splitCounters = [&runner](std::uint64_t &host, std::uint64_t &all) {
+        host = 0;
+        all = 0;
+        if (auto *cache = runner.hostCache()) {
+            host += cache->hits();
+            all += cache->hits() + cache->misses();
+        }
+        if (auto *part = runner.partition()) {
+            host += part->hits();
+            all += part->hits() + part->misses();
+        }
+    };
+    splitCounters(host_before, total_before);
+
+    for (unsigned i = 0; i < total; ++i) {
+        const QueryDesc &q = arrivals[i];
+        eq.schedule(q.arrival, [&scheduler, &config, m, i,
+                                shape = q.shape]() {
+            scheduler.submit(shape, [&config, m, i](const QueryTimes &t) {
+                ++m->completed;
+                m->lastDone = t.complete;
+                if (i < config.warmupQueries)
+                    return;
+                m->latency.record(t.complete - t.arrival);
+                m->queueing.record(t.dispatch - t.arrival);
+                m->service.record(t.complete - t.dispatch);
+                if (t.complete - t.arrival <= config.latencySlo)
+                    ++m->sloMet;
+            });
+        });
+    }
+    // The measurement window opens when the first measured query
+    // arrives (its arrival tick is known up front).
+    Tick measure_start =
+        config.warmupQueries < total ? arrivals[config.warmupQueries].arrival
+                                     : 0;
+    sys.run();
+    recssd_assert(m->completed == total,
+                  "serving path lost queries: %u of %u completed",
+                  m->completed, total);
+
+    ServeStats out;
+    out.meanLatencyUs = m->latency.meanUs();
+    out.maxLatencyUs = m->latency.maxUs();
+    out.p50Us = m->latency.percentileUs(0.50);
+    out.p95Us = m->latency.percentileUs(0.95);
+    out.p99Us = m->latency.percentileUs(0.99);
+    out.meanQueueUs = m->queueing.meanUs();
+    out.meanServiceUs = m->service.meanUs();
+    out.sloAttainment = m->latency.fractionWithin(config.latencySlo);
+    out.completedQueries = static_cast<unsigned>(m->latency.count());
+    Tick span = m->lastDone > measure_start ? m->lastDone - measure_start
+                                            : 1;
+    out.achievedQps = static_cast<double>(config.queries) /
+                      (static_cast<double>(span) / sec);
+    out.batchesDispatched = scheduler.batchesDispatched();
+    out.avgCoalescedSamples = scheduler.avgCoalescedSamples();
+    out.maxSchedulerDepth = scheduler.maxQueueDepth();
+
+    std::uint64_t host_after = 0;
+    std::uint64_t total_after = 0;
+    splitCounters(host_after, total_after);
+    if (total_after > total_before) {
+        out.hostServedFraction =
+            static_cast<double>(host_after - host_before) /
+            static_cast<double>(total_after - total_before);
+    } else if (runner.options().backend == EmbeddingBackendKind::Dram) {
+        out.hostServedFraction = 1.0;
+    }
+
+    UnvmeDriver &driver = sys.driver();
+    for (unsigned q = 0; q < driver.numQueues(); ++q) {
+        out.commandsPerQueue.push_back(driver.commandsOnQueue(q));
+        out.maxDepthPerQueue.push_back(driver.queuePair(q).maxOutstanding());
+    }
+    return out;
+}
+
 }  // namespace recssd

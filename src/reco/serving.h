@@ -1,21 +1,38 @@
 /**
  * @file
- * Open-loop serving harness: latency-bounded throughput.
+ * Open-loop serving: load generation, batching, tail latency.
  *
  * The paper's single-model/single-SSD prototype restricted it to
- * direct request latencies (§5); this extension explores the metric
- * datacenter operators actually provision for. Queries arrive as a
- * Poisson process at a target QPS, overlap freely on the simulated
- * machine, and the harness reports the tail-latency distribution and
- * the fraction of queries meeting an SLO.
+ * direct request latencies (§5); this subsystem explores the metric
+ * datacenter operators actually provision for. Two harnesses:
+ *
+ *  - `runOpenLoop`: the original one-query-per-dispatch Poisson
+ *    harness (kept for the fig-level benches).
+ *  - `runServe`: the at-scale path. A `LoadGenerator` (src/load)
+ *    produces arrivals and per-query shapes; a `BatchScheduler`
+ *    coalesces in-flight queries into fused batches (size cap +
+ *    batching timeout + in-flight cap, DeepRecSys-style); the model
+ *    runner splits each fused batch between host-DRAM structures
+ *    (LRU cache / static partition) and the SSD backend, whose I/O
+ *    fans out round-robin across the driver's NVMe queue pairs.
+ *    Per-query timestamps (arrival / dispatch / completion) flow
+ *    through the event-driven sim, so the harness reports exact
+ *    p50/p95/p99 tails, queueing-vs-service breakdown, sustained QPS
+ *    and the per-queue NVMe command spread.
  */
 
 #ifndef RECSSD_RECO_SERVING_H
 #define RECSSD_RECO_SERVING_H
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "src/common/stats.h"
+#include "src/load/latency_recorder.h"
+#include "src/load/load_gen.h"
 #include "src/reco/model_runner.h"
 
 namespace recssd
@@ -55,6 +72,146 @@ struct ServingStats
  * when every query has completed.
  */
 ServingStats runOpenLoop(ModelRunner &runner, const ServingConfig &config);
+
+/** Per-query timeline the scheduler reports to its caller. */
+struct QueryTimes
+{
+    Tick arrival = 0;   ///< query hit the scheduler
+    Tick dispatch = 0;  ///< fused batch launched on the runner
+    Tick complete = 0;  ///< fused batch finished
+};
+
+/** Knobs of the coalescing batch scheduler. */
+struct BatchPolicy
+{
+    /** Fused-batch sample cap: dispatch as soon as this many samples
+     *  are pending (a query is never split across fused batches). */
+    unsigned maxBatchSamples = 64;
+    /** Batching timeout: the oldest pending query never waits longer
+     *  than this for co-riders before dispatch (0 = no batching). */
+    Tick maxWait = 200 * usec;
+    /** Concurrent fused batches in flight on the runner. */
+    unsigned maxInFlight = 4;
+};
+
+/**
+ * Coalesces submitted queries into fused batches and runs them on a
+ * `ModelRunner`. Queries are dispatched FIFO; under overload they
+ * queue (latency grows) rather than being dropped — `submit`'s `done`
+ * callback fires exactly once per query, always.
+ */
+class BatchScheduler
+{
+  public:
+    using QueryDone = std::function<void(const QueryTimes &)>;
+
+    BatchScheduler(ModelRunner &runner, const BatchPolicy &policy);
+
+    /** Enqueue one query; `done` fires when its fused batch completes. */
+    void submit(const QueryShape &shape, QueryDone done);
+
+    /** Queries waiting for dispatch. */
+    unsigned pendingQueries() const
+    {
+        return static_cast<unsigned>(pending_.size());
+    }
+    unsigned pendingSamples() const { return pendingSamples_; }
+    unsigned inFlight() const { return inFlight_; }
+
+    /** @{ Lifetime accounting. */
+    std::uint64_t batchesDispatched() const { return dispatched_; }
+    std::uint64_t samplesDispatched() const { return dispatchedSamples_; }
+    double avgCoalescedSamples() const
+    {
+        return dispatched_ ? static_cast<double>(dispatchedSamples_) /
+                                 static_cast<double>(dispatched_)
+                           : 0.0;
+    }
+    /** High-water mark of the pending-query queue. */
+    unsigned maxQueueDepth() const { return maxDepth_; }
+    /** @} */
+
+  private:
+    struct PendingQuery
+    {
+        QueryShape shape;
+        Tick arrival = 0;
+        QueryDone done;
+    };
+
+    /** Dispatch while a batch is ready and in-flight slots remain. */
+    void maybeDispatch();
+    /** Pop + fuse + launch one batch from the queue head. */
+    void dispatchOne();
+    /** Arm the batching-timeout event for the current queue head. */
+    void armTimer();
+
+    ModelRunner &runner_;
+    BatchPolicy policy_;
+    std::deque<PendingQuery> pending_;
+    unsigned pendingSamples_ = 0;
+    unsigned inFlight_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t dispatchedSamples_ = 0;
+    unsigned maxDepth_ = 0;
+    /** Timeout-event bookkeeping (stale timers are ignored). */
+    std::uint64_t timerGen_ = 0;
+    bool timerArmed_ = false;
+    Tick timerDue_ = 0;
+};
+
+/** Configuration of the batched at-scale serving harness. */
+struct ServeConfig
+{
+    ArrivalSpec arrivals;
+    QueryShapeSpec shape;
+    BatchPolicy batching;
+    /** Measured queries after warmup. */
+    unsigned queries = 200;
+    unsigned warmupQueries = 20;
+    Tick latencySlo = 50 * msec;
+    std::uint64_t seed = 99;
+};
+
+/** What the batched harness measured. */
+struct ServeStats
+{
+    /** End-to-end query latency (arrival -> completion), measured set. */
+    double meanLatencyUs = 0.0;
+    double maxLatencyUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    /** Scheduler-queue delay (arrival -> dispatch). */
+    double meanQueueUs = 0.0;
+    /** Fused-batch service time (dispatch -> completion). */
+    double meanServiceUs = 0.0;
+    double sloAttainment = 0.0;
+    double achievedQps = 0.0;
+
+    unsigned completedQueries = 0;
+    std::uint64_t batchesDispatched = 0;
+    double avgCoalescedSamples = 0.0;
+    unsigned maxSchedulerDepth = 0;
+
+    /** Lookups absorbed by host-DRAM structures (cache/partition)
+     *  rather than the SSD backend, over the whole run. */
+    double hostServedFraction = 0.0;
+
+    /** @{ NVMe queue-pair spread over the whole run. */
+    std::vector<std::uint64_t> commandsPerQueue;
+    std::vector<std::uint16_t> maxDepthPerQueue;
+    /** @} */
+};
+
+/**
+ * Drive the runner through the batched multi-queue serving path:
+ * generate `warmupQueries + queries` arrivals open loop, coalesce
+ * them through a `BatchScheduler`, and measure. Returns when every
+ * query has completed; every submitted query completes (overload
+ * manifests as latency, never as drops).
+ */
+ServeStats runServe(ModelRunner &runner, const ServeConfig &config);
 
 }  // namespace recssd
 

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Differential backend suite: for randomized traces, the gathered-and-
+ * pooled embedding outputs of the DRAM reference, the baseline SSD
+ * backend and the NDP backend must be bit-identical — no tolerance.
+ * Any divergence between the serving-path backends is a correctness
+ * bug, not a modelling choice, so the suite drives >= 100 random
+ * (layout, trace kind, batch, pooling) combinations through all of
+ * them and EXPECT_EQs the float vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/embedding/baseline_backend.h"
+#include "src/embedding/dram_backend.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/trace/trace_gen.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+class DifferentialTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sys_ = std::make_unique<System>(test::smallSystem());
+        unsigned page = sys_->config().ssd.flash.pageSize;
+        // One table per layout class: narrow unpacked, packed medium,
+        // wide unpacked, packed small-attr.
+        tables_.push_back(sys_->installTable(60'000, 16, 4, 1));
+        tables_.push_back(sys_->installTable(60'000, 32, 4,
+                                             page / (32 * 4)));
+        tables_.push_back(sys_->installTable(20'000, 64, 4, 1));
+        tables_.push_back(sys_->installTable(60'000, 32, 2,
+                                             page / (32 * 2)));
+    }
+
+    SlsResult
+    runSync(SlsBackend &backend, const SlsOp &op)
+    {
+        SlsResult out;
+        bool done = false;
+        backend.run(op, [&](SlsResult r) {
+            out = std::move(r);
+            done = true;
+        });
+        sys_->run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    SlsOp
+    randomOp(Rng &rng, const EmbeddingTableDesc &table)
+    {
+        static const TraceKind kinds[] = {
+            TraceKind::Sequential, TraceKind::Strided, TraceKind::Uniform,
+            TraceKind::Zipf, TraceKind::LocalityK};
+        TraceSpec spec;
+        spec.kind = kinds[rng.uniformInt(5)];
+        spec.universe = table.rows;
+        spec.seed = rng();
+        spec.activeUniverse = 256 + rng.uniformInt(1024);
+        spec.k = rng.uniformDouble() * 2.0;
+        spec.stride = 1 + rng.uniformInt(64);
+        TraceGenerator gen(spec);
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(1 + rng.uniformInt(10),
+                                   1 + rng.uniformInt(24));
+        // Sparse queries leave some bags empty (the serving path does
+        // this for tables a query does not touch).
+        for (auto &bag : op.indices)
+            if (rng.bernoulli(0.1))
+                bag.clear();
+        return op;
+    }
+
+    std::unique_ptr<System> sys_;
+    std::vector<EmbeddingTableDesc> tables_;
+};
+
+TEST_F(DifferentialTest, RandomTracesAllBackendsBitIdentical)
+{
+    DramSlsBackend dram(sys_->eq(), sys_->cpu());
+    BaselineSsdSlsBackend base(sys_->eq(), sys_->cpu(), sys_->driver(),
+                               sys_->queues(),
+                               BaselineSsdSlsBackend::Options{});
+    BaselineSsdSlsBackend::Options nocoal;
+    nocoal.coalescePages = false;
+    BaselineSsdSlsBackend base_per_lookup(sys_->eq(), sys_->cpu(),
+                                          sys_->driver(), sys_->queues(),
+                                          nocoal);
+    NdpSlsBackend ndp(sys_->eq(), sys_->cpu(), sys_->driver(),
+                      sys_->queues(), NdpSlsBackend::Options{});
+
+    Rng rng(20260806);
+    const unsigned kTraces = 120;
+    for (unsigned t = 0; t < kTraces; ++t) {
+        const auto &table = tables_[rng.uniformInt(tables_.size())];
+        SlsOp op = randomOp(rng, table);
+        auto expected = synthetic::expectedSls(table, op.indices);
+        ASSERT_EQ(runSync(dram, op), expected)
+            << "DRAM reference diverged on trace " << t;
+        ASSERT_EQ(runSync(base, op), expected)
+            << "baseline SSD diverged on trace " << t << " (table dim "
+            << table.dim << ")";
+        ASSERT_EQ(runSync(base_per_lookup, op), expected)
+            << "per-lookup baseline diverged on trace " << t;
+        ASSERT_EQ(runSync(ndp, op), expected)
+            << "NDP diverged on trace " << t << " (table dim "
+            << table.dim << ")";
+    }
+}
+
+TEST_F(DifferentialTest, StatefulVariantsStayExactAcrossTraces)
+{
+    // The host LRU cache and the static partition carry state from op
+    // to op; reuse-heavy traces must never surface a stale or
+    // misplaced row.
+    const auto &table = tables_[1];  // packed dim-32
+
+    HostEmbeddingCache cache(512);
+    BaselineSsdSlsBackend::Options copt;
+    copt.hostCache = &cache;
+    BaselineSsdSlsBackend cached(sys_->eq(), sys_->cpu(), sys_->driver(),
+                                 sys_->queues(), copt);
+
+    StaticPartition part(64);
+    TraceSpec pspec;
+    pspec.kind = TraceKind::LocalityK;
+    pspec.universe = table.rows;
+    pspec.activeUniverse = 128;
+    pspec.seed = 31;
+    TraceGenerator profiler(pspec);
+    for (int i = 0; i < 4000; ++i)
+        part.profile(table.id, profiler.next());
+    part.build([&](std::uint32_t, RowId row) {
+        return synthetic::vectorOf(table, row);
+    });
+    NdpSlsBackend::Options popt;
+    popt.partition = &part;
+    NdpSlsBackend partitioned(sys_->eq(), sys_->cpu(), sys_->driver(),
+                              sys_->queues(), popt);
+
+    Rng rng(4242);
+    for (unsigned t = 0; t < 40; ++t) {
+        TraceSpec spec;
+        spec.kind = TraceKind::LocalityK;
+        spec.universe = table.rows;
+        spec.activeUniverse = 128;  // overlap the profiled set
+        spec.k = rng.uniformDouble() * 2.0;
+        spec.seed = rng();
+        TraceGenerator gen(spec);
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(1 + rng.uniformInt(8),
+                                   1 + rng.uniformInt(16));
+        auto expected = synthetic::expectedSls(table, op.indices);
+        ASSERT_EQ(runSync(cached, op), expected)
+            << "LRU-cached baseline diverged on trace " << t;
+        ASSERT_EQ(runSync(partitioned, op), expected)
+            << "partitioned NDP diverged on trace " << t;
+    }
+    EXPECT_GT(cache.hits(), 0u) << "reuse traces must exercise the cache";
+    EXPECT_GT(partitioned.hotLookups(), 0u)
+        << "profiled rows must exercise the partition";
+}
+
+}  // namespace
+}  // namespace recssd

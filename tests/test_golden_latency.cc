@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden simulated-latency totals.
+ *
+ * The simulator's value is its timing model; a refactor that silently
+ * shifts modeled latency is as much a regression as a wrong pooled
+ * vector. For one pinned seed and a tiny model, the summed tick
+ * latency of a fixed batch sequence on each backend is a constant of
+ * the codebase. If a change moves one of these totals *intentionally*
+ * (a timing-model improvement), update the constant in the same
+ * commit and say why; the failure message prints old and new values
+ * to make that diff explicit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/reco/model_runner.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 50'000, 16, 8}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+/** Summed tick latency of 4 batches of 8 on a fresh system. */
+Tick
+totalLatency(EmbeddingBackendKind backend, bool cache_or_partition)
+{
+    System sys(test::smallSystem());
+    RunnerOptions opt;
+    opt.backend = backend;
+    opt.forceAllTablesOnSsd = backend != EmbeddingBackendKind::Dram;
+    opt.hostLruCache = cache_or_partition &&
+                       backend == EmbeddingBackendKind::BaselineSsd;
+    opt.staticPartition = cache_or_partition &&
+                          backend == EmbeddingBackendKind::Ndp;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 1.0;
+    opt.seed = 20260806;
+    ModelRunner runner(sys, tinyModel(), opt);
+
+    Tick total = 0;
+    for (int b = 0; b < 4; ++b) {
+        runner.launchBatch(8, [&](Tick latency) { total += latency; });
+        sys.run();
+    }
+    return total;
+}
+
+// The pinned constants. Regenerate by running this binary and copying
+// the "new" values from the failure output.
+constexpr Tick kGoldenDram = 35'532;
+constexpr Tick kGoldenBaselineSsd = 14'993'272;
+constexpr Tick kGoldenBaselineSsdCached = 13'183'424;
+constexpr Tick kGoldenNdp = 6'022'114;
+constexpr Tick kGoldenNdpPartitioned = 15'532;
+
+TEST(GoldenLatency, Dram)
+{
+    Tick now = totalLatency(EmbeddingBackendKind::Dram, false);
+    EXPECT_EQ(now, kGoldenDram)
+        << "DRAM golden latency changed: old " << kGoldenDram << " new "
+        << now << " ticks. Update the constant only for an intentional "
+        << "timing-model change.";
+}
+
+TEST(GoldenLatency, BaselineSsd)
+{
+    Tick now = totalLatency(EmbeddingBackendKind::BaselineSsd, false);
+    EXPECT_EQ(now, kGoldenBaselineSsd)
+        << "baseline-SSD golden latency changed: old "
+        << kGoldenBaselineSsd << " new " << now << " ticks.";
+}
+
+TEST(GoldenLatency, BaselineSsdWithHostCache)
+{
+    Tick now = totalLatency(EmbeddingBackendKind::BaselineSsd, true);
+    EXPECT_EQ(now, kGoldenBaselineSsdCached)
+        << "cached-baseline golden latency changed: old "
+        << kGoldenBaselineSsdCached << " new " << now << " ticks.";
+}
+
+TEST(GoldenLatency, Ndp)
+{
+    Tick now = totalLatency(EmbeddingBackendKind::Ndp, false);
+    EXPECT_EQ(now, kGoldenNdp)
+        << "NDP golden latency changed: old " << kGoldenNdp << " new "
+        << now << " ticks.";
+}
+
+TEST(GoldenLatency, NdpWithPartition)
+{
+    Tick now = totalLatency(EmbeddingBackendKind::Ndp, true);
+    EXPECT_EQ(now, kGoldenNdpPartitioned)
+        << "partitioned-NDP golden latency changed: old "
+        << kGoldenNdpPartitioned << " new " << now << " ticks.";
+}
+
+TEST(GoldenLatency, RelationshipsHold)
+{
+    // Independent of the exact constants: SSD must cost more than
+    // DRAM, and the paper's optimizations must not slow their
+    // baselines down on a locality-friendly trace.
+    Tick dram = totalLatency(EmbeddingBackendKind::Dram, false);
+    Tick base = totalLatency(EmbeddingBackendKind::BaselineSsd, false);
+    Tick cached = totalLatency(EmbeddingBackendKind::BaselineSsd, true);
+    Tick ndp = totalLatency(EmbeddingBackendKind::Ndp, false);
+    EXPECT_LT(dram, base);
+    EXPECT_LE(cached, base);
+    EXPECT_LT(ndp, base) << "NDP offload must beat page-granular reads";
+}
+
+}  // namespace
+}  // namespace recssd

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Load-generator statistics: the arrival processes must actually have
+ * the first and second moments they advertise, and the whole stream
+ * must replay bit-identically from the seed.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/load/load_gen.h"
+
+namespace recssd
+{
+namespace
+{
+
+constexpr unsigned kDraws = 20'000;
+
+struct GapMoments
+{
+    double mean;
+    double cov;  ///< coefficient of variation (stddev / mean)
+};
+
+GapMoments
+momentsOf(LoadGenerator &gen, unsigned draws)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (unsigned i = 0; i < draws; ++i) {
+        auto gap = static_cast<double>(gen.nextGap());
+        sum += gap;
+        sum_sq += gap * gap;
+    }
+    double mean = sum / draws;
+    double var = sum_sq / draws - mean * mean;
+    return {mean, std::sqrt(std::max(0.0, var)) / mean};
+}
+
+ArrivalSpec
+spec(ArrivalProcess process, double qps, double burst = 4.0)
+{
+    ArrivalSpec a;
+    a.process = process;
+    a.qps = qps;
+    a.burstiness = burst;
+    return a;
+}
+
+TEST(LoadGen, PoissonMeanMatchesRate)
+{
+    const double qps = 1000.0;  // mean gap 1ms = 1e6 ticks
+    LoadGenerator gen(spec(ArrivalProcess::Poisson, qps),
+                      QueryShapeSpec{}, 7);
+    auto m = momentsOf(gen, kDraws);
+    double expected = static_cast<double>(sec) / qps;
+    EXPECT_NEAR(m.mean, expected, 0.03 * expected)
+        << "Poisson inter-arrival mean must track 1/lambda";
+    EXPECT_NEAR(m.cov, 1.0, 0.1)
+        << "exponential gaps have CoV 1";
+}
+
+TEST(LoadGen, FixedIntervalIsDeterministic)
+{
+    LoadGenerator gen(spec(ArrivalProcess::Fixed, 500.0),
+                      QueryShapeSpec{}, 7);
+    auto m = momentsOf(gen, 1000);
+    EXPECT_DOUBLE_EQ(m.mean, static_cast<double>(sec) / 500.0);
+    EXPECT_DOUBLE_EQ(m.cov, 0.0);
+}
+
+TEST(LoadGen, BurstinessKnobRaisesCoV)
+{
+    double cov_by_burst[3];
+    double bursts[3] = {1.0, 4.0, 16.0};
+    for (int i = 0; i < 3; ++i) {
+        LoadGenerator gen(
+            spec(ArrivalProcess::Bursty, 200.0, bursts[i]),
+            QueryShapeSpec{}, 11);
+        auto m = momentsOf(gen, kDraws);
+        cov_by_burst[i] = m.cov;
+        // The hyperexponential preserves the configured mean at every
+        // burst factor.
+        double expected = static_cast<double>(sec) / 200.0;
+        EXPECT_NEAR(m.mean, expected, 0.10 * expected)
+            << "burst " << bursts[i];
+    }
+    EXPECT_NEAR(cov_by_burst[0], 1.0, 0.1)
+        << "burstiness 1 degenerates to Poisson";
+    EXPECT_GT(cov_by_burst[1], cov_by_burst[0] * 1.5);
+    EXPECT_GT(cov_by_burst[2], cov_by_burst[1] * 1.2)
+        << "CoV must grow monotonically with the burst factor";
+}
+
+TEST(LoadGen, IdenticalSeedsReplayIdenticalStreams)
+{
+    QueryShapeSpec shape;
+    shape.minBatch = 1;
+    shape.maxBatch = 32;
+    shape.minTables = 1;
+    shape.maxTables = 8;
+    shape.minPoolingScale = 0.5;
+    shape.maxPoolingScale = 2.0;
+
+    LoadGenerator a(spec(ArrivalProcess::Bursty, 100.0), shape, 99);
+    LoadGenerator b(spec(ArrivalProcess::Bursty, 100.0), shape, 99);
+    auto sa = a.schedule(500);
+    auto sb = b.schedule(500);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].arrival, sb[i].arrival) << "query " << i;
+        EXPECT_EQ(sa[i].shape.batchSize, sb[i].shape.batchSize);
+        EXPECT_EQ(sa[i].shape.tablesTouched, sb[i].shape.tablesTouched);
+        EXPECT_DOUBLE_EQ(sa[i].shape.poolingScale,
+                         sb[i].shape.poolingScale);
+    }
+
+    LoadGenerator c(spec(ArrivalProcess::Bursty, 100.0), shape, 100);
+    auto sc = c.schedule(500);
+    bool differs = false;
+    for (std::size_t i = 0; i < sc.size() && !differs; ++i)
+        differs = sc[i].arrival != sa[i].arrival;
+    EXPECT_TRUE(differs) << "different seeds must not replay";
+}
+
+TEST(LoadGen, ShapesStayWithinConfiguredRanges)
+{
+    QueryShapeSpec shape;
+    shape.minBatch = 4;
+    shape.maxBatch = 12;
+    shape.minTables = 2;
+    shape.maxTables = 5;
+    shape.minPoolingScale = 0.25;
+    shape.maxPoolingScale = 1.75;
+    LoadGenerator gen(spec(ArrivalProcess::Poisson, 100.0), shape, 3);
+    bool batch_lo = false;
+    bool batch_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        QueryShape s = gen.nextShape();
+        ASSERT_GE(s.batchSize, 4u);
+        ASSERT_LE(s.batchSize, 12u);
+        ASSERT_GE(s.tablesTouched, 2u);
+        ASSERT_LE(s.tablesTouched, 5u);
+        ASSERT_GE(s.poolingScale, 0.25);
+        ASSERT_LE(s.poolingScale, 1.75);
+        batch_lo |= s.batchSize == 4;
+        batch_hi |= s.batchSize == 12;
+    }
+    EXPECT_TRUE(batch_lo && batch_hi)
+        << "uniform batch draw must reach both range endpoints";
+}
+
+TEST(LoadGen, DefaultShapeTouchesAllTables)
+{
+    LoadGenerator gen(spec(ArrivalProcess::Poisson, 100.0),
+                      QueryShapeSpec{}, 3);
+    QueryShape s = gen.nextShape();
+    EXPECT_EQ(s.tablesTouched, ~0u);
+    EXPECT_DOUBLE_EQ(s.poolingScale, 1.0);
+}
+
+TEST(LoadGen, GapsAreAlwaysPositive)
+{
+    // Even at absurd rates the generator must advance time.
+    LoadGenerator gen(spec(ArrivalProcess::Poisson, 1e12),
+                      QueryShapeSpec{}, 5);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GE(gen.nextGap(), 1u);
+}
+
+}  // namespace
+}  // namespace recssd

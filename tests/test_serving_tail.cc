@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tail-latency accounting and the batched serving path.
+ *
+ * Hand-constructed completion streams pin the percentile math to
+ * known answers; the scheduler tests lock down coalescing, the
+ * never-drop guarantee and monotone degradation under overload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/load/latency_recorder.h"
+#include "src/reco/serving.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 50'000, 16, 8}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+TEST(LatencyRecorder, NearestRankPercentilesOnKnownStream)
+{
+    // 1..100us in shuffled-ish order: nearest-rank p50 is the 50th
+    // smallest sample, i.e. exactly 50us, and likewise p95/p99.
+    LatencyRecorder rec;
+    for (int i = 100; i >= 1; --i)
+        rec.record(static_cast<Tick>(i) * usec);
+    ASSERT_EQ(rec.count(), 100u);
+    EXPECT_DOUBLE_EQ(rec.percentileUs(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(rec.percentileUs(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(rec.percentileUs(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(rec.percentileUs(1.00), 100.0);
+    EXPECT_DOUBLE_EQ(rec.meanUs(), 50.5);
+    EXPECT_DOUBLE_EQ(rec.maxUs(), 100.0);
+}
+
+TEST(LatencyRecorder, SmallStreamsClampToFirstSample)
+{
+    LatencyRecorder rec;
+    rec.record(7 * usec);
+    // Any quantile of a single sample is that sample.
+    EXPECT_EQ(rec.percentile(0.01), 7 * usec);
+    EXPECT_EQ(rec.percentile(0.50), 7 * usec);
+    EXPECT_EQ(rec.percentile(0.99), 7 * usec);
+
+    rec.record(3 * usec);
+    EXPECT_EQ(rec.percentile(0.50), 3 * usec)
+        << "p50 of {3,7} is the 1st smallest by nearest rank";
+    EXPECT_EQ(rec.percentile(0.51), 7 * usec);
+}
+
+TEST(LatencyRecorder, FractionWithinSlo)
+{
+    LatencyRecorder rec;
+    for (int i = 1; i <= 10; ++i)
+        rec.record(static_cast<Tick>(i) * usec);
+    EXPECT_DOUBLE_EQ(rec.fractionWithin(3 * usec), 0.3);
+    EXPECT_DOUBLE_EQ(rec.fractionWithin(10 * usec), 1.0);
+    EXPECT_DOUBLE_EQ(rec.fractionWithin(0), 0.0);
+}
+
+TEST(LatencyRecorder, ResetClearsState)
+{
+    LatencyRecorder rec;
+    rec.record(5 * usec);
+    EXPECT_EQ(rec.count(), 1u);
+    rec.reset();
+    EXPECT_EQ(rec.count(), 0u);
+    EXPECT_DOUBLE_EQ(rec.meanUs(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.percentileUs(0.99), 0.0);
+}
+
+ServeConfig
+serveConfig(double qps, unsigned batch, unsigned queries)
+{
+    ServeConfig cfg;
+    cfg.arrivals.process = ArrivalProcess::Fixed;
+    cfg.arrivals.qps = qps;
+    cfg.shape.minBatch = batch;
+    cfg.shape.maxBatch = batch;
+    cfg.batching.maxBatchSamples = 4 * batch;
+    cfg.batching.maxWait = 200 * usec;
+    cfg.batching.maxInFlight = 2;
+    cfg.queries = queries;
+    cfg.warmupQueries = 4;
+    cfg.seed = 7;
+    return cfg;
+}
+
+ModelRunner
+makeRunner(System &sys, EmbeddingBackendKind backend)
+{
+    RunnerOptions opt;
+    opt.backend = backend;
+    opt.forceAllTablesOnSsd = backend != EmbeddingBackendKind::Dram;
+    return ModelRunner(sys, tinyModel(), opt);
+}
+
+TEST(ServingTail, SchedulerCoalescesUnderPressure)
+{
+    System sys(test::smallSystem());
+    ModelRunner runner = makeRunner(sys, EmbeddingBackendKind::BaselineSsd);
+    // Arrivals far faster than service: queries pile up behind the
+    // in-flight cap and later dispatches must fuse several of them.
+    auto cfg = serveConfig(/*qps=*/20'000.0, /*batch=*/4, /*queries=*/40);
+    auto s = runServe(runner, cfg);
+
+    EXPECT_EQ(s.completedQueries, cfg.queries) << "no silent drops";
+    EXPECT_LT(s.batchesDispatched, cfg.queries + cfg.warmupQueries)
+        << "back-to-back arrivals must coalesce";
+    EXPECT_GT(s.avgCoalescedSamples, 4.0)
+        << "fused batches should carry more than one 4-sample query";
+    EXPECT_GT(s.maxSchedulerDepth, 1u);
+}
+
+TEST(ServingTail, OverloadDegradesMonotonicallyWithoutDrops)
+{
+    // Fixed-interval arrivals at rising rates on an identical system:
+    // mean and p99 latency must be monotonically non-decreasing, and
+    // every query must complete at every rate.
+    const double rates[] = {50.0, 500.0, 5'000.0, 50'000.0};
+    double prev_mean = 0.0;
+    double prev_p99 = 0.0;
+    for (double qps : rates) {
+        System sys(test::smallSystem());
+        ModelRunner runner =
+            makeRunner(sys, EmbeddingBackendKind::BaselineSsd);
+        auto s = runServe(runner, serveConfig(qps, 4, 32));
+        EXPECT_EQ(s.completedQueries, 32u)
+            << "dropped queries at " << qps << " qps";
+        EXPECT_GE(s.meanLatencyUs, prev_mean)
+            << "latency regressed when load rose to " << qps << " qps";
+        EXPECT_GE(s.p99Us, prev_p99);
+        prev_mean = s.meanLatencyUs;
+        prev_p99 = s.p99Us;
+    }
+    EXPECT_GT(prev_mean, 1'000.0)
+        << "the top rate must actually be past saturation";
+}
+
+TEST(ServingTail, QueueingPlusServiceAccountsForLatency)
+{
+    System sys(test::smallSystem());
+    ModelRunner runner = makeRunner(sys, EmbeddingBackendKind::BaselineSsd);
+    auto s = runServe(runner, serveConfig(2'000.0, 4, 30));
+    EXPECT_NEAR(s.meanQueueUs + s.meanServiceUs, s.meanLatencyUs, 0.1)
+        << "arrival->dispatch plus dispatch->complete spans the latency";
+    EXPECT_GE(s.p50Us, s.meanServiceUs * 0.1);
+    EXPECT_LE(s.p50Us, s.p95Us);
+    EXPECT_LE(s.p95Us, s.p99Us);
+    EXPECT_LE(s.p99Us, s.maxLatencyUs + 0.5);
+}
+
+TEST(ServingTail, DeterministicForSeed)
+{
+    double p99[2];
+    for (int i = 0; i < 2; ++i) {
+        System sys(test::smallSystem());
+        ModelRunner runner =
+            makeRunner(sys, EmbeddingBackendKind::BaselineSsd);
+        auto cfg = serveConfig(1'000.0, 4, 24);
+        cfg.arrivals.process = ArrivalProcess::Bursty;
+        cfg.arrivals.burstiness = 4.0;
+        p99[i] = runServe(runner, cfg).p99Us;
+    }
+    EXPECT_DOUBLE_EQ(p99[0], p99[1]);
+}
+
+TEST(ServingTail, MultiQueueSpreadsCommands)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.host.ioQueues = 4;
+    cfg.ssd.nvme.numQueues = 4;
+    cfg.host.balancedQueueGrants = true;
+    System sys(cfg);
+    ModelRunner runner = makeRunner(sys, EmbeddingBackendKind::BaselineSsd);
+    auto s = runServe(runner, serveConfig(2'000.0, 8, 32));
+    ASSERT_EQ(s.commandsPerQueue.size(), 4u);
+    std::uint64_t min_cmds = ~0ull;
+    std::uint64_t max_cmds = 0;
+    for (auto c : s.commandsPerQueue) {
+        min_cmds = std::min(min_cmds, c);
+        max_cmds = std::max(max_cmds, c);
+    }
+    EXPECT_GT(min_cmds, 0u) << "every queue pair must carry traffic";
+    EXPECT_LE(max_cmds, min_cmds * 2 + 8)
+        << "balanced grants should keep the spread tight";
+}
+
+}  // namespace
+}  // namespace recssd

@@ -25,8 +25,20 @@
  *   --seed N            RNG seed (default 42)
  *   --stats             dump device counters after the run
  *   --list-models       print the zoo and exit
+ *
+ * Serving mode (open-loop load + batch scheduler + tail latency):
+ *   --serve             run the batched serving harness instead
+ *   --qps R             mean arrival rate (default 50)
+ *   --arrival KIND      poisson | fixed | bursty (default poisson)
+ *   --burst B           bursty: burst factor (default 4)
+ *   --queries N         measured queries (default 100)
+ *   --max-batch N       fused-batch sample cap (default 4x batch)
+ *   --max-wait-us N     batching timeout in us (default 500)
+ *   --max-inflight N    concurrent fused batches (default 4)
+ *   --io-queues N       NVMe queue pairs to bind (default 4)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +47,7 @@
 
 #include "src/core/experiment.h"
 #include "src/reco/model_runner.h"
+#include "src/reco/serving.h"
 
 using namespace recssd;
 
@@ -49,8 +62,12 @@ usage(const char *argv0)
                  "[--trace uniform|k|seq|str|zipf] [--k V] [--batch N] "
                  "[--batches N] [--warmup N] [--host-cache] [--partition] "
                  "[--ssd-cache MB] [--no-pipeline] [--all-ssd] [--seed N] "
-                 "[--stats] [--list-models]\n",
-                 argv0);
+                 "[--stats] [--list-models]\n"
+                 "       %s --serve [--qps R] [--arrival poisson|fixed|"
+                 "bursty] [--burst B] [--queries N] [--max-batch N] "
+                 "[--max-wait-us N] [--max-inflight N] [--io-queues N] "
+                 "[common flags]\n",
+                 argv0, argv0);
     std::exit(2);
 }
 
@@ -87,6 +104,15 @@ main(int argc, char **argv)
     bool all_ssd = false;
     std::uint64_t seed = 42;
     bool dump_stats = false;
+    bool serve = false;
+    double qps = 50.0;
+    std::string arrival = "poisson";
+    double burst = 4.0;
+    unsigned queries = 100;
+    unsigned max_batch = 0;  // 0 = 4x batch
+    unsigned max_wait_us = 500;
+    unsigned max_inflight = 4;
+    unsigned io_queues = 4;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -125,6 +151,24 @@ main(int argc, char **argv)
             seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
         } else if (!std::strcmp(arg, "--stats")) {
             dump_stats = true;
+        } else if (!std::strcmp(arg, "--serve")) {
+            serve = true;
+        } else if (!std::strcmp(arg, "--qps")) {
+            qps = std::atof(need_value(i));
+        } else if (!std::strcmp(arg, "--arrival")) {
+            arrival = need_value(i);
+        } else if (!std::strcmp(arg, "--burst")) {
+            burst = std::atof(need_value(i));
+        } else if (!std::strcmp(arg, "--queries")) {
+            queries = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--max-batch")) {
+            max_batch = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--max-wait-us")) {
+            max_wait_us = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--max-inflight")) {
+            max_inflight = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--io-queues")) {
+            io_queues = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--list-models")) {
             listModels();
             return 0;
@@ -138,6 +182,11 @@ main(int argc, char **argv)
 
     SystemConfig cfg;
     cfg.ssd.sls.embeddingCacheBytes = ssd_cache_mb * 1024 * 1024;
+    if (serve) {
+        cfg.host.ioQueues = io_queues;
+        cfg.ssd.nvme.numQueues = io_queues;
+        cfg.host.balancedQueueGrants = true;
+    }
     System sys(cfg);
 
     RunnerOptions opt;
@@ -172,6 +221,57 @@ main(int argc, char **argv)
 
     const ModelConfig &model = modelByName(model_name);
     ModelRunner runner(sys, model, opt);
+
+    if (serve) {
+        ServeConfig scfg;
+        if (arrival == "poisson") {
+            scfg.arrivals.process = ArrivalProcess::Poisson;
+        } else if (arrival == "fixed") {
+            scfg.arrivals.process = ArrivalProcess::Fixed;
+        } else if (arrival == "bursty") {
+            scfg.arrivals.process = ArrivalProcess::Bursty;
+        } else {
+            usage(argv[0]);
+        }
+        scfg.arrivals.qps = qps;
+        scfg.arrivals.burstiness = burst;
+        scfg.shape.minBatch = batch;
+        scfg.shape.maxBatch = batch;
+        scfg.batching.maxBatchSamples = max_batch ? max_batch : 4 * batch;
+        scfg.batching.maxWait = Tick(max_wait_us) * usec;
+        scfg.batching.maxInFlight = max_inflight;
+        scfg.queries = queries;
+        scfg.warmupQueries = std::max(1u, queries / 10);
+        scfg.seed = seed;
+
+        std::printf("serving %s, backend %s, %s arrivals @ %.1f qps, "
+                    "batch %u, coalesce cap %u, %u queue pairs\n",
+                    model.name.c_str(), backend.c_str(), arrival.c_str(),
+                    qps, batch, scfg.batching.maxBatchSamples, io_queues);
+        auto s = runServe(runner, scfg);
+        std::printf("latency: p50 %.1fus  p95 %.1fus  p99 %.1fus  "
+                    "mean %.1fus  max %.1fus\n",
+                    s.p50Us, s.p95Us, s.p99Us, s.meanLatencyUs,
+                    s.maxLatencyUs);
+        std::printf("breakdown: queueing %.1fus  service %.1fus\n",
+                    s.meanQueueUs, s.meanServiceUs);
+        std::printf("throughput: %.1f qps sustained, %llu fused batches "
+                    "(%.1f samples avg), scheduler depth max %u\n",
+                    s.achievedQps,
+                    static_cast<unsigned long long>(s.batchesDispatched),
+                    s.avgCoalescedSamples, s.maxSchedulerDepth);
+        std::printf("split: %.1f%% of lookups served host-side\n",
+                    s.hostServedFraction * 100);
+        for (std::size_t q = 0; q < s.commandsPerQueue.size(); ++q) {
+            std::printf("queue %zu: %llu commands, max depth %u\n", q,
+                        static_cast<unsigned long long>(
+                            s.commandsPerQueue[q]),
+                        s.maxDepthPerQueue[q]);
+        }
+        if (dump_stats)
+            sys.dumpStats(std::cout);
+        return 0;
+    }
 
     std::printf("model %s, backend %s, trace %s, batch %u, %u+%u "
                 "batches, %u/%u tables on SSD\n",
