@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: configure, build, then test in two stages —
+# Tier-1 CI gate: configure, build, then test in three stages —
 # `ctest -L quick` first (the sub-second unit suites, fails fast on
-# broken plumbing), then the full suite. Pass a generator via
+# broken plumbing), then the full suite, then the quick suites again
+# under ASan+UBSan in a separate build tree. Pass a generator via
 # CMAKE_GENERATOR if you want Ninja; the default works everywhere.
+# RECSSD_SKIP_SANITIZERS=1 skips stage 3 (for hosts without ASan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +18,18 @@ ctest --test-dir build -L quick --output-on-failure -j
 echo
 echo "=== stage 2: full tier-1 suite ==="
 ctest --test-dir build --output-on-failure -j
+
+if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
+    echo
+    echo "=== stage 3: quick unit suites under ASan+UBSan ==="
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+        -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+    cmake --build build-asan -j
+    ctest --test-dir build-asan -L quick --output-on-failure -j
+fi
 
 echo
 echo "CI gate passed."

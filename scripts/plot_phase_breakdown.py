@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Plot per-phase request-time breakdowns (the paper's Fig 6/8 shape).
+
+Input: attribution JSON files produced by either
+
+    build/bench/ext_phase_breakdown <outdir>     # phases_<config>.json
+    build/tools/recssd_sim ... --serve           # pipe the JSON yourself
+
+Each file is one AttributionReport: {"requests": N, "coverage": C,
+"phases": [{"phase": name, "fraction": f, "mean_us": m, ...}, ...]}.
+
+Usage:
+    scripts/plot_phase_breakdown.py <dir-or-json> [more.json ...]
+        [-o breakdown.png]
+
+With matplotlib installed, writes a stacked horizontal-bar chart (one
+bar per config, one segment per phase). Without it, falls back to an
+ASCII rendering on stdout so the script is useful on bare CI hosts.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Stable phase order (deepest first) and a fixed palette so the same
+# phase keeps its color across charts. Must track src/obs/phase.h.
+PHASE_ORDER = [
+    "flash.read",
+    "flash.write",
+    "ndp.translate",
+    "ndp.config",
+    "ftl.cpu",
+    "nvme.result_dma",
+    "nvme.xfer",
+    "driver.submit",
+    "device.wait",
+    "host.queue_wait",
+    "host.compute",
+    "sched.queue",
+    "other",
+]
+
+PALETTE = [
+    "#1f77b4", "#aec7e8", "#ff7f0e", "#ffbb78", "#2ca02c", "#98df8a",
+    "#d62728", "#ff9896", "#9467bd", "#c5b0d5", "#8c564b", "#e377c2",
+    "#7f7f7f",
+]
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    label = os.path.basename(path)
+    if label.startswith("phases_"):
+        label = label[len("phases_"):]
+    if label.endswith(".json"):
+        label = label[: -len(".json")]
+    fractions = {row["phase"]: row["fraction"] for row in report["phases"]}
+    return label, report, fractions
+
+
+def collect_inputs(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            found = sorted(
+                os.path.join(p, f)
+                for f in os.listdir(p)
+                if f.endswith(".json")
+            )
+            if not found:
+                sys.exit(f"no .json files in {p}")
+            files.extend(found)
+        else:
+            files.append(p)
+    return files
+
+
+def phase_columns(reports):
+    """Phases that appear anywhere, in canonical order, unknowns last."""
+    seen = set()
+    for _, _, fractions in reports:
+        seen.update(fractions)
+    ordered = [p for p in PHASE_ORDER if p in seen]
+    ordered += sorted(seen - set(PHASE_ORDER))
+    return ordered
+
+
+def ascii_chart(reports, phases, width=60):
+    legend = {p: chr(ord("A") + i) for i, p in enumerate(phases)}
+    print("Per-phase share of request time (each column ~ "
+          f"{100.0 / width:.1f}%):\n")
+    label_w = max(len(label) for label, _, _ in reports)
+    for label, report, fractions in reports:
+        bar = ""
+        for p in phases:
+            cells = int(round(fractions.get(p, 0.0) * width))
+            bar += legend[p] * cells
+        bar = bar[:width].ljust(width, ".")
+        mean = report.get("mean_request_us", 0.0)
+        print(f"  {label:<{label_w}} |{bar}| mean {mean:.0f}us")
+    print("\nLegend:")
+    for p in phases:
+        print(f"  {legend[p]} = {p}")
+
+
+def matplotlib_chart(reports, phases, out):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    labels = [label for label, _, _ in reports]
+    fig, ax = plt.subplots(figsize=(9, 1.2 + 0.6 * len(reports)))
+    left = [0.0] * len(reports)
+    for p in phases:
+        vals = [fractions.get(p, 0.0) * 100 for _, _, fractions in reports]
+        color = PALETTE[PHASE_ORDER.index(p) % len(PALETTE)] \
+            if p in PHASE_ORDER else None
+        ax.barh(labels, vals, left=left, label=p, color=color)
+        left = [l + v for l, v in zip(left, vals)]
+    ax.set_xlabel("share of request time (%)")
+    ax.set_xlim(0, 100)
+    ax.invert_yaxis()
+    ax.legend(loc="center left", bbox_to_anchor=(1.02, 0.5), fontsize=8)
+    ax.set_title("Per-phase request-time breakdown")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="+",
+                    help="attribution JSON files, or a directory of them")
+    ap.add_argument("-o", "--out", default="phase_breakdown.png",
+                    help="output image (with matplotlib)")
+    ap.add_argument("--ascii", action="store_true",
+                    help="force the ASCII rendering")
+    args = ap.parse_args()
+
+    reports = [load_report(f) for f in collect_inputs(args.inputs)]
+    phases = phase_columns(reports)
+
+    use_ascii = args.ascii
+    if not use_ascii:
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            print("matplotlib not available; falling back to ASCII\n",
+                  file=sys.stderr)
+            use_ascii = True
+
+    if use_ascii:
+        ascii_chart(reports, phases)
+    else:
+        matplotlib_chart(reports, phases, args.out)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,8 @@
 namespace recssd
 {
 
+class Tracer;  // src/obs — attached here so every layer can reach it
+
 /** Priority queue of timed callbacks; the heart of the simulator. */
 class EventQueue
 {
@@ -65,6 +67,14 @@ class EventQueue
     /** Total number of events ever executed. */
     std::uint64_t executed() const { return executed_; }
 
+    /** @{ Observability hook. Every component holds an EventQueue
+     *  reference, so the queue doubles as the rendezvous point for the
+     *  span tracer: null (the default) means tracing is off and
+     *  instrumentation points cost one pointer check. */
+    Tracer *tracer() const { return tracer_; }
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    /** @} */
+
   private:
     struct Event
     {
@@ -87,6 +97,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    Tracer *tracer_ = nullptr;
     std::priority_queue<Event, std::vector<Event>, Later> events_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/common/stats.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <iomanip>
@@ -34,21 +35,29 @@ Histogram::quantile(double q) const
 {
     if (stat_.count() == 0)
         return 0.0;
-    if (q < 0.0)
-        q = 0.0;
-    if (q > 1.0)
-        q = 1.0;
+    if (q <= 0.0)
+        return stat_.min();
+    if (q >= 1.0)
+        return stat_.max();
     const double target = q * static_cast<double>(stat_.count());
     double seen = 0.0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
-        seen += static_cast<double>(buckets_[i]);
-        if (seen >= target) {
-            // Bucket i holds values in [2^(i-1), 2^i); report the
-            // geometric midpoint as the representative value.
-            double lo = i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
+        if (buckets_[i] == 0)
+            continue;
+        double in_bucket = static_cast<double>(buckets_[i]);
+        if (seen + in_bucket >= target) {
+            // Bucket i holds values in [2^(i-1), 2^i); interpolate
+            // linearly by the rank's position inside the bucket, then
+            // clamp to the observed range so a single-sample bucket
+            // reports the sample itself rather than a bucket bound.
+            double lo =
+                i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
             double hi = std::pow(2.0, static_cast<double>(i));
-            return (lo + hi) / 2.0;
+            double frac = (target - seen) / in_bucket;
+            return std::clamp(lo + frac * (hi - lo), stat_.min(),
+                              stat_.max());
         }
+        seen += in_bucket;
     }
     return stat_.max();
 }

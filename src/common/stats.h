@@ -37,6 +37,41 @@ class Counter
 };
 
 /**
+ * Up/down counter tracking the current level and its high-water mark.
+ * Models occupancy-style quantities: queue depth, outstanding
+ * commands, in-flight batches.
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void
+    inc(std::int64_t n = 1)
+    {
+        value_ += n;
+        if (value_ > highWater_)
+            highWater_ = value_;
+    }
+
+    void dec(std::int64_t n = 1) { value_ -= n; }
+
+    void
+    reset()
+    {
+        value_ = 0;
+        highWater_ = 0;
+    }
+
+    std::int64_t value() const { return value_; }
+    std::int64_t highWater() const { return highWater_; }
+
+  private:
+    std::int64_t value_ = 0;
+    std::int64_t highWater_ = 0;
+};
+
+/**
  * Running scalar sample statistics (count / sum / min / max / mean).
  */
 class SampleStat

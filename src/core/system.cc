@@ -4,6 +4,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/common/logging.h"
 #include "src/nvme/nvme_command.h"
 
 namespace recssd
@@ -18,6 +19,100 @@ System::System(const SystemConfig &config) : config_(config)
         driver_->numQueues(), config_.host.balancedQueueGrants
                                   ? QueueAllocator::Policy::LeastUsed
                                   : QueueAllocator::Policy::Fifo);
+    // Off by default: an unhooked tracer keeps every instrumentation
+    // point a single null check, so timing is bit-identical to an
+    // uninstrumented build.
+    tracer_ = std::make_unique<Tracer>(eq_);
+    buildRegistry();
+}
+
+void
+System::buildRegistry()
+{
+    auto u64 = [](auto get) {
+        return [get]() { return static_cast<double>(get()); };
+    };
+    StatRegistry &r = registry_;
+    Ssd *ssd = ssd_.get();
+    UnvmeDriver *drv = driver_.get();
+    QueueAllocator *qa = queues_.get();
+    HostCpu *cpu = cpu_.get();
+    EventQueue *eq = &eq_;
+
+    r.addScalar("sim", "now_us",
+                [eq]() { return ticksToUs(eq->now()); });
+
+    r.addScalar("flash", "page_reads",
+                u64([ssd]() { return ssd->flash().pageReads(); }));
+    r.addScalar("flash", "page_writes",
+                u64([ssd]() { return ssd->flash().pageWrites(); }));
+    r.addScalar("flash", "block_erases",
+                u64([ssd]() { return ssd->flash().blockErases(); }));
+    r.addScalar("flash", "read_retries",
+                u64([ssd]() { return ssd->flash().readRetries(); }));
+
+    r.addScalar("ftl", "host_reads",
+                u64([ssd]() { return ssd->ftl().hostReads(); }));
+    r.addScalar("ftl", "host_writes",
+                u64([ssd]() { return ssd->ftl().hostWrites(); }));
+    r.addScalar("ftl", "host_trims",
+                u64([ssd]() { return ssd->ftl().hostTrims(); }));
+    r.addScalar("ftl", "gc_runs",
+                u64([ssd]() { return ssd->ftl().gcRuns(); }));
+    r.addScalar("ftl", "gc_pages_migrated",
+                u64([ssd]() { return ssd->ftl().gcPagesMigrated(); }));
+    r.addScalar("ftl.page_cache", "hits",
+                u64([ssd]() { return ssd->ftl().pageCache().hits(); }));
+    r.addScalar("ftl.page_cache", "misses",
+                u64([ssd]() { return ssd->ftl().pageCache().misses(); }));
+    r.addScalar("ftl.cpu", "busy_us", [ssd]() {
+        return ticksToUs(ssd->ftl().cpu().busyTime());
+    });
+
+    r.addScalar("sls", "requests",
+                u64([ssd]() { return ssd->slsEngine().requests(); }));
+    r.addScalar("sls", "flash_pages_read",
+                u64([ssd]() { return ssd->slsEngine().flashPagesRead(); }));
+    r.addScalar("sls", "page_cache_hits",
+                u64([ssd]() { return ssd->slsEngine().pageCacheHits(); }));
+    r.addScalar("sls", "embed_cache_hits",
+                u64([ssd]() { return ssd->slsEngine().embedCacheHits(); }));
+
+    r.addScalar("nvme", "commands",
+                u64([ssd]() { return ssd->controller().commandsProcessed(); }));
+    r.addScalar("pcie", "bytes_moved",
+                u64([ssd]() { return ssd->pcie().bytesMoved(); }));
+    r.addScalar("pcie", "busy_us",
+                [ssd]() { return ticksToUs(ssd->pcie().busyTime()); });
+
+    r.addScalar("driver", "commands",
+                u64([drv]() { return drv->commandsIssued(); }));
+    r.addScalar("host.cores", "busy_us",
+                [cpu]() { return ticksToUs(cpu->busyTime()); });
+
+    for (unsigned q = 0; q < driver_->numQueues(); ++q) {
+        std::string group = "driver.queue" + std::to_string(q);
+        r.addScalar(group, "commands",
+                    u64([drv, q]() { return drv->commandsOnQueue(q); }));
+        r.addGauge(group, "depth", &driver_->queuePair(q).depthGauge());
+        r.addScalar(group, "grants",
+                    u64([qa, q]() { return qa->grantsOn(q); }));
+    }
+}
+
+void
+System::dumpStatsJson(std::ostream &os) const
+{
+    registry_.writeJson(os);
+}
+
+MetricSampler &
+System::startMetricSampler(Tick interval)
+{
+    recssd_assert(!sampler_, "metric sampler already started");
+    sampler_ = std::make_unique<MetricSampler>(eq_, registry_, interval);
+    sampler_->start();
+    return *sampler_;
 }
 
 EmbeddingTableDesc

@@ -18,6 +18,8 @@
 #include "src/host/host_params.h"
 #include "src/host/queue_allocator.h"
 #include "src/host/unvme_driver.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/ssd/ssd.h"
 
 namespace recssd
@@ -63,13 +65,47 @@ class System
     /** Dump every component's statistics (counters, utilization). */
     void dumpStats(std::ostream &os);
 
+    /** @{ Observability. */
+
+    /** The system-wide span tracer (disabled until enableTracing). */
+    Tracer &tracer() { return *tracer_; }
+
+    /** Turn request tracing on/off across every component. */
+    void enableTracing(bool on = true) { tracer_->setEnabled(on); }
+
+    /** Every component stat under one hierarchical name space. */
+    const StatRegistry &stats() const { return registry_; }
+
+    /**
+     * Dump every registered stat as one JSON object with
+     * lexicographically sorted keys (diffable run to run).
+     */
+    void dumpStatsJson(std::ostream &os) const;
+
+    /**
+     * Begin sampling the stat registry every `interval` ticks of sim
+     * time. Call before run(); rows accumulate until the queue drains.
+     * At most one sampler per system.
+     */
+    MetricSampler &startMetricSampler(Tick interval);
+
+    /** The running sampler, or nullptr if never started. */
+    MetricSampler *metricSampler() { return sampler_.get(); }
+    /** @} */
+
   private:
+    /** Register every component stat into `registry_`. */
+    void buildRegistry();
+
     SystemConfig config_;
     EventQueue eq_;
     std::unique_ptr<Ssd> ssd_;
     std::unique_ptr<HostCpu> cpu_;
     std::unique_ptr<UnvmeDriver> driver_;
     std::unique_ptr<QueueAllocator> queues_;
+    std::unique_ptr<Tracer> tracer_;
+    StatRegistry registry_;
+    std::unique_ptr<MetricSampler> sampler_;
     std::uint32_t nextTableId_ = 0;
     std::uint64_t nextTableSlot_ = 0;
 };

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/embedding/synthetic_values.h"
 #include "src/ndp/attr_codec.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -13,6 +14,7 @@ namespace recssd
 struct BaselineSsdSlsBackend::OpState
 {
     EmbeddingTableDesc table;
+    std::uint64_t traceId = 0;
     /** One NVMe read each: a page and the lookups it serves. */
     struct PageTask
     {
@@ -52,6 +54,7 @@ BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
     recssd_assert(op.table != nullptr, "SLS op without table");
     auto state = std::make_shared<OpState>();
     state->table = *op.table;
+    state->traceId = op.traceId;
     state->result.assign(op.batch() * op.table->dim, 0.0f);
     state->done = std::move(done);
 
@@ -98,8 +101,16 @@ BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
     // operator's thread.
     if (cache_hits > 0) {
         state->hitWorkPending = true;
+        SpanId hit_span = invalidSpan;
+        if (Tracer *tracer = tracerOf(eq_)) {
+            hit_span = tracer->begin(tracer->track("host.sls"),
+                                     "cache_gather", Phase::HostCompute,
+                                     state->traceId);
+        }
         cpu_.run(cpu_.dramLookupCost(table.vectorBytes()) * cache_hits,
-                 [state]() {
+                 [this, state, hit_span]() {
+                     if (Tracer *tracer = tracerOf(eq_))
+                         tracer->end(hit_span);
                      state->hitWorkPending = false;
                      state->maybeComplete();
                  });
@@ -123,8 +134,19 @@ BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
     workers = std::max(1u, workers);
     unsigned chains = static_cast<unsigned>(
         std::min<std::size_t>(workers, state->pages.size()));
-    for (unsigned w = 0; w < chains; ++w)
-        queues_.acquire([this, state](unsigned q) { pump(state, q); });
+    for (unsigned w = 0; w < chains; ++w) {
+        SpanId wait_span = invalidSpan;
+        if (Tracer *tracer = tracerOf(eq_)) {
+            wait_span = tracer->begin(tracer->track("host.sls"),
+                                      "queue_wait", Phase::HostQueueWait,
+                                      state->traceId);
+        }
+        queues_.acquire([this, state, wait_span](unsigned q) {
+            if (Tracer *tracer = tracerOf(eq_))
+                tracer->end(wait_span);
+            pump(state, q);
+        });
+    }
 }
 
 void
@@ -142,8 +164,9 @@ BaselineSsdSlsBackend::pump(const std::shared_ptr<OpState> &state,
 
     pageReads_.inc();
     const auto &task = state->pages[task_idx];
-    driver_.readPage(q, task.lpn, [this, state, task_idx, q](
-                                      const PageView &view) {
+    driver_.readPage(
+        q, task.lpn,
+        [this, state, task_idx, q](const PageView &view) {
         const EmbeddingTableDesc &table = state->table;
         const auto &task = state->pages[task_idx];
         // Pull every needed vector out of the DMA buffer now; the
@@ -163,8 +186,17 @@ BaselineSsdSlsBackend::pump(const std::shared_ptr<OpState> &state,
         // queue, not on the NN cores.
         Tick work =
             cpu_.extractCost(table.vectorBytes()) * task.entries.size();
+        SpanId extract_span = invalidSpan;
+        if (Tracer *tracer = tracerOf(eq_)) {
+            extract_span = tracer->begin(tracer->track("host.sls"),
+                                         "extract", Phase::HostCompute,
+                                         state->traceId);
+        }
         driver_.ioThread(q).acquire(work, [this, state, task_idx, q,
+                                           extract_span,
                                            vecs = std::move(vecs)]() {
+            if (Tracer *tracer = tracerOf(eq_))
+                tracer->end(extract_span);
             const EmbeddingTableDesc &table = state->table;
             const auto &task = state->pages[task_idx];
             for (std::size_t i = 0; i < task.entries.size(); ++i) {
@@ -180,7 +212,8 @@ BaselineSsdSlsBackend::pump(const std::shared_ptr<OpState> &state,
             --state->inFlight;
             pump(state, q);
         });
-    });
+        },
+        state->traceId);
 }
 
 }  // namespace recssd

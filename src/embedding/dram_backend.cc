@@ -1,6 +1,7 @@
 #include "src/embedding/dram_backend.h"
 
 #include "src/embedding/synthetic_values.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -19,8 +20,15 @@ DramSlsBackend::run(const SlsOp &op, Done done)
     // Functional result computed up front; only its availability is
     // delayed by the simulated gather time.
     SlsResult result = synthetic::expectedSls(table, op.indices);
-    cpu_.run(work, [result = std::move(result),
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        span = tracer->begin(tracer->track("host.sls"), "dram_gather",
+                             Phase::HostCompute, op.traceId);
+    }
+    cpu_.run(work, [this, span, result = std::move(result),
                     done = std::move(done)]() mutable {
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->end(span);
         done(std::move(result));
     });
 }

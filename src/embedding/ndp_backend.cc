@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/ndp/sls_config.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -16,6 +17,7 @@ namespace
 struct NdpOpState
 {
     EmbeddingTableDesc table;
+    std::uint64_t traceId = 0;
     SlsConfig config;
     /** Hot contributions: (result index, resident vector). */
     std::vector<std::pair<std::uint32_t, const std::vector<float> *>> hot;
@@ -39,6 +41,7 @@ NdpSlsBackend::run(const SlsOp &op, Done done)
     ops_.inc();
     auto state = std::make_shared<NdpOpState>();
     state->table = *op.table;
+    state->traceId = op.traceId;
     state->result.assign(op.batch() * op.table->dim, 0.0f);
     state->done = std::move(done);
 
@@ -81,7 +84,16 @@ NdpSlsBackend::run(const SlsOp &op, Done done)
                 res[e] += (*vec)[e];
             merge += cpu_.dramLookupCost(state->table.vectorBytes());
         }
-        cpu_.run(merge, [state]() { state->done(state->result); });
+        SpanId merge_span = invalidSpan;
+        if (Tracer *tracer = tracerOf(eq_)) {
+            merge_span = tracer->begin(tracer->track("host.sls"), "merge",
+                                       Phase::HostCompute, state->traceId);
+        }
+        cpu_.run(merge, [this, state, merge_span]() {
+            if (Tracer *tracer = tracerOf(eq_))
+                tracer->end(merge_span);
+            state->done(state->result);
+        });
     };
 
     if (cfg.pairs.empty()) {
@@ -90,25 +102,36 @@ NdpSlsBackend::run(const SlsOp &op, Done done)
         return;
     }
 
-    queues_.acquire([this, state, finish](unsigned q) {
+    SpanId wait_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        wait_span = tracer->begin(tracer->track("host.sls"), "queue_wait",
+                                  Phase::HostQueueWait, state->traceId);
+    }
+    queues_.acquire([this, state, finish, wait_span](unsigned q) {
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->end(wait_span);
         std::uint64_t req = driver_.allocRequestId();
         Lpn base = state->table.baseLpn;
-        driver_.slsConfigWrite(q, base, req, state->config, [this, state, q,
-                                                             base, req,
-                                                             finish]() {
-            driver_.slsResultRead(
-                q, base, req,
-                [this, state, q, finish](
-                    std::shared_ptr<std::vector<std::byte>> bytes) {
-                    queues_.release(q);
-                    // Unpack the device's partial sums.
-                    std::size_t raw = state->result.size() * sizeof(float);
-                    recssd_assert(bytes->size() >= raw,
-                                  "short SLS result payload");
-                    std::memcpy(state->result.data(), bytes->data(), raw);
-                    finish();
-                });
-        });
+        driver_.slsConfigWrite(
+            q, base, req, state->config,
+            [this, state, q, base, req, finish]() {
+                driver_.slsResultRead(
+                    q, base, req,
+                    [this, state, q, finish](
+                        std::shared_ptr<std::vector<std::byte>> bytes) {
+                        queues_.release(q);
+                        // Unpack the device's partial sums.
+                        std::size_t raw =
+                            state->result.size() * sizeof(float);
+                        recssd_assert(bytes->size() >= raw,
+                                      "short SLS result payload");
+                        std::memcpy(state->result.data(), bytes->data(),
+                                    raw);
+                        finish();
+                    },
+                    state->traceId);
+            },
+            state->traceId);
     });
 }
 

@@ -36,6 +36,8 @@ struct SlsOp
     const EmbeddingTableDesc *table = nullptr;
     /** indices[b] = rows summed into result b. */
     std::vector<std::vector<RowId>> indices;
+    /** Observability: owning trace request id (0 = untraced). */
+    std::uint64_t traceId = 0;
 
     std::size_t batch() const { return indices.size(); }
 

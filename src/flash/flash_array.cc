@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -16,6 +17,7 @@ FlashArray::FlashArray(EventQueue &eq, const FlashParams &params,
     for (unsigned c = 0; c < params_.numChannels; ++c) {
         channels_.push_back(std::make_unique<SerialResource>(
             eq_, "flash.ch" + std::to_string(c)));
+        channelTrackNames_.push_back("flash.ch" + std::to_string(c));
         for (unsigned d = 0; d < params_.diesPerChannel; ++d) {
             dies_.push_back(std::make_unique<SerialResource>(
                 eq_,
@@ -56,26 +58,36 @@ FlashArray::backlogFor(Ppn ppn) const
 }
 
 void
-FlashArray::readPage(Ppn ppn, ReadCallback done)
+FlashArray::readPage(Ppn ppn, ReadCallback done, std::uint64_t trace_id)
 {
     recssd_assert(ppn < params_.totalPages(), "PPN out of range");
     auto addr = FlashAddress::decode(ppn, params_);
     pageReads_.inc();
 
+    // One span covers the whole operation — command queueing, tR on
+    // the die, data transfer — on the owning channel's track.
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        span = tracer->begin(tracer->track(channelTrackNames_[addr.channel]),
+                             "read", Phase::FlashRead, trace_id);
+    }
+
     // Phase 1: command issue occupies the channel bus.
-    channel(addr.channel).acquire(params_.cmdLatency, [this, addr, ppn,
+    channel(addr.channel).acquire(params_.cmdLatency, [this, addr, ppn, span,
                                                        done =
                                                            std::move(done)]()
                                                           mutable {
         // Phase 2: array read occupies the die (plus any injected
         // read retries on marginal cells).
         die(addr.channel, addr.die)
-            .acquire(arrayReadTime(), [this, addr, ppn,
+            .acquire(arrayReadTime(), [this, addr, ppn, span,
                                        done = std::move(done)]() mutable {
                 // Phase 3: page data crosses the channel bus.
                 channel(addr.channel)
                     .acquire(params_.pageTransferTime(),
-                             [this, ppn, done = std::move(done)]() {
+                             [this, ppn, span, done = std::move(done)]() {
+                                 if (Tracer *tracer = tracerOf(eq_))
+                                     tracer->end(span);
                                  done(PageView(store_, ppn));
                              });
             });
@@ -84,7 +96,7 @@ FlashArray::readPage(Ppn ppn, ReadCallback done)
 
 void
 FlashArray::writePage(Ppn ppn, std::span<const std::byte> data,
-                      DoneCallback done)
+                      DoneCallback done, std::uint64_t trace_id)
 {
     recssd_assert(ppn < params_.totalPages(), "PPN out of range");
     auto addr = FlashAddress::decode(ppn, params_);
@@ -93,12 +105,24 @@ FlashArray::writePage(Ppn ppn, std::span<const std::byte> data,
     // Functional content lands immediately; only timing is deferred.
     store_.write(ppn, data);
 
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        span = tracer->begin(tracer->track(channelTrackNames_[addr.channel]),
+                             "program", Phase::FlashWrite, trace_id);
+    }
+
     // Command + data transfer occupy the channel, then tPROG the die.
     Tick xfer = params_.cmdLatency + params_.pageTransferTime();
-    channel(addr.channel).acquire(xfer, [this, addr,
+    channel(addr.channel).acquire(xfer, [this, addr, span,
                                          done = std::move(done)]() mutable {
         die(addr.channel, addr.die)
-            .acquire(params_.programLatency, std::move(done));
+            .acquire(params_.programLatency,
+                     [this, span, done = std::move(done)]() {
+                         if (Tracer *tracer = tracerOf(eq_))
+                             tracer->end(span);
+                         if (done)
+                             done();
+                     });
     });
 }
 

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/common/event_queue.h"
@@ -66,13 +67,14 @@ class FlashArray
 
     /**
      * Read a physical page. The callback fires when the data has
-     * crossed the channel bus into controller DRAM.
+     * crossed the channel bus into controller DRAM. `trace_id` tags
+     * the channel/die span with the owning request.
      */
-    void readPage(Ppn ppn, ReadCallback done);
+    void readPage(Ppn ppn, ReadCallback done, std::uint64_t trace_id = 0);
 
     /** Program a physical page with the given content. */
     void writePage(Ppn ppn, std::span<const std::byte> data,
-                   DoneCallback done);
+                   DoneCallback done, std::uint64_t trace_id = 0);
 
     /** Erase a whole block (identified by any PPN inside it). */
     void eraseBlock(Ppn any_ppn_in_block, DoneCallback done);
@@ -104,6 +106,8 @@ class FlashArray
     Rng retryRng_;
     std::vector<std::unique_ptr<SerialResource>> channels_;
     std::vector<std::unique_ptr<SerialResource>> dies_;
+    /** Pre-built trace track names, one per channel. */
+    std::vector<std::string> channelTrackNames_;
 
     Counter pageReads_;
     Counter pageWrites_;

@@ -4,9 +4,36 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
+
+namespace
+{
+
+/** Open an FtlCpu span just before a firmware-core acquire (it then
+ *  covers core queueing + service); invalidSpan when tracing is off. */
+SpanId
+beginCpuSpan(EventQueue &eq, const char *name, std::uint64_t trace_id)
+{
+    Tracer *tracer = tracerOf(eq);
+    if (!tracer)
+        return invalidSpan;
+    return tracer->begin(tracer->track("ftl.cpu"), name, Phase::FtlCpu,
+                         trace_id);
+}
+
+void
+endSpan(EventQueue &eq, SpanId span)
+{
+    if (span == invalidSpan)
+        return;
+    if (Tracer *tracer = tracerOf(eq))
+        tracer->end(span);
+}
+
+}  // namespace
 
 Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash)
     : eq_(eq),
@@ -19,10 +46,13 @@ Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash)
 }
 
 void
-Ftl::hostRead(Lpn lpn, ReadDone done)
+Ftl::hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id)
 {
     hostReads_.inc();
-    cpu_.acquire(params_.readCmdCpu, [this, lpn, done = std::move(done)]() {
+    SpanId span = beginCpuSpan(eq_, "read_cmd", trace_id);
+    cpu_.acquire(params_.readCmdCpu, [this, lpn, span, trace_id,
+                                      done = std::move(done)]() {
+        endSpan(eq_, span);
         Ppn cached;
         if (cache_.lookup(lpn, cached)) {
             // Served straight from controller DRAM.
@@ -36,16 +66,19 @@ Ftl::hostRead(Lpn lpn, ReadDone done)
             done(PageView(flash_.store(), invalidPpn));
             return;
         }
-        flash_.readPage(ppn, [this, lpn, ppn,
-                              done = std::move(done)](const PageView &view) {
-            cache_.insert(lpn, ppn);
-            done(view);
-        });
+        flash_.readPage(
+            ppn,
+            [this, lpn, ppn, done = std::move(done)](const PageView &view) {
+                cache_.insert(lpn, ppn);
+                done(view);
+            },
+            trace_id);
     });
 }
 
 void
-Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done)
+Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
+               std::uint64_t trace_id)
 {
     hostWrites_.inc();
     if (writeObserver_)
@@ -54,8 +87,10 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done)
     // simulated DMA.
     auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
                                                             data.end());
-    cpu_.acquire(params_.writeCmdCpu, [this, lpn, payload,
+    SpanId span = beginCpuSpan(eq_, "write_cmd", trace_id);
+    cpu_.acquire(params_.writeCmdCpu, [this, lpn, span, trace_id, payload,
                                        done = std::move(done)]() mutable {
+        endSpan(eq_, span);
         Ppn old = map_.lookup(lpn);
         Ppn ppn = blocks_.allocatePage(lpn);
         recssd_assert(ppn != invalidPpn, "drive out of space");
@@ -70,18 +105,21 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done)
                              if (done)
                                  done();
                              maybeStartGc();
-                         });
+                         },
+                         trace_id);
     });
 }
 
 void
-Ftl::hostTrim(Lpn lpn, DoneCallback done)
+Ftl::hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id)
 {
     hostTrims_.inc();
     if (writeObserver_)
         writeObserver_(lpn);
-    cpu_.acquire(params_.trimCmdCpu, [this, lpn,
+    SpanId span = beginCpuSpan(eq_, "trim_cmd", trace_id);
+    cpu_.acquire(params_.trimCmdCpu, [this, lpn, span,
                                       done = std::move(done)]() {
+        endSpan(eq_, span);
         // Only overlay mappings can be dropped; a region page with no
         // overlay simply has nothing to deallocate.
         Ppn old = map_.lookup(lpn);
@@ -123,6 +161,8 @@ Ftl::runGcPass()
         return;
     }
     gcRuns_.inc();
+    if (Tracer *tracer = tracerOf(eq_))
+        tracer->instant(tracer->track("ftl.gc"), "gc_pass");
 
     auto valid = std::make_shared<std::vector<std::pair<Lpn, Ppn>>>(
         blocks_.validPagesIn(victim));
@@ -158,8 +198,15 @@ Ftl::runGcPass()
     for (auto [lpn, ppn] : *valid) {
         flash_.readPage(ppn, [this, lpn, old_ppn = ppn, remaining,
                               finish_row](const PageView &view) {
+            SpanId gc_span = invalidSpan;
+            if (Tracer *tracer = tracerOf(eq_)) {
+                gc_span = tracer->begin(tracer->track("ftl.gc"), "gc_page",
+                                        Phase::FtlCpu);
+            }
             cpu_.acquire(params_.gcPerPageCpu, [this, lpn, old_ppn, view,
-                                                remaining, finish_row]() {
+                                                gc_span, remaining,
+                                                finish_row]() {
+                endSpan(eq_, gc_span);
                 // Skip pages rewritten by the host while GC was in
                 // flight; their data already moved.
                 if (map_.lookup(lpn) == old_ppn) {

@@ -46,11 +46,11 @@ class Ftl
      * receives a lazily-copied view of the page bytes (zero-filled
      * for never-written pages, like a trimmed real drive).
      */
-    void hostRead(Lpn lpn, ReadDone done);
+    void hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id = 0);
 
     /** Service a host write of one logical page (log append). */
     void hostWrite(Lpn lpn, std::span<const std::byte> data,
-                   DoneCallback done);
+                   DoneCallback done, std::uint64_t trace_id = 0);
 
     /**
      * Deallocate a logical page (NVMe DSM). The mapping is dropped
@@ -58,7 +58,7 @@ class Ftl
      * zeroes and GC skips the data. Bulk-region pages lose their
      * overlay only (the immutable region shows through again).
      */
-    void hostTrim(Lpn lpn, DoneCallback done);
+    void hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id = 0);
     /** @} */
 
     /**
@@ -83,9 +83,10 @@ class Ftl
     void cacheInsert(Lpn lpn, Ppn ppn) { cache_.insert(lpn, ppn); }
 
     /** Direct flash page read, bypassing command-handling costs. */
-    void readPhysical(Ppn ppn, FlashArray::ReadCallback done)
+    void readPhysical(Ppn ppn, FlashArray::ReadCallback done,
+                      std::uint64_t trace_id = 0)
     {
-        flash_.readPage(ppn, std::move(done));
+        flash_.readPage(ppn, std::move(done), trace_id);
     }
     /** @} */
 

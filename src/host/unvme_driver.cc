@@ -3,9 +3,24 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
+
+namespace
+{
+
+void
+endSpan(EventQueue &eq, SpanId span)
+{
+    if (span == invalidSpan)
+        return;
+    if (Tracer *tracer = tracerOf(eq))
+        tracer->end(span);
+}
+
+}  // namespace
 
 UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl)
     : eq_(eq), cpu_(cpu), ctrl_(ctrl)
@@ -18,6 +33,7 @@ UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl)
         ioThreads_.push_back(std::make_unique<SerialResource>(
             eq_, "unvme.worker" + std::to_string(q)));
         queuePairs_.push_back(std::make_unique<NvmeQueuePair>(64));
+        queueTrackNames_.push_back("unvme.q" + std::to_string(q));
     }
 }
 
@@ -87,28 +103,51 @@ UnvmeDriver::allocRequestId()
 }
 
 void
-UnvmeDriver::readPage(unsigned queue, Lpn lpn, ReadDone done)
+UnvmeDriver::readPage(unsigned queue, Lpn lpn, ReadDone done,
+                      std::uint64_t trace_id)
 {
     occupy(queue);
     commands_.inc();
     NvmeCommand cmd;
     cmd.opcode = NvmeOpcode::Read;
     cmd.slba = lpn;
+    cmd.traceId = trace_id;
+    // Observability: the outer span is the command's full residence on
+    // this queue (submit CPU -> device -> completion poll); the inner
+    // submit/poll spans mark the io-thread occupancy at each end.
+    SpanId dev_span = invalidSpan;
+    SpanId submit_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        TrackId track = tracer->track(queueTrackNames_[queue]);
+        dev_span = tracer->begin(track, "read", Phase::DeviceWait, trace_id);
+        submit_span =
+            tracer->begin(track, "submit", Phase::DriverSubmit, trace_id);
+    }
     // Submission burns host CPU, then the device takes over; on
     // completion the polling thread burns CPU again before the
     // caller's continuation runs.
     ioThread(queue).acquire(
-        cpu_.params().submitCost, [this, cmd, queue,
-                                   done = std::move(done)]() {
+        cpu_.params().submitCost, [this, cmd, queue, dev_span, submit_span,
+                                   trace_id, done = std::move(done)]() {
+            endSpan(eq_, submit_span);
             NvmeCommand entry = enqueue(queue, cmd);
-            ctrl_.submitRead(entry, [this, queue, cid = entry.cid,
-                                     done = std::move(done)](
+            ctrl_.submitRead(entry, [this, queue, cid = entry.cid, dev_span,
+                                     trace_id, done = std::move(done)](
                                         const PageView &view) {
+                SpanId poll_span = invalidSpan;
+                if (Tracer *tracer = tracerOf(eq_)) {
+                    poll_span =
+                        tracer->begin(tracer->track(queueTrackNames_[queue]),
+                                      "poll", Phase::DriverSubmit, trace_id);
+                }
                 ioThread(queue).acquire(
                     cpu_.params().completionCost,
-                    [this, queue, cid, view, done = std::move(done)]() {
+                    [this, queue, cid, view, dev_span, poll_span,
+                     done = std::move(done)]() {
+                        endSpan(eq_, poll_span);
                         consumeCompletion(queue, cid);
                         release(queue);
+                        endSpan(eq_, dev_span);
                         done(view);
                     });
             });
@@ -118,7 +157,7 @@ UnvmeDriver::readPage(unsigned queue, Lpn lpn, ReadDone done)
 void
 UnvmeDriver::writePage(unsigned queue, Lpn lpn,
                        std::shared_ptr<std::vector<std::byte>> data,
-                       Done done)
+                       Done done, std::uint64_t trace_id)
 {
     occupy(queue);
     commands_.inc();
@@ -126,17 +165,36 @@ UnvmeDriver::writePage(unsigned queue, Lpn lpn,
     cmd.opcode = NvmeOpcode::Write;
     cmd.slba = lpn;
     cmd.payload = std::move(data);
+    cmd.traceId = trace_id;
+    SpanId dev_span = invalidSpan;
+    SpanId submit_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        TrackId track = tracer->track(queueTrackNames_[queue]);
+        dev_span = tracer->begin(track, "write", Phase::DeviceWait, trace_id);
+        submit_span =
+            tracer->begin(track, "submit", Phase::DriverSubmit, trace_id);
+    }
     ioThread(queue).acquire(
-        cpu_.params().submitCost, [this, cmd, queue,
-                                   done = std::move(done)]() {
+        cpu_.params().submitCost, [this, cmd, queue, dev_span, submit_span,
+                                   trace_id, done = std::move(done)]() {
+            endSpan(eq_, submit_span);
             NvmeCommand entry = enqueue(queue, cmd);
-            ctrl_.submitWrite(entry, [this, queue, cid = entry.cid,
-                                      done = std::move(done)]() {
+            ctrl_.submitWrite(entry, [this, queue, cid = entry.cid, dev_span,
+                                      trace_id, done = std::move(done)]() {
+                SpanId poll_span = invalidSpan;
+                if (Tracer *tracer = tracerOf(eq_)) {
+                    poll_span =
+                        tracer->begin(tracer->track(queueTrackNames_[queue]),
+                                      "poll", Phase::DriverSubmit, trace_id);
+                }
                 ioThread(queue).acquire(
                     cpu_.params().completionCost,
-                    [this, queue, cid, done = std::move(done)]() {
+                    [this, queue, cid, dev_span, poll_span,
+                     done = std::move(done)]() {
+                        endSpan(eq_, poll_span);
                         consumeCompletion(queue, cid);
                         release(queue);
+                        endSpan(eq_, dev_span);
                         done();
                     });
             });
@@ -144,24 +202,44 @@ UnvmeDriver::writePage(unsigned queue, Lpn lpn,
 }
 
 void
-UnvmeDriver::trimPage(unsigned queue, Lpn lpn, Done done)
+UnvmeDriver::trimPage(unsigned queue, Lpn lpn, Done done,
+                      std::uint64_t trace_id)
 {
     occupy(queue);
     commands_.inc();
     NvmeCommand cmd;
     cmd.opcode = NvmeOpcode::Dsm;
     cmd.slba = lpn;
+    cmd.traceId = trace_id;
+    SpanId dev_span = invalidSpan;
+    SpanId submit_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        TrackId track = tracer->track(queueTrackNames_[queue]);
+        dev_span = tracer->begin(track, "trim", Phase::DeviceWait, trace_id);
+        submit_span =
+            tracer->begin(track, "submit", Phase::DriverSubmit, trace_id);
+    }
     ioThread(queue).acquire(
-        cpu_.params().submitCost, [this, cmd, queue,
-                                   done = std::move(done)]() {
+        cpu_.params().submitCost, [this, cmd, queue, dev_span, submit_span,
+                                   trace_id, done = std::move(done)]() {
+            endSpan(eq_, submit_span);
             NvmeCommand entry = enqueue(queue, cmd);
-            ctrl_.submitTrim(entry, [this, queue, cid = entry.cid,
-                                     done = std::move(done)]() {
+            ctrl_.submitTrim(entry, [this, queue, cid = entry.cid, dev_span,
+                                     trace_id, done = std::move(done)]() {
+                SpanId poll_span = invalidSpan;
+                if (Tracer *tracer = tracerOf(eq_)) {
+                    poll_span =
+                        tracer->begin(tracer->track(queueTrackNames_[queue]),
+                                      "poll", Phase::DriverSubmit, trace_id);
+                }
                 ioThread(queue).acquire(
                     cpu_.params().completionCost,
-                    [this, queue, cid, done = std::move(done)]() {
+                    [this, queue, cid, dev_span, poll_span,
+                     done = std::move(done)]() {
+                        endSpan(eq_, poll_span);
                         consumeCompletion(queue, cid);
                         release(queue);
+                        endSpan(eq_, dev_span);
                         done();
                     });
             });
@@ -171,7 +249,8 @@ UnvmeDriver::trimPage(unsigned queue, Lpn lpn, Done done)
 void
 UnvmeDriver::slsConfigWrite(unsigned queue, Lpn table_base,
                             std::uint64_t request_id,
-                            const SlsConfig &config, Done done)
+                            const SlsConfig &config, Done done,
+                            std::uint64_t trace_id)
 {
     recssd_assert(table_base % slsTableAlign == 0,
                   "embedding table base must be aligned");
@@ -185,20 +264,40 @@ UnvmeDriver::slsConfigWrite(unsigned queue, Lpn table_base,
     cmd.slba = SlsAddress::encode(table_base, request_id);
     cmd.payload = std::make_shared<std::vector<std::byte>>(
         config.serialize());
+    cmd.traceId = trace_id;
+    SpanId dev_span = invalidSpan;
+    SpanId submit_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        TrackId track = tracer->track(queueTrackNames_[queue]);
+        dev_span =
+            tracer->begin(track, "sls_config", Phase::DeviceWait, trace_id);
+        submit_span =
+            tracer->begin(track, "submit", Phase::DriverSubmit, trace_id);
+    }
     // Building the pair list costs more than a plain 64B command:
     // charge the submit cost plus a store per pair.
     Tick build = cpu_.params().submitCost +
                  static_cast<Tick>(config.pairs.size()) * 2;
-    ioThread(queue).acquire(build, [this, cmd, queue,
-                                    done = std::move(done)]() {
+    ioThread(queue).acquire(build, [this, cmd, queue, dev_span, submit_span,
+                                    trace_id, done = std::move(done)]() {
+        endSpan(eq_, submit_span);
         NvmeCommand entry = enqueue(queue, cmd);
-        ctrl_.submitSlsConfig(entry, [this, queue, cid = entry.cid,
-                                      done = std::move(done)]() {
+        ctrl_.submitSlsConfig(entry, [this, queue, cid = entry.cid, dev_span,
+                                      trace_id, done = std::move(done)]() {
+            SpanId poll_span = invalidSpan;
+            if (Tracer *tracer = tracerOf(eq_)) {
+                poll_span =
+                    tracer->begin(tracer->track(queueTrackNames_[queue]),
+                                  "poll", Phase::DriverSubmit, trace_id);
+            }
             ioThread(queue).acquire(
                 cpu_.params().completionCost,
-                [this, queue, cid, done = std::move(done)]() {
+                [this, queue, cid, dev_span, poll_span,
+                 done = std::move(done)]() {
+                    endSpan(eq_, poll_span);
                     consumeCompletion(queue, cid);
                     release(queue);
+                    endSpan(eq_, dev_span);
                     done();
                 });
         });
@@ -207,7 +306,8 @@ UnvmeDriver::slsConfigWrite(unsigned queue, Lpn table_base,
 
 void
 UnvmeDriver::slsResultRead(unsigned queue, Lpn table_base,
-                           std::uint64_t request_id, SlsResultDone done)
+                           std::uint64_t request_id, SlsResultDone done,
+                           std::uint64_t trace_id)
 {
     occupy(queue);
     commands_.inc();
@@ -215,20 +315,39 @@ UnvmeDriver::slsResultRead(unsigned queue, Lpn table_base,
     cmd.opcode = NvmeOpcode::Read;
     cmd.slsFlag = true;
     cmd.slba = SlsAddress::encode(table_base, request_id);
+    cmd.traceId = trace_id;
+    SpanId dev_span = invalidSpan;
+    SpanId submit_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        TrackId track = tracer->track(queueTrackNames_[queue]);
+        dev_span =
+            tracer->begin(track, "sls_result", Phase::DeviceWait, trace_id);
+        submit_span =
+            tracer->begin(track, "submit", Phase::DriverSubmit, trace_id);
+    }
     ioThread(queue).acquire(
-        cpu_.params().submitCost, [this, cmd, queue,
-                                   done = std::move(done)]() {
+        cpu_.params().submitCost, [this, cmd, queue, dev_span, submit_span,
+                                   trace_id, done = std::move(done)]() {
+            endSpan(eq_, submit_span);
             NvmeCommand entry = enqueue(queue, cmd);
             ctrl_.submitSlsRead(
-                entry, [this, queue, cid = entry.cid,
+                entry, [this, queue, cid = entry.cid, dev_span, trace_id,
                         done = std::move(done)](
                            std::shared_ptr<std::vector<std::byte>> data) {
+                    SpanId poll_span = invalidSpan;
+                    if (Tracer *tracer = tracerOf(eq_)) {
+                        poll_span = tracer->begin(
+                            tracer->track(queueTrackNames_[queue]), "poll",
+                            Phase::DriverSubmit, trace_id);
+                    }
                     ioThread(queue).acquire(
                         cpu_.params().completionCost,
-                        [this, queue, cid, data,
+                        [this, queue, cid, data, dev_span, poll_span,
                          done = std::move(done)]() {
+                            endSpan(eq_, poll_span);
                             consumeCompletion(queue, cid);
                             release(queue);
+                            endSpan(eq_, dev_span);
                             done(data);
                         });
                 });

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/event_queue.h"
@@ -53,13 +54,18 @@ class UnvmeDriver
     /** Logical block size of the attached namespace. */
     unsigned pageSize() const { return ctrl_.pageSize(); }
 
-    /** @{ Standard data path (one logical page per command). */
-    void readPage(unsigned queue, Lpn lpn, ReadDone done);
+    /** @{ Standard data path (one logical page per command). The
+     *  optional trailing trace id tags every span the command produces
+     *  down the stack with its owning request. */
+    void readPage(unsigned queue, Lpn lpn, ReadDone done,
+                  std::uint64_t trace_id = 0);
     void writePage(unsigned queue, Lpn lpn,
-                   std::shared_ptr<std::vector<std::byte>> data, Done done);
+                   std::shared_ptr<std::vector<std::byte>> data, Done done,
+                   std::uint64_t trace_id = 0);
 
     /** Deallocate one logical page (DSM / trim). */
-    void trimPage(unsigned queue, Lpn lpn, Done done);
+    void trimPage(unsigned queue, Lpn lpn, Done done,
+                  std::uint64_t trace_id = 0);
     /** @} */
 
     /** @{ RecSSD SLS extension. */
@@ -73,11 +79,12 @@ class UnvmeDriver
      */
     void slsConfigWrite(unsigned queue, Lpn table_base,
                         std::uint64_t request_id, const SlsConfig &config,
-                        Done done);
+                        Done done, std::uint64_t trace_id = 0);
 
     /** Issue the result-read that completes an SLS operation. */
     void slsResultRead(unsigned queue, Lpn table_base,
-                       std::uint64_t request_id, SlsResultDone done);
+                       std::uint64_t request_id, SlsResultDone done,
+                       std::uint64_t trace_id = 0);
     /** @} */
 
     /** Fresh request id for slsConfigWrite. */
@@ -142,6 +149,8 @@ class UnvmeDriver
     HostController &ctrl_;
     unsigned numQueues_;
     std::vector<bool> queueBusy_;
+    /** Pre-built trace track names, one per I/O queue. */
+    std::vector<std::string> queueTrackNames_;
     std::vector<std::unique_ptr<SerialResource>> ioThreads_;
     std::vector<std::unique_ptr<NvmeQueuePair>> queuePairs_;
     std::uint64_t nextRequestId_ = 1;

@@ -54,6 +54,9 @@ struct QueryShape
     unsigned tablesTouched = ~0u;
     /** Multiplier on every table's lookups-per-sample. */
     double poolingScale = 1.0;
+    /** Observability: trace request id for this query's execution
+     *  (assigned by the batch scheduler; 0 = allocate fresh). */
+    std::uint64_t traceId = 0;
 };
 
 /** Distribution the per-query shapes are drawn from (all uniform). */

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/ndp/attr_codec.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -61,6 +62,7 @@ SlsEngine::admit(const NvmeCommand &cmd, std::function<void()> done)
     auto entry = std::make_shared<Entry>();
     entry->key = cmd.slba;
     entry->tableBase = addr.tableBase;
+    entry->traceId = cmd.traceId;
     // The controller stamps the command when the doorbell rings; the
     // payload DMA has completed by the time we are dispatched.
     entry->timing.submitted = cmd.submitTick ? cmd.submitTick : eq_.now();
@@ -89,7 +91,15 @@ SlsEngine::processConfig(const EntryPtr &entry)
     const SlsConfig &cfg = entry->cfg;
     Tick scan_cost = params_.configBaseCpu +
                      params_.configPerIndexCpu * cfg.pairs.size();
-    ftl_.cpu().acquire(scan_cost, [this, entry]() {
+    SpanId scan_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        scan_span = tracer->begin(tracer->track("ndp.engine"),
+                                  "config_scan", Phase::NdpConfig,
+                                  entry->traceId);
+    }
+    ftl_.cpu().acquire(scan_cost, [this, entry, scan_span]() {
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->end(scan_span);
         const SlsConfig &cfg = entry->cfg;
         std::vector<std::byte> vec_buf(cfg.vectorBytes());
         std::uint64_t cache_hits = 0;
@@ -185,12 +195,15 @@ SlsEngine::pump()
                       "SLS request touches an unmapped page");
         ++outstandingFlash_;
         flashPages_.inc();
-        ftl_.readPhysical(ppn, [this, entry, work = std::move(work)](
-                                   const PageView &view) mutable {
-            --outstandingFlash_;
-            translate(entry, std::move(work), &view);
-            pump();
-        });
+        ftl_.readPhysical(
+            ppn,
+            [this, entry, work = std::move(work)](
+                const PageView &view) mutable {
+                --outstandingFlash_;
+                translate(entry, std::move(work), &view);
+                pump();
+            },
+            entry->traceId);
     }
 }
 
@@ -210,7 +223,15 @@ SlsEngine::translate(const EntryPtr &entry, PageWork work,
     // for the duration of this callback, so re-create it from the
     // store + PPN which stay stable).
     PageView page = *view;
-    ftl_.cpu().acquire(cost, [this, entry, work = std::move(work), page]() {
+    SpanId xlate_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        xlate_span = tracer->begin(tracer->track("ndp.engine"), "translate",
+                                   Phase::NdpTranslate, entry->traceId);
+    }
+    ftl_.cpu().acquire(cost, [this, entry, work = std::move(work), page,
+                              xlate_span]() {
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->end(xlate_span);
         const SlsConfig &cfg = entry->cfg;
         std::vector<std::byte> vec_buf(cfg.vectorBytes());
         for (std::uint32_t idx : work.pairIdx) {

@@ -125,6 +125,7 @@ class SlsEngine : public SlsHandler
     {
         std::uint64_t key;        ///< tableBase + requestId
         std::uint64_t tableBase;
+        std::uint64_t traceId = 0;  ///< owning trace request (0 = none)
         SlsConfig cfg;            ///< element 1: input config
         /* element 2: status */
         bool configured = false;

@@ -1,9 +1,28 @@
 #include "src/nvme/host_controller.h"
 
 #include "src/common/logging.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
+
+namespace
+{
+
+/** Wrap a callback so it closes `span` just before running. */
+EventQueue::Callback
+closing(EventQueue &eq, SpanId span, EventQueue::Callback then)
+{
+    if (span == invalidSpan)
+        return then;
+    return [&eq, span, then = std::move(then)]() {
+        if (Tracer *tracer = tracerOf(eq))
+            tracer->end(span);
+        then();
+    };
+}
+
+}  // namespace
 
 HostController::HostController(EventQueue &eq, const NvmeParams &params,
                                PcieLink &pcie, Ftl &ftl)
@@ -13,21 +32,40 @@ HostController::HostController(EventQueue &eq, const NvmeParams &params,
 }
 
 void
-HostController::fetchCommand(EventQueue::Callback then)
+HostController::fetchCommand(std::uint64_t trace_id,
+                             EventQueue::Callback then)
 {
     commands_.inc();
-    pcie_.transfer(params_.sqeBytes, [this, then = std::move(then)]() {
-        ctrl_.acquire(params_.cmdProcessCost, std::move(then));
-    });
+    pcie_.transfer(
+        params_.sqeBytes,
+        [this, trace_id, then = std::move(then)]() {
+            SpanId span = invalidSpan;
+            if (Tracer *tracer = tracerOf(eq_)) {
+                span = tracer->begin(tracer->track("nvme.ctrl"),
+                                     "cmd_process", Phase::NvmeXfer,
+                                     trace_id);
+            }
+            ctrl_.acquire(params_.cmdProcessCost,
+                          closing(eq_, span, std::move(then)));
+        },
+        trace_id);
 }
 
 void
-HostController::postCompletion(EventQueue::Callback then)
+HostController::postCompletion(std::uint64_t trace_id,
+                               EventQueue::Callback then)
 {
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        span = tracer->begin(tracer->track("nvme.ctrl"), "cqe_post",
+                             Phase::NvmeXfer, trace_id);
+    }
     ctrl_.acquire(params_.completionPostCost,
-                  [this, then = std::move(then)]() {
-                      pcie_.transfer(params_.cqeBytes, std::move(then));
-                  });
+                  closing(eq_, span, [this, trace_id,
+                                      then = std::move(then)]() {
+                      pcie_.transfer(params_.cqeBytes, std::move(then),
+                                     trace_id);
+                  }));
 }
 
 void
@@ -36,17 +74,23 @@ HostController::submitRead(const NvmeCommand &cmd, ReadDone done)
     recssd_assert(!cmd.slsFlag, "use submitSlsRead for SLS commands");
     recssd_assert(cmd.nlb == 1, "data path reads one page per command");
     Lpn lpn = cmd.slba;
-    fetchCommand([this, lpn, done = std::move(done)]() {
-        ftl_.hostRead(lpn, [this, done = std::move(done)](
-                               const PageView &view) {
-            // Page data DMA to host, then the completion entry.
-            pcie_.transfer(ftl_.flash().params().pageSize,
-                           [this, view, done = std::move(done)]() {
-                               postCompletion([view, done = std::move(done)]() {
-                                   done(view);
-                               });
-                           });
-        });
+    std::uint64_t tid = cmd.traceId;
+    fetchCommand(tid, [this, lpn, tid, done = std::move(done)]() {
+        ftl_.hostRead(
+            lpn,
+            [this, tid, done = std::move(done)](const PageView &view) {
+                // Page data DMA to host, then the completion entry.
+                pcie_.transfer(
+                    ftl_.flash().params().pageSize,
+                    [this, tid, view, done = std::move(done)]() {
+                        postCompletion(tid, [view,
+                                             done = std::move(done)]() {
+                            done(view);
+                        });
+                    },
+                    tid);
+            },
+            tid);
     });
 }
 
@@ -57,16 +101,21 @@ HostController::submitWrite(const NvmeCommand &cmd, WriteDone done)
     recssd_assert(cmd.nlb == 1, "data path writes one page per command");
     recssd_assert(cmd.payload != nullptr, "write without payload");
     Lpn lpn = cmd.slba;
+    std::uint64_t tid = cmd.traceId;
     auto payload = cmd.payload;
-    fetchCommand([this, lpn, payload, done = std::move(done)]() {
+    fetchCommand(tid, [this, lpn, tid, payload, done = std::move(done)]() {
         // Pull the data from host memory before programming.
-        pcie_.transfer(ftl_.flash().params().pageSize,
-                       [this, lpn, payload, done = std::move(done)]() {
-                           ftl_.hostWrite(lpn, *payload,
-                                          [this, done = std::move(done)]() {
-                                              postCompletion(std::move(done));
-                                          });
-                       });
+        pcie_.transfer(
+            ftl_.flash().params().pageSize,
+            [this, lpn, tid, payload, done = std::move(done)]() {
+                ftl_.hostWrite(
+                    lpn, *payload,
+                    [this, tid, done = std::move(done)]() {
+                        postCompletion(tid, std::move(done));
+                    },
+                    tid);
+            },
+            tid);
     });
 }
 
@@ -75,10 +124,14 @@ HostController::submitTrim(const NvmeCommand &cmd, WriteDone done)
 {
     recssd_assert(cmd.opcode == NvmeOpcode::Dsm, "submitTrim needs DSM");
     Lpn lpn = cmd.slba;
-    fetchCommand([this, lpn, done = std::move(done)]() {
-        ftl_.hostTrim(lpn, [this, done = std::move(done)]() {
-            postCompletion(std::move(done));
-        });
+    std::uint64_t tid = cmd.traceId;
+    fetchCommand(tid, [this, lpn, tid, done = std::move(done)]() {
+        ftl_.hostTrim(
+            lpn,
+            [this, tid, done = std::move(done)]() {
+                postCompletion(tid, std::move(done));
+            },
+            tid);
     });
 }
 
@@ -90,15 +143,17 @@ HostController::submitSlsConfig(const NvmeCommand &cmd, WriteDone done)
     recssd_assert(cmd.payload != nullptr, "SLS config without payload");
     NvmeCommand copy = cmd;
     copy.submitTick = eq_.now();
-    fetchCommand([this, copy, done = std::move(done)]() {
+    fetchCommand(copy.traceId, [this, copy, done = std::move(done)]() {
         // Step 1a (Fig 7): DMA the configuration data from the host.
-        pcie_.transfer(copy.payload->size(),
-                       [this, copy, done = std::move(done)]() {
-                           sls_->configWrite(copy, [this, done =
-                                                        std::move(done)]() {
-                               postCompletion(std::move(done));
-                           });
-                       });
+        pcie_.transfer(
+            copy.payload->size(),
+            [this, copy, done = std::move(done)]() {
+                sls_->configWrite(copy, [this, tid = copy.traceId,
+                                         done = std::move(done)]() {
+                    postCompletion(tid, std::move(done));
+                });
+            },
+            copy.traceId);
     });
 }
 
@@ -108,35 +163,39 @@ HostController::submitSlsRead(const NvmeCommand &cmd, SlsReadDone done)
     recssd_assert(cmd.slsFlag, "submitSlsRead requires the SLS flag");
     recssd_assert(sls_ != nullptr, "no SLS handler registered");
     NvmeCommand copy = cmd;
-    fetchCommand([this, copy, done = std::move(done)]() {
+    fetchCommand(copy.traceId, [this, copy, done = std::move(done)]() {
         // Step 1b (Fig 7): register the host page request; the engine
         // calls back with packed result bytes when ready, which we
         // then DMA to the host.
         sls_->resultRead(
             copy,
-            [this, done = std::move(done)](
+            [this, tid = copy.traceId, done = std::move(done)](
                 std::shared_ptr<std::vector<std::byte>> data) {
-                pcie_.transfer(data->size(),
-                               [this, data, done = std::move(done)]() {
-                                   postCompletion(
+                pcie_.transfer(
+                    data->size(),
+                    [this, tid, data, done = std::move(done)]() {
+                        postCompletion(tid,
                                        [data, done = std::move(done)]() {
                                            done(data);
                                        });
-                               });
+                    },
+                    tid, Phase::ResultDma);
             });
     });
 }
 
 void
-HostController::dmaToHost(std::uint64_t bytes, EventQueue::Callback done)
+HostController::dmaToHost(std::uint64_t bytes, EventQueue::Callback done,
+                          std::uint64_t trace_id)
 {
-    pcie_.transfer(bytes, std::move(done));
+    pcie_.transfer(bytes, std::move(done), trace_id, Phase::ResultDma);
 }
 
 void
-HostController::dmaFromHost(std::uint64_t bytes, EventQueue::Callback done)
+HostController::dmaFromHost(std::uint64_t bytes, EventQueue::Callback done,
+                            std::uint64_t trace_id)
 {
-    pcie_.transfer(bytes, std::move(done));
+    pcie_.transfer(bytes, std::move(done), trace_id);
 }
 
 }  // namespace recssd

@@ -100,8 +100,10 @@ class HostController
     /** @} */
 
     /** @{ DMA services used by the SLS engine (step 6 in Fig 7). */
-    void dmaToHost(std::uint64_t bytes, EventQueue::Callback done);
-    void dmaFromHost(std::uint64_t bytes, EventQueue::Callback done);
+    void dmaToHost(std::uint64_t bytes, EventQueue::Callback done,
+                   std::uint64_t trace_id = 0);
+    void dmaFromHost(std::uint64_t bytes, EventQueue::Callback done,
+                     std::uint64_t trace_id = 0);
     /** @} */
 
     PcieLink &pcie() { return pcie_; }
@@ -114,10 +116,10 @@ class HostController
 
   private:
     /** Command fetch: SQE DMA + controller parse cost. */
-    void fetchCommand(EventQueue::Callback then);
+    void fetchCommand(std::uint64_t trace_id, EventQueue::Callback then);
 
     /** Completion: controller post cost + CQE DMA. */
-    void postCompletion(EventQueue::Callback then);
+    void postCompletion(std::uint64_t trace_id, EventQueue::Callback then);
 
     EventQueue &eq_;
     NvmeParams params_;

@@ -47,6 +47,8 @@ struct NvmeCommand
     std::uint16_t cid = 0;
     /** Tick at which the host rang the doorbell (timing bookkeeping). */
     Tick submitTick = 0;
+    /** Observability: owning trace request id (0 = untraced). */
+    std::uint64_t traceId = 0;
     /** Functional payload for writes / SLS config. */
     std::shared_ptr<std::vector<std::byte>> payload;
 };

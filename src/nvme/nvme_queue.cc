@@ -28,10 +28,8 @@ NvmeQueuePair::submit(const NvmeCommand &cmd)
     entry.cid = nextCid_++;
     sq_[sqTail_] = entry;
     sqTail_ = next(sqTail_);  // tail doorbell write
-    ++outstanding_;
-    ++submitted_;
-    if (outstanding_ > maxOutstanding_)
-        maxOutstanding_ = outstanding_;
+    depthGauge_.inc();
+    submitted_.inc();
     return entry.cid;
 }
 
@@ -69,8 +67,8 @@ NvmeQueuePair::poll()
     cqHead_ = next(cqHead_);
     if (cqHead_ == 0)
         hostPhase_ = !hostPhase_;
-    recssd_assert(outstanding_ > 0, "completion without submission");
-    --outstanding_;
+    recssd_assert(depthGauge_.value() > 0, "completion without submission");
+    depthGauge_.dec();
     return out;
 }
 

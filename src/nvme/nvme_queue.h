@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/stats.h"
 #include "src/nvme/nvme_command.h"
 
 namespace recssd
@@ -70,15 +71,25 @@ class NvmeQueuePair
     /** @} */
 
     /** Commands submitted but not yet completed+polled. */
-    std::uint16_t outstanding() const { return outstanding_; }
+    std::uint16_t outstanding() const
+    {
+        return static_cast<std::uint16_t>(depthGauge_.value());
+    }
 
     /** @{ Per-queue depth accounting (serving-path load balance). */
 
     /** Total SQEs ever submitted to this pair. */
-    std::uint64_t submitted() const { return submitted_; }
+    std::uint64_t submitted() const { return submitted_.value(); }
 
     /** High-water mark of `outstanding()` over the pair's lifetime. */
-    std::uint16_t maxOutstanding() const { return maxOutstanding_; }
+    std::uint16_t maxOutstanding() const
+    {
+        return static_cast<std::uint16_t>(depthGauge_.highWater());
+    }
+
+    /** Live ring-occupancy gauge (for the metrics registry). */
+    const Gauge &depthGauge() const { return depthGauge_; }
+    const Counter &submittedCounter() const { return submitted_; }
     /** @} */
 
   private:
@@ -99,9 +110,8 @@ class NvmeQueuePair
     bool cqPhase_ = true;       ///< phase the controller writes
     bool hostPhase_ = true;     ///< phase the host expects
     std::uint16_t nextCid_ = 0;
-    std::uint16_t outstanding_ = 0;
-    std::uint64_t submitted_ = 0;
-    std::uint16_t maxOutstanding_ = 0;
+    Gauge depthGauge_;    ///< outstanding commands + high-water mark
+    Counter submitted_;
 };
 
 }  // namespace recssd

@@ -1,5 +1,7 @@
 #include "src/nvme/pcie_link.h"
 
+#include "src/obs/tracer.h"
+
 namespace recssd
 {
 
@@ -17,13 +19,30 @@ PcieLink::occupancy(std::uint64_t bytes) const
 }
 
 void
-PcieLink::transfer(std::uint64_t bytes, EventQueue::Callback done)
+PcieLink::transfer(std::uint64_t bytes, EventQueue::Callback done,
+                   std::uint64_t trace_id, Phase phase)
 {
     bytesMoved_ += bytes;
     Tick lat = params_.latency;
-    link_.acquire(occupancy(bytes), [this, lat, done = std::move(done)]() {
-        if (done)
-            eq_.scheduleAfter(lat, std::move(done));
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_))
+        span = tracer->begin(tracer->track("pcie"), "xfer", phase, trace_id);
+    link_.acquire(occupancy(bytes), [this, lat, span,
+                                     done = std::move(done)]() {
+        // The span covers queueing + occupancy + propagation: the
+        // bytes' full time on the wire from the request's viewpoint.
+        if (done) {
+            eq_.scheduleAfter(lat, [this, span, done = std::move(done)]() {
+                if (Tracer *tracer = tracerOf(eq_))
+                    tracer->end(span);
+                done();
+            });
+        } else if (Tracer *tracer = tracerOf(eq_)) {
+            eq_.scheduleAfter(lat, [this, span]() {
+                if (Tracer *t = tracerOf(eq_))
+                    t->end(span);
+            });
+        }
     });
 }
 

@@ -16,6 +16,7 @@
 #include "src/common/event_queue.h"
 #include "src/common/resource.h"
 #include "src/common/types.h"
+#include "src/obs/phase.h"
 
 namespace recssd
 {
@@ -33,8 +34,14 @@ class PcieLink
   public:
     PcieLink(EventQueue &eq, const PcieParams &params);
 
-    /** Move `bytes` across the link; `done` fires on arrival. */
-    void transfer(std::uint64_t bytes, EventQueue::Callback done);
+    /**
+     * Move `bytes` across the link; `done` fires on arrival. The
+     * optional trace id tags the transfer's span with its owning
+     * request; `phase` distinguishes plain transport from result DMA.
+     */
+    void transfer(std::uint64_t bytes, EventQueue::Callback done,
+                  std::uint64_t trace_id = 0,
+                  Phase phase = Phase::NvmeXfer);
 
     /** Link occupancy for a transfer of the given size. */
     Tick occupancy(std::uint64_t bytes) const;

@@ -1,0 +1,225 @@
+#include "src/obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace recssd
+{
+
+namespace
+{
+
+using SpanIndex =
+    std::unordered_map<std::uint64_t, std::vector<const SpanRecord *>>;
+
+SpanIndex
+indexByRequest(const Tracer &tracer)
+{
+    SpanIndex index;
+    for (const SpanRecord &s : tracer.spans()) {
+        if (s.req != 0 && s.phase != Phase::Request)
+            index[s.req].push_back(&s);
+    }
+    return index;
+}
+
+RequestAttribution
+attributeIndexed(const SpanIndex &index, const SpanRecord &root)
+{
+    RequestAttribution out;
+    out.req = root.req;
+    Tick lo = root.begin;
+    Tick hi = root.end == maxTick ? root.begin : root.end;
+    out.e2e = hi - lo;
+    if (out.e2e == 0)
+        return out;
+
+    // Children: the request's own spans plus — for scheduler queries —
+    // the fused batch that executed it, clamped to the root interval.
+    std::vector<std::pair<Tick, Tick>> clamped;  // parallel to phases
+    std::vector<Phase> phases;
+    auto collect = [&](std::uint64_t req) {
+        auto it = index.find(req);
+        if (it == index.end())
+            return;
+        for (const SpanRecord *s : it->second) {
+            Tick b = std::max(s->begin, lo);
+            Tick e = std::min(s->end == maxTick ? hi : s->end, hi);
+            if (b >= e)
+                continue;
+            clamped.emplace_back(b, e);
+            phases.push_back(s->phase);
+        }
+    };
+    collect(root.req);
+    if (root.parent != 0)
+        collect(root.parent);
+
+    // Elementary-segment sweep: at each boundary-to-boundary segment,
+    // charge the whole segment to the highest-priority active phase.
+    std::vector<Tick> bounds;
+    bounds.reserve(clamped.size() * 2 + 2);
+    bounds.push_back(lo);
+    bounds.push_back(hi);
+    for (auto [b, e] : clamped) {
+        bounds.push_back(b);
+        bounds.push_back(e);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+        Tick b = bounds[i];
+        Tick e = bounds[i + 1];
+        int best = -1;
+        Phase winner = Phase::Other;
+        for (std::size_t j = 0; j < clamped.size(); ++j) {
+            if (clamped[j].first <= b && clamped[j].second >= e) {
+                int pri = phasePriority(phases[j]);
+                if (pri > best) {
+                    best = pri;
+                    winner = phases[j];
+                }
+            }
+        }
+        out.perPhase[static_cast<unsigned>(winner)] += e - b;
+    }
+    return out;
+}
+
+}  // namespace
+
+RequestAttribution
+attributeRequest(const Tracer &tracer, const SpanRecord &root)
+{
+    return attributeIndexed(indexByRequest(tracer), root);
+}
+
+AttributionReport
+attribute(const Tracer &tracer, const char *root_name)
+{
+    // Pick the request population: named roots when present (serving
+    // queries), otherwise every root (bare launchBatch harnesses).
+    std::vector<const SpanRecord *> roots;
+    bool named_only = false;
+    for (const SpanRecord &s : tracer.spans()) {
+        if (s.phase != Phase::Request)
+            continue;
+        bool named = root_name && !std::strcmp(s.name, root_name);
+        if (named && !named_only) {
+            named_only = true;
+            roots.clear();
+        }
+        if (!named_only || named)
+            roots.push_back(&s);
+    }
+
+    SpanIndex index = indexByRequest(tracer);
+    std::vector<RequestAttribution> per_req;
+    per_req.reserve(roots.size());
+    for (const SpanRecord *root : roots)
+        per_req.push_back(attributeIndexed(index, *root));
+
+    AttributionReport report;
+    report.requests = static_cast<unsigned>(per_req.size());
+    if (per_req.empty())
+        return report;
+
+    double named_time = 0.0;
+    for (unsigned p = 0; p < numPhases; ++p) {
+        Phase phase = static_cast<Phase>(p);
+        if (phase == Phase::Request)
+            continue;
+        std::vector<double> samples;
+        samples.reserve(per_req.size());
+        double total = 0.0;
+        for (const RequestAttribution &r : per_req) {
+            double us = ticksToUs(r.perPhase[p]);
+            samples.push_back(us);
+            total += us;
+        }
+        if (total == 0.0)
+            continue;
+        std::sort(samples.begin(), samples.end());
+        auto pct = [&](double q) {
+            auto idx = static_cast<std::size_t>(q * (samples.size() - 1));
+            return samples[idx];
+        };
+        PhaseBreakdownRow row;
+        row.phase = phase;
+        row.totalUs = total;
+        row.meanUs = total / static_cast<double>(per_req.size());
+        row.p50Us = pct(0.50);
+        row.p99Us = pct(0.99);
+        report.rows.push_back(row);
+        if (phase != Phase::Other)
+            named_time += total;
+    }
+
+    for (const RequestAttribution &r : per_req)
+        report.totalRequestUs += ticksToUs(r.e2e);
+    report.meanRequestUs =
+        report.totalRequestUs / static_cast<double>(per_req.size());
+    for (PhaseBreakdownRow &row : report.rows) {
+        row.fraction = report.totalRequestUs > 0.0
+                           ? row.totalUs / report.totalRequestUs
+                           : 0.0;
+    }
+    report.coverage = report.totalRequestUs > 0.0
+                          ? named_time / report.totalRequestUs
+                          : 0.0;
+    // Deepest phases first: the table reads device-up like Fig 8.
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const PhaseBreakdownRow &a, const PhaseBreakdownRow &b) {
+                  return phasePriority(a.phase) > phasePriority(b.phase);
+              });
+    return report;
+}
+
+void
+AttributionReport::print(std::ostream &os) const
+{
+    auto fmt = [](double v, int prec) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+        return std::string(buf);
+    };
+    os << "== phase attribution: " << requests << " requests, mean e2e "
+       << fmt(meanRequestUs, 1) << "us ==\n";
+    os << "  " << std::left << std::setw(18) << "phase" << std::right
+       << std::setw(12) << "mean-us" << std::setw(12) << "p50-us"
+       << std::setw(12) << "p99-us" << std::setw(9) << "share" << "\n";
+    for (const PhaseBreakdownRow &row : rows) {
+        os << "  " << std::left << std::setw(18) << phaseName(row.phase)
+           << std::right << std::setw(12) << fmt(row.meanUs, 1)
+           << std::setw(12) << fmt(row.p50Us, 1) << std::setw(12)
+           << fmt(row.p99Us, 1) << std::setw(8)
+           << fmt(row.fraction * 100, 1) << "%\n";
+    }
+    os << "phase coverage: " << fmt(coverage * 100, 2)
+       << "% of request time attributed to a named phase\n";
+}
+
+void
+AttributionReport::writeJson(std::ostream &os) const
+{
+    os << "{\"requests\":" << requests << ",\"mean_request_us\":"
+       << meanRequestUs << ",\"total_request_us\":" << totalRequestUs
+       << ",\"coverage\":" << coverage << ",\"phases\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const PhaseBreakdownRow &row = rows[i];
+        os << (i ? "," : "") << "\n{\"phase\":\""
+           << jsonEscape(phaseName(row.phase)) << "\",\"mean_us\":"
+           << row.meanUs << ",\"p50_us\":" << row.p50Us << ",\"p99_us\":"
+           << row.p99Us << ",\"total_us\":" << row.totalUs
+           << ",\"fraction\":" << row.fraction << "}";
+    }
+    os << "\n]}\n";
+}
+
+}  // namespace recssd

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Machine-readable metrics: a registry of named scalars plus a
+ * sim-time sampler.
+ *
+ * `StatRegistry` maps hierarchical names ("ftl.gc_pages_moved") to
+ * getter functions over the live stat objects the components already
+ * own; registration order is preserved so every export is
+ * deterministic. `System` builds one registry over all subsystems.
+ *
+ * `MetricSampler` polls the registry at a fixed simulated interval by
+ * scheduling itself on the event queue, recording one row per sample
+ * point. Because it only reschedules while other events remain
+ * pending, `EventQueue::run()` still drains. Rows export as JSONL (one
+ * object per line, `ts_us` first) or CSV for plotting time series of
+ * queue depths, cache hits, GC activity, etc. against sim time.
+ */
+
+#ifndef RECSSD_OBS_METRICS_H
+#define RECSSD_OBS_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class Counter;
+class SampleStat;
+class Gauge;
+
+/** Ordered collection of named scalar getters over live stats. */
+class StatRegistry
+{
+  public:
+    using Getter = std::function<double()>;
+
+    /** Register a scalar under `group.name`. Order is preserved. */
+    void addScalar(const std::string &group, const std::string &name,
+                   Getter get);
+
+    /** @{ Conveniences over the common stat types (not owned). */
+    void addCounter(const std::string &group, const std::string &name,
+                    const Counter *c);
+    void addGauge(const std::string &group, const std::string &name,
+                  const Gauge *g);
+    /** Registers `<name>.count` and `<name>.mean`. */
+    void addSample(const std::string &group, const std::string &name,
+                   const SampleStat *s);
+    /** @} */
+
+    std::size_t size() const { return names_.size(); }
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** Evaluate every getter, in registration order. */
+    std::vector<double> sample() const;
+
+    /**
+     * Dump all current values as one JSON object, keys sorted
+     * lexicographically so output is diffable run to run.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Getter> getters_;
+};
+
+/** One row of the sampled time series. */
+struct MetricRow
+{
+    Tick ts = 0;
+    std::vector<double> values;  ///< parallel to registry names
+};
+
+class MetricSampler
+{
+  public:
+    /** @param interval Sim time between samples; must be > 0. */
+    MetricSampler(EventQueue &eq, const StatRegistry &registry,
+                  Tick interval);
+
+    MetricSampler(const MetricSampler &) = delete;
+    MetricSampler &operator=(const MetricSampler &) = delete;
+
+    /**
+     * Take a first sample now and keep sampling every `interval` ticks
+     * for as long as the simulation has other work pending.
+     */
+    void start();
+
+    /** Take one sample immediately (also used for a final snapshot). */
+    void sampleNow();
+
+    const std::vector<MetricRow> &rows() const { return rows_; }
+
+    /** One JSON object per line; `ts_us` first, then every metric. */
+    void writeJsonl(std::ostream &os) const;
+
+    /** Header row of `ts_us` + metric names, then one row per sample. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void fire();
+
+    EventQueue &eq_;
+    const StatRegistry &registry_;
+    Tick interval_;
+    std::vector<MetricRow> rows_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_OBS_METRICS_H

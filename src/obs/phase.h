@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The phase taxonomy of a request's life in the simulated machine.
+ *
+ * Every traced span carries a `Phase` so end-to-end latency can be
+ * attributed the way the paper's Figures 6 and 8 do: host pre/post
+ * processing, NVMe transport, FTL firmware work, NDP config scan and
+ * translation, and raw flash array time. Phases are ordered by
+ * specificity: when spans of different phases overlap in time on the
+ * same request, each instant is charged to the most specific (deepest)
+ * active phase, so per-request phase times always sum to exactly the
+ * end-to-end latency.
+ */
+
+#ifndef RECSSD_OBS_PHASE_H
+#define RECSSD_OBS_PHASE_H
+
+#include <cstdint>
+
+namespace recssd
+{
+
+enum class Phase : std::uint8_t
+{
+    /** Root span of one request (query or fused batch). */
+    Request = 0,
+
+    /* Ordered shallow -> deep; higher values win overlap ties. */
+    SchedQueue,    ///< waiting in the batch scheduler
+    HostCompute,   ///< MLPs, DRAM gathers, extraction, result merges
+    HostQueueWait, ///< waiting for an NVMe queue-pair grant
+    DeviceWait,    ///< NVMe command in flight, not otherwise attributed
+    DriverSubmit,  ///< UNVMe io-thread submit / completion polling
+    NvmeXfer,      ///< PCIe transfers + controller fetch/post work
+    ResultDma,     ///< SLS result payload DMA back to the host
+    FtlCpu,        ///< firmware core: command handling, GC bookkeeping
+    NdpConfig,     ///< SLS engine config scan on the firmware core
+    NdpTranslate,  ///< SLS engine extract+accumulate on the firmware core
+    FlashWrite,    ///< channel + die occupancy of program operations
+    FlashRead,     ///< channel + die occupancy of read operations
+
+    /** Remainder of a request not covered by any span. */
+    Other,
+};
+
+constexpr unsigned numPhases = static_cast<unsigned>(Phase::Other) + 1;
+
+/** Stable short name used in reports, traces and JSON output. */
+constexpr const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Request:       return "request";
+      case Phase::SchedQueue:    return "sched.queue";
+      case Phase::HostCompute:   return "host.compute";
+      case Phase::HostQueueWait: return "host.queue_wait";
+      case Phase::DeviceWait:    return "device.wait";
+      case Phase::DriverSubmit:  return "driver.submit";
+      case Phase::NvmeXfer:      return "nvme.xfer";
+      case Phase::ResultDma:     return "nvme.result_dma";
+      case Phase::FtlCpu:        return "ftl.cpu";
+      case Phase::NdpConfig:     return "ndp.config";
+      case Phase::NdpTranslate:  return "ndp.translate";
+      case Phase::FlashWrite:    return "flash.write";
+      case Phase::FlashRead:     return "flash.read";
+      case Phase::Other:         return "other";
+    }
+    return "?";
+}
+
+/**
+ * Attribution priority: when spans overlap, the instant belongs to the
+ * phase with the larger priority. Deeper layers are more specific.
+ */
+constexpr int
+phasePriority(Phase p)
+{
+    return static_cast<int>(p);
+}
+
+}  // namespace recssd
+
+#endif  // RECSSD_OBS_PHASE_H

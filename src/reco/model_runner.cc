@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/embedding/synthetic_values.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -34,6 +35,9 @@ runParallel(HostCpu &cpu, Tick total, EventQueue::Callback done)
 struct BatchState
 {
     Tick start = 0;
+    /** Trace request id (0 when tracing is off). */
+    std::uint64_t traceId = 0;
+    SpanId rootSpan = invalidSpan;
     unsigned subBatchesLeft = 0;
     bool done = false;
     Tick latency = 0;
@@ -204,6 +208,11 @@ ModelRunner::launchQuery(const QueryShape &shape,
     recssd_assert(shape.poolingScale > 0.0, "pooling scale must be > 0");
     auto batch = std::make_shared<BatchState>();
     batch->start = sys_.eq().now();
+    if (Tracer *tracer = tracerOf(sys_.eq())) {
+        batch->traceId =
+            shape.traceId ? shape.traceId : tracer->newRequestId();
+        batch->rootSpan = tracer->beginRequest("batch", batch->traceId);
+    }
     batch->batchSize = batch_size;
     batch->tablesTouched = shape.tablesTouched;
     batch->poolingScale = shape.poolingScale;
@@ -262,7 +271,14 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
         Tick top_work = sys_.cpu().gemmCost(top_macs * state->size);
         if (top_work == 0)
             top_work = 1;
-        runParallel(sys_.cpu(), top_work, [this, state, batch]() {
+        SpanId top_span = invalidSpan;
+        if (Tracer *tracer = tracerOf(sys_.eq())) {
+            top_span = tracer->begin(tracer->track("host.mlp"), "top_mlp",
+                                     Phase::HostCompute, batch->traceId);
+        }
+        runParallel(sys_.cpu(), top_work, [this, state, batch, top_span]() {
+            if (Tracer *tracer = tracerOf(sys_.eq()))
+                tracer->end(top_span);
             if (options_.functionalMlp && topMlp_) {
                 // Concatenate bottom output and pooled embeddings.
                 std::size_t top_in = model_.topInputDim();
@@ -294,6 +310,8 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
             if (--batch->subBatchesLeft == 0) {
                 batch->done = true;
                 batch->latency = sys_.eq().now() - batch->start;
+                if (Tracer *tracer = tracerOf(sys_.eq()))
+                    tracer->end(batch->rootSpan);
                 if (options_.functionalMlp && topMlp_)
                     lastScores_ = batch->scores;
                 if (batch->onDone)
@@ -311,7 +329,14 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
     Tick bottom_work =
         bottomMlp_ ? sys_.cpu().gemmCost(bottomMlp_->macsPerSample() * size)
                    : 1;
-    runParallel(sys_.cpu(), bottom_work, [this, state, join]() {
+    SpanId bottom_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(sys_.eq())) {
+        bottom_span = tracer->begin(tracer->track("host.mlp"), "bottom_mlp",
+                                    Phase::HostCompute, batch->traceId);
+    }
+    runParallel(sys_.cpu(), bottom_work, [this, state, join, bottom_span]() {
+        if (Tracer *tracer = tracerOf(sys_.eq()))
+            tracer->end(bottom_span);
         if (options_.functionalMlp && bottomMlp_)
             state->bottomOut = bottomMlp_->forward(state->dense);
         join();
@@ -325,6 +350,7 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
         TableRt &table = tables_[t];
         SlsOp op;
         op.table = &table.desc;
+        op.traceId = batch->traceId;
         if (t < batch->tablesTouched) {
             op.indices = table.gen->nextBatch(
                 size, scaledLookups(table, batch->poolingScale));

@@ -104,6 +104,10 @@ BatchScheduler::submit(const QueryShape &shape, QueryDone done)
     p.shape = shape;
     p.arrival = runner_.sys().eq().now();
     p.done = std::move(done);
+    if (Tracer *tracer = tracerOf(runner_.sys().eq())) {
+        p.traceId = tracer->newRequestId();
+        p.rootSpan = tracer->beginRequest("query", p.traceId);
+    }
     pending_.push_back(std::move(p));
     pendingSamples_ += shape.batchSize;
     maxDepth_ = std::max(maxDepth_,
@@ -177,12 +181,28 @@ BatchScheduler::dispatchOne()
     fused.tablesTouched = tables;
     fused.poolingScale = weighted_scale / static_cast<double>(samples);
 
+    // Trace identity: the fused batch gets its own request id; each
+    // member query records its scheduler-queue wait and is linked to
+    // the batch that carries it.
+    if (Tracer *tracer = tracerOf(eq)) {
+        fused.traceId = tracer->newRequestId();
+        TrackId sched = tracer->track("scheduler");
+        for (const auto &m : *members) {
+            tracer->span(sched, "sched_queue", Phase::SchedQueue, m.traceId,
+                         m.arrival, dispatch);
+            tracer->setRequestParent(m.traceId, fused.traceId);
+        }
+    }
+
     ++inFlight_;
     ++dispatched_;
     dispatchedSamples_ += samples;
     runner_.launchQuery(fused, [this, members, dispatch](Tick) {
         Tick complete = runner_.sys().eq().now();
+        Tracer *tracer = tracerOf(runner_.sys().eq());
         for (auto &m : *members) {
+            if (tracer)
+                tracer->end(m.rootSpan);
             QueryTimes t;
             t.arrival = m.arrival;
             t.dispatch = dispatch;

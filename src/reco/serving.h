@@ -33,6 +33,7 @@
 #include "src/common/stats.h"
 #include "src/load/latency_recorder.h"
 #include "src/load/load_gen.h"
+#include "src/obs/tracer.h"
 #include "src/reco/model_runner.h"
 
 namespace recssd
@@ -137,6 +138,9 @@ class BatchScheduler
         QueryShape shape;
         Tick arrival = 0;
         QueryDone done;
+        /** Trace identity of this query (0 / invalid when off). */
+        std::uint64_t traceId = 0;
+        SpanId rootSpan = invalidSpan;
     };
 
     /** Dispatch while a batch is ready and in-flight slots remain. */

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Observability stack: tracer span mechanics, Chrome-trace export,
+ * phase attribution invariants, the stat registry and the sampler.
+ *
+ * The two load-bearing guarantees locked down here:
+ *  - tracing changes nothing: an identical workload produces
+ *    bit-identical latencies with the tracer on and off;
+ *  - attribution is exact: each request's per-phase times sum to its
+ *    end-to-end latency, and (almost) all of it lands in named phases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "src/obs/attribution.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
+#include "src/reco/serving.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON well-formedness checker — enough to
+ * prove the exporters emit parseable documents without pulling in a
+ * JSON library.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        ws();
+        if (!value())
+            return false;
+        ws();
+        return i_ == s_.size();
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                     s_[i_])))
+            ++i_;
+    }
+
+    bool
+    lit(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(i_, n, word) != 0)
+            return false;
+        i_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (i_ >= s_.size() || s_[i_] != '"')
+            return false;
+        ++i_;
+        while (i_ < s_.size()) {
+            char c = s_[i_];
+            if (c == '"') {
+                ++i_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;  // raw control char: escaping failed
+            if (c == '\\') {
+                ++i_;
+                if (i_ >= s_.size())
+                    return false;
+                char e = s_[i_];
+                if (e == 'u') {
+                    for (int k = 1; k <= 4; ++k) {
+                        if (i_ + k >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[i_ + k])))
+                            return false;
+                    }
+                    i_ += 4;
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++i_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = i_;
+        if (i_ < s_.size() && s_[i_] == '-')
+            ++i_;
+        while (i_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+                std::strchr(".eE+-", s_[i_])))
+            ++i_;
+        return i_ > start;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (i_ >= s_.size())
+            return false;
+        char c = s_[i_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return lit("true");
+        if (c == 'f')
+            return lit("false");
+        if (c == 'n')
+            return lit("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        ++i_;  // '{'
+        ws();
+        if (i_ < s_.size() && s_[i_] == '}') {
+            ++i_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (i_ >= s_.size() || s_[i_] != ':')
+                return false;
+            ++i_;
+            if (!value())
+                return false;
+            ws();
+            if (i_ < s_.size() && s_[i_] == ',') {
+                ++i_;
+                continue;
+            }
+            if (i_ < s_.size() && s_[i_] == '}') {
+                ++i_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++i_;  // '['
+        ws();
+        if (i_ < s_.size() && s_[i_] == ']') {
+            ++i_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (i_ < s_.size() && s_[i_] == ',') {
+                ++i_;
+                continue;
+            }
+            if (i_ < s_.size() && s_[i_] == ']') {
+                ++i_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+bool
+isValidJson(const std::string &s)
+{
+    return JsonChecker(s).valid();
+}
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 50'000, 16, 8}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+ServeConfig
+smallServe()
+{
+    ServeConfig cfg;
+    cfg.arrivals.process = ArrivalProcess::Poisson;
+    cfg.arrivals.qps = 2'000.0;
+    cfg.shape.minBatch = 4;
+    cfg.shape.maxBatch = 8;
+    cfg.batching.maxBatchSamples = 16;
+    cfg.batching.maxWait = 200 * usec;
+    cfg.batching.maxInFlight = 2;
+    cfg.queries = 30;
+    cfg.warmupQueries = 4;
+    cfg.seed = 7;
+    return cfg;
+}
+
+ServeStats
+runSmallServe(System &sys, EmbeddingBackendKind backend)
+{
+    RunnerOptions opt;
+    opt.backend = backend;
+    opt.forceAllTablesOnSsd = backend != EmbeddingBackendKind::Dram;
+    ModelRunner runner(sys, tinyModel(), opt);
+    return runServe(runner, smallServe());
+}
+
+TEST(Tracer, HooksAndUnhooksTheEventQueue)
+{
+    EventQueue eq;
+    Tracer tracer(eq);
+    EXPECT_EQ(tracerOf(eq), nullptr);
+    tracer.setEnabled(true);
+    EXPECT_EQ(tracerOf(eq), &tracer);
+    tracer.setEnabled(false);
+    EXPECT_EQ(tracerOf(eq), nullptr);
+}
+
+TEST(Tracer, RecordsNestedSpansClosedLifo)
+{
+    EventQueue eq;
+    Tracer tracer(eq);
+    tracer.setEnabled(true);
+    TrackId t = tracer.track("unit");
+
+    SpanId outer = tracer.begin(t, "outer", Phase::DeviceWait, 1);
+    SpanId inner = invalidSpan;
+    eq.scheduleAfter(10, [&]() {
+        inner = tracer.begin(t, "inner", Phase::FlashRead, 1);
+        eq.scheduleAfter(5, [&tracer, &inner]() { tracer.end(inner); });
+    });
+    eq.scheduleAfter(20, [&tracer, outer]() { tracer.end(outer); });
+    eq.run();
+
+    ASSERT_EQ(tracer.spans().size(), 2u);
+    const SpanRecord &o = tracer.spans()[outer];
+    const SpanRecord &in = tracer.spans()[inner];
+    EXPECT_EQ(o.begin, 0u);
+    EXPECT_EQ(o.end, 20u);
+    EXPECT_EQ(in.begin, 10u);
+    EXPECT_EQ(in.end, 15u);
+    // Inner closed before outer (LIFO) and nests inside it.
+    EXPECT_LE(o.begin, in.begin);
+    EXPECT_LE(in.end, o.end);
+    EXPECT_EQ(tracer.openSpans(), 0u);
+}
+
+TEST(Tracer, TrackInterningAndRequestIdsAreUnique)
+{
+    EventQueue eq;
+    Tracer tracer(eq);
+    tracer.setEnabled(true);
+    TrackId a = tracer.track("alpha");
+    TrackId b = tracer.track("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tracer.track("alpha"), a);
+    std::uint64_t r1 = tracer.newRequestId();
+    std::uint64_t r2 = tracer.newRequestId();
+    EXPECT_NE(r1, 0u);
+    EXPECT_NE(r1, r2);
+
+    tracer.beginRequest("query", r1);
+    tracer.beginRequest("query", r2);
+    ASSERT_NE(tracer.rootOf(r1), nullptr);
+    ASSERT_NE(tracer.rootOf(r2), nullptr);
+    EXPECT_NE(tracer.rootOf(r1), tracer.rootOf(r2));
+}
+
+TEST(Tracer, EndOfInvalidSpanIsANoOp)
+{
+    EventQueue eq;
+    Tracer tracer(eq);
+    tracer.setEnabled(true);
+    tracer.end(invalidSpan);  // must not crash or underflow
+    EXPECT_EQ(tracer.openSpans(), 0u);
+}
+
+TEST(Tracer, JsonEscapeHandlesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01") + "end"), "nul\\u0001end");
+}
+
+TEST(Tracer, ChromeTraceOfTracedServeRunIsValidJson)
+{
+    System sys(test::smallSystem());
+    sys.enableTracing();
+    runSmallServe(sys, EmbeddingBackendKind::Ndp);
+
+    EXPECT_EQ(sys.tracer().openSpans(), 0u)
+        << "a drained sim must close every span";
+
+    std::ostringstream os;
+    sys.tracer().writeChromeTrace(os);
+    std::string doc = os.str();
+    EXPECT_GT(doc.size(), 1000u);
+    EXPECT_TRUE(isValidJson(doc));
+
+    // Names with special characters survive escaping.
+    Tracer &tracer = sys.tracer();
+    tracer.instant(tracer.track("weird \"track\"\n"), "marker");
+    std::ostringstream os2;
+    tracer.writeChromeTrace(os2);
+    EXPECT_TRUE(isValidJson(os2.str()));
+}
+
+TEST(Attribution, PhaseTimesSumExactlyToEndToEnd)
+{
+    System sys(test::smallSystem());
+    sys.enableTracing();
+    runSmallServe(sys, EmbeddingBackendKind::Ndp);
+
+    const Tracer &tracer = sys.tracer();
+    unsigned roots = 0;
+    for (const SpanRecord &s : tracer.spans()) {
+        if (s.phase != Phase::Request ||
+            std::string(s.name) != "query")
+            continue;
+        ++roots;
+        RequestAttribution ra = attributeRequest(tracer, s);
+        Tick sum = 0;
+        for (Tick t : ra.perPhase)
+            sum += t;
+        EXPECT_EQ(sum, ra.e2e)
+            << "request " << ra.req
+            << ": phase times must partition the e2e interval";
+        EXPECT_EQ(ra.e2e, s.end - s.begin);
+    }
+    EXPECT_GT(roots, 0u);
+}
+
+TEST(Attribution, NamedPhasesCoverNearlyAllRequestTime)
+{
+    System sys(test::smallSystem());
+    sys.enableTracing();
+    runSmallServe(sys, EmbeddingBackendKind::Ndp);
+
+    AttributionReport report = attribute(sys.tracer());
+    EXPECT_GT(report.requests, 0u);
+    EXPECT_GT(report.meanRequestUs, 0.0);
+    EXPECT_GE(report.coverage, 0.99)
+        << "less than 99% of request time fell into named phases";
+
+    // Shares of the e2e total cannot exceed 1 in aggregate.
+    double total_fraction = 0.0;
+    for (const PhaseBreakdownRow &row : report.rows) {
+        EXPECT_GT(row.totalUs, 0.0);
+        total_fraction += row.fraction;
+    }
+    EXPECT_NEAR(total_fraction, 1.0, 1e-9);
+
+    std::ostringstream os;
+    report.writeJson(os);
+    EXPECT_TRUE(isValidJson(os.str()));
+}
+
+TEST(Attribution, TracingDoesNotPerturbSimulatedTiming)
+{
+    ServeStats plain, traced;
+    {
+        System sys(test::smallSystem());
+        plain = runSmallServe(sys, EmbeddingBackendKind::Ndp);
+    }
+    {
+        System sys(test::smallSystem());
+        sys.enableTracing();
+        traced = runSmallServe(sys, EmbeddingBackendKind::Ndp);
+    }
+    EXPECT_EQ(plain.meanLatencyUs, traced.meanLatencyUs);
+    EXPECT_EQ(plain.p99Us, traced.p99Us);
+    EXPECT_EQ(plain.maxLatencyUs, traced.maxLatencyUs);
+    EXPECT_EQ(plain.achievedQps, traced.achievedQps);
+}
+
+TEST(Metrics, RegistryEvaluatesAndSortsJsonKeys)
+{
+    Counter c;
+    c.inc(7);
+    Gauge g;
+    g.inc(3);
+    g.inc(2);
+    g.dec(4);  // value 1, high water 5
+
+    StatRegistry reg;
+    reg.addCounter("zeta", "count", &c);
+    reg.addGauge("alpha", "depth", &g);
+    EXPECT_EQ(reg.size(), 3u);  // gauge registers value + high water
+
+    std::vector<double> vals = reg.sample();
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_EQ(vals[0], 7.0);
+    EXPECT_EQ(vals[1], 1.0);
+    EXPECT_EQ(vals[2], 5.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string doc = os.str();
+    EXPECT_TRUE(isValidJson(doc));
+    // Keys come out sorted regardless of registration order.
+    EXPECT_LT(doc.find("alpha.depth"), doc.find("zeta.count"));
+}
+
+TEST(Metrics, SamplerRecordsMonotonicSeriesAndDrains)
+{
+    System sys(test::smallSystem());
+    MetricSampler &sampler = sys.startMetricSampler(50 * usec);
+    runSmallServe(sys, EmbeddingBackendKind::BaselineSsd);
+
+    ASSERT_GT(sampler.rows().size(), 2u);
+    for (std::size_t i = 1; i < sampler.rows().size(); ++i) {
+        EXPECT_GT(sampler.rows()[i].ts, sampler.rows()[i - 1].ts);
+        EXPECT_EQ(sampler.rows()[i].values.size(), sys.stats().size());
+    }
+    EXPECT_EQ(sys.eq().pending(), 0u)
+        << "sampler must not keep the event queue alive";
+
+    // Counters only move forward over the run.
+    const auto &names = sys.stats().names();
+    std::size_t flash_reads = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "flash.page_reads")
+            flash_reads = i;
+    }
+    EXPECT_GE(sampler.rows().back().values[flash_reads],
+              sampler.rows().front().values[flash_reads]);
+
+    std::ostringstream jsonl;
+    sampler.writeJsonl(jsonl);
+    std::istringstream lines(jsonl.str());
+    std::string line;
+    unsigned checked = 0;
+    while (std::getline(lines, line) && checked < 5) {
+        EXPECT_TRUE(isValidJson(line));
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+
+    std::ostringstream csv;
+    sampler.writeCsv(csv);
+    EXPECT_EQ(csv.str().rfind("ts_us,", 0), 0u);
+}
+
+TEST(System, DumpStatsJsonIsDeterministicAndValid)
+{
+    auto runOnce = []() {
+        System sys(test::smallSystem());
+        runSmallServe(sys, EmbeddingBackendKind::Ndp);
+        std::ostringstream os;
+        sys.dumpStatsJson(os);
+        return os.str();
+    };
+    std::string a = runOnce();
+    std::string b = runOnce();
+    EXPECT_TRUE(isValidJson(a));
+    EXPECT_EQ(a, b) << "stats JSON must be byte-identical run to run";
+    EXPECT_NE(a.find("\"flash.page_reads\""), std::string::npos);
+    EXPECT_NE(a.find("\"sls.requests\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recssd

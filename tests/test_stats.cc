@@ -73,6 +73,84 @@ TEST(Histogram, QuantilesAreMonotonic)
     EXPECT_LT(p50, 10000.0);
 }
 
+TEST(Gauge, TracksLevelAndHighWater)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.highWater(), 0);
+    g.inc();
+    g.inc(4);
+    EXPECT_EQ(g.value(), 5);
+    EXPECT_EQ(g.highWater(), 5);
+    g.dec(3);
+    EXPECT_EQ(g.value(), 2);
+    EXPECT_EQ(g.highWater(), 5);  // high water survives the drop
+    g.inc(2);
+    EXPECT_EQ(g.value(), 4);
+    EXPECT_EQ(g.highWater(), 5);  // ...and only a new peak moves it
+    g.inc(10);
+    EXPECT_EQ(g.highWater(), 14);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.highWater(), 0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryQuantile)
+{
+    Histogram h;
+    h.record(777);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 777.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 777.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 777.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 777.0);
+}
+
+TEST(Histogram, QuantileEndpointsAreMinAndMax)
+{
+    Histogram h;
+    for (std::uint64_t v : {3ull, 50ull, 9000ull})
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), 3.0);  // clamped below
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 9000.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 9000.0);  // clamped above
+}
+
+TEST(Histogram, QuantileNeverLeavesObservedRange)
+{
+    // Two samples in distant buckets: interpolation inside a bucket
+    // must still be clamped to [min, max].
+    Histogram h;
+    h.record(10);
+    h.record(1000);
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        double v = h.quantile(q);
+        EXPECT_GE(v, 10.0) << "q=" << q;
+        EXPECT_LE(v, 1000.0) << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket)
+{
+    // 1024 samples spread uniformly through the [1024, 2048) bucket:
+    // the interpolated median should land near the bucket middle, not
+    // pinned to a boundary.
+    Histogram h;
+    for (std::uint64_t v = 1024; v < 2048; ++v)
+        h.record(v);
+    double p50 = h.quantile(0.5);
+    EXPECT_GT(p50, 1200.0);
+    EXPECT_LT(p50, 1900.0);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h;

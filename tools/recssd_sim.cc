@@ -36,16 +36,28 @@
  *   --max-wait-us N     batching timeout in us (default 500)
  *   --max-inflight N    concurrent fused batches (default 4)
  *   --io-queues N       NVMe queue pairs to bind (default 4)
+ *
+ * Observability (see README "Observability"):
+ *   --trace-out FILE        record spans; write Chrome trace-event
+ *                           JSON (open in Perfetto) and print the
+ *                           per-phase latency-attribution table
+ *   --metrics-out FILE      sample the stat registry over sim time;
+ *                           JSONL by default, CSV when FILE ends .csv
+ *   --metrics-interval-us N sampling period (default 50)
+ *   --stats-json FILE       dump final device counters as JSON
+ *                           ("-" = stdout)
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "src/core/experiment.h"
+#include "src/obs/attribution.h"
 #include "src/reco/model_runner.h"
 #include "src/reco/serving.h"
 
@@ -66,7 +78,10 @@ usage(const char *argv0)
                  "       %s --serve [--qps R] [--arrival poisson|fixed|"
                  "bursty] [--burst B] [--queries N] [--max-batch N] "
                  "[--max-wait-us N] [--max-inflight N] [--io-queues N] "
-                 "[common flags]\n",
+                 "[common flags]\n"
+                 "observability flags (both modes): [--trace-out FILE] "
+                 "[--metrics-out FILE] [--metrics-interval-us N] "
+                 "[--stats-json FILE|-]\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -113,6 +128,10 @@ main(int argc, char **argv)
     unsigned max_wait_us = 500;
     unsigned max_inflight = 4;
     unsigned io_queues = 4;
+    std::string trace_out;
+    std::string metrics_out;
+    unsigned metrics_interval_us = 50;
+    std::string stats_json;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -169,6 +188,15 @@ main(int argc, char **argv)
             max_inflight = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--io-queues")) {
             io_queues = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--trace-out")) {
+            trace_out = need_value(i);
+        } else if (!std::strcmp(arg, "--metrics-out")) {
+            metrics_out = need_value(i);
+        } else if (!std::strcmp(arg, "--metrics-interval-us")) {
+            metrics_interval_us =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--stats-json")) {
+            stats_json = need_value(i);
         } else if (!std::strcmp(arg, "--list-models")) {
             listModels();
             return 0;
@@ -222,6 +250,64 @@ main(int argc, char **argv)
     const ModelConfig &model = modelByName(model_name);
     ModelRunner runner(sys, model, opt);
 
+    if (metrics_interval_us == 0)
+        usage(argv[0]);
+    if (!trace_out.empty())
+        sys.enableTracing();
+    if (!metrics_out.empty())
+        sys.startMetricSampler(Tick(metrics_interval_us) * usec);
+
+    // Export the recorded observability artifacts once the run ends.
+    auto writeObservability = [&]() {
+        if (!trace_out.empty()) {
+            std::ofstream os(trace_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             trace_out.c_str());
+                std::exit(1);
+            }
+            sys.tracer().writeChromeTrace(os);
+            std::printf("trace: %zu spans on %zu tracks -> %s "
+                        "(load in Perfetto / chrome://tracing)\n",
+                        sys.tracer().spans().size(),
+                        sys.tracer().tracks().size(), trace_out.c_str());
+            AttributionReport report = attribute(sys.tracer());
+            report.print(std::cout);
+        }
+        if (!metrics_out.empty()) {
+            std::ofstream os(metrics_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             metrics_out.c_str());
+                std::exit(1);
+            }
+            MetricSampler &sampler = *sys.metricSampler();
+            sampler.sampleNow();  // final snapshot at drain time
+            bool csv = metrics_out.size() > 4 &&
+                       metrics_out.rfind(".csv") == metrics_out.size() - 4;
+            if (csv)
+                sampler.writeCsv(os);
+            else
+                sampler.writeJsonl(os);
+            std::printf("metrics: %zu samples x %zu series -> %s\n",
+                        sampler.rows().size(), sys.stats().size(),
+                        metrics_out.c_str());
+        }
+        if (!stats_json.empty()) {
+            if (stats_json == "-") {
+                sys.dumpStatsJson(std::cout);
+            } else {
+                std::ofstream os(stats_json);
+                if (!os) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 stats_json.c_str());
+                    std::exit(1);
+                }
+                sys.dumpStatsJson(os);
+            }
+        }
+    };
+
     if (serve) {
         ServeConfig scfg;
         if (arrival == "poisson") {
@@ -270,6 +356,7 @@ main(int argc, char **argv)
         }
         if (dump_stats)
             sys.dumpStats(std::cout);
+        writeObservability();
         return 0;
     }
 
@@ -296,5 +383,6 @@ main(int argc, char **argv)
 
     if (dump_stats)
         sys.dumpStats(std::cout);
+    writeObservability();
     return 0;
 }
