@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Extension: multi-SSD shard scaling.
+ *
+ * The paper's prototype is one Cosmos+ drive (§5); production
+ * embedding stores span many. This bench serves RM1 through the
+ * batched harness while sweeping the device count (1/2/4/8), the
+ * partitioning policy (table-hash vs row-range) and the input
+ * locality, and reports tail latency, sustained QPS, the scatter
+ * fan-out and the per-device load spread.
+ *
+ * Expected shape: hash sharding scales throughput near-linearly with
+ * devices (no gather, whole tables spread statistically); range
+ * sharding buys per-op device parallelism but pays a host gather and
+ * N× command overhead per op, so it wins only when single-op latency
+ * dominates. Locality mostly tilts how evenly hash placement loads
+ * the devices.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/reco/serving.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+struct Point
+{
+    ServeStats stats;
+    unsigned devices = 1;
+};
+
+Point
+measure(unsigned devices, ShardPolicy policy, bool uniform)
+{
+    SystemConfig cfg;
+    cfg.shard.numShards = devices;
+    cfg.shard.policy = policy;
+    cfg.host.ioQueues = 4;
+    cfg.ssd.nvme.numQueues = 4;
+    cfg.host.balancedQueueGrants = true;
+    System sys(cfg);
+
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    if (uniform) {
+        opt.trace.kind = TraceKind::Uniform;
+    } else {
+        opt.trace.kind = TraceKind::LocalityK;
+        opt.trace.k = 1.0;
+    }
+    ModelRunner runner(sys, modelByName("RM1"), opt);
+
+    ServeConfig scfg;
+    scfg.arrivals.qps = 400.0;
+    scfg.shape.minBatch = 8;
+    scfg.shape.maxBatch = 8;
+    scfg.batching.maxBatchSamples = 32;
+    scfg.batching.maxInFlight = 4;
+    scfg.queries = 60;
+    scfg.warmupQueries = 10;
+    Point p;
+    p.stats = runServe(runner, scfg);
+    p.devices = devices;
+    return p;
+}
+
+/** max/min commands across devices (1.0 = perfectly even). */
+double
+loadSpread(const ServeStats &s)
+{
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (const auto &dev : s.perDevice) {
+        std::uint64_t cmds = 0;
+        for (std::uint64_t c : dev.commandsPerQueue)
+            cmds += c;
+        lo = std::min(lo, cmds);
+        hi = std::max(hi, cmds);
+    }
+    if (lo == 0)
+        return 0.0;  // an idle device: report "infinite" skew as 0
+    return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+}  // namespace
+
+int
+main()
+{
+    TablePrinter table(
+        "Extension: shard scaling, RM1 NDP serve (batch 8, 400 qps "
+        "offered)",
+        {"ssds", "policy", "trace", "p50", "p95", "p99", "qps",
+         "scattered", "spread"});
+
+    std::vector<std::string> perDevice;
+    for (bool uniform : {true, false}) {
+        for (auto policy : {ShardPolicy::TableHash, ShardPolicy::RowRange}) {
+            for (unsigned devices : {1u, 2u, 4u, 8u}) {
+                Point p = measure(devices, policy, uniform);
+                const ServeStats &s = p.stats;
+                table.row({std::to_string(devices),
+                           shardPolicyName(policy),
+                           uniform ? "uniform" : "local",
+                           TablePrinter::fmtUs(s.p50Us),
+                           TablePrinter::fmtUs(s.p95Us),
+                           TablePrinter::fmtUs(s.p99Us),
+                           TablePrinter::fmt(s.achievedQps, 1),
+                           std::to_string(s.scatteredOps),
+                           TablePrinter::fmt(loadSpread(s), 2)});
+                if (devices > 1) {
+                    std::string detail =
+                        std::to_string(devices) + " ssds, " +
+                        shardPolicyName(policy) +
+                        (uniform ? ", uniform:" : ", local:");
+                    for (std::size_t d = 0; d < s.perDevice.size(); ++d) {
+                        const auto &dev = s.perDevice[d];
+                        detail += "\n  ssd" + std::to_string(d) + ": " +
+                                  std::to_string(dev.subOps) +
+                                  " sub-ops, p50/p95/p99 " +
+                                  TablePrinter::fmtUs(dev.subOpP50Us) +
+                                  "/" +
+                                  TablePrinter::fmtUs(dev.subOpP95Us) +
+                                  "/" +
+                                  TablePrinter::fmtUs(dev.subOpP99Us);
+                    }
+                    perDevice.push_back(std::move(detail));
+                }
+            }
+        }
+    }
+
+    std::printf("\nPer-device sub-op service latency:\n");
+    for (const std::string &d : perDevice)
+        std::printf("%s\n", d.c_str());
+
+    std::printf("\nShape: hash sharding lifts sustained QPS with device "
+                "count under any traffic; range sharding fans out (and "
+                "pays its gather) only when accesses actually span the "
+                "row ranges — on uniform traffic every op scatters, "
+                "while the K-locality traces keep the hot set in the "
+                "first shard's range and leave the other devices "
+                "idle.\n");
+    return 0;
+}

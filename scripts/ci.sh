@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: configure, build, then test in three stages —
+# Tier-1 CI gate: configure, build, then test in stages —
 # `ctest -L quick` first (the sub-second unit suites, fails fast on
-# broken plumbing), then the full suite, then the quick suites again
-# under ASan+UBSan in a separate build tree. Pass a generator via
-# CMAKE_GENERATOR if you want Ninja; the default works everywhere.
-# RECSSD_SKIP_SANITIZERS=1 skips stage 3 (for hosts without ASan).
+# broken plumbing), then the full suite, then the sharding matrix
+# (`ctest -L shard` plus recssd_sim smoke runs at --num-ssds 1 and 4),
+# then the quick + shard suites again under ASan+UBSan in a separate
+# build tree (the 4-device smoke rides the sanitizer leg too, so the
+# scatter-gather barrier is exercised under ASan). Pass a generator
+# via CMAKE_GENERATOR if you want Ninja; the default works everywhere.
+# RECSSD_SKIP_SANITIZERS=1 skips the sanitizer stage (for hosts
+# without ASan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,9 +23,19 @@ echo
 echo "=== stage 2: full tier-1 suite ==="
 ctest --test-dir build --output-on-failure -j
 
+echo
+echo "=== stage 3: sharding matrix (ctest -L shard + sim smoke) ==="
+ctest --test-dir build -L shard --output-on-failure -j
+./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+    --num-ssds 1 --queries 40 --qps 500 > /dev/null
+./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+    --num-ssds 4 --shard-policy hash --queries 40 --qps 500 > /dev/null
+./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+    --num-ssds 4 --shard-policy range --queries 40 --qps 500 > /dev/null
+
 if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     echo
-    echo "=== stage 3: quick unit suites under ASan+UBSan ==="
+    echo "=== stage 4: quick + shard suites under ASan+UBSan ==="
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -29,6 +43,10 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
         -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
     cmake --build build-asan -j
     ctest --test-dir build-asan -L quick --output-on-failure -j
+    ctest --test-dir build-asan -L shard --output-on-failure -j
+    ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+        --num-ssds 4 --shard-policy range --queries 40 --qps 500 \
+        > /dev/null
 fi
 
 echo

@@ -12,13 +12,26 @@ namespace recssd
 
 System::System(const SystemConfig &config) : config_(config)
 {
-    ssd_ = std::make_unique<Ssd>(eq_, config_.ssd);
+    recssd_assert(config_.shard.numShards > 0, "need at least one device");
+    unsigned n = config_.shard.numShards;
+
     cpu_ = std::make_unique<HostCpu>(eq_, config_.host);
-    driver_ = std::make_unique<UnvmeDriver>(eq_, *cpu_, ssd_->controller());
-    queues_ = std::make_unique<QueueAllocator>(
-        driver_->numQueues(), config_.host.balancedQueueGrants
-                                  ? QueueAllocator::Policy::LeastUsed
-                                  : QueueAllocator::Policy::Fifo);
+    for (unsigned d = 0; d < n; ++d) {
+        const SsdConfig &sc =
+            d < config_.perSsd.size() ? config_.perSsd[d] : config_.ssd;
+        // Single-device systems keep the historical unprefixed track
+        // names so traces and stats stay bit-identical to the seed.
+        std::string prefix = n > 1 ? "ssd" + std::to_string(d) + "." : "";
+        ssds_.push_back(std::make_unique<Ssd>(eq_, sc, prefix));
+        drivers_.push_back(std::make_unique<UnvmeDriver>(
+            eq_, *cpu_, ssds_[d]->controller(), prefix));
+        queueAllocs_.push_back(std::make_unique<QueueAllocator>(
+            drivers_[d]->numQueues(), config_.host.balancedQueueGrants
+                                          ? QueueAllocator::Policy::LeastUsed
+                                          : QueueAllocator::Policy::Fifo));
+    }
+    nextTableSlot_.assign(n, 0);
+    router_ = std::make_unique<ShardRouter>(config_.shard);
     // Off by default: an unhooked tracer keeps every instrumentation
     // point a single null check, so timing is bit-identical to an
     // uninstrumented build.
@@ -27,77 +40,138 @@ System::System(const SystemConfig &config) : config_(config)
 }
 
 void
-System::buildRegistry()
+System::registerDevice(unsigned d, const std::string &prefix)
 {
     auto u64 = [](auto get) {
         return [get]() { return static_cast<double>(get()); };
     };
     StatRegistry &r = registry_;
-    Ssd *ssd = ssd_.get();
-    UnvmeDriver *drv = driver_.get();
-    QueueAllocator *qa = queues_.get();
+    Ssd *ssd = ssds_[d].get();
+    UnvmeDriver *drv = drivers_[d].get();
+    QueueAllocator *qa = queueAllocs_[d].get();
+
+    r.addScalar(prefix + "flash", "page_reads",
+                u64([ssd]() { return ssd->flash().pageReads(); }));
+    r.addScalar(prefix + "flash", "page_writes",
+                u64([ssd]() { return ssd->flash().pageWrites(); }));
+    r.addScalar(prefix + "flash", "block_erases",
+                u64([ssd]() { return ssd->flash().blockErases(); }));
+    r.addScalar(prefix + "flash", "read_retries",
+                u64([ssd]() { return ssd->flash().readRetries(); }));
+
+    r.addScalar(prefix + "ftl", "host_reads",
+                u64([ssd]() { return ssd->ftl().hostReads(); }));
+    r.addScalar(prefix + "ftl", "host_writes",
+                u64([ssd]() { return ssd->ftl().hostWrites(); }));
+    r.addScalar(prefix + "ftl", "host_trims",
+                u64([ssd]() { return ssd->ftl().hostTrims(); }));
+    r.addScalar(prefix + "ftl", "gc_runs",
+                u64([ssd]() { return ssd->ftl().gcRuns(); }));
+    r.addScalar(prefix + "ftl", "gc_pages_migrated",
+                u64([ssd]() { return ssd->ftl().gcPagesMigrated(); }));
+    r.addScalar(prefix + "ftl.page_cache", "hits",
+                u64([ssd]() { return ssd->ftl().pageCache().hits(); }));
+    r.addScalar(prefix + "ftl.page_cache", "misses",
+                u64([ssd]() { return ssd->ftl().pageCache().misses(); }));
+    r.addScalar(prefix + "ftl.cpu", "busy_us", [ssd]() {
+        return ticksToUs(ssd->ftl().cpu().busyTime());
+    });
+
+    r.addScalar(prefix + "sls", "requests",
+                u64([ssd]() { return ssd->slsEngine().requests(); }));
+    r.addScalar(prefix + "sls", "flash_pages_read",
+                u64([ssd]() { return ssd->slsEngine().flashPagesRead(); }));
+    r.addScalar(prefix + "sls", "page_cache_hits",
+                u64([ssd]() { return ssd->slsEngine().pageCacheHits(); }));
+    r.addScalar(prefix + "sls", "embed_cache_hits",
+                u64([ssd]() { return ssd->slsEngine().embedCacheHits(); }));
+
+    r.addScalar(prefix + "nvme", "commands",
+                u64([ssd]() { return ssd->controller().commandsProcessed(); }));
+    r.addScalar(prefix + "pcie", "bytes_moved",
+                u64([ssd]() { return ssd->pcie().bytesMoved(); }));
+    r.addScalar(prefix + "pcie", "busy_us",
+                [ssd]() { return ticksToUs(ssd->pcie().busyTime()); });
+
+    r.addScalar(prefix + "driver", "commands",
+                u64([drv]() { return drv->commandsIssued(); }));
+
+    for (unsigned q = 0; q < drv->numQueues(); ++q) {
+        std::string group = prefix + "driver.queue" + std::to_string(q);
+        r.addScalar(group, "commands",
+                    u64([drv, q]() { return drv->commandsOnQueue(q); }));
+        r.addGauge(group, "depth", &drv->queuePair(q).depthGauge());
+        r.addScalar(group, "grants",
+                    u64([qa, q]() { return qa->grantsOn(q); }));
+    }
+}
+
+void
+System::buildRegistry()
+{
+    StatRegistry &r = registry_;
     HostCpu *cpu = cpu_.get();
     EventQueue *eq = &eq_;
 
     r.addScalar("sim", "now_us",
                 [eq]() { return ticksToUs(eq->now()); });
 
-    r.addScalar("flash", "page_reads",
-                u64([ssd]() { return ssd->flash().pageReads(); }));
-    r.addScalar("flash", "page_writes",
-                u64([ssd]() { return ssd->flash().pageWrites(); }));
-    r.addScalar("flash", "block_erases",
-                u64([ssd]() { return ssd->flash().blockErases(); }));
-    r.addScalar("flash", "read_retries",
-                u64([ssd]() { return ssd->flash().readRetries(); }));
+    if (numSsds() == 1) {
+        // Seed layout: device 0's stats under the historical names.
+        registerDevice(0, "");
+    } else {
+        // Per-device subtrees plus cross-device aggregates under the
+        // historical names, so existing dashboards keep working and
+        // the property tests can check per-shard totals sum up.
+        for (unsigned d = 0; d < numSsds(); ++d)
+            registerDevice(d, "ssd" + std::to_string(d) + ".");
 
-    r.addScalar("ftl", "host_reads",
-                u64([ssd]() { return ssd->ftl().hostReads(); }));
-    r.addScalar("ftl", "host_writes",
-                u64([ssd]() { return ssd->ftl().hostWrites(); }));
-    r.addScalar("ftl", "host_trims",
-                u64([ssd]() { return ssd->ftl().hostTrims(); }));
-    r.addScalar("ftl", "gc_runs",
-                u64([ssd]() { return ssd->ftl().gcRuns(); }));
-    r.addScalar("ftl", "gc_pages_migrated",
-                u64([ssd]() { return ssd->ftl().gcPagesMigrated(); }));
-    r.addScalar("ftl.page_cache", "hits",
-                u64([ssd]() { return ssd->ftl().pageCache().hits(); }));
-    r.addScalar("ftl.page_cache", "misses",
-                u64([ssd]() { return ssd->ftl().pageCache().misses(); }));
-    r.addScalar("ftl.cpu", "busy_us", [ssd]() {
-        return ticksToUs(ssd->ftl().cpu().busyTime());
-    });
+        auto sum = [this](auto per_device) {
+            return [this, per_device]() {
+                double total = 0.0;
+                for (unsigned d = 0; d < numSsds(); ++d)
+                    total += per_device(d);
+                return total;
+            };
+        };
+        auto dev = [this](unsigned d) { return ssds_[d].get(); };
+        r.addScalar("flash", "page_reads", sum([dev](unsigned d) {
+            return double(dev(d)->flash().pageReads());
+        }));
+        r.addScalar("flash", "page_writes", sum([dev](unsigned d) {
+            return double(dev(d)->flash().pageWrites());
+        }));
+        r.addScalar("flash", "block_erases", sum([dev](unsigned d) {
+            return double(dev(d)->flash().blockErases());
+        }));
+        r.addScalar("flash", "read_retries", sum([dev](unsigned d) {
+            return double(dev(d)->flash().readRetries());
+        }));
+        r.addScalar("ftl", "host_reads", sum([dev](unsigned d) {
+            return double(dev(d)->ftl().hostReads());
+        }));
+        r.addScalar("ftl", "host_writes", sum([dev](unsigned d) {
+            return double(dev(d)->ftl().hostWrites());
+        }));
+        r.addScalar("sls", "requests", sum([dev](unsigned d) {
+            return double(dev(d)->slsEngine().requests());
+        }));
+        r.addScalar("sls", "flash_pages_read", sum([dev](unsigned d) {
+            return double(dev(d)->slsEngine().flashPagesRead());
+        }));
+        r.addScalar("nvme", "commands", sum([dev](unsigned d) {
+            return double(dev(d)->controller().commandsProcessed());
+        }));
+        r.addScalar("pcie", "bytes_moved", sum([dev](unsigned d) {
+            return double(dev(d)->pcie().bytesMoved());
+        }));
+        r.addScalar("driver", "commands", sum([this](unsigned d) {
+            return double(drivers_[d]->commandsIssued());
+        }));
+    }
 
-    r.addScalar("sls", "requests",
-                u64([ssd]() { return ssd->slsEngine().requests(); }));
-    r.addScalar("sls", "flash_pages_read",
-                u64([ssd]() { return ssd->slsEngine().flashPagesRead(); }));
-    r.addScalar("sls", "page_cache_hits",
-                u64([ssd]() { return ssd->slsEngine().pageCacheHits(); }));
-    r.addScalar("sls", "embed_cache_hits",
-                u64([ssd]() { return ssd->slsEngine().embedCacheHits(); }));
-
-    r.addScalar("nvme", "commands",
-                u64([ssd]() { return ssd->controller().commandsProcessed(); }));
-    r.addScalar("pcie", "bytes_moved",
-                u64([ssd]() { return ssd->pcie().bytesMoved(); }));
-    r.addScalar("pcie", "busy_us",
-                [ssd]() { return ticksToUs(ssd->pcie().busyTime()); });
-
-    r.addScalar("driver", "commands",
-                u64([drv]() { return drv->commandsIssued(); }));
     r.addScalar("host.cores", "busy_us",
                 [cpu]() { return ticksToUs(cpu->busyTime()); });
-
-    for (unsigned q = 0; q < driver_->numQueues(); ++q) {
-        std::string group = "driver.queue" + std::to_string(q);
-        r.addScalar(group, "commands",
-                    u64([drv, q]() { return drv->commandsOnQueue(q); }));
-        r.addGauge(group, "depth", &driver_->queuePair(q).depthGauge());
-        r.addScalar(group, "grants",
-                    u64([qa, q]() { return qa->grantsOn(q); }));
-    }
 }
 
 void
@@ -119,61 +193,85 @@ EmbeddingTableDesc
 System::installTable(std::uint64_t rows, std::uint32_t dim,
                      std::uint32_t attr_bytes, std::uint32_t rows_per_page)
 {
-    EmbeddingTableDesc desc;
-    desc.id = nextTableId_++;
-    desc.baseLpn = nextTableSlot_++ * slsTableAlign;
-    desc.rows = rows;
-    desc.dim = dim;
-    desc.attrBytes = attr_bytes;
-    desc.rowsPerPage = rows_per_page;
-    recssd::installTable(ssd_->ftl(), desc);
-    return desc;
+    EmbeddingTableDesc global;
+    global.id = nextTableId_++;
+    global.rows = rows;
+    global.dim = dim;
+    global.attrBytes = attr_bytes;
+    global.rowsPerPage = rows_per_page;
+    const ShardedTable &st =
+        router_->addTable(global, [this](unsigned shard) {
+            return nextTableSlot_.at(shard)++ * slsTableAlign;
+        });
+    for (const ShardSlice &slice : st.slices)
+        recssd::installTable(ssds_[slice.shard]->ftl(), slice.desc);
+    return st.global;
 }
 
 void
 System::dumpStats(std::ostream &os)
 {
-    auto line = [&os](const char *name, std::uint64_t v) {
+    Tick now = eq_.now();
+    auto line = [&os](const std::string &name, std::uint64_t v) {
         os << "  " << std::left << std::setw(36) << name << v << "\n";
     };
-    Tick now = eq_.now();
+    auto util = [&os, now](const std::string &name, double v) {
+        os << "  " << std::left << std::setw(36) << name << v << "\n";
+    };
+    auto pct = [now](Tick busy) {
+        return 100.0 * static_cast<double>(busy) / static_cast<double>(now);
+    };
+
+    auto device = [&](unsigned d, const std::string &p) {
+        Ssd *ssd = ssds_[d].get();
+        UnvmeDriver *drv = drivers_[d].get();
+        QueueAllocator *qa = queueAllocs_[d].get();
+        line(p + "flash.pageReads", ssd->flash().pageReads());
+        line(p + "flash.pageWrites", ssd->flash().pageWrites());
+        line(p + "flash.blockErases", ssd->flash().blockErases());
+        line(p + "ftl.hostReads", ssd->ftl().hostReads());
+        line(p + "ftl.hostWrites", ssd->ftl().hostWrites());
+        line(p + "ftl.hostTrims", ssd->ftl().hostTrims());
+        line(p + "ftl.gcRuns", ssd->ftl().gcRuns());
+        line(p + "ftl.gcPagesMigrated", ssd->ftl().gcPagesMigrated());
+        line(p + "ftl.pageCache.hits", ssd->ftl().pageCache().hits());
+        line(p + "ftl.pageCache.misses", ssd->ftl().pageCache().misses());
+        line(p + "sls.requests", ssd->slsEngine().requests());
+        line(p + "sls.flashPagesRead", ssd->slsEngine().flashPagesRead());
+        line(p + "sls.pageCacheHits", ssd->slsEngine().pageCacheHits());
+        line(p + "sls.embedCacheHits", ssd->slsEngine().embedCacheHits());
+        line(p + "nvme.commands", ssd->controller().commandsProcessed());
+        line(p + "pcie.bytesMoved", ssd->pcie().bytesMoved());
+        line(p + "driver.commands", drv->commandsIssued());
+        for (unsigned q = 0; q < drv->numQueues(); ++q) {
+            std::string prefix = p + "driver.queue" + std::to_string(q);
+            line(prefix + ".commands", drv->commandsOnQueue(q));
+            line(prefix + ".maxDepth", drv->queuePair(q).maxOutstanding());
+            line(prefix + ".grants", qa->grantsOn(q));
+        }
+    };
+
     os << "==== system stats @ " << ticksToMs(now) << "ms ====\n";
-    line("flash.pageReads", ssd_->flash().pageReads());
-    line("flash.pageWrites", ssd_->flash().pageWrites());
-    line("flash.blockErases", ssd_->flash().blockErases());
-    line("ftl.hostReads", ssd_->ftl().hostReads());
-    line("ftl.hostWrites", ssd_->ftl().hostWrites());
-    line("ftl.hostTrims", ssd_->ftl().hostTrims());
-    line("ftl.gcRuns", ssd_->ftl().gcRuns());
-    line("ftl.gcPagesMigrated", ssd_->ftl().gcPagesMigrated());
-    line("ftl.pageCache.hits", ssd_->ftl().pageCache().hits());
-    line("ftl.pageCache.misses", ssd_->ftl().pageCache().misses());
-    line("sls.requests", ssd_->slsEngine().requests());
-    line("sls.flashPagesRead", ssd_->slsEngine().flashPagesRead());
-    line("sls.pageCacheHits", ssd_->slsEngine().pageCacheHits());
-    line("sls.embedCacheHits", ssd_->slsEngine().embedCacheHits());
-    line("nvme.commands", ssd_->controller().commandsProcessed());
-    line("pcie.bytesMoved", ssd_->pcie().bytesMoved());
-    line("driver.commands", driver_->commandsIssued());
-    for (unsigned q = 0; q < driver_->numQueues(); ++q) {
-        std::string prefix = "driver.queue" + std::to_string(q);
-        line((prefix + ".commands").c_str(), driver_->commandsOnQueue(q));
-        line((prefix + ".maxDepth").c_str(),
-             driver_->queuePair(q).maxOutstanding());
-        line((prefix + ".grants").c_str(), queues_->grantsOn(q));
+    if (numSsds() == 1) {
+        device(0, "");
+        if (now > 0) {
+            util("ftl.cpu.util%", pct(ssds_[0]->ftl().cpu().busyTime()));
+            util("pcie.util%", pct(ssds_[0]->pcie().busyTime()));
+            util("host.cores.util%", pct(cpu_->busyTime()) / cpu_->cores());
+        }
+        return;
     }
-    if (now > 0) {
-        auto pct = [now](Tick busy) {
-            return 100.0 * static_cast<double>(busy) /
-                   static_cast<double>(now);
-        };
-        os << "  " << std::left << std::setw(36) << "ftl.cpu.util%"
-           << pct(ssd_->ftl().cpu().busyTime()) << "\n";
-        os << "  " << std::left << std::setw(36) << "pcie.util%"
-           << pct(ssd_->pcie().busyTime()) << "\n";
-        os << "  " << std::left << std::setw(36) << "host.cores.util%"
-           << pct(cpu_->busyTime()) / cpu_->cores() << "\n";
+
+    for (unsigned d = 0; d < numSsds(); ++d) {
+        std::string p = "ssd" + std::to_string(d) + ".";
+        device(d, p);
+        if (now > 0) {
+            util(p + "ftl.cpu.util%", pct(ssds_[d]->ftl().cpu().busyTime()));
+            util(p + "pcie.util%", pct(ssds_[d]->pcie().busyTime()));
+        }
     }
+    if (now > 0)
+        util("host.cores.util%", pct(cpu_->busyTime()) / cpu_->cores());
 }
 
 EmbeddingTableDesc
@@ -182,7 +280,9 @@ System::describeDramTable(std::uint64_t rows, std::uint32_t dim,
 {
     EmbeddingTableDesc desc;
     desc.id = nextTableId_++;
-    desc.baseLpn = nextTableSlot_++ * slsTableAlign;
+    // DRAM tables burn a device-0 slot so the seed's installTable /
+    // describeDramTable interleaving produces identical baseLpns.
+    desc.baseLpn = nextTableSlot_.at(0)++ * slsTableAlign;
     desc.rows = rows;
     desc.dim = dim;
     desc.attrBytes = attr_bytes;

@@ -1,9 +1,17 @@
 /**
  * @file
  * The RecSSD system facade: one simulated host machine attached to one
- * simulated SSD, with the embedding-table bookkeeping the paper's
- * stack needs. This is the entry point downstream users start from
- * (see examples/quickstart.cpp).
+ * or more simulated SSDs, with the embedding-table bookkeeping the
+ * paper's stack needs. This is the entry point downstream users start
+ * from (see examples/quickstart.cpp).
+ *
+ * Multi-device operation: `SystemConfig::shard` sets the device count
+ * and table-partitioning policy. Each device is a fully independent
+ * stack — flash array, FTL, SLS engine, NVMe controller, PCIe link,
+ * UNVMe driver and queue allocator — sharing only the host CPU and the
+ * event queue. With one device (the default) the system is
+ * bit-identical to the historical single-SSD layout, including stat
+ * names and trace tracks.
  */
 
 #ifndef RECSSD_CORE_SYSTEM_H
@@ -11,6 +19,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <vector>
 
 #include "src/common/event_queue.h"
 #include "src/embedding/embedding_table.h"
@@ -20,6 +29,7 @@
 #include "src/host/unvme_driver.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
+#include "src/shard/shard_router.h"
 #include "src/ssd/ssd.h"
 
 namespace recssd
@@ -29,6 +39,15 @@ struct SystemConfig
 {
     SsdConfig ssd;
     HostParams host;
+    /** Device fan-out + table partitioning (1 device = seed layout). */
+    ShardConfig shard;
+    /**
+     * Optional per-device overrides: device d uses perSsd[d] instead
+     * of `ssd` when the vector is long enough (failure-injection tests
+     * perturb one shard this way). Trailing devices fall back to
+     * `ssd`.
+     */
+    std::vector<SsdConfig> perSsd;
 };
 
 class System
@@ -37,15 +56,29 @@ class System
     explicit System(const SystemConfig &config = SystemConfig());
 
     EventQueue &eq() { return eq_; }
-    Ssd &ssd() { return *ssd_; }
+
+    /** Devices in the system (== shard count). */
+    unsigned numSsds() const { return static_cast<unsigned>(ssds_.size()); }
+
+    /** @{ Per-device stacks; no argument = device 0 (seed accessors). */
+    Ssd &ssd(unsigned d = 0) { return *ssds_.at(d); }
+    UnvmeDriver &driver(unsigned d = 0) { return *drivers_.at(d); }
+    QueueAllocator &queues(unsigned d = 0) { return *queueAllocs_.at(d); }
+    /** @} */
+
     HostCpu &cpu() { return *cpu_; }
-    UnvmeDriver &driver() { return *driver_; }
-    QueueAllocator &queues() { return *queues_; }
+
+    /** Table -> device placement and SLS op splitting. */
+    ShardRouter &router() { return *router_; }
+
     const SystemConfig &config() const { return config_; }
 
     /**
-     * Create and bulk-load an embedding table on the SSD. Tables get
-     * consecutive slsTableAlign-aligned logical slots.
+     * Create and bulk-load an embedding table across the shard set.
+     * Each owning device's slice gets a consecutive
+     * slsTableAlign-aligned logical slot on that device. The returned
+     * descriptor is the global (unsharded) view; per-slice descriptors
+     * live in `router()`.
      */
     EmbeddingTableDesc installTable(std::uint64_t rows, std::uint32_t dim,
                                     std::uint32_t attr_bytes = 4,
@@ -78,7 +111,9 @@ class System
 
     /**
      * Dump every registered stat as one JSON object with
-     * lexicographically sorted keys (diffable run to run).
+     * lexicographically sorted keys (diffable run to run). Multi-
+     * device systems publish each device's subtree under "ssd<d>.*"
+     * plus cross-device aggregates under the historical names.
      */
     void dumpStatsJson(std::ostream &os) const;
 
@@ -97,17 +132,22 @@ class System
     /** Register every component stat into `registry_`. */
     void buildRegistry();
 
+    /** Register device d's component stats under `prefix`. */
+    void registerDevice(unsigned d, const std::string &prefix);
+
     SystemConfig config_;
     EventQueue eq_;
-    std::unique_ptr<Ssd> ssd_;
     std::unique_ptr<HostCpu> cpu_;
-    std::unique_ptr<UnvmeDriver> driver_;
-    std::unique_ptr<QueueAllocator> queues_;
+    std::vector<std::unique_ptr<Ssd>> ssds_;
+    std::vector<std::unique_ptr<UnvmeDriver>> drivers_;
+    std::vector<std::unique_ptr<QueueAllocator>> queueAllocs_;
+    std::unique_ptr<ShardRouter> router_;
     std::unique_ptr<Tracer> tracer_;
     StatRegistry registry_;
     std::unique_ptr<MetricSampler> sampler_;
     std::uint32_t nextTableId_ = 0;
-    std::uint64_t nextTableSlot_ = 0;
+    /** Next slsTableAlign slot, per device. */
+    std::vector<std::uint64_t> nextTableSlot_;
 };
 
 }  // namespace recssd

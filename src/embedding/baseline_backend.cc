@@ -65,8 +65,10 @@ BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
     for (std::uint32_t b = 0; b < op.indices.size(); ++b) {
         for (RowId row : op.indices[b]) {
             if (options_.hostCache) {
-                if (const auto *vec = options_.hostCache->get(table.id,
-                                                              row)) {
+                // The cache is shared across shard slices of the same
+                // table, so entries are keyed by global row id.
+                if (const auto *vec = options_.hostCache->get(
+                        table.id, table.globalRow(row))) {
                     cacheServed_.inc();
                     ++cache_hits;
                     float *res = state->result.data() +
@@ -80,7 +82,7 @@ BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
                 // fetch below populates the cache mid-operation. Fill
                 // the entry now so intra-op reuse hits, exactly as it
                 // would at processing time.
-                options_.hostCache->put(table.id, row,
+                options_.hostCache->put(table.id, table.globalRow(row),
                                         synthetic::vectorOf(table, row));
             }
             Lpn lpn = table.lpnOf(row);

@@ -28,6 +28,14 @@ struct EmbeddingTableDesc
     Lpn baseLpn = 0;
     /** Rows in the table. */
     std::uint64_t rows = 0;
+    /**
+     * Global row id of local row 0. Non-zero only for a shard-local
+     * slice of a row-range-partitioned table (src/shard): the slice
+     * addresses rows [0, rows) locally while its content — and any
+     * host-side cache key — stays a function of the global row id, so
+     * every shard layout produces bit-identical sums.
+     */
+    RowId rowBase = 0;
     /** Elements per embedding vector. */
     std::uint32_t dim = 0;
     /** Bytes per element (4 = fp32, 2/1 = quantized). */
@@ -36,6 +44,9 @@ struct EmbeddingTableDesc
     std::uint32_t rowsPerPage = 1;
 
     std::uint32_t vectorBytes() const { return dim * attrBytes; }
+
+    /** Global row id of a (possibly shard-local) row. */
+    RowId globalRow(RowId local) const { return rowBase + local; }
 
     /** Logical pages the table spans. */
     std::uint64_t

@@ -54,8 +54,10 @@ NdpSlsBackend::run(const SlsOp &op, Done done)
     for (std::uint32_t b = 0; b < op.indices.size(); ++b) {
         for (RowId row : op.indices[b]) {
             if (options_.partition) {
-                if (const auto *vec =
-                        options_.partition->lookup(state->table.id, row)) {
+                // Partition entries are keyed by global row id so one
+                // profile serves every shard slice of the table.
+                if (const auto *vec = options_.partition->lookup(
+                        state->table.id, state->table.globalRow(row))) {
                     hotLookups_.inc();
                     state->hot.emplace_back(b, vec);
                     continue;

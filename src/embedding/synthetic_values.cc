@@ -43,7 +43,8 @@ fillVector(const EmbeddingTableDesc &desc, RowId row,
     recssd_assert(out.size() >= desc.vectorBytes(),
                   "output smaller than vector");
     for (std::uint32_t e = 0; e < desc.dim; ++e)
-        encodeAttr(out, e, desc.attrBytes, value(desc.id, row, e));
+        encodeAttr(out, e, desc.attrBytes,
+                   value(desc.id, desc.globalRow(row), e));
 }
 
 std::vector<float>
@@ -51,7 +52,7 @@ vectorOf(const EmbeddingTableDesc &desc, RowId row)
 {
     std::vector<float> v(desc.dim);
     for (std::uint32_t e = 0; e < desc.dim; ++e)
-        v[e] = value(desc.id, row, e);
+        v[e] = value(desc.id, desc.globalRow(row), e);
     return v;
 }
 
@@ -63,7 +64,8 @@ expectedSls(const EmbeddingTableDesc &desc,
     for (std::size_t b = 0; b < indices.size(); ++b) {
         for (RowId row : indices[b]) {
             for (std::uint32_t e = 0; e < desc.dim; ++e)
-                out[b * desc.dim + e] += value(desc.id, row, e);
+                out[b * desc.dim + e] +=
+                    value(desc.id, desc.globalRow(row), e);
         }
     }
     return out;

@@ -9,19 +9,18 @@ namespace recssd
 {
 
 FlashArray::FlashArray(EventQueue &eq, const FlashParams &params,
-                       DataStore &store)
+                       DataStore &store, const std::string &track_prefix)
     : eq_(eq), params_(params), store_(store), retryRng_(0x5EED)
 {
     recssd_assert(params_.pageSize == store_.pageSize(),
                   "flash/page store size mismatch");
     for (unsigned c = 0; c < params_.numChannels; ++c) {
-        channels_.push_back(std::make_unique<SerialResource>(
-            eq_, "flash.ch" + std::to_string(c)));
-        channelTrackNames_.push_back("flash.ch" + std::to_string(c));
+        std::string ch = track_prefix + "flash.ch" + std::to_string(c);
+        channels_.push_back(std::make_unique<SerialResource>(eq_, ch));
+        channelTrackNames_.push_back(ch);
         for (unsigned d = 0; d < params_.diesPerChannel; ++d) {
             dies_.push_back(std::make_unique<SerialResource>(
-                eq_,
-                "flash.ch" + std::to_string(c) + ".die" + std::to_string(d)));
+                eq_, ch + ".die" + std::to_string(d)));
         }
     }
 }

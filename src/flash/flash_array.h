@@ -60,7 +60,10 @@ class FlashArray
     using ReadCallback = std::function<void(const PageView &)>;
     using DoneCallback = std::function<void()>;
 
-    FlashArray(EventQueue &eq, const FlashParams &params, DataStore &store);
+    /** `track_prefix` namespaces the per-channel trace tracks (multi-
+     *  SSD systems pass "ssd<d>." so device spans stay separable). */
+    FlashArray(EventQueue &eq, const FlashParams &params, DataStore &store,
+               const std::string &track_prefix = "");
 
     const FlashParams &params() const { return params_; }
     DataStore &store() { return store_; }

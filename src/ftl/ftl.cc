@@ -15,12 +15,13 @@ namespace
 /** Open an FtlCpu span just before a firmware-core acquire (it then
  *  covers core queueing + service); invalidSpan when tracing is off. */
 SpanId
-beginCpuSpan(EventQueue &eq, const char *name, std::uint64_t trace_id)
+beginCpuSpan(EventQueue &eq, const std::string &track, const char *name,
+             std::uint64_t trace_id)
 {
     Tracer *tracer = tracerOf(eq);
     if (!tracer)
         return invalidSpan;
-    return tracer->begin(tracer->track("ftl.cpu"), name, Phase::FtlCpu,
+    return tracer->begin(tracer->track(track), name, Phase::FtlCpu,
                          trace_id);
 }
 
@@ -35,13 +36,16 @@ endSpan(EventQueue &eq, SpanId span)
 
 }  // namespace
 
-Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash)
+Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash,
+         const std::string &track_prefix)
     : eq_(eq),
       params_(params),
       flash_(flash),
       blocks_(flash.params(), params),
       cache_(params.pageCachePages, params.pageCacheWays),
-      cpu_(eq, "ftl.cpu")
+      cpuTrackName_(track_prefix + "ftl.cpu"),
+      gcTrackName_(track_prefix + "ftl.gc"),
+      cpu_(eq, cpuTrackName_)
 {
 }
 
@@ -49,7 +53,7 @@ void
 Ftl::hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id)
 {
     hostReads_.inc();
-    SpanId span = beginCpuSpan(eq_, "read_cmd", trace_id);
+    SpanId span = beginCpuSpan(eq_, cpuTrackName_, "read_cmd", trace_id);
     cpu_.acquire(params_.readCmdCpu, [this, lpn, span, trace_id,
                                       done = std::move(done)]() {
         endSpan(eq_, span);
@@ -87,7 +91,7 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
     // simulated DMA.
     auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
                                                             data.end());
-    SpanId span = beginCpuSpan(eq_, "write_cmd", trace_id);
+    SpanId span = beginCpuSpan(eq_, cpuTrackName_, "write_cmd", trace_id);
     cpu_.acquire(params_.writeCmdCpu, [this, lpn, span, trace_id, payload,
                                        done = std::move(done)]() mutable {
         endSpan(eq_, span);
@@ -116,7 +120,7 @@ Ftl::hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id)
     hostTrims_.inc();
     if (writeObserver_)
         writeObserver_(lpn);
-    SpanId span = beginCpuSpan(eq_, "trim_cmd", trace_id);
+    SpanId span = beginCpuSpan(eq_, cpuTrackName_, "trim_cmd", trace_id);
     cpu_.acquire(params_.trimCmdCpu, [this, lpn, span,
                                       done = std::move(done)]() {
         endSpan(eq_, span);
@@ -162,7 +166,7 @@ Ftl::runGcPass()
     }
     gcRuns_.inc();
     if (Tracer *tracer = tracerOf(eq_))
-        tracer->instant(tracer->track("ftl.gc"), "gc_pass");
+        tracer->instant(tracer->track(gcTrackName_), "gc_pass");
 
     auto valid = std::make_shared<std::vector<std::pair<Lpn, Ppn>>>(
         blocks_.validPagesIn(victim));
@@ -200,8 +204,8 @@ Ftl::runGcPass()
                               finish_row](const PageView &view) {
             SpanId gc_span = invalidSpan;
             if (Tracer *tracer = tracerOf(eq_)) {
-                gc_span = tracer->begin(tracer->track("ftl.gc"), "gc_page",
-                                        Phase::FtlCpu);
+                gc_span = tracer->begin(tracer->track(gcTrackName_),
+                                        "gc_page", Phase::FtlCpu);
             }
             cpu_.acquire(params_.gcPerPageCpu, [this, lpn, old_ppn, view,
                                                 gc_span, remaining,

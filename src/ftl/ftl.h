@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <span>
+#include <string>
 
 #include "src/common/event_queue.h"
 #include "src/common/resource.h"
@@ -36,7 +37,10 @@ class Ftl
     using ReadDone = std::function<void(const PageView &)>;
     using DoneCallback = std::function<void()>;
 
-    Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash);
+    /** `track_prefix` namespaces the firmware/GC trace tracks (multi-
+     *  SSD systems pass "ssd<d>." so device spans stay separable). */
+    Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash,
+        const std::string &track_prefix = "");
 
     /** @{ Host-visible block interface (used by the NVMe dispatcher). */
 
@@ -127,6 +131,8 @@ class Ftl
     MappingTable map_;
     BlockManager blocks_;
     PageCache cache_;
+    std::string cpuTrackName_;
+    std::string gcTrackName_;
     SerialResource cpu_;
     std::function<void(Lpn)> writeObserver_;
     bool gcActive_ = false;

@@ -22,7 +22,8 @@ endSpan(EventQueue &eq, SpanId span)
 
 }  // namespace
 
-UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl)
+UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl,
+                         const std::string &track_prefix)
     : eq_(eq), cpu_(cpu), ctrl_(ctrl)
 {
     numQueues_ = std::min(cpu.params().ioQueues, ctrl.params().numQueues);
@@ -31,9 +32,10 @@ UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl)
     perQueueCommands_.resize(numQueues_);
     for (unsigned q = 0; q < numQueues_; ++q) {
         ioThreads_.push_back(std::make_unique<SerialResource>(
-            eq_, "unvme.worker" + std::to_string(q)));
+            eq_, track_prefix + "unvme.worker" + std::to_string(q)));
         queuePairs_.push_back(std::make_unique<NvmeQueuePair>(64));
-        queueTrackNames_.push_back("unvme.q" + std::to_string(q));
+        queueTrackNames_.push_back(track_prefix + "unvme.q" +
+                                   std::to_string(q));
     }
 }
 

@@ -46,7 +46,10 @@ class UnvmeDriver
     using SlsResultDone =
         std::function<void(std::shared_ptr<std::vector<std::byte>>)>;
 
-    UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl);
+    /** `track_prefix` namespaces the per-queue trace tracks (multi-
+     *  SSD systems pass "ssd<d>." so device spans stay separable). */
+    UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl,
+                const std::string &track_prefix = "");
 
     /** Usable I/O queues: min(driver binding, controller support). */
     unsigned numQueues() const { return numQueues_; }

@@ -9,8 +9,10 @@
 namespace recssd
 {
 
-SlsEngine::SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl)
-    : eq_(eq), params_(params), ftl_(ftl)
+SlsEngine::SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl,
+                     const std::string &track_prefix)
+    : eq_(eq), params_(params), ftl_(ftl),
+      trackName_(track_prefix + "ndp.engine")
 {
     if (params_.embeddingCacheBytes > 0) {
         cache_ = std::make_unique<EmbeddingCache>(
@@ -93,7 +95,7 @@ SlsEngine::processConfig(const EntryPtr &entry)
                      params_.configPerIndexCpu * cfg.pairs.size();
     SpanId scan_span = invalidSpan;
     if (Tracer *tracer = tracerOf(eq_)) {
-        scan_span = tracer->begin(tracer->track("ndp.engine"),
+        scan_span = tracer->begin(tracer->track(trackName_),
                                   "config_scan", Phase::NdpConfig,
                                   entry->traceId);
     }
@@ -225,7 +227,7 @@ SlsEngine::translate(const EntryPtr &entry, PageWork work,
     PageView page = *view;
     SpanId xlate_span = invalidSpan;
     if (Tracer *tracer = tracerOf(eq_)) {
-        xlate_span = tracer->begin(tracer->track("ndp.engine"), "translate",
+        xlate_span = tracer->begin(tracer->track(trackName_), "translate",
                                    Phase::NdpTranslate, entry->traceId);
     }
     ftl_.cpu().acquire(cost, [this, entry, work = std::move(work), page,

@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -83,7 +84,10 @@ struct SlsTiming
 class SlsEngine : public SlsHandler
 {
   public:
-    SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl);
+    /** `track_prefix` namespaces the engine's trace track (multi-SSD
+     *  systems pass "ssd<d>." so device spans stay separable). */
+    SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl,
+              const std::string &track_prefix = "");
 
     /** @{ SlsHandler (called by the NVMe host controller). */
     void configWrite(const NvmeCommand &cmd,
@@ -180,6 +184,7 @@ class SlsEngine : public SlsHandler
     std::deque<std::pair<NvmeCommand, std::function<void()>>> waiting_;
     unsigned outstandingFlash_ = 0;
 
+    std::string trackName_;
     SlsTiming lastTiming_;
 
     Counter requests_;

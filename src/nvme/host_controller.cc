@@ -25,9 +25,10 @@ closing(EventQueue &eq, SpanId span, EventQueue::Callback then)
 }  // namespace
 
 HostController::HostController(EventQueue &eq, const NvmeParams &params,
-                               PcieLink &pcie, Ftl &ftl)
+                               PcieLink &pcie, Ftl &ftl,
+                               const std::string &track_prefix)
     : eq_(eq), params_(params), pcie_(pcie), ftl_(ftl),
-      ctrl_(eq, "nvme.ctrl")
+      trackName_(track_prefix + "nvme.ctrl"), ctrl_(eq, trackName_)
 {
 }
 
@@ -41,7 +42,7 @@ HostController::fetchCommand(std::uint64_t trace_id,
         [this, trace_id, then = std::move(then)]() {
             SpanId span = invalidSpan;
             if (Tracer *tracer = tracerOf(eq_)) {
-                span = tracer->begin(tracer->track("nvme.ctrl"),
+                span = tracer->begin(tracer->track(trackName_),
                                      "cmd_process", Phase::NvmeXfer,
                                      trace_id);
             }
@@ -57,7 +58,7 @@ HostController::postCompletion(std::uint64_t trace_id,
 {
     SpanId span = invalidSpan;
     if (Tracer *tracer = tracerOf(eq_)) {
-        span = tracer->begin(tracer->track("nvme.ctrl"), "cqe_post",
+        span = tracer->begin(tracer->track(trackName_), "cqe_post",
                              Phase::NvmeXfer, trace_id);
     }
     ctrl_.acquire(params_.completionPostCost,

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/event_queue.h"
@@ -76,8 +77,10 @@ class HostController
     using SlsReadDone =
         std::function<void(std::shared_ptr<std::vector<std::byte>>)>;
 
+    /** `track_prefix` namespaces the controller's trace track (multi-
+     *  SSD systems pass "ssd<d>." so device spans stay separable). */
     HostController(EventQueue &eq, const NvmeParams &params, PcieLink &pcie,
-                   Ftl &ftl);
+                   Ftl &ftl, const std::string &track_prefix = "");
 
     void setSlsHandler(SlsHandler *handler) { sls_ = handler; }
 
@@ -126,6 +129,7 @@ class HostController
     PcieLink &pcie_;
     Ftl &ftl_;
     SlsHandler *sls_ = nullptr;
+    std::string trackName_;
     SerialResource ctrl_;
 
     Counter commands_;

@@ -5,8 +5,10 @@
 namespace recssd
 {
 
-PcieLink::PcieLink(EventQueue &eq, const PcieParams &params)
-    : eq_(eq), params_(params), link_(eq, "pcie")
+PcieLink::PcieLink(EventQueue &eq, const PcieParams &params,
+                   const std::string &track_prefix)
+    : eq_(eq), params_(params), trackName_(track_prefix + "pcie"),
+      link_(eq, trackName_)
 {
 }
 
@@ -26,7 +28,8 @@ PcieLink::transfer(std::uint64_t bytes, EventQueue::Callback done,
     Tick lat = params_.latency;
     SpanId span = invalidSpan;
     if (Tracer *tracer = tracerOf(eq_))
-        span = tracer->begin(tracer->track("pcie"), "xfer", phase, trace_id);
+        span = tracer->begin(tracer->track(trackName_), "xfer", phase,
+                             trace_id);
     link_.acquire(occupancy(bytes), [this, lat, span,
                                      done = std::move(done)]() {
         // The span covers queueing + occupancy + propagation: the

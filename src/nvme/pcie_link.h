@@ -12,6 +12,7 @@
 #define RECSSD_NVME_PCIE_LINK_H
 
 #include <cstdint>
+#include <string>
 
 #include "src/common/event_queue.h"
 #include "src/common/resource.h"
@@ -32,7 +33,10 @@ struct PcieParams
 class PcieLink
 {
   public:
-    PcieLink(EventQueue &eq, const PcieParams &params);
+    /** `track_prefix` namespaces this link's trace track (multi-SSD
+     *  systems pass "ssd<d>." so per-device spans stay separable). */
+    PcieLink(EventQueue &eq, const PcieParams &params,
+             const std::string &track_prefix = "");
 
     /**
      * Move `bytes` across the link; `done` fires on arrival. The
@@ -53,6 +57,7 @@ class PcieLink
   private:
     EventQueue &eq_;
     PcieParams params_;
+    std::string trackName_;
     SerialResource link_;
     std::uint64_t bytesMoved_ = 0;
 };

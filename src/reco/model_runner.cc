@@ -93,8 +93,13 @@ ModelRunner::ModelRunner(System &sys, const ModelConfig &model,
         }
     }
 
-    // Backends and caches.
+    // Backends and caches. SSD backends are instantiated once per
+    // device (each bound to that device's driver and queue allocator)
+    // and wrapped in the scatter-gather shard fan-out; the host-side
+    // cache/partition structures are shared across devices and keyed
+    // by global row ids.
     dramBackend_ = std::make_unique<DramSlsBackend>(sys_.eq(), sys_.cpu());
+    std::vector<SlsBackend *> per_shard;
     if (options_.backend == EmbeddingBackendKind::BaselineSsd) {
         if (options_.hostLruCache) {
             hostCache_ = std::make_unique<HostEmbeddingCache>(
@@ -102,8 +107,13 @@ ModelRunner::ModelRunner(System &sys, const ModelConfig &model,
         }
         BaselineSsdSlsBackend::Options bopt;
         bopt.hostCache = hostCache_.get();
-        baselineBackend_ = std::make_unique<BaselineSsdSlsBackend>(
-            sys_.eq(), sys_.cpu(), sys_.driver(), sys_.queues(), bopt);
+        for (unsigned d = 0; d < sys_.numSsds(); ++d) {
+            baselineBackends_.push_back(
+                std::make_unique<BaselineSsdSlsBackend>(
+                    sys_.eq(), sys_.cpu(), sys_.driver(d), sys_.queues(d),
+                    bopt));
+            per_shard.push_back(baselineBackends_.back().get());
+        }
     } else if (options_.backend == EmbeddingBackendKind::Ndp) {
         if (options_.staticPartition) {
             partition_ = std::make_unique<StaticPartition>(
@@ -112,8 +122,16 @@ ModelRunner::ModelRunner(System &sys, const ModelConfig &model,
         }
         NdpSlsBackend::Options nopt;
         nopt.partition = partition_.get();
-        ndpBackend_ = std::make_unique<NdpSlsBackend>(
-            sys_.eq(), sys_.cpu(), sys_.driver(), sys_.queues(), nopt);
+        for (unsigned d = 0; d < sys_.numSsds(); ++d) {
+            ndpBackends_.push_back(std::make_unique<NdpSlsBackend>(
+                sys_.eq(), sys_.cpu(), sys_.driver(d), sys_.queues(d),
+                nopt));
+            per_shard.push_back(ndpBackends_.back().get());
+        }
+    }
+    if (!per_shard.empty()) {
+        shardedBackend_ = std::make_unique<ShardedSlsBackend>(
+            sys_.eq(), sys_.cpu(), sys_.router(), std::move(per_shard));
     }
 
     // Dense layers.
@@ -140,17 +158,13 @@ ModelRunner::ssdTables() const
 SlsBackend &
 ModelRunner::backendFor(const TableRt &table)
 {
-    if (!table.onSsd)
+    if (!table.onSsd || options_.backend == EmbeddingBackendKind::Dram)
         return *dramBackend_;
-    switch (options_.backend) {
-      case EmbeddingBackendKind::Dram:
-        return *dramBackend_;
-      case EmbeddingBackendKind::BaselineSsd:
-        return *baselineBackend_;
-      case EmbeddingBackendKind::Ndp:
-        return *ndpBackend_;
-    }
-    panic("unreachable backend kind");
+    // SSD tables always go through the shard wrapper; with one device
+    // it forwards the op untouched to the single inner backend.
+    recssd_assert(shardedBackend_ != nullptr,
+                  "SSD table without SSD backend");
+    return *shardedBackend_;
 }
 
 void
@@ -375,9 +389,12 @@ ModelRunner::measure(unsigned batch_size, unsigned warmup_batches,
         hostCache_->resetStats();
     if (partition_)
         partition_->resetStats();
-    if (auto *cache = sys_.ssd().slsEngine().embeddingCache())
-        cache->resetStats();
-    std::uint64_t flash_before = sys_.ssd().flash().pageReads();
+    std::uint64_t flash_before = 0;
+    for (unsigned d = 0; d < sys_.numSsds(); ++d) {
+        if (auto *cache = sys_.ssd(d).slsEngine().embeddingCache())
+            cache->resetStats();
+        flash_before += sys_.ssd(d).flash().pageReads();
+    }
 
     RunStats stats;
     stats.batches = batches;
@@ -397,9 +414,21 @@ ModelRunner::measure(unsigned batch_size, unsigned warmup_batches,
         stats.hostCacheHitRate = hostCache_->hitRate();
     if (partition_)
         stats.partitionHitRate = partition_->hitRate();
-    if (auto *cache = sys_.ssd().slsEngine().embeddingCache())
-        stats.ssdEmbedCacheHitRate = cache->hitRate();
-    stats.flashPageReads = sys_.ssd().flash().pageReads() - flash_before;
+    std::uint64_t flash_after = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_total = 0;
+    for (unsigned d = 0; d < sys_.numSsds(); ++d) {
+        flash_after += sys_.ssd(d).flash().pageReads();
+        if (auto *cache = sys_.ssd(d).slsEngine().embeddingCache()) {
+            cache_hits += cache->hits();
+            cache_total += cache->hits() + cache->misses();
+        }
+    }
+    if (cache_total > 0) {
+        stats.ssdEmbedCacheHitRate =
+            static_cast<double>(cache_hits) / cache_total;
+    }
+    stats.flashPageReads = flash_after - flash_before;
     return stats;
 }
 

@@ -26,6 +26,7 @@
 #include "src/load/load_gen.h"
 #include "src/reco/mlp.h"
 #include "src/reco/model_config.h"
+#include "src/shard/sharded_backend.h"
 #include "src/trace/trace_gen.h"
 
 namespace recssd
@@ -125,6 +126,13 @@ class ModelRunner
     HostEmbeddingCache *hostCache() { return hostCache_.get(); }
     StaticPartition *partition() { return partition_.get(); }
 
+    /**
+     * The scatter-gather wrapper every SSD-resident table runs
+     * through; null for the pure-DRAM backend. At one device it is a
+     * pass-through, so per-shard stats still work (all on shard 0).
+     */
+    ShardedSlsBackend *shardedBackend() { return shardedBackend_.get(); }
+
   private:
     struct TableRt
     {
@@ -155,8 +163,10 @@ class ModelRunner
     std::unique_ptr<HostEmbeddingCache> hostCache_;
     std::unique_ptr<StaticPartition> partition_;
     std::unique_ptr<DramSlsBackend> dramBackend_;
-    std::unique_ptr<BaselineSsdSlsBackend> baselineBackend_;
-    std::unique_ptr<NdpSlsBackend> ndpBackend_;
+    /** One SSD backend per device, bound to that device's driver. */
+    std::vector<std::unique_ptr<BaselineSsdSlsBackend>> baselineBackends_;
+    std::vector<std::unique_ptr<NdpSlsBackend>> ndpBackends_;
+    std::unique_ptr<ShardedSlsBackend> shardedBackend_;
 
     std::unique_ptr<Mlp> bottomMlp_;
     std::unique_ptr<Mlp> topMlp_;

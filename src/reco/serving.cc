@@ -317,6 +317,27 @@ runServe(ModelRunner &runner, const ServeConfig &config)
         out.commandsPerQueue.push_back(driver.commandsOnQueue(q));
         out.maxDepthPerQueue.push_back(driver.queuePair(q).maxOutstanding());
     }
+    for (unsigned d = 0; d < sys.numSsds(); ++d) {
+        ServeStats::DeviceStats ds;
+        UnvmeDriver &drv = sys.driver(d);
+        for (unsigned q = 0; q < drv.numQueues(); ++q) {
+            ds.commandsPerQueue.push_back(drv.commandsOnQueue(q));
+            ds.maxDepthPerQueue.push_back(
+                drv.queuePair(q).maxOutstanding());
+        }
+        if (auto *sharded = runner.shardedBackend()) {
+            const LatencyRecorder &lat = sharded->shardLatency(d);
+            ds.subOps = lat.count();
+            if (ds.subOps > 0) {
+                ds.subOpP50Us = lat.percentileUs(0.50);
+                ds.subOpP95Us = lat.percentileUs(0.95);
+                ds.subOpP99Us = lat.percentileUs(0.99);
+            }
+        }
+        out.perDevice.push_back(std::move(ds));
+    }
+    if (auto *sharded = runner.shardedBackend())
+        out.scatteredOps = sharded->scatteredOps();
     return out;
 }
 

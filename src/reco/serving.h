@@ -202,10 +202,27 @@ struct ServeStats
      *  rather than the SSD backend, over the whole run. */
     double hostServedFraction = 0.0;
 
-    /** @{ NVMe queue-pair spread over the whole run. */
+    /** @{ NVMe queue-pair spread over the whole run (device 0; the
+     *  historical single-SSD fields). */
     std::vector<std::uint64_t> commandsPerQueue;
     std::vector<std::uint16_t> maxDepthPerQueue;
     /** @} */
+
+    /** Per-device view of one SSD's share of the run. */
+    struct DeviceStats
+    {
+        std::vector<std::uint64_t> commandsPerQueue;
+        std::vector<std::uint16_t> maxDepthPerQueue;
+        /** Shard sub-op service time (issue -> completion). */
+        std::uint64_t subOps = 0;
+        double subOpP50Us = 0.0;
+        double subOpP95Us = 0.0;
+        double subOpP99Us = 0.0;
+    };
+    /** One entry per SSD (entry 0 repeats the legacy fields). */
+    std::vector<DeviceStats> perDevice;
+    /** SLS ops that fanned out to more than one device. */
+    std::uint64_t scatteredOps = 0;
 };
 
 /**

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Embedding-table sharding across multiple SSD devices.
+ *
+ * The paper's prototype is one Cosmos+ drive, but its target
+ * deployment stores terabytes of embedding tables that must span many
+ * devices (§1, Fig 1). The `ShardRouter` owns that partitioning: every
+ * installed table is cut into per-device slices under one of two
+ * policies, and every SLS operation is split into per-shard sub-ops
+ * whose partial sums the host gathers (see sharded_backend.h).
+ *
+ * Policies:
+ *  - `TableHash`: each table lives wholly on `hash(table id) % N`.
+ *    No per-op fan-out or gather; capacity balances across tables and
+ *    a query's tables spread over devices statistically.
+ *  - `RowRange`: each table's rows split into N contiguous balanced
+ *    ranges, one per device. Every op fans out to all devices holding
+ *    touched rows; per-op device parallelism at the cost of a host
+ *    gather and N× the command overhead.
+ *
+ * With one shard both policies degenerate to the single-SSD seed
+ * layout bit-for-bit: slice 0 is the global table.
+ */
+
+#ifndef RECSSD_SHARD_SHARD_ROUTER_H
+#define RECSSD_SHARD_SHARD_ROUTER_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/embedding/sls_backend.h"
+
+namespace recssd
+{
+
+enum class ShardPolicy
+{
+    TableHash,  ///< whole tables hashed onto devices
+    RowRange,   ///< contiguous balanced row ranges, one per device
+};
+
+/** Human-readable policy name ("hash" / "range"). */
+const char *shardPolicyName(ShardPolicy policy);
+
+struct ShardConfig
+{
+    /** Independent SSD devices (1 = the seed single-device system). */
+    unsigned numShards = 1;
+    ShardPolicy policy = ShardPolicy::TableHash;
+};
+
+/** One shard's slice of a table. */
+struct ShardSlice
+{
+    unsigned shard = 0;
+    /** Global row id of the slice's local row 0 (== desc.rowBase). */
+    RowId firstRow = 0;
+    /**
+     * Shard-local descriptor: same table id/dim/layout, its own
+     * baseLpn inside the owning device, `rows` = slice length.
+     */
+    EmbeddingTableDesc desc;
+};
+
+/** A table's full placement across the shard set. */
+struct ShardedTable
+{
+    EmbeddingTableDesc global;
+    /** Slices in shard order; only shards holding >= 1 row appear. */
+    std::vector<ShardSlice> slices;
+
+    /** The shard degenerate/empty ops are routed to. */
+    unsigned homeShard() const { return slices.front().shard; }
+};
+
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(const ShardConfig &config);
+
+    unsigned numShards() const { return config_.numShards; }
+    ShardPolicy policy() const { return config_.policy; }
+
+    /**
+     * Partition a fresh table. `alloc_base` is called once per slice,
+     * in shard order, and must return the slice's baseLpn on that
+     * device (the caller owns per-device slot allocation and the FTL
+     * installs).
+     */
+    const ShardedTable &
+    addTable(const EmbeddingTableDesc &global,
+             const std::function<Lpn(unsigned shard)> &alloc_base);
+
+    /** Placement of an installed table. */
+    const ShardedTable &tableOf(std::uint32_t table_id) const;
+    bool knows(std::uint32_t table_id) const
+    {
+        return tables_.count(table_id) != 0;
+    }
+
+    /** Owning shard of a whole table under TableHash. */
+    unsigned shardOfTable(std::uint32_t table_id) const;
+
+    /** Owning shard of one global row of an installed table. */
+    unsigned shardOf(const EmbeddingTableDesc &global, RowId row) const;
+
+    /**
+     * Scatter one operation (global rows) into per-shard sub-ops with
+     * shard-local rows. Bags keep their batch positions — a slice's
+     * partial result has the full batch x dim layout — so gathering is
+     * a plain elementwise sum. Slices with zero lookups are omitted;
+     * an entirely empty op yields an empty vector (route it to
+     * `homeShard()`).
+     */
+    struct OpSlice
+    {
+        unsigned shard = 0;
+        const EmbeddingTableDesc *desc = nullptr;
+        std::vector<std::vector<RowId>> indices;
+        std::size_t lookups = 0;
+    };
+    std::vector<OpSlice> split(const SlsOp &op) const;
+
+  private:
+    ShardConfig config_;
+    /** node-stable: OpSlice::desc points into mapped ShardedTables. */
+    std::unordered_map<std::uint32_t, ShardedTable> tables_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_SHARD_SHARD_ROUTER_H

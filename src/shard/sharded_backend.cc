@@ -1,0 +1,140 @@
+#include "src/shard/sharded_backend.h"
+
+#include "src/common/logging.h"
+#include "src/obs/tracer.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+/** Barrier state of one scattered operation. */
+struct GatherState
+{
+    std::uint64_t traceId = 0;
+    std::uint32_t dim = 0;
+    SlsResult result;
+    unsigned left = 0;
+    unsigned partials = 0;
+    SlsBackend::Done done;
+};
+
+}  // namespace
+
+ShardedSlsBackend::ShardedSlsBackend(EventQueue &eq, HostCpu &cpu,
+                                     ShardRouter &router,
+                                     std::vector<SlsBackend *> inner)
+    : eq_(eq), cpu_(cpu), router_(router), inner_(std::move(inner)),
+      shardLatency_(router.numShards())
+{
+    recssd_assert(inner_.size() == router_.numShards(),
+                  "one inner backend per shard required (%zu vs %u)",
+                  inner_.size(), router_.numShards());
+    for (const auto *b : inner_)
+        recssd_assert(b != nullptr, "null shard backend");
+}
+
+std::string
+ShardedSlsBackend::name() const
+{
+    return "sharded-" + std::to_string(router_.numShards()) + "x-" +
+           inner_.front()->name();
+}
+
+void
+ShardedSlsBackend::run(const SlsOp &op, Done done)
+{
+    recssd_assert(op.table != nullptr, "SLS op without table");
+
+    // Issue one sub-op on its shard, recording per-shard service time.
+    auto issue = [this](unsigned shard, const SlsOp &sub, Done sub_done) {
+        Tick issued = eq_.now();
+        inner_[shard]->run(
+            sub, [this, shard, issued,
+                  sub_done = std::move(sub_done)](SlsResult r) {
+                shardLatency_[shard].record(eq_.now() - issued);
+                sub_done(std::move(r));
+            });
+    };
+
+    if (router_.numShards() == 1) {
+        // Single device: the seed path, verbatim.
+        issue(0, op, std::move(done));
+        return;
+    }
+
+    const ShardedTable &st = router_.tableOf(op.table->id);
+    auto slices = router_.split(op);
+
+    if (slices.empty()) {
+        // Degenerate op (all bags empty): the operator still
+        // dispatches once, on the table's home shard, so sparse
+        // queries keep their per-op overhead under any layout.
+        SlsOp sub;
+        sub.table = &st.slices.front().desc;
+        sub.indices.assign(op.batch(), {});
+        sub.traceId = op.traceId;
+        issue(st.homeShard(), sub, std::move(done));
+        return;
+    }
+
+    if (slices.size() == 1) {
+        // One owning device (always true under TableHash): no gather.
+        SlsOp sub;
+        sub.table = slices[0].desc;
+        sub.indices = std::move(slices[0].indices);
+        sub.traceId = op.traceId;
+        issue(slices[0].shard, sub, std::move(done));
+        return;
+    }
+
+    // Scatter to every owning device; gather partial sums under a
+    // completion barrier. Partials keep the full batch x dim layout,
+    // so the gather is an elementwise sum — exact for the integer
+    // synthetic values, hence order independent.
+    ++scatteredOps_;
+    auto state = std::make_shared<GatherState>();
+    state->traceId = op.traceId;
+    state->dim = op.table->dim;
+    state->result.assign(op.batch() * op.table->dim, 0.0f);
+    state->left = static_cast<unsigned>(slices.size());
+    state->partials = state->left;
+    state->done = std::move(done);
+
+    auto arrive = [this, state](SlsResult partial) {
+        recssd_assert(partial.size() == state->result.size(),
+                      "shard partial layout mismatch");
+        for (std::size_t i = 0; i < partial.size(); ++i)
+            state->result[i] += partial[i];
+        if (--state->left > 0)
+            return;
+        // Host-side reduce of the extra partial result sets: one
+        // streaming accumulate pass per partial beyond the first.
+        std::uint32_t vec_bytes = state->dim * 4;
+        std::size_t vectors = state->result.size() / state->dim;
+        Tick reduce = cpu_.params().extractBase +
+                      cpu_.dramLookupCost(vec_bytes) *
+                          (state->partials - 1) * vectors;
+        SpanId span = invalidSpan;
+        if (Tracer *tracer = tracerOf(eq_)) {
+            span = tracer->begin(tracer->track("host.sls"), "shard_gather",
+                                 Phase::HostCompute, state->traceId);
+        }
+        cpu_.run(reduce, [this, state, span]() {
+            if (Tracer *tracer = tracerOf(eq_))
+                tracer->end(span);
+            state->done(state->result);
+        });
+    };
+
+    for (auto &slice : slices) {
+        SlsOp sub;
+        sub.table = slice.desc;
+        sub.indices = std::move(slice.indices);
+        sub.traceId = op.traceId;
+        issue(slice.shard, sub, arrive);
+    }
+}
+
+}  // namespace recssd

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scatter-gather SLS over sharded tables.
+ *
+ * `ShardedSlsBackend` wraps one per-device backend per shard (any
+ * `SlsBackend` — DRAM, baseline SSD or NDP) behind the same interface
+ * the model runner already uses. Each operation is split by the
+ * `ShardRouter` into shard-local sub-ops, issued concurrently on the
+ * owning devices, and the partial sums are gathered at the host under
+ * a per-op completion barrier. Synthetic values are small integers, so
+ * fp32 accumulation is exact and the gathered result is independent of
+ * shard completion order — the property tests rely on this.
+ *
+ * With one shard (or a single-shard placement such as TableHash) the
+ * wrapper passes the operation through untouched: no extra events, no
+ * gather cost, bit-identical timing to the unsharded seed path.
+ */
+
+#ifndef RECSSD_SHARD_SHARDED_BACKEND_H
+#define RECSSD_SHARD_SHARDED_BACKEND_H
+
+#include <memory>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/embedding/sls_backend.h"
+#include "src/host/host_cpu.h"
+#include "src/load/latency_recorder.h"
+#include "src/shard/shard_router.h"
+
+namespace recssd
+{
+
+class ShardedSlsBackend : public SlsBackend
+{
+  public:
+    /**
+     * @param inner One backend per shard, in shard order; each must be
+     *        bound to that shard's device (driver + queues). Not
+     *        owned.
+     */
+    ShardedSlsBackend(EventQueue &eq, HostCpu &cpu, ShardRouter &router,
+                      std::vector<SlsBackend *> inner);
+
+    void run(const SlsOp &op, Done done) override;
+    std::string name() const override;
+
+    /** @{ Per-shard service accounting (sub-op issue -> completion). */
+    const LatencyRecorder &shardLatency(unsigned shard) const
+    {
+        return shardLatency_.at(shard);
+    }
+    std::uint64_t subOpsOn(unsigned shard) const
+    {
+        return shardLatency_.at(shard).count();
+    }
+    /** Ops that fanned out to more than one shard. */
+    std::uint64_t scatteredOps() const { return scatteredOps_; }
+    /** @} */
+
+  private:
+    EventQueue &eq_;
+    HostCpu &cpu_;
+    ShardRouter &router_;
+    std::vector<SlsBackend *> inner_;
+    std::vector<LatencyRecorder> shardLatency_;
+    std::uint64_t scatteredOps_ = 0;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_SHARD_SHARDED_BACKEND_H

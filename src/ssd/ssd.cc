@@ -3,15 +3,18 @@
 namespace recssd
 {
 
-Ssd::Ssd(EventQueue &eq, const SsdConfig &config) : config_(config)
+Ssd::Ssd(EventQueue &eq, const SsdConfig &config,
+         const std::string &track_prefix)
+    : config_(config)
 {
     store_ = std::make_unique<DataStore>(config_.flash.pageSize);
-    flash_ = std::make_unique<FlashArray>(eq, config_.flash, *store_);
-    ftl_ = std::make_unique<Ftl>(eq, config_.ftl, *flash_);
-    pcie_ = std::make_unique<PcieLink>(eq, config_.pcie);
-    controller_ =
-        std::make_unique<HostController>(eq, config_.nvme, *pcie_, *ftl_);
-    sls_ = std::make_unique<SlsEngine>(eq, config_.sls, *ftl_);
+    flash_ = std::make_unique<FlashArray>(eq, config_.flash, *store_,
+                                          track_prefix);
+    ftl_ = std::make_unique<Ftl>(eq, config_.ftl, *flash_, track_prefix);
+    pcie_ = std::make_unique<PcieLink>(eq, config_.pcie, track_prefix);
+    controller_ = std::make_unique<HostController>(eq, config_.nvme, *pcie_,
+                                                   *ftl_, track_prefix);
+    sls_ = std::make_unique<SlsEngine>(eq, config_.sls, *ftl_, track_prefix);
     controller_->setSlsHandler(sls_.get());
 }
 

@@ -11,6 +11,7 @@
 #define RECSSD_SSD_SSD_H
 
 #include <memory>
+#include <string>
 
 #include "src/common/event_queue.h"
 #include "src/flash/data_store.h"
@@ -38,7 +39,11 @@ struct SsdConfig
 class Ssd
 {
   public:
-    Ssd(EventQueue &eq, const SsdConfig &config);
+    /** `track_prefix` namespaces every component trace track of this
+     *  device (multi-SSD systems pass "ssd<d>."; single-device systems
+     *  pass nothing and keep the historical track names). */
+    Ssd(EventQueue &eq, const SsdConfig &config,
+        const std::string &track_prefix = "");
 
     HostController &controller() { return *controller_; }
     Ftl &ftl() { return *ftl_; }

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/embedding/ndp_backend.h"
 #include "src/embedding/synthetic_values.h"
+#include "src/shard/sharded_backend.h"
 #include "src/trace/trace_gen.h"
 #include "tests/test_helpers.h"
 
@@ -126,6 +129,89 @@ TEST(FailureInjection, RetryCapRespected)
     sys.run();
     EXPECT_EQ(sys.ssd().flash().readRetries(),
               2u * sys.ssd().flash().pageReads());
+}
+
+/**
+ * A 3-device row-range system with retry injection on device 2 only
+ * (via the per-device config override), plus per-shard instrumentation.
+ */
+struct ShardedRetryRun
+{
+    std::unique_ptr<System> sys;
+    std::vector<std::unique_ptr<NdpSlsBackend>> backends;
+    std::unique_ptr<ShardedSlsBackend> sharded;
+
+    explicit ShardedRetryRun(double retry_rate_on_ssd2)
+    {
+        SystemConfig cfg = test::smallSystem();
+        cfg.shard.numShards = 3;
+        cfg.shard.policy = ShardPolicy::RowRange;
+        cfg.perSsd.assign(3, cfg.ssd);
+        cfg.perSsd[2].flash.readRetryRate = retry_rate_on_ssd2;
+        sys = std::make_unique<System>(cfg);
+        auto table = sys->installTable(9'000, 16);
+        std::vector<SlsBackend *> inner;
+        for (unsigned d = 0; d < sys->numSsds(); ++d) {
+            backends.push_back(std::make_unique<NdpSlsBackend>(
+                sys->eq(), sys->cpu(), sys->driver(d), sys->queues(d),
+                NdpSlsBackend::Options{}));
+            inner.push_back(backends.back().get());
+        }
+        sharded = std::make_unique<ShardedSlsBackend>(
+            sys->eq(), sys->cpu(), sys->router(), inner);
+
+        TraceSpec spec;
+        spec.kind = TraceKind::Uniform;
+        spec.universe = table.rows;
+        spec.seed = 31;
+        TraceGenerator gen(spec);
+        for (int i = 0; i < 6; ++i) {
+            SlsOp op;
+            op.table = &table;
+            op.indices = gen.nextBatch(4, 18);
+            SlsResult result;
+            sharded->run(op, [&](SlsResult r) { result = std::move(r); });
+            sys->run();
+            EXPECT_EQ(result, synthetic::expectedSls(table, op.indices))
+                << "per-device retries must never corrupt the gather";
+        }
+    }
+};
+
+TEST(FailureInjection, PerDeviceRetryAccounting)
+{
+    ShardedRetryRun run(1.0);
+    // Only device 2 was configured to retry; the counters are
+    // per-device, so the fault shows up exactly where injected.
+    EXPECT_GT(run.sys->ssd(2).flash().readRetries(), 0u);
+    EXPECT_EQ(run.sys->ssd(0).flash().readRetries(), 0u);
+    EXPECT_EQ(run.sys->ssd(1).flash().readRetries(), 0u);
+    // All three shards actually did work.
+    for (unsigned d = 0; d < 3; ++d)
+        EXPECT_GT(run.sys->ssd(d).flash().pageReads(), 0u)
+            << "device " << d;
+}
+
+TEST(FailureInjection, RetriesOnOneShardDoNotPerturbAnother)
+{
+    // Shards are independent stacks: maxed-out retries on shard 2
+    // must not move a single sub-op latency observed on shard 0,
+    // while shard 2's own latency distribution visibly degrades.
+    ShardedRetryRun clean(0.0);
+    ShardedRetryRun faulty(1.0);
+    ASSERT_GT(faulty.sys->ssd(2).flash().readRetries(), 0u);
+
+    const LatencyRecorder &clean0 = clean.sharded->shardLatency(0);
+    const LatencyRecorder &faulty0 = faulty.sharded->shardLatency(0);
+    ASSERT_GT(clean0.count(), 0u);
+    ASSERT_EQ(clean0.count(), faulty0.count());
+    EXPECT_EQ(clean0.meanUs(), faulty0.meanUs());
+    EXPECT_EQ(clean0.percentileUs(0.99), faulty0.percentileUs(0.99));
+
+    const LatencyRecorder &clean2 = clean.sharded->shardLatency(2);
+    const LatencyRecorder &faulty2 = faulty.sharded->shardLatency(2);
+    EXPECT_GT(faulty2.meanUs(), clean2.meanUs())
+        << "injected retries must surface in shard 2's own latency";
 }
 
 }  // namespace

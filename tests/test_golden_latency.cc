@@ -14,7 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include "src/reco/model_runner.h"
+#include "src/reco/serving.h"
 #include "tests/test_helpers.h"
 
 namespace recssd
@@ -37,9 +41,14 @@ tinyModel()
 
 /** Summed tick latency of 4 batches of 8 on a fresh system. */
 Tick
-totalLatency(EmbeddingBackendKind backend, bool cache_or_partition)
+totalLatency(EmbeddingBackendKind backend, bool cache_or_partition,
+             unsigned num_ssds = 1,
+             ShardPolicy policy = ShardPolicy::TableHash)
 {
-    System sys(test::smallSystem());
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = num_ssds;
+    cfg.shard.policy = policy;
+    System sys(cfg);
     RunnerOptions opt;
     opt.backend = backend;
     opt.forceAllTablesOnSsd = backend != EmbeddingBackendKind::Dram;
@@ -107,6 +116,147 @@ TEST(GoldenLatency, NdpWithPartition)
     EXPECT_EQ(now, kGoldenNdpPartitioned)
         << "partitioned-NDP golden latency changed: old "
         << kGoldenNdpPartitioned << " new " << now << " ticks.";
+}
+
+TEST(GoldenLatency, ShardedSingleDeviceIsTheSeedPath)
+{
+    // A one-device sharded system is not "almost" the seed system: it
+    // takes the identical code path (pass-through backend, unprefixed
+    // trace tracks, same LPN layout) and must reproduce every golden
+    // above, under both policies.
+    for (auto policy : {ShardPolicy::TableHash, ShardPolicy::RowRange}) {
+        EXPECT_EQ(totalLatency(EmbeddingBackendKind::Dram, false, 1,
+                               policy),
+                  kGoldenDram);
+        EXPECT_EQ(totalLatency(EmbeddingBackendKind::BaselineSsd, false,
+                               1, policy),
+                  kGoldenBaselineSsd);
+        EXPECT_EQ(totalLatency(EmbeddingBackendKind::BaselineSsd, true,
+                               1, policy),
+                  kGoldenBaselineSsdCached);
+        EXPECT_EQ(totalLatency(EmbeddingBackendKind::Ndp, false, 1,
+                               policy),
+                  kGoldenNdp);
+        EXPECT_EQ(totalLatency(EmbeddingBackendKind::Ndp, true, 1,
+                               policy),
+                  kGoldenNdpPartitioned);
+    }
+}
+
+TEST(GoldenLatency, ShardedSingleDeviceStatsJsonBytes)
+{
+    // The exported stats JSON of an explicit numShards=1 system must
+    // be byte-for-byte the default system's (no ssd0.* subtree, no
+    // reordered keys) after identical work.
+    std::string dumps[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        SystemConfig cfg = test::smallSystem();
+        if (pass == 1) {
+            cfg.shard.numShards = 1;
+            cfg.shard.policy = ShardPolicy::RowRange;
+        }
+        System sys(cfg);
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::Ndp;
+        opt.forceAllTablesOnSsd = true;
+        opt.seed = 20260806;
+        ModelRunner runner(sys, tinyModel(), opt);
+        for (int b = 0; b < 2; ++b)
+            runner.runBatch(8);
+        std::ostringstream os;
+        sys.dumpStatsJson(os);
+        dumps[pass] = os.str();
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+/** Serve-mode measurements on an N-device sharded system. */
+ServeStats
+serveStats(unsigned num_ssds, ShardPolicy policy)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = num_ssds;
+    cfg.shard.policy = policy;
+    System sys(cfg);
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    // Uniform accesses, so row-range ops genuinely span every shard
+    // (a k=1.0 locality trace never leaves shard 0's row range and
+    // would make every layout time out identically).
+    opt.trace.kind = TraceKind::Uniform;
+    opt.seed = 20260806;
+    ModelRunner runner(sys, tinyModel(), opt);
+
+    ServeConfig scfg;
+    // Light load: no standing backlog, so the measured latency is the
+    // per-query service path (where the shard layout matters), not
+    // arrival-driven queueing (where every layout looks the same).
+    scfg.arrivals.qps = 300.0;
+    scfg.shape.minBatch = 4;
+    scfg.shape.maxBatch = 4;
+    scfg.queries = 24;
+    scfg.warmupQueries = 4;
+    scfg.seed = 20260806;
+    return runServe(runner, scfg);
+}
+
+/** Mean end-to-end serve latency in whole nanoseconds. */
+Tick
+meanNs(const ServeStats &s)
+{
+    return Tick(std::llround(s.meanLatencyUs * 1'000.0));
+}
+
+// Serve-mode goldens: the measured latency of a pinned open-loop run
+// (in ns, so the comparison is exact). Regenerate like the latency
+// constants above.
+constexpr Tick kGoldenServeMeanNs = 1'967'000;
+constexpr Tick kGoldenServeSharded2HashMeanNs = 1'967'000;
+constexpr Tick kGoldenServeSharded2RangeMeanNs = 1'298'099;
+
+TEST(GoldenLatency, ServeShardedSingleDeviceMatchesSeed)
+{
+    // N=1 sharded serve must reproduce the seed golden under both
+    // policies, down to the per-queue NVMe command spread.
+    for (auto policy : {ShardPolicy::TableHash, ShardPolicy::RowRange}) {
+        ServeStats s = serveStats(1, policy);
+        EXPECT_EQ(meanNs(s), kGoldenServeMeanNs)
+            << "single-device serve golden changed under policy "
+            << shardPolicyName(policy) << ": old " << kGoldenServeMeanNs
+            << " new " << meanNs(s) << " ns.";
+        ASSERT_EQ(s.perDevice.size(), 1u);
+        EXPECT_EQ(s.perDevice[0].commandsPerQueue, s.commandsPerQueue);
+        EXPECT_EQ(s.scatteredOps, 0u);
+    }
+}
+
+TEST(GoldenLatency, ServeShardedTwoDevices)
+{
+    ServeStats hash = serveStats(2, ShardPolicy::TableHash);
+    EXPECT_EQ(meanNs(hash), kGoldenServeSharded2HashMeanNs)
+        << "2-device hash serve golden changed: old "
+        << kGoldenServeSharded2HashMeanNs << " new " << meanNs(hash)
+        << " ns.";
+    EXPECT_EQ(hash.scatteredOps, 0u)
+        << "table-hash placement must never fan one op out";
+    // splitmix64 happens to place both of tinyModel's tables on
+    // device 1, so the 2-device hash timing equals the seed timing
+    // with all traffic on the second stack — which doubles as a check
+    // that device 1's stack is modeled identically to device 0's.
+    ASSERT_EQ(hash.perDevice.size(), 2u);
+    EXPECT_EQ(hash.perDevice[0].subOps, 0u);
+    EXPECT_GT(hash.perDevice[1].subOps, 0u);
+
+    ServeStats range = serveStats(2, ShardPolicy::RowRange);
+    EXPECT_EQ(meanNs(range), kGoldenServeSharded2RangeMeanNs)
+        << "2-device range serve golden changed: old "
+        << kGoldenServeSharded2RangeMeanNs << " new " << meanNs(range)
+        << " ns.";
+    EXPECT_GT(range.scatteredOps, 0u)
+        << "row-range placement must scatter ops across both devices";
+    ASSERT_EQ(range.perDevice.size(), 2u);
+    EXPECT_GT(range.perDevice[1].subOps, 0u);
 }
 
 TEST(GoldenLatency, RelationshipsHold)

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Differential tests: sharded systems vs the single-SSD seed path.
+ *
+ * For every SSD backend x shard policy x device count 1..4, the
+ * scatter-gathered SLS sums must be bit-identical to the unsharded
+ * seed system (synthetic embedding values are small integers, so fp32
+ * pooling is exact and order-independent — any mismatch is a routing
+ * or gather bug, never rounding). The same holds end to end: the
+ * functional model scores of a sharded run equal the seed run's.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/embedding/baseline_backend.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/reco/model_runner.h"
+#include "src/trace/trace_gen.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+constexpr unsigned kOps = 3;
+constexpr unsigned kBatch = 4;
+constexpr unsigned kLookups = 12;
+
+/** Per-device backends for `kind`, wrapped for scatter-gather. */
+struct BackendSet
+{
+    std::vector<std::unique_ptr<SlsBackend>> owned;
+    std::unique_ptr<ShardedSlsBackend> sharded;
+
+    BackendSet(System &sys, EmbeddingBackendKind kind)
+    {
+        std::vector<SlsBackend *> inner;
+        for (unsigned d = 0; d < sys.numSsds(); ++d) {
+            if (kind == EmbeddingBackendKind::BaselineSsd) {
+                owned.push_back(std::make_unique<BaselineSsdSlsBackend>(
+                    sys.eq(), sys.cpu(), sys.driver(d), sys.queues(d),
+                    BaselineSsdSlsBackend::Options{}));
+            } else {
+                owned.push_back(std::make_unique<NdpSlsBackend>(
+                    sys.eq(), sys.cpu(), sys.driver(d), sys.queues(d),
+                    NdpSlsBackend::Options{}));
+            }
+            inner.push_back(owned.back().get());
+        }
+        sharded = std::make_unique<ShardedSlsBackend>(
+            sys.eq(), sys.cpu(), sys.router(), inner);
+    }
+};
+
+/** Run the fixed op sequence on one configuration; return results. */
+std::vector<SlsResult>
+runSums(EmbeddingBackendKind kind, unsigned num_ssds, ShardPolicy policy)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = num_ssds;
+    cfg.shard.policy = policy;
+    System sys(cfg);
+    auto table = sys.installTable(10'000, 16);
+    BackendSet backends(sys, kind);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 20260806;
+    TraceGenerator gen(spec);
+
+    std::vector<SlsResult> results;
+    for (unsigned i = 0; i < kOps; ++i) {
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(kBatch, kLookups);
+        SlsResult result;
+        backends.sharded->run(op,
+                              [&](SlsResult r) { result = std::move(r); });
+        sys.run();
+        // Exact functional reference, independent of any sim path.
+        EXPECT_EQ(result, synthetic::expectedSls(table, op.indices));
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+class ShardDifferentialSums
+    : public ::testing::TestWithParam<EmbeddingBackendKind>
+{
+};
+
+TEST_P(ShardDifferentialSums, MatchSeedPathBitForBit)
+{
+    // The seed reference: a default-constructed (unsharded) system.
+    auto seed = runSums(GetParam(), 1, ShardPolicy::TableHash);
+    for (auto policy : {ShardPolicy::TableHash, ShardPolicy::RowRange}) {
+        for (unsigned n = 1; n <= 4; ++n) {
+            auto sharded = runSums(GetParam(), n, policy);
+            ASSERT_EQ(sharded.size(), seed.size());
+            for (std::size_t i = 0; i < seed.size(); ++i)
+                EXPECT_EQ(sharded[i], seed[i])
+                    << "op " << i << " diverged at N=" << n << " policy "
+                    << shardPolicyName(policy);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSsdBackends, ShardDifferentialSums,
+                         ::testing::Values(
+                             EmbeddingBackendKind::BaselineSsd,
+                             EmbeddingBackendKind::Ndp));
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 8'000, 16, 4}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+/** Functional model scores for one shard configuration. */
+std::vector<float>
+runScores(EmbeddingBackendKind kind, bool cache_or_partition,
+          unsigned num_ssds, ShardPolicy policy)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = num_ssds;
+    cfg.shard.policy = policy;
+    System sys(cfg);
+    RunnerOptions opt;
+    opt.backend = kind;
+    opt.forceAllTablesOnSsd = kind != EmbeddingBackendKind::Dram;
+    opt.hostLruCache = cache_or_partition &&
+                       kind == EmbeddingBackendKind::BaselineSsd;
+    opt.staticPartition = cache_or_partition &&
+                          kind == EmbeddingBackendKind::Ndp;
+    opt.functionalMlp = true;
+    opt.trace.kind = TraceKind::LocalityK;
+    opt.trace.k = 1.0;
+    opt.seed = 20260806;
+    ModelRunner runner(sys, tinyModel(), opt);
+    std::vector<float> scores;
+    for (int b = 0; b < 2; ++b) {
+        runner.runBatch(4);
+        scores.insert(scores.end(), runner.lastScores().data.begin(),
+                      runner.lastScores().data.end());
+    }
+    return scores;
+}
+
+TEST(ShardDifferentialModel, ScoresMatchSeedEveryBackendAndPolicy)
+{
+    for (auto kind :
+         {EmbeddingBackendKind::Dram, EmbeddingBackendKind::BaselineSsd,
+          EmbeddingBackendKind::Ndp}) {
+        auto seed = runScores(kind, false, 1, ShardPolicy::TableHash);
+        ASSERT_FALSE(seed.empty());
+        for (auto policy :
+             {ShardPolicy::TableHash, ShardPolicy::RowRange}) {
+            for (unsigned n = 1; n <= 4; ++n) {
+                auto scores = runScores(kind, false, n, policy);
+                EXPECT_EQ(scores, seed)
+                    << "model outputs diverged at N=" << n << " policy "
+                    << shardPolicyName(policy);
+            }
+        }
+    }
+}
+
+TEST(ShardDifferentialModel, HostCacheAndPartitionStaySharded)
+{
+    // The host LRU cache (baseline) and static partition (NDP) are
+    // shared across devices and keyed by global row — sharding must
+    // not change what they return.
+    for (auto kind :
+         {EmbeddingBackendKind::BaselineSsd, EmbeddingBackendKind::Ndp}) {
+        auto seed = runScores(kind, true, 1, ShardPolicy::TableHash);
+        for (auto policy :
+             {ShardPolicy::TableHash, ShardPolicy::RowRange}) {
+            auto scores = runScores(kind, true, 3, policy);
+            EXPECT_EQ(scores, seed)
+                << "cached scores diverged under policy "
+                << shardPolicyName(policy);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace recssd

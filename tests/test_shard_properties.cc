@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Randomized properties of the shard layer (src/shard).
+ *
+ *  - Placement is a partition: every row of every table belongs to
+ *    exactly one shard slice, under both policies, for arbitrary
+ *    row counts and device counts.
+ *  - split() loses nothing: the per-shard sub-ops are an exact
+ *    repartition of the original op's index bags.
+ *  - The scatter-gather sum is invariant to shard completion order
+ *    (driven through stub backends with permuted delays).
+ *  - In a multi-device System, per-device stats sum to the aggregate
+ *    series published under the historical names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/shard/shard_router.h"
+#include "src/shard/sharded_backend.h"
+#include "src/trace/trace_gen.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+EmbeddingTableDesc
+makeDesc(std::uint32_t id, std::uint64_t rows, std::uint32_t dim = 8)
+{
+    EmbeddingTableDesc d;
+    d.id = id;
+    d.rows = rows;
+    d.dim = dim;
+    d.attrBytes = 4;
+    d.rowsPerPage = 1;
+    return d;
+}
+
+Lpn
+slotAlloc(unsigned shard)
+{
+    // Distinct, shard-tagged bases so tests can spot cross-wiring.
+    return (Lpn(shard) + 1) * slsTableAlign;
+}
+
+TEST(ShardProperties, EveryRowOnExactlyOneShard)
+{
+    Rng rng(20260806);
+    for (int trial = 0; trial < 200; ++trial) {
+        unsigned shards = 1 + unsigned(rng.uniformInt(8));
+        auto policy = rng.uniformInt(2) ? ShardPolicy::RowRange
+                                        : ShardPolicy::TableHash;
+        std::uint64_t rows = 1 + rng.uniformInt(10'000);
+        ShardRouter router({shards, policy});
+        auto desc = makeDesc(unsigned(trial), rows);
+        const ShardedTable &st = router.addTable(desc, slotAlloc);
+
+        // Slices tile [0, rows) without overlap.
+        std::uint64_t covered = 0;
+        std::uint64_t next_row = 0;
+        for (const ShardSlice &s : st.slices) {
+            EXPECT_GT(s.desc.rows, 0u);
+            EXPECT_EQ(s.desc.rowBase, s.firstRow);
+            if (policy == ShardPolicy::RowRange) {
+                EXPECT_EQ(s.firstRow, next_row)
+                    << "range slices must be contiguous";
+            }
+            next_row = s.firstRow + s.desc.rows;
+            covered += s.desc.rows;
+        }
+        EXPECT_EQ(covered, rows);
+
+        // shardOf agrees with the slice that holds the row.
+        for (int probe = 0; probe < 64; ++probe) {
+            RowId row = rng.uniformInt(rows);
+            unsigned shard = router.shardOf(st.global, row);
+            int owners = 0;
+            for (const ShardSlice &s : st.slices) {
+                if (row >= s.firstRow && row < s.firstRow + s.desc.rows) {
+                    ++owners;
+                    EXPECT_EQ(s.shard, shard);
+                }
+            }
+            EXPECT_EQ(owners, 1) << "row " << row << " must have exactly "
+                                 << "one owning slice";
+        }
+    }
+}
+
+TEST(ShardProperties, SplitIsAnExactRepartition)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        unsigned shards = 1 + unsigned(rng.uniformInt(6));
+        auto policy = rng.uniformInt(2) ? ShardPolicy::RowRange
+                                        : ShardPolicy::TableHash;
+        std::uint64_t rows = 32 + rng.uniformInt(5'000);
+        ShardRouter router({shards, policy});
+        auto desc = makeDesc(unsigned(trial), rows);
+        const ShardedTable &st = router.addTable(desc, slotAlloc);
+
+        SlsOp op;
+        op.table = &st.global;
+        unsigned batch = 1 + unsigned(rng.uniformInt(6));
+        for (unsigned b = 0; b < batch; ++b) {
+            std::vector<RowId> bag;
+            unsigned lookups = unsigned(rng.uniformInt(12));  // may be 0
+            for (unsigned l = 0; l < lookups; ++l)
+                bag.push_back(rng.uniformInt(rows));
+            op.indices.push_back(std::move(bag));
+        }
+
+        auto slices = router.split(op);
+        std::size_t covered = 0;
+        unsigned prev_shard = 0;
+        bool first = true;
+        // Reassemble each bag from the slices and compare as
+        // multisets (order within a bag may change).
+        std::vector<std::multiset<RowId>> rebuilt(batch);
+        for (const auto &s : slices) {
+            if (!first)
+                EXPECT_GT(s.shard, prev_shard) << "slices sorted by shard";
+            first = false;
+            prev_shard = s.shard;
+            ASSERT_EQ(s.indices.size(), batch)
+                << "every sub-op keeps the full batch layout";
+            std::size_t lookups = 0;
+            for (unsigned b = 0; b < batch; ++b) {
+                for (RowId local : s.indices[b]) {
+                    EXPECT_LT(local, s.desc->rows);
+                    rebuilt[b].insert(s.desc->rowBase + local);
+                    ++lookups;
+                }
+            }
+            EXPECT_EQ(lookups, s.lookups);
+            EXPECT_GT(lookups, 0u) << "empty slices must be omitted";
+            covered += lookups;
+        }
+        EXPECT_EQ(covered, op.totalLookups());
+        for (unsigned b = 0; b < batch; ++b) {
+            std::multiset<RowId> original(op.indices[b].begin(),
+                                          op.indices[b].end());
+            EXPECT_EQ(rebuilt[b], original);
+        }
+    }
+}
+
+/** Functional backend with a programmable completion delay. */
+class StubBackend : public SlsBackend
+{
+  public:
+    StubBackend(EventQueue &eq, Tick delay) : eq_(eq), delay_(delay) {}
+
+    void
+    run(const SlsOp &op, Done done) override
+    {
+        // expectedSls resolves the slice's rowBase, so this computes
+        // the exact partial sum the slice's device would return.
+        SlsResult r = synthetic::expectedSls(*op.table, op.indices);
+        eq_.scheduleAfter(delay_, [done = std::move(done),
+                                   r = std::move(r)]() { done(r); });
+    }
+
+    std::string name() const override { return "stub"; }
+
+  private:
+    EventQueue &eq_;
+    Tick delay_;
+};
+
+TEST(ShardProperties, GatherInvariantToCompletionOrder)
+{
+    constexpr unsigned kShards = 4;
+    ShardRouter router({kShards, ShardPolicy::RowRange});
+    auto desc = makeDesc(0, 10'000, 16);
+    const ShardedTable &st = router.addTable(desc, slotAlloc);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = desc.rows;
+    spec.seed = 99;
+    TraceGenerator gen(spec);
+    SlsOp op;
+    op.table = &st.global;
+    op.indices = gen.nextBatch(6, 20);
+    SlsResult expected = synthetic::expectedSls(st.global, op.indices);
+
+    // Permute which shard finishes first/last; the gathered sum must
+    // be bit-identical every time.
+    std::vector<Tick> delays = {1 * usec, 2 * usec, 3 * usec, 4 * usec};
+    std::sort(delays.begin(), delays.end());
+    do {
+        EventQueue eq;
+        HostCpu cpu(eq, HostParams{});
+        std::vector<std::unique_ptr<StubBackend>> stubs;
+        std::vector<SlsBackend *> inner;
+        for (unsigned s = 0; s < kShards; ++s) {
+            stubs.push_back(std::make_unique<StubBackend>(eq, delays[s]));
+            inner.push_back(stubs.back().get());
+        }
+        ShardedSlsBackend sharded(eq, cpu, router, inner);
+        SlsResult result;
+        sharded.run(op, [&](SlsResult r) { result = std::move(r); });
+        eq.run();
+        ASSERT_EQ(result.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(result[i], expected[i])
+                << "element " << i << " depends on completion order";
+        EXPECT_EQ(sharded.scatteredOps(), 1u);
+    } while (std::next_permutation(delays.begin(), delays.end()));
+}
+
+TEST(ShardProperties, PerDeviceStatsSumToAggregate)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = 3;
+    cfg.shard.policy = ShardPolicy::RowRange;
+    System sys(cfg);
+    auto table = sys.installTable(9'000, 16);
+
+    std::vector<std::unique_ptr<NdpSlsBackend>> backends;
+    std::vector<SlsBackend *> inner;
+    for (unsigned d = 0; d < sys.numSsds(); ++d) {
+        backends.push_back(std::make_unique<NdpSlsBackend>(
+            sys.eq(), sys.cpu(), sys.driver(d), sys.queues(d),
+            NdpSlsBackend::Options{}));
+        inner.push_back(backends.back().get());
+    }
+    ShardedSlsBackend sharded(sys.eq(), sys.cpu(), sys.router(), inner);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 5;
+    TraceGenerator gen(spec);
+    for (int i = 0; i < 4; ++i) {
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(4, 16);
+        SlsResult result;
+        sharded.run(op, [&](SlsResult r) { result = std::move(r); });
+        sys.run();
+        EXPECT_EQ(result, synthetic::expectedSls(table, op.indices));
+    }
+
+    // The registry publishes per-device subtrees plus aggregates
+    // under the historical names; the aggregate must be the sum.
+    std::map<std::string, double> stats;
+    const auto &names = sys.stats().names();
+    auto values = sys.stats().sample();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        stats[names[i]] = values[i];
+
+    for (const char *key :
+         {"flash.page_reads", "ftl.host_reads", "sls.requests",
+          "sls.flash_pages_read", "nvme.commands", "pcie.bytes_moved",
+          "driver.commands"}) {
+        ASSERT_TRUE(stats.count(key)) << key;
+        double sum = 0.0;
+        for (unsigned d = 0; d < sys.numSsds(); ++d) {
+            std::string dev_key = "ssd" + std::to_string(d) + "." + key;
+            ASSERT_TRUE(stats.count(dev_key)) << dev_key;
+            sum += stats[dev_key];
+        }
+        EXPECT_EQ(stats[key], sum) << key;
+    }
+    // Real traffic reached more than one device.
+    EXPECT_GT(stats["ssd0.sls.requests"], 0.0);
+    EXPECT_GT(stats["ssd2.sls.requests"], 0.0);
+    EXPECT_EQ(sharded.subOpsOn(0) + sharded.subOpsOn(1) +
+                  sharded.subOpsOn(2),
+              std::uint64_t(stats["sls.requests"]));
+}
+
+}  // namespace
+}  // namespace recssd

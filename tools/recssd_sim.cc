@@ -22,6 +22,9 @@
  *   --ssd-cache MB      ndp: SSD-side embedding cache size (default 0)
  *   --no-pipeline       disable sub-batch pipelining
  *   --all-ssd           place every table on the SSD
+ *   --num-ssds N        independent SSD devices to shard across
+ *                       (default 1 = the single-device prototype)
+ *   --shard-policy P    hash | range table partitioning (default hash)
  *   --seed N            RNG seed (default 42)
  *   --stats             dump device counters after the run
  *   --list-models       print the zoo and exit
@@ -73,7 +76,8 @@ usage(const char *argv0)
                  "usage: %s [--model NAME] [--backend dram|base|ndp] "
                  "[--trace uniform|k|seq|str|zipf] [--k V] [--batch N] "
                  "[--batches N] [--warmup N] [--host-cache] [--partition] "
-                 "[--ssd-cache MB] [--no-pipeline] [--all-ssd] [--seed N] "
+                 "[--ssd-cache MB] [--no-pipeline] [--all-ssd] "
+                 "[--num-ssds N] [--shard-policy hash|range] [--seed N] "
                  "[--stats] [--list-models]\n"
                  "       %s --serve [--qps R] [--arrival poisson|fixed|"
                  "bursty] [--burst B] [--queries N] [--max-batch N] "
@@ -117,6 +121,8 @@ main(int argc, char **argv)
     std::uint64_t ssd_cache_mb = 0;
     bool pipeline = true;
     bool all_ssd = false;
+    unsigned num_ssds = 1;
+    std::string shard_policy = "hash";
     std::uint64_t seed = 42;
     bool dump_stats = false;
     bool serve = false;
@@ -166,6 +172,10 @@ main(int argc, char **argv)
             pipeline = false;
         } else if (!std::strcmp(arg, "--all-ssd")) {
             all_ssd = true;
+        } else if (!std::strcmp(arg, "--num-ssds")) {
+            num_ssds = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--shard-policy")) {
+            shard_policy = need_value(i);
         } else if (!std::strcmp(arg, "--seed")) {
             seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
         } else if (!std::strcmp(arg, "--stats")) {
@@ -208,8 +218,18 @@ main(int argc, char **argv)
     if (batch == 0 || batches == 0)
         usage(argv[0]);
 
+    if (num_ssds == 0)
+        usage(argv[0]);
     SystemConfig cfg;
     cfg.ssd.sls.embeddingCacheBytes = ssd_cache_mb * 1024 * 1024;
+    cfg.shard.numShards = num_ssds;
+    if (shard_policy == "hash") {
+        cfg.shard.policy = ShardPolicy::TableHash;
+    } else if (shard_policy == "range") {
+        cfg.shard.policy = ShardPolicy::RowRange;
+    } else {
+        usage(argv[0]);
+    }
     if (serve) {
         cfg.host.ioQueues = io_queues;
         cfg.ssd.nvme.numQueues = io_queues;
@@ -331,9 +351,11 @@ main(int argc, char **argv)
         scfg.seed = seed;
 
         std::printf("serving %s, backend %s, %s arrivals @ %.1f qps, "
-                    "batch %u, coalesce cap %u, %u queue pairs\n",
+                    "batch %u, coalesce cap %u, %u queue pairs, "
+                    "%u SSD(s) [%s]\n",
                     model.name.c_str(), backend.c_str(), arrival.c_str(),
-                    qps, batch, scfg.batching.maxBatchSamples, io_queues);
+                    qps, batch, scfg.batching.maxBatchSamples, io_queues,
+                    sys.numSsds(), shardPolicyName(cfg.shard.policy));
         auto s = runServe(runner, scfg);
         std::printf("latency: p50 %.1fus  p95 %.1fus  p99 %.1fus  "
                     "mean %.1fus  max %.1fus\n",
@@ -348,11 +370,27 @@ main(int argc, char **argv)
                     s.avgCoalescedSamples, s.maxSchedulerDepth);
         std::printf("split: %.1f%% of lookups served host-side\n",
                     s.hostServedFraction * 100);
-        for (std::size_t q = 0; q < s.commandsPerQueue.size(); ++q) {
-            std::printf("queue %zu: %llu commands, max depth %u\n", q,
-                        static_cast<unsigned long long>(
-                            s.commandsPerQueue[q]),
-                        s.maxDepthPerQueue[q]);
+        if (sys.numSsds() == 1) {
+            for (std::size_t q = 0; q < s.commandsPerQueue.size(); ++q) {
+                std::printf("queue %zu: %llu commands, max depth %u\n", q,
+                            static_cast<unsigned long long>(
+                                s.commandsPerQueue[q]),
+                            s.maxDepthPerQueue[q]);
+            }
+        } else {
+            for (std::size_t d = 0; d < s.perDevice.size(); ++d) {
+                const auto &ds = s.perDevice[d];
+                std::uint64_t cmds = 0;
+                for (std::uint64_t c : ds.commandsPerQueue)
+                    cmds += c;
+                std::printf("ssd%zu: %llu commands, %llu sub-ops, "
+                            "sub-op p50 %.1fus p95 %.1fus p99 %.1fus\n",
+                            d, static_cast<unsigned long long>(cmds),
+                            static_cast<unsigned long long>(ds.subOps),
+                            ds.subOpP50Us, ds.subOpP95Us, ds.subOpP99Us);
+            }
+            std::printf("scatter: %llu ops fanned out to >1 device\n",
+                        static_cast<unsigned long long>(s.scatteredOps));
         }
         if (dump_stats)
             sys.dumpStats(std::cout);
