@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Two-run reproducibility audit: run the same seeded config twice with
+# RECSSD_AUDIT=1 (deep runtime invariant checks live) and byte-diff
+# every exported artifact -- stats JSON, metrics JSONL, Chrome trace,
+# and stdout. Separate processes, so ASLR / allocator variation is in
+# play: any hash-order leak into an export shows up as a diff here
+# even if an in-process double run would hide it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SIM="${1:-build/tools/recssd_sim}"
+if [[ ! -x "$SIM" ]]; then
+    echo "audit_repro: $SIM not built; run cmake --build build first"
+    exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+run_twice() {
+    local name="$1"
+    shift
+    local failed=0
+    # Identical artifact paths per run (cd into a per-run dir) so the
+    # paths echoed on stdout can't cause a spurious diff.
+    for i in 1 2; do
+        mkdir -p "$workdir/$name/run$i"
+        (cd "$workdir/$name/run$i" &&
+            RECSSD_AUDIT=1 "$OLDPWD/$SIM" "$@" \
+                --stats-json stats.json \
+                --metrics-out metrics.jsonl \
+                --trace-out trace.json \
+                > stdout)
+    done
+    for art in stats.json metrics.jsonl trace.json stdout; do
+        if ! cmp -s "$workdir/$name/run1/$art" "$workdir/$name/run2/$art"
+        then
+            echo "audit_repro: $name: $art differs between identical runs"
+            diff "$workdir/$name/run1/$art" "$workdir/$name/run2/$art" |
+                head -20
+            failed=1
+        fi
+    done
+    if [[ "$failed" != 0 ]]; then
+        exit 1
+    fi
+    echo "audit_repro: $name: all artifacts byte-identical"
+}
+
+run_twice serve-1ssd \
+    --serve --model RM1 --backend ndp --all-ssd --num-ssds 1 \
+    --queries 40 --qps 500 --seed 13
+run_twice serve-2ssd-range \
+    --serve --model RM1 --backend ndp --all-ssd --num-ssds 2 \
+    --shard-policy range --queries 40 --qps 500 --seed 13
+run_twice batch-base \
+    --model RM1 --backend base --all-ssd --seed 13
+
+echo "audit_repro: reproducibility audit passed"

@@ -1,18 +1,39 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: configure, build, then test in stages —
-# `ctest -L quick` first (the sub-second unit suites, fails fast on
-# broken plumbing), then the full suite, then the sharding matrix
-# (`ctest -L shard` plus recssd_sim smoke runs at --num-ssds 1 and 4),
-# then the quick + shard suites again under ASan+UBSan in a separate
-# build tree (the 4-device smoke rides the sanitizer leg too, so the
-# scatter-gather barrier is exercised under ASan). Pass a generator
-# via CMAKE_GENERATOR if you want Ninja; the default works everywhere.
-# RECSSD_SKIP_SANITIZERS=1 skips the sanitizer stage (for hosts
-# without ASan).
+# Tier-1 CI gate. Stages:
+#   0  static analysis — sim-lint (self-test + tree scan over
+#      src/ tools/ bench/) and clang-tidy over the exported compile
+#      database; the advisory clang-format diff check rides along.
+#      RECSSD_SKIP_TIDY=1 skips the clang-tidy leg (hosts without
+#      LLVM); sim-lint always runs (python3 only).
+#   1  ctest -L quick — the sub-second unit suites, fails fast on
+#      broken plumbing.
+#   2  full tier-1 suite.
+#   3  sharding matrix — ctest -L shard plus recssd_sim smoke runs at
+#      --num-ssds 1 and 4.
+#   4  reproducibility audit — scripts/audit_repro.sh runs seeded
+#      configs twice in separate processes with RECSSD_AUDIT=1 and
+#      byte-diffs stats/metrics/trace/stdout.
+#   5  quick + shard suites again under ASan+UBSan in a separate build
+#      tree (the 4-device smoke rides the sanitizer leg too).
+#      RECSSD_SKIP_SANITIZERS=1 skips this stage (hosts without ASan).
+# Pass a generator via CMAKE_GENERATOR if you want Ninja; the default
+# works everywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
+
+echo
+echo "=== stage 0: static analysis (sim-lint + clang-tidy) ==="
+python3 tools/sim_lint.py --self-test
+python3 tools/sim_lint.py
+if [[ "${RECSSD_SKIP_TIDY:-0}" != "1" ]]; then
+    ./scripts/run_clang_tidy.sh build
+else
+    echo "RECSSD_SKIP_TIDY=1: skipping clang-tidy"
+fi
+./scripts/check_format.sh || true
+
 cmake --build build -j
 
 echo
@@ -33,9 +54,13 @@ ctest --test-dir build -L shard --output-on-failure -j
 ./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
     --num-ssds 4 --shard-policy range --queries 40 --qps 500 > /dev/null
 
+echo
+echo "=== stage 4: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
+./scripts/audit_repro.sh build/tools/recssd_sim
+
 if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     echo
-    echo "=== stage 4: quick + shard suites under ASan+UBSan ==="
+    echo "=== stage 5: quick + shard suites under ASan+UBSan ==="
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \

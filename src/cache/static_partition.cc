@@ -24,6 +24,10 @@ void
 StaticPartition::build(ValueProvider values)
 {
     recssd_assert(!built_, "partition already built");
+    // Per-table work is independent across tables, and each table's
+    // resident set is fixed by the deterministic partial_sort
+    // tie-break below, so hash order cannot leak into the result.
+    // sim-lint: allow(R3) order-independent per-table build
     for (auto &[table_id, rows] : counts_) {
         std::vector<std::pair<RowId, std::uint64_t>> ranked(rows.begin(),
                                                             rows.end());

@@ -1,0 +1,16 @@
+#include "src/common/audit.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace recssd
+{
+
+bool
+auditEnabled()
+{
+    const char *v = std::getenv("RECSSD_AUDIT");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace recssd

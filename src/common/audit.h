@@ -1,0 +1,35 @@
+/**
+ * @file
+ * RECSSD_AUDIT: opt-in deep invariant checking.
+ *
+ * Static analysis (tools/sim_lint.py, clang-tidy) catches the
+ * determinism-contract violations visible in source; this module hosts
+ * the runtime half -- assertions over invariants only a live run can
+ * see.  With `RECSSD_AUDIT=1` in the environment, components enable
+ * extra checks:
+ *
+ *  - EventQueue: events pop in strictly increasing (when, seq) order,
+ *    i.e. time never runs backwards and the FIFO tie-break holds.
+ *  - Ftl: after every GC row erase, the L2P overlay and the physical
+ *    valid-page bookkeeping form a bijection (no duplicate PPNs, no
+ *    mapping into free/region rows, per-row counts match).
+ *  - System: with multiple SSDs, every aggregate stat equals the sum
+ *    of its per-device subtree values at stats-dump time.
+ *
+ * The checks cost real time, so callers cache `auditEnabled()` once at
+ * construction; the default (unset) run pays a single cached bool test
+ * per audited site.  A failed audit aborts via `recssd_assert`.
+ */
+
+#ifndef RECSSD_COMMON_AUDIT_H
+#define RECSSD_COMMON_AUDIT_H
+
+namespace recssd
+{
+
+/** True when RECSSD_AUDIT is set to a non-empty, non-"0" value. */
+bool auditEnabled();
+
+}  // namespace recssd
+
+#endif  // RECSSD_COMMON_AUDIT_H

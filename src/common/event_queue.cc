@@ -1,9 +1,14 @@
 #include "src/common/event_queue.h"
 
+#include "src/common/audit.h"
 #include "src/common/logging.h"
 
 namespace recssd
 {
+
+EventQueue::EventQueue() : audit_(auditEnabled())
+{
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -24,8 +29,22 @@ EventQueue::runOne()
     // a const_cast, which is safe because we pop immediately.
     Event &ev = const_cast<Event &>(events_.top());
     Tick when = ev.when;
+    std::uint64_t seq = ev.seq;
     Callback cb = std::move(ev.cb);
     events_.pop();
+    if (audit_) {
+        recssd_assert(!popped_ || when > lastWhen_ ||
+                          (when == lastWhen_ && seq > lastSeq_),
+                      "audit: event pop order regressed "
+                      "(when=%llu seq=%llu after when=%llu seq=%llu)",
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(lastWhen_),
+                      static_cast<unsigned long long>(lastSeq_));
+        popped_ = true;
+        lastWhen_ = when;
+        lastSeq_ = seq;
+    }
     now_ = when;
     ++executed_;
     cb();

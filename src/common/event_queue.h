@@ -29,7 +29,7 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -99,6 +99,15 @@ class EventQueue
     std::uint64_t executed_ = 0;
     Tracer *tracer_ = nullptr;
     std::priority_queue<Event, std::vector<Event>, Later> events_;
+
+    /** @{ RECSSD_AUDIT: pops must be strictly increasing in
+     *  (when, seq) -- time never runs backwards, and same-tick events
+     *  fire in FIFO order.  `audit_` caches the env lookup once. */
+    bool audit_;
+    bool popped_ = false;
+    Tick lastWhen_ = 0;
+    std::uint64_t lastSeq_ = 0;
+    /** @} */
 };
 
 }  // namespace recssd

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/common/audit.h"
 #include "src/common/logging.h"
 #include "src/nvme/nvme_command.h"
 
@@ -36,6 +37,7 @@ System::System(const SystemConfig &config) : config_(config)
     // point a single null check, so timing is bit-identical to an
     // uninstrumented build.
     tracer_ = std::make_unique<Tracer>(eq_);
+    audit_ = auditEnabled();
     buildRegistry();
 }
 
@@ -175,8 +177,35 @@ System::buildRegistry()
 }
 
 void
+System::auditStatConsistency() const
+{
+    // The aggregate scalars registered for multi-SSD systems must
+    // equal the sum over the per-device "ssd<d>." subtrees.  Stats are
+    // integral counters surfaced as doubles, so exact compare is safe.
+    static const char *const kAggregates[] = {
+        "flash.page_reads",   "flash.page_writes", "flash.block_erases",
+        "flash.read_retries", "ftl.host_reads",    "ftl.host_writes",
+        "sls.requests",       "sls.flash_pages_read", "nvme.commands",
+        "pcie.bytes_moved",   "driver.commands",
+    };
+    for (const char *name : kAggregates) {
+        double total = registry_.valueOf(name);
+        double summed = 0.0;
+        for (unsigned d = 0; d < numSsds(); ++d)
+            summed += registry_.valueOf("ssd" + std::to_string(d) + "." +
+                                        name);
+        recssd_assert(total == summed,
+                      "audit: aggregate %s = %.0f but per-device "
+                      "subtrees sum to %.0f",
+                      name, total, summed);
+    }
+}
+
+void
 System::dumpStatsJson(std::ostream &os) const
 {
+    if (audit_ && numSsds() > 1)
+        auditStatConsistency();
     registry_.writeJson(os);
 }
 

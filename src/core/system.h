@@ -132,6 +132,12 @@ class System
     /** Register every component stat into `registry_`. */
     void buildRegistry();
 
+    /**
+     * RECSSD_AUDIT: with multiple SSDs, check every aggregate stat
+     * equals the sum of its per-device subtree values.
+     */
+    void auditStatConsistency() const;
+
     /** Register device d's component stats under `prefix`. */
     void registerDevice(unsigned d, const std::string &prefix);
 
@@ -144,6 +150,7 @@ class System
     std::unique_ptr<ShardRouter> router_;
     std::unique_ptr<Tracer> tracer_;
     StatRegistry registry_;
+    bool audit_ = false;  ///< RECSSD_AUDIT cached at construction
     std::unique_ptr<MetricSampler> sampler_;
     std::uint32_t nextTableId_ = 0;
     /** Next slsTableAlign slot, per device. */

@@ -121,7 +121,7 @@ BaselineSsdSlsBackend::run(const SlsOp &op, Done done)
     if (state->pages.empty()) {
         if (cache_hits == 0) {
             // Fully degenerate op (empty lists): complete next tick.
-            eq_.scheduleAfter(1, [state]() { state->maybeComplete(); });
+            eq_.scheduleAfter(1 * nsec, [state]() { state->maybeComplete(); });
         }
         return;
     }

@@ -1,8 +1,10 @@
 #include "src/ftl/ftl.h"
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
+#include "src/common/audit.h"
 #include "src/common/logging.h"
 #include "src/obs/tracer.h"
 
@@ -45,7 +47,8 @@ Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash,
       cache_(params.pageCachePages, params.pageCacheWays),
       cpuTrackName_(track_prefix + "ftl.cpu"),
       gcTrackName_(track_prefix + "ftl.gc"),
-      cpu_(eq, cpuTrackName_)
+      cpu_(eq, cpuTrackName_),
+      audit_(auditEnabled())
 {
 }
 
@@ -148,6 +151,44 @@ Ftl::bulkInstall(Lpn lpn_start, std::uint64_t pages, DataStore::Generator gen)
 }
 
 void
+Ftl::auditCheckMapping() const
+{
+    // Map updates (allocate + set + invalidate) happen atomically
+    // inside single events, so the state is consistent whenever this
+    // runs.  The overlay walk is hash-ordered; everything below folds
+    // into order-independent sets and counts.
+    std::unordered_set<Ppn> seen;  // membership only, never iterated
+    std::vector<std::uint32_t> perRow(blocks_.numRows(), 0);
+    map_.forEachOverlay([&](Lpn lpn, Ppn ppn) {
+        recssd_assert(seen.insert(ppn).second,
+                      "audit: PPN %llu mapped twice in the L2P overlay "
+                      "(second LPN %llu)",
+                      static_cast<unsigned long long>(ppn),
+                      static_cast<unsigned long long>(lpn));
+        std::uint64_t row = blocks_.rowOf(ppn);
+        BlockManager::RowState st = blocks_.rowState(row);
+        recssd_assert(st == BlockManager::RowState::Active ||
+                          st == BlockManager::RowState::Sealed,
+                      "audit: LPN %llu maps into row %llu, which is "
+                      "free/region (state %d)",
+                      static_cast<unsigned long long>(lpn),
+                      static_cast<unsigned long long>(row),
+                      static_cast<int>(st));
+        ++perRow[row];
+    });
+    for (std::uint64_t row = 0; row < blocks_.numRows(); ++row) {
+        if (blocks_.rowState(row) == BlockManager::RowState::Region)
+            continue;
+        recssd_assert(perRow[row] == blocks_.rowValidCount(row),
+                      "audit: row %llu has %u overlay entries but "
+                      "validCount %u",
+                      static_cast<unsigned long long>(row),
+                      static_cast<unsigned>(perRow[row]),
+                      static_cast<unsigned>(blocks_.rowValidCount(row)));
+    }
+}
+
+void
 Ftl::maybeStartGc()
 {
     if (gcActive_ || !blocks_.needsGc())
@@ -185,6 +226,8 @@ Ftl::runGcPass()
             flash_.eraseBlock(ppn, [this, erases_left, victim]() {
                 if (--*erases_left == 0) {
                     blocks_.onRowErased(victim);
+                    if (audit_)
+                        auditCheckMapping();
                     if (blocks_.wantsMoreGc())
                         runGcPass();
                     else

@@ -125,6 +125,12 @@ class Ftl
     /** Collect one victim row, then re-check watermarks. */
     void runGcPass();
 
+    /**
+     * RECSSD_AUDIT: verify the L2P overlay and the per-row valid-page
+     * bookkeeping still form a bijection (run after every GC erase).
+     */
+    void auditCheckMapping() const;
+
     EventQueue &eq_;
     FtlParams params_;
     FlashArray &flash_;
@@ -136,6 +142,7 @@ class Ftl
     SerialResource cpu_;
     std::function<void(Lpn)> writeObserver_;
     bool gcActive_ = false;
+    bool audit_;  ///< RECSSD_AUDIT cached at construction
 
     Counter hostReads_;
     Counter hostWrites_;

@@ -46,6 +46,20 @@ class MappingTable
     /** Number of installed regions. */
     std::size_t regions() const { return regions_.size(); }
 
+    /**
+     * Visit every point-mapping entry (RECSSD_AUDIT only). Visit
+     * order is hash order, so callers must fold into order-independent
+     * state (sets, per-row counts) and never emit artifacts from it.
+     */
+    template <typename Fn>
+    void
+    forEachOverlay(Fn &&fn) const
+    {
+        // sim-lint: allow(R3) audit-only; callers fold order-free
+        for (const auto &[lpn, ppn] : overlay_)
+            fn(lpn, ppn);
+    }
+
   private:
     struct Region
     {

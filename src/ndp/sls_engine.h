@@ -44,7 +44,7 @@ struct SlsEngineParams
     /** Fixed Translation cost per processed flash page. */
     Tick translateBaseCpu = 2200 * nsec;
     /** Translation cost per gathered byte (extract + accumulate). */
-    Tick translatePerByteCpu = 40;  // 40ns per byte on the 1GHz A9
+    Tick translatePerByteCpu = 40 * nsec;  // on the 1GHz A9
     /** Firmware cost to accumulate one embedding-cache hit. */
     Tick cacheHitAccumCpu = 300 * nsec;
 

@@ -14,6 +14,12 @@ namespace recssd
 namespace
 {
 
+/**
+ * Point-lookup index only (determinism rule R3): attribution walks
+ * requests in root-span insertion order and does `find(req)` here; the
+ * map itself is never iterated, and each per-request vector preserves
+ * span append order, so hash order never reaches any output.
+ */
 using SpanIndex =
     std::unordered_map<std::uint64_t, std::vector<const SpanRecord *>>;
 
@@ -60,35 +66,55 @@ attributeIndexed(const SpanIndex &index, const SpanRecord &root)
     if (root.parent != 0)
         collect(root.parent);
 
-    // Elementary-segment sweep: at each boundary-to-boundary segment,
-    // charge the whole segment to the highest-priority active phase.
-    std::vector<Tick> bounds;
-    bounds.reserve(clamped.size() * 2 + 2);
-    bounds.push_back(lo);
-    bounds.push_back(hi);
-    for (auto [b, e] : clamped) {
-        bounds.push_back(b);
-        bounds.push_back(e);
+    // Elementary-segment sweep: charge each boundary-to-boundary
+    // segment to the highest-priority active phase. One sorted pass
+    // over open/close edges with per-phase active counts keeps this
+    // O(n log n) in spans (the old all-pairs scan was quadratic and
+    // dominated trace export on big serve runs).
+    struct Edge
+    {
+        Tick t;
+        bool close;  ///< closes sort before opens at equal t
+        Phase phase;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(clamped.size() * 2);
+    for (std::size_t j = 0; j < clamped.size(); ++j) {
+        edges.push_back({clamped[j].first, false, phases[j]});
+        edges.push_back({clamped[j].second, true, phases[j]});
     }
-    std::sort(bounds.begin(), bounds.end());
-    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    std::sort(edges.begin(), edges.end(), [](const Edge &a, const Edge &b) {
+        if (a.t != b.t)
+            return a.t < b.t;
+        return a.close && !b.close;
+    });
 
-    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
-        Tick b = bounds[i];
-        Tick e = bounds[i + 1];
-        int best = -1;
+    unsigned active[numPhases] = {};
+    auto charge = [&](Tick b, Tick e) {
+        if (b >= e)
+            return;
+        // phasePriority is the enum value, so the scan runs highest
+        // priority first; uncovered segments fall through to Other.
         Phase winner = Phase::Other;
-        for (std::size_t j = 0; j < clamped.size(); ++j) {
-            if (clamped[j].first <= b && clamped[j].second >= e) {
-                int pri = phasePriority(phases[j]);
-                if (pri > best) {
-                    best = pri;
-                    winner = phases[j];
-                }
+        for (int p = static_cast<int>(numPhases) - 1; p >= 0; --p) {
+            if (active[p] != 0) {
+                winner = static_cast<Phase>(p);
+                break;
             }
         }
         out.perPhase[static_cast<unsigned>(winner)] += e - b;
+    };
+
+    Tick cursor = lo;
+    for (const Edge &edge : edges) {
+        charge(cursor, edge.t);
+        cursor = std::max(cursor, edge.t);
+        if (edge.close)
+            --active[static_cast<unsigned>(edge.phase)];
+        else
+            ++active[static_cast<unsigned>(edge.phase)];
     }
+    charge(cursor, hi);
     return out;
 }
 

@@ -69,6 +69,16 @@ StatRegistry::addSample(const std::string &group, const std::string &name,
     addScalar(group, name + ".mean", [s] { return s->mean(); });
 }
 
+double
+StatRegistry::valueOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return getters_[i]();
+    }
+    panic("no stat registered under '%s'", name.c_str());
+}
+
 std::vector<double>
 StatRegistry::sample() const
 {

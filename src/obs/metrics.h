@@ -62,6 +62,12 @@ class StatRegistry
     std::vector<double> sample() const;
 
     /**
+     * Evaluate the getter registered under `name` (linear scan;
+     * audit/test use only). Asserts the name exists.
+     */
+    double valueOf(const std::string &name) const;
+
+    /**
      * Dump all current values as one JSON object, keys sorted
      * lexicographically so output is diffable run to run.
      */

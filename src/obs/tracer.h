@@ -124,6 +124,14 @@ class Tracer
     bool enabled_ = false;
     std::uint64_t nextReq_ = 0;
     std::size_t open_ = 0;
+    /**
+     * Ordering contract (determinism rule R3): every exported
+     * artifact is derived from the insertion-ordered vectors below --
+     * `writeChromeTrace` walks `trackNames_` then `spans_` in append
+     * order, which is fixed by the event schedule.  The unordered maps
+     * are point-lookup indexes only (intern + rootOf); they are never
+     * iterated, so hash order cannot reach the trace bytes.
+     */
     std::vector<SpanRecord> spans_;
     std::vector<std::string> trackNames_;
     std::unordered_map<std::string, TrackId> trackIds_;

@@ -28,7 +28,7 @@ PageReuseAnalyzer::sortedHitCounts() const
 {
     std::vector<std::uint64_t> hits;
     hits.reserve(counts_.size());
-    for (const auto &[page, count] : counts_)
+    for (const auto &[page, count] : counts_)  // sim-lint: allow(R3) sorted below
         hits.push_back(count > 0 ? count - 1 : 0);
     std::sort(hits.begin(), hits.end());
     return hits;

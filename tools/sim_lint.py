@@ -1,0 +1,448 @@
+#!/usr/bin/env python3
+"""sim_lint -- static enforcement of the RecSSD determinism contract.
+
+Every number this repository reports is credible only because a seeded
+simulation run is a pure function of its configuration.  The golden
+latency suite, the shard differential suite and the paper-figure
+reproductions all byte-compare artifacts across runs, so the source
+rules that make that true are enforced here as explicit, numbered
+rules (see DESIGN.md "Determinism contract"):
+
+  R1  no-wall-clock     No std::chrono::{system,steady,high_resolution}
+                        _clock, time(), clock(), std::rand()/srand(),
+                        or std::random_device outside src/common/random.*.
+                        All time comes from the EventQueue; all
+                        randomness comes from recssd::Rng.
+  R2  unit-literals     No bare numeric literal assigned to a Tick
+                        (except 0): latencies are written through the
+                        nsec/usec/msec/sec helpers so units are visible
+                        at every call site.  src/common/types.h (which
+                        defines the helpers) is exempt.
+  R3  ordered-output    No range-for / iterator traversal of an
+                        unordered_map/unordered_set: iteration order is
+                        a function of hashing and libstdc++ internals,
+                        and one leak into a stats dump, trace export,
+                        JSON artifact or timed-event issue order breaks
+                        bit-reproducibility.  Justified exceptions
+                        (order-independent folds, sorted-after copies)
+                        carry an explicit suppression comment.
+  R4  typed-schedule    Every schedule()/scheduleAfter() call site
+                        passes a Tick-typed expression, never a raw
+                        integer literal -- `eq.scheduleAfter(1, ..)`
+                        hides whether that 1 is a ns or a us.
+
+Suppression syntax (a justification is mandatory):
+
+    code();  // sim-lint: allow(R3) summed counters; order-independent
+
+applies to its own line, or -- when the comment stands alone -- to the
+next line.  `file-allow` on any line suppresses a rule file-wide:
+
+    // sim-lint: file-allow(R2) table of raw calibration constants
+
+Usage:
+    sim_lint.py [--root DIR] [paths...]     # default paths: src tools bench
+    sim_lint.py --self-test                 # run against the seeded fixtures
+    sim_lint.py --list-rules
+
+Exit status: 0 clean, 1 violations found, 2 usage/self-test failure.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+EXCLUDED_DIR_NAMES = {"build", "build-asan", "sim_lint_fixtures"}
+
+RULES = {
+    "R1": "no-wall-clock: wall-clock/OS randomness outside src/common/random.*",
+    "R2": "unit-literals: bare numeric literal in a Tick expression "
+          "(write `N * nsec/usec/msec/sec`)",
+    "R3": "ordered-output: iteration over an unordered container "
+          "(hash order must never reach an exported artifact)",
+    "R4": "typed-schedule: schedule()/scheduleAfter() passed a raw "
+          "integer literal instead of a Tick expression",
+}
+
+HINTS = {
+    "R1": "draw time from EventQueue::now() and randomness from recssd::Rng",
+    "R2": "multiply by a unit helper: `40 * nsec`, not `40`",
+    "R3": "iterate a sorted/insertion-ordered view, or suppress with "
+          "`// sim-lint: allow(R3) <why order cannot leak>`",
+    "R4": "pass a unit expression: `eq.scheduleAfter(1 * nsec, ...)`",
+}
+
+# Files exempt from a rule by construction.
+FILE_EXEMPT = {
+    "R1": (os.path.join("src", "common", "random.h"),
+           os.path.join("src", "common", "random.cc")),
+    "R2": (os.path.join("src", "common", "types.h"),),
+}
+
+SUPPRESS_RE = re.compile(
+    r"//\s*sim-lint:\s*(allow|file-allow)\(([A-Z0-9,\s]+)\)\s*(\S.*)?$")
+EXPECT_RE = re.compile(r"//\s*expect:\s*((?:R\d)(?:\s*,\s*R\d)*)")
+
+R1_PATTERNS = [
+    re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+    re.compile(r"\bstd\s*::\s*chrono\b"),
+    re.compile(r"<\s*chrono\s*>"),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\bsrand\s*\("),
+    re.compile(r"(?<![\w.])rand\s*\("),
+    re.compile(r"(?<![\w.])time\s*\("),
+    re.compile(r"(?<![\w.])clock\s*\("),
+    re.compile(r"\b(?:gettimeofday|clock_gettime|mktime|localtime|gmtime)"
+               r"\s*\("),
+]
+
+R2_PATTERNS = [
+    # Tick x = 42;   (0 stays legal: it is unit-free by definition)
+    re.compile(r"\bTick\s+\w+\s*=\s*(\d+)\s*[;,)}]"),
+    # Tick(42) constructor-cast of a bare literal
+    re.compile(r"\bTick\s*\(\s*(\d+)\s*\)"),
+]
+
+R4_PATTERN = re.compile(r"\bschedule(?:After)?\s*\(\s*\d+\s*[,)]")
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set)\b")
+ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*[^;]*?\bunordered_(?:map|set)\b", re.S)
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so rule regexes never fire inside prose or data."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def collect_suppressions(lines):
+    """Map 1-based line number -> set of suppressed rules; plus the
+    file-wide suppression set.  Returns (per_line, file_wide, errors)."""
+    per_line = {}
+    file_wide = set()
+    errors = []
+    for lineno, line in enumerate(lines, 1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        kind, rule_list, justification = m.groups()
+        rules = {r.strip() for r in rule_list.split(",") if r.strip()}
+        bogus = rules - RULES.keys()
+        if bogus:
+            errors.append((lineno, "unknown rule(s) in suppression: "
+                           + ", ".join(sorted(bogus))))
+        if not justification:
+            errors.append((lineno, "suppression needs a justification: "
+                           "// sim-lint: %s(%s) <why>" % (kind, rule_list)))
+        if kind == "file-allow":
+            file_wide |= rules
+            continue
+        # A comment standing alone suppresses the next line; a trailing
+        # comment suppresses its own line.
+        target = lineno
+        if line.split("//")[0].strip() == "":
+            target = lineno + 1
+        per_line.setdefault(target, set()).update(rules)
+    return per_line, file_wide, errors
+
+
+def skip_angles(text, i):
+    """text[i] == '<': return index just past the matching '>'."""
+    depth = 0
+    while i < len(text):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def unordered_variable_names(stripped):
+    """Names of variables (members, locals, parameters) whose declared
+    type involves an unordered container, including through one level
+    of `using` alias."""
+    names = set()
+    aliases = {m.group(1) for m in ALIAS_RE.finditer(stripped)}
+
+    def scan(token_re):
+        for m in token_re.finditer(stripped):
+            i = m.end()
+            # Skip the template argument list, any nesting included.
+            while i < len(stripped) and stripped[i] in " \t\n":
+                i += 1
+            if i < len(stripped) and stripped[i] == "<":
+                i = skip_angles(stripped, i)
+            # Skip declarator noise: refs, pointers, const, whitespace.
+            while True:
+                rest = stripped[i:]
+                ws = len(rest) - len(rest.lstrip(" \t\n&*"))
+                i += ws
+                for kw in ("const", "noexcept"):
+                    if stripped.startswith(kw, i):
+                        i += len(kw)
+                        break
+                else:
+                    break
+            im = IDENT_RE.match(stripped, i)
+            if not im:
+                continue
+            after = stripped[im.end():im.end() + 1]
+            # `name(` is a function/constructor, not a variable.
+            if after == "(":
+                continue
+            names.add(im.group(0))
+
+    scan(UNORDERED_RE)
+    for alias in aliases:
+        names.discard(alias)
+        scan(re.compile(r"\b%s\b" % re.escape(alias)))
+    return names
+
+
+def check_file(path, rel, text, decl_text=""):
+    """Return a list of (lineno, rule, message) findings.
+
+    `decl_text` carries the sibling header of a .cc file: members are
+    declared there but iterated here, so container names are collected
+    over both while the rules themselves only scan this file's lines.
+    """
+    raw_lines = text.split("\n")
+    per_line, file_wide, sup_errors = collect_suppressions(raw_lines)
+    stripped = strip_code(text)
+    lines = stripped.split("\n")
+    findings = []
+    for lineno, msg in sup_errors:
+        findings.append((lineno, "R0", msg))
+
+    def exempt(rule):
+        return any(rel.endswith(suffix) for suffix in FILE_EXEMPT.get(rule, ()))
+
+    def report(lineno, rule, detail):
+        if rule in file_wide or rule in per_line.get(lineno, set()):
+            return
+        findings.append((lineno, rule, detail))
+
+    name_source = stripped
+    if decl_text:
+        name_source = strip_code(decl_text) + "\n" + stripped
+    unordered_names = unordered_variable_names(name_source)
+    range_for_res = [
+        re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*%s\s*\)"
+                   % re.escape(name))
+        for name in unordered_names
+    ]
+    begin_res = [
+        re.compile(r"\b%s\s*(?:\.|->)\s*c?begin\s*\(" % re.escape(name))
+        for name in unordered_names
+    ]
+
+    for lineno, line in enumerate(lines, 1):
+        if not exempt("R1"):
+            for pat in R1_PATTERNS:
+                if pat.search(line):
+                    report(lineno, "R1",
+                           "wall-clock / OS randomness: `%s`"
+                           % raw_lines[lineno - 1].strip())
+                    break
+        if not exempt("R2"):
+            for pat in R2_PATTERNS:
+                m = pat.search(line)
+                if m and int(m.group(1)) != 0:
+                    report(lineno, "R2",
+                           "bare literal %s in a Tick expression"
+                           % m.group(1))
+                    break
+        for pat in range_for_res:
+            if pat.search(line):
+                report(lineno, "R3",
+                       "range-for over an unordered container")
+                break
+        else:
+            for pat in begin_res:
+                if pat.search(line):
+                    report(lineno, "R3",
+                           "iterator traversal of an unordered container")
+                    break
+        if R4_PATTERN.search(line):
+            report(lineno, "R4",
+                   "schedule() with a raw integer literal")
+    return findings
+
+
+def iter_source_files(root, paths):
+    for p in paths:
+        top = os.path.join(root, p)
+        if os.path.isfile(top):
+            yield top
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in EXCLUDED_DIR_NAMES)
+            for f in sorted(filenames):
+                if f.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, f)
+
+
+def run_lint(root, paths):
+    total = 0
+    files = 0
+    for path in iter_source_files(root, paths):
+        rel = os.path.relpath(path, root)
+        files += 1
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        decl_text = ""
+        if path.endswith((".cc", ".cpp")):
+            header = os.path.splitext(path)[0] + ".h"
+            if os.path.isfile(header):
+                with open(header, encoding="utf-8",
+                          errors="replace") as fh:
+                    decl_text = fh.read()
+        for lineno, rule, detail in sorted(check_file(path, rel, text,
+                                                      decl_text)):
+            total += 1
+            title = RULES.get(rule, "suppression syntax error")
+            print("%s:%d: %s: %s" % (rel, lineno, rule, detail))
+            print("    rule: %s" % title)
+            if rule in HINTS:
+                print("    fix:  %s" % HINTS[rule])
+    print("sim-lint: %d file(s) scanned, %d violation(s)" % (files, total))
+    return 1 if total else 0
+
+
+def self_test(script_dir):
+    """The linter must flag every seeded violation in the fixture file
+    (each carries an `// expect: RN` marker) and stay silent on the
+    clean fixture, which is built from near-misses and suppressed
+    exceptions."""
+    fixtures = os.path.join(script_dir, "sim_lint_fixtures")
+    violations = os.path.join(fixtures, "violations.cc")
+    clean = os.path.join(fixtures, "clean.cc")
+    failures = []
+
+    with open(violations, encoding="utf-8") as fh:
+        vtext = fh.read()
+    expected = set()
+    for lineno, line in enumerate(vtext.split("\n"), 1):
+        m = EXPECT_RE.search(line)
+        if m:
+            for rule in re.split(r"\s*,\s*", m.group(1)):
+                expected.add((lineno, rule))
+    for rule in RULES:
+        if not any(r == rule for _, r in expected):
+            failures.append("fixture seeds no %s violation" % rule)
+
+    actual = {(lineno, rule)
+              for lineno, rule, _ in check_file(violations, "violations.cc",
+                                                vtext)}
+    for missing in sorted(expected - actual):
+        failures.append("violations.cc:%d: expected %s did not fire"
+                        % missing)
+    for spurious in sorted(actual - expected):
+        failures.append("violations.cc:%d: unexpected %s finding"
+                        % spurious)
+
+    with open(clean, encoding="utf-8") as fh:
+        ctext = fh.read()
+    for lineno, rule, detail in check_file(clean, "clean.cc", ctext):
+        failures.append("clean.cc:%d: false positive %s: %s"
+                        % (lineno, rule, detail))
+
+    if failures:
+        for f in failures:
+            print("self-test FAIL: %s" % f)
+        return 2
+    print("sim-lint self-test passed: %d seeded findings fired, "
+          "clean fixture silent" % len(expected))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="RecSSD determinism-contract linter")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the linter against its seeded fixtures")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="directories to scan (default: src tools bench)")
+    args = parser.parse_args()
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%s  %s" % (rule, RULES[rule]))
+        return 0
+    if args.self_test:
+        return self_test(script_dir)
+    root = args.root or os.path.dirname(script_dir)
+    paths = args.paths or ["src", "tools", "bench"]
+    return run_lint(root, paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * sim-lint self-test fixture: code the linter must accept without a
+ * single finding.  Built from the near-misses that a sloppier matcher
+ * would flag -- member names containing rule keywords, unit-literal
+ * Tick expressions, lookups (not traversals) of unordered containers --
+ * plus correctly suppressed, justified exceptions to R3.
+ *
+ * Mentioning std::rand() or steady_clock in a comment is fine: rules
+ * only scan code.  Same for string literals: "time(" below is data.
+ */
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/event_queue.h"
+#include "src/common/types.h"
+
+namespace recssd_fixture
+{
+
+using recssd::Tick;
+using recssd::nsec;
+using recssd::usec;
+
+class GoodActor
+{
+  public:
+    /** Member names embedding `time`/`clock`/`rand` are not R1. */
+    Tick busyTime() const { return busy_; }
+    Tick clockDomain() const { return 0; }
+    std::uint64_t randomish() const { return 4; }
+
+    std::uint64_t lookupOnly(std::uint64_t key) const
+    {
+        // find() is a point lookup; only traversal leaks hash order.
+        auto it = counts_.find(key);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    std::uint64_t
+    totalEvents() const
+    {
+        std::uint64_t total = 0;
+        // Order-independent fold: addition commutes, so hash order
+        // cannot reach any artifact.
+        // sim-lint: allow(R3) commutative sum over counters
+        for (const auto &kv : counts_)
+            total += kv.second;
+        return total;
+    }
+
+    std::vector<std::uint64_t>
+    sortedKeys() const
+    {
+        std::vector<std::uint64_t> keys;
+        for (const auto &kv : counts_)  // sim-lint: allow(R3) sorted below
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    }
+
+  private:
+    Tick busy_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    /** std::map iterates in key order; R3 does not apply. */
+    std::map<std::uint64_t, std::uint64_t> ordered_;
+};
+
+inline void
+goodLatencies(recssd::EventQueue &eq)
+{
+    Tick zero = 0;                  // 0 is unit-free by definition
+    Tick fw = 500 * nsec;           // unit helper: visible at call site
+    constexpr Tick kTimeout = 20 * usec;
+    eq.scheduleAfter(1 * nsec, [] {});
+    eq.scheduleAfter(fw + kTimeout, [] {});
+    eq.schedule(eq.now() + 2 * usec, [] {});
+    const char *label = "time(ns)";  // string data, not a call
+    (void)zero;
+    (void)label;
+}
+
+inline void
+orderedTraversalIsFine(const std::map<int, int> &ordered)
+{
+    for (const auto &kv : ordered)
+        (void)kv;
+}
+
+}  // namespace recssd_fixture

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * sim-lint self-test fixture: every line marked `// expect: RN` is a
+ * deliberate violation of the determinism contract that the linter
+ * must flag with exactly that rule.  This file is never compiled and
+ * never scanned by CI (the fixtures directory is excluded); it exists
+ * only so `sim_lint.py --self-test` can prove each rule both fires on
+ * bad code and reports the right file:line.
+ */
+
+#include <chrono>  // expect: R1
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/event_queue.h"
+#include "src/common/types.h"
+
+namespace recssd_fixture
+{
+
+using Index = std::unordered_map<int, long>;
+
+class BadActor
+{
+  public:
+    void seedFromEntropy();
+    void emitOrdered();
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::unordered_set<std::uint64_t> seen_;
+    Index index_;
+};
+
+void
+BadActor::seedFromEntropy()
+{
+    auto t0 = std::chrono::steady_clock::now();            // expect: R1
+    auto t1 = std::chrono::high_resolution_clock::now();   // expect: R1
+    auto wall = time(nullptr);                             // expect: R1
+    auto cpu = clock();                                    // expect: R1
+    std::srand(42);                                        // expect: R1
+    int noise = rand();                                    // expect: R1
+    std::random_device entropy;                            // expect: R1
+    (void)t0; (void)t1; (void)wall; (void)cpu; (void)noise; (void)entropy;
+}
+
+void
+BadActor::emitOrdered()
+{
+    for (const auto &kv : counts_) {                       // expect: R3
+        (void)kv;
+    }
+    for (auto it = counts_.begin(); it != counts_.end(); ++it) {  // expect: R3
+    }
+    for (auto v : seen_) {                                 // expect: R3
+        (void)v;
+    }
+    for (auto &e : index_) {                               // expect: R3
+        (void)e;
+    }
+}
+
+void
+badLatencies(recssd::EventQueue &eq)
+{
+    recssd::Tick firmware = 500;                           // expect: R2
+    recssd::Tick cast = recssd::Tick(42);                  // expect: R2
+    eq.scheduleAfter(5, [] {});                            // expect: R4
+    eq.schedule(1000, [] {});                              // expect: R4
+    (void)firmware; (void)cast;
+}
+
+}  // namespace recssd_fixture
