@@ -55,5 +55,14 @@ run_twice serve-2ssd-range \
     --shard-policy range --queries 40 --qps 500 --seed 13
 run_twice batch-base \
     --model RM1 --backend base --all-ssd --seed 13
+# The whole tail-tolerance machinery at once: injector RNG, hedge
+# timers racing completions, a mid-run dropout failing over, deadline
+# delivery — all of it must still be a pure function of the config.
+run_twice serve-4ssd-faulted \
+    --serve --model RM1 --backend ndp --all-ssd --num-ssds 4 \
+    --shard-policy range --replication 2 \
+    --fault-plan 'stall@1:at=2ms,dur=2ms,period=6ms,count=20;dropout@3:at=50ms' \
+    --hedge-delay-us auto --deadline-us 30000 \
+    --queries 40 --qps 15 --seed 13
 
 echo "audit_repro: reproducibility audit passed"

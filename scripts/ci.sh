@@ -9,7 +9,9 @@
 #      broken plumbing.
 #   2  full tier-1 suite.
 #   3  sharding matrix — ctest -L shard plus recssd_sim smoke runs at
-#      --num-ssds 1 and 4.
+#      --num-ssds 1 and 4, then the fault matrix: a device dropout
+#      survived via replication + hedging, and a stall/fwpause plan
+#      served through a deadline (degraded answers, not hangs).
 #   4  reproducibility audit — scripts/audit_repro.sh runs seeded
 #      configs twice in separate processes with RECSSD_AUDIT=1 and
 #      byte-diffs stats/metrics/trace/stdout.
@@ -53,6 +55,16 @@ ctest --test-dir build -L shard --output-on-failure -j
     --num-ssds 4 --shard-policy hash --queries 40 --qps 500 > /dev/null
 ./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
     --num-ssds 4 --shard-policy range --queries 40 --qps 500 > /dev/null
+# Fault matrix (sustainable load: faulted tails are only meaningful
+# when the healthy system isn't already saturated).
+./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+    --num-ssds 4 --shard-policy range --replication 2 --batch 4 \
+    --fault-plan 'dropout@3:at=50ms' --hedge-delay-us auto \
+    --deadline-us 50000 --queries 30 --qps 20 > /dev/null
+./build/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+    --num-ssds 4 --shard-policy range --batch 4 \
+    --fault-plan 'stall@0:at=5ms,dur=10ms,period=20ms,count=50;fwpause@1:at=30ms,dur=5ms' \
+    --deadline-us 50000 --queries 30 --qps 20 > /dev/null
 
 echo
 echo "=== stage 4: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
@@ -72,6 +84,10 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
         --num-ssds 4 --shard-policy range --queries 40 --qps 500 \
         > /dev/null
+    ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
+        --num-ssds 4 --shard-policy range --replication 2 --batch 4 \
+        --fault-plan 'dropout@3:at=50ms' --hedge-delay-us auto \
+        --deadline-us 50000 --queries 30 --qps 20 > /dev/null
 fi
 
 echo

@@ -98,6 +98,24 @@ System::registerDevice(unsigned d, const std::string &prefix)
     r.addScalar(prefix + "driver", "commands",
                 u64([drv]() { return drv->commandsIssued(); }));
 
+    // Fault counters exist only on devices with an armed injector, so
+    // fault-free configs export byte-identical stats JSON.
+    if (const FaultInjector *fi = ssd->faultInjector()) {
+        r.addScalar(prefix + "fault", "die_stalls",
+                    u64([fi]() { return fi->dieStalls(); }));
+        r.addScalar(prefix + "fault", "fw_pauses",
+                    u64([fi]() { return fi->firmwarePauses(); }));
+        r.addScalar(prefix + "fault", "inflation_windows",
+                    u64([fi]() { return fi->inflationWindows(); }));
+        r.addScalar(prefix + "fault", "dropouts",
+                    u64([fi]() { return fi->dropouts(); }));
+        r.addScalar(prefix + "fault", "inflated_reads",
+                    u64([ssd]() { return ssd->flash().inflatedReads(); }));
+        r.addScalar(prefix + "fault", "dropped_commands", u64([ssd]() {
+            return ssd->controller().droppedCommands();
+        }));
+    }
+
     for (unsigned q = 0; q < drv->numQueues(); ++q) {
         std::string group = prefix + "driver.queue" + std::to_string(q);
         r.addScalar(group, "commands",
@@ -232,8 +250,13 @@ System::installTable(std::uint64_t rows, std::uint32_t dim,
         router_->addTable(global, [this](unsigned shard) {
             return nextTableSlot_.at(shard)++ * slsTableAlign;
         });
-    for (const ShardSlice &slice : st.slices)
+    for (const ShardSlice &slice : st.slices) {
         recssd::installTable(ssds_[slice.shard]->ftl(), slice.desc);
+        // Replica copies: same rows + rowBase, so the synthetic
+        // content is bit-identical to the primary's.
+        for (const ReplicaSlice &rep : slice.replicas)
+            recssd::installTable(ssds_[rep.shard]->ftl(), rep.desc);
+    }
     return st.global;
 }
 
@@ -272,6 +295,15 @@ System::dumpStats(std::ostream &os)
         line(p + "nvme.commands", ssd->controller().commandsProcessed());
         line(p + "pcie.bytesMoved", ssd->pcie().bytesMoved());
         line(p + "driver.commands", drv->commandsIssued());
+        if (const FaultInjector *fi = ssd->faultInjector()) {
+            line(p + "fault.dieStalls", fi->dieStalls());
+            line(p + "fault.fwPauses", fi->firmwarePauses());
+            line(p + "fault.inflationWindows", fi->inflationWindows());
+            line(p + "fault.dropouts", fi->dropouts());
+            line(p + "fault.inflatedReads", ssd->flash().inflatedReads());
+            line(p + "fault.droppedCommands",
+                 ssd->controller().droppedCommands());
+        }
         for (unsigned q = 0; q < drv->numQueues(); ++q) {
             std::string prefix = p + "driver.queue" + std::to_string(q);
             line(prefix + ".commands", drv->commandsOnQueue(q));
@@ -301,6 +333,22 @@ System::dumpStats(std::ostream &os)
     }
     if (now > 0)
         util("host.cores.util%", pct(cpu_->busyTime()) / cpu_->cores());
+}
+
+void
+applyFaultPlan(SystemConfig &config, const FaultPlan &plan)
+{
+    if (plan.scenarios.empty())
+        return;
+    recssd_assert(plan.maxDevice() < config.shard.numShards,
+                  "fault plan targets device %u but the system has %u",
+                  plan.maxDevice(), config.shard.numShards);
+    if (config.perSsd.size() < config.shard.numShards)
+        config.perSsd.resize(config.shard.numShards, config.ssd);
+    for (unsigned d = 0; d < config.shard.numShards; ++d) {
+        config.perSsd[d].faults.scenarios = plan.forDevice(d);
+        config.perSsd[d].faults.seed = plan.seed + d;
+    }
 }
 
 EmbeddingTableDesc

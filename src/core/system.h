@@ -50,6 +50,15 @@ struct SystemConfig
     std::vector<SsdConfig> perSsd;
 };
 
+/**
+ * Distribute a `FaultPlan`'s scenarios into per-device
+ * `SsdConfig::faults` overrides (populating `perSsd` as needed). Each
+ * device's injector gets a seed derived from the plan seed and its
+ * index, so injectors on different devices draw independent streams.
+ * A plan with no scenarios leaves the config untouched.
+ */
+void applyFaultPlan(SystemConfig &config, const FaultPlan &plan);
+
 class System
 {
   public:

@@ -1,0 +1,87 @@
+#include "src/fault/fault_injector.h"
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/obs/tracer.h"
+
+namespace recssd
+{
+
+FaultInjector::FaultInjector(EventQueue &eq, const DeviceFaultConfig &cfg,
+                             FlashArray &flash, Ftl &ftl,
+                             HostController &ctrl,
+                             const std::string &track_prefix)
+    : eq_(eq), cfg_(cfg), flash_(flash), ftl_(ftl), ctrl_(ctrl),
+      trackName_(track_prefix + "fault")
+{
+}
+
+void
+FaultInjector::arm()
+{
+    Rng rng(cfg_.seed);
+    const auto &fp = flash_.params();
+    for (const auto &s : cfg_.scenarios) {
+        for (unsigned i = 0; i < s.count; ++i) {
+            // All draws happen here, in scenario-then-occurrence order,
+            // so the schedule is fixed before the first event runs.
+            Tick start = s.at + static_cast<Tick>(i) * s.period;
+            if (s.jitter > 0)
+                start += rng.uniformInt(s.jitter);
+            unsigned ch = 0, die = 0;
+            if (s.kind == FaultKind::DieStall) {
+                ch = s.channel >= 0
+                         ? static_cast<unsigned>(s.channel)
+                         : static_cast<unsigned>(
+                               rng.uniformInt(fp.numChannels));
+                die = s.die >= 0
+                          ? static_cast<unsigned>(s.die)
+                          : static_cast<unsigned>(
+                                rng.uniformInt(fp.diesPerChannel));
+                recssd_assert(ch < fp.numChannels && die < fp.diesPerChannel,
+                              "fault plan: ch/die out of range");
+            }
+            eq_.schedule(start,
+                         [this, s, ch, die]() { fire(s, ch, die); });
+        }
+    }
+}
+
+void
+FaultInjector::traceWindow(const char *name, Tick duration)
+{
+    if (Tracer *tracer = tracerOf(eq_)) {
+        tracer->span(tracer->track(trackName_), name, Phase::Other,
+                     /*req=*/0, eq_.now(), eq_.now() + duration);
+    }
+}
+
+void
+FaultInjector::fire(const FaultScenario &s, unsigned ch, unsigned die)
+{
+    switch (s.kind) {
+      case FaultKind::DieStall:
+        dieStalls_.inc();
+        traceWindow("die_stall", s.duration);
+        flash_.stallDie(ch, die, s.duration);
+        break;
+      case FaultKind::FirmwarePause:
+        fwPauses_.inc();
+        traceWindow("fw_pause", s.duration);
+        ftl_.injectFirmwarePause(s.duration);
+        break;
+      case FaultKind::ReadInflation:
+        inflations_.inc();
+        traceWindow("read_inflation", s.duration);
+        flash_.addReadInflation(eq_.now() + s.duration, s.factor);
+        break;
+      case FaultKind::DeviceDropout:
+        dropouts_.inc();
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->instant(tracer->track(trackName_), "dropout");
+        ctrl_.killNow();
+        break;
+    }
+}
+
+}  // namespace recssd

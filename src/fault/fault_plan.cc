@@ -1,0 +1,222 @@
+#include "src/fault/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+/** "3ms" / "250us" / "1.5s" -> Tick. */
+Tick
+parseTime(const std::string &text, const std::string &where)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (...) {
+        panic("fault plan: bad time '%s' in '%s'", text.c_str(),
+              where.c_str());
+    }
+    std::string suffix = text.substr(pos);
+    Tick unit = 0;
+    if (suffix == "ns")
+        unit = nsec;
+    else if (suffix == "us")
+        unit = usec;
+    else if (suffix == "ms")
+        unit = msec;
+    else if (suffix == "s")
+        unit = sec;
+    else
+        panic("fault plan: time '%s' needs a ns/us/ms/s suffix in '%s'",
+              text.c_str(), where.c_str());
+    recssd_assert(value >= 0.0, "fault plan: negative time in '%s'",
+                  where.c_str());
+    return static_cast<Tick>(value * static_cast<double>(unit));
+}
+
+FaultScenario
+parseScenario(const std::string &text)
+{
+    auto at_pos = text.find('@');
+    recssd_assert(at_pos != std::string::npos,
+                  "fault plan: scenario '%s' missing '@device'",
+                  text.c_str());
+    std::string kind = text.substr(0, at_pos);
+    std::string rest = text.substr(at_pos + 1);
+    auto colon = rest.find(':');
+    std::string dev = colon == std::string::npos ? rest
+                                                 : rest.substr(0, colon);
+    std::string kvs = colon == std::string::npos ? ""
+                                                 : rest.substr(colon + 1);
+
+    FaultScenario s;
+    if (kind == "stall")
+        s.kind = FaultKind::DieStall;
+    else if (kind == "fwpause")
+        s.kind = FaultKind::FirmwarePause;
+    else if (kind == "inflate")
+        s.kind = FaultKind::ReadInflation;
+    else if (kind == "dropout")
+        s.kind = FaultKind::DeviceDropout;
+    else
+        panic("fault plan: unknown kind '%s' (stall|fwpause|inflate|"
+              "dropout)", kind.c_str());
+    s.device = static_cast<unsigned>(std::strtoul(dev.c_str(), nullptr, 10));
+
+    // Kind-specific defaults so terse specs stay meaningful.
+    if (s.kind == FaultKind::DieStall || s.kind == FaultKind::FirmwarePause)
+        s.duration = 1 * msec;
+    if (s.kind == FaultKind::ReadInflation)
+        s.duration = 10 * msec;
+
+    std::stringstream ss(kvs);
+    std::string kv;
+    while (std::getline(ss, kv, ',')) {
+        if (kv.empty())
+            continue;
+        auto eq = kv.find('=');
+        recssd_assert(eq != std::string::npos,
+                      "fault plan: bad key=value '%s' in '%s'", kv.c_str(),
+                      text.c_str());
+        std::string key = kv.substr(0, eq);
+        std::string val = kv.substr(eq + 1);
+        if (key == "at")
+            s.at = parseTime(val, text);
+        else if (key == "dur")
+            s.duration = parseTime(val, text);
+        else if (key == "period")
+            s.period = parseTime(val, text);
+        else if (key == "jitter")
+            s.jitter = parseTime(val, text);
+        else if (key == "factor")
+            s.factor = std::atof(val.c_str());
+        else if (key == "ch")
+            s.channel = std::atoi(val.c_str());
+        else if (key == "die")
+            s.die = std::atoi(val.c_str());
+        else if (key == "count")
+            s.count = static_cast<unsigned>(std::atoi(val.c_str()));
+        else
+            panic("fault plan: unknown key '%s' in '%s'", key.c_str(),
+                  text.c_str());
+    }
+    recssd_assert(s.count >= 1, "fault plan: count=0 in '%s'",
+                  text.c_str());
+    recssd_assert(s.count == 1 || s.period > 0,
+                  "fault plan: count>1 needs period in '%s'", text.c_str());
+    if (s.kind == FaultKind::ReadInflation)
+        recssd_assert(s.factor >= 1.0,
+                      "fault plan: inflate factor < 1 in '%s'",
+                      text.c_str());
+    if (s.kind == FaultKind::DeviceDropout)
+        recssd_assert(s.count == 1,
+                      "fault plan: dropout repeats make no sense in '%s'",
+                      text.c_str());
+    return s;
+}
+
+void
+parseElement(FaultPlan &plan, std::string element)
+{
+    // Trim whitespace.
+    while (!element.empty() && std::isspace(
+                                   static_cast<unsigned char>(element.front())))
+        element.erase(element.begin());
+    while (!element.empty() &&
+           std::isspace(static_cast<unsigned char>(element.back())))
+        element.pop_back();
+    if (element.empty() || element.front() == '#')
+        return;
+    if (element.rfind("seed=", 0) == 0) {
+        plan.seed = static_cast<std::uint64_t>(
+            std::strtoull(element.c_str() + 5, nullptr, 10));
+        return;
+    }
+    plan.scenarios.push_back(parseScenario(element));
+}
+
+}  // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DieStall:      return "die_stall";
+      case FaultKind::FirmwarePause: return "fw_pause";
+      case FaultKind::ReadInflation: return "read_inflation";
+      case FaultKind::DeviceDropout: return "dropout";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    // Newlines separate like ';' (a plan file pasted inline parses
+    // the same way it loads from disk); '#' comments cover one line.
+    std::stringstream lines(spec);
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::stringstream ss(line);
+        std::string element;
+        while (std::getline(ss, element, ';'))
+            parseElement(plan, element);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    recssd_assert(is.good(), "fault plan: cannot read '%s'", path.c_str());
+    FaultPlan plan;
+    std::string line;
+    while (std::getline(is, line)) {
+        // Lines may still pack several ';'-separated scenarios.
+        std::stringstream ss(line);
+        std::string element;
+        while (std::getline(ss, element, ';'))
+            parseElement(plan, element);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::load(const std::string &spec)
+{
+    if (std::ifstream probe(spec); probe.good())
+        return parseFile(spec);
+    return parse(spec);
+}
+
+std::vector<FaultScenario>
+FaultPlan::forDevice(unsigned d) const
+{
+    std::vector<FaultScenario> out;
+    for (const auto &s : scenarios)
+        if (s.device == d)
+            out.push_back(s);
+    return out;
+}
+
+unsigned
+FaultPlan::maxDevice() const
+{
+    unsigned d = 0;
+    for (const auto &s : scenarios)
+        d = std::max(d, s.device);
+    return d;
+}
+
+}  // namespace recssd

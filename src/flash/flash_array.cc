@@ -34,16 +34,48 @@ FlashArray::channelBusyTime(unsigned ch) const
 Tick
 FlashArray::arrayReadTime()
 {
-    Tick t = params_.readLatency;
+    // Injected latency inflation scales the nominal tR for reads that
+    // start inside a window. The empty-vector fast path keeps healthy
+    // devices byte-identical to a build without fault support.
+    Tick base = params_.readLatency;
+    if (!inflations_.empty()) {
+        Tick now = eq_.now();
+        std::erase_if(inflations_, [now](const InflationWindow &w) {
+            return w.until <= now;
+        });
+        double factor = 1.0;
+        for (const auto &w : inflations_)
+            factor = std::max(factor, w.factor);
+        if (factor > 1.0) {
+            base = static_cast<Tick>(static_cast<double>(base) * factor);
+            inflatedReads_.inc();
+        }
+    }
+    Tick t = base;
     if (params_.readRetryRate > 0.0) {
         for (unsigned r = 0; r < params_.maxReadRetries; ++r) {
             if (!retryRng_.bernoulli(params_.readRetryRate))
                 break;
             readRetries_.inc();
-            t += params_.readLatency;
+            t += base;
         }
     }
     return t;
+}
+
+void
+FlashArray::stallDie(unsigned ch, unsigned d, Tick duration)
+{
+    recssd_assert(ch < params_.numChannels && d < params_.diesPerChannel,
+                  "stallDie target out of range");
+    die(ch, d).acquire(duration, []() {});
+}
+
+void
+FlashArray::addReadInflation(Tick until, double factor)
+{
+    recssd_assert(factor >= 1.0, "inflation factor must be >= 1");
+    inflations_.push_back({until, factor});
 }
 
 Tick

@@ -85,11 +85,29 @@ class FlashArray
     /** Earliest tick at which the given page's channel+die are free. */
     Tick backlogFor(Ppn ppn) const;
 
+    /** @{ Fault-injection hooks (`src/fault`). */
+
+    /**
+     * Occupy one die for `duration` starting now (behind whatever is
+     * already queued on it) — a die-level retry storm or suspended
+     * program; reads to that die queue up behind the stall.
+     */
+    void stallDie(unsigned ch, unsigned die, Tick duration);
+
+    /**
+     * Until `until`, every array read started takes `factor`x its
+     * nominal tR (retries scale too). Overlapping windows take the
+     * largest factor.
+     */
+    void addReadInflation(Tick until, double factor);
+    /** @} */
+
     /** @{ Stats. */
     std::uint64_t pageReads() const { return pageReads_.value(); }
     std::uint64_t pageWrites() const { return pageWrites_.value(); }
     std::uint64_t blockErases() const { return blockErases_.value(); }
     std::uint64_t readRetries() const { return readRetries_.value(); }
+    std::uint64_t inflatedReads() const { return inflatedReads_.value(); }
     Tick channelBusyTime(unsigned ch) const;
     /** @} */
 
@@ -103,6 +121,13 @@ class FlashArray
     /** Array-read occupancy including injected read retries. */
     Tick arrayReadTime();
 
+    /** One injected latency-inflation window. */
+    struct InflationWindow
+    {
+        Tick until;
+        double factor;
+    };
+
     EventQueue &eq_;
     FlashParams params_;
     DataStore &store_;
@@ -111,11 +136,14 @@ class FlashArray
     std::vector<std::unique_ptr<SerialResource>> dies_;
     /** Pre-built trace track names, one per channel. */
     std::vector<std::string> channelTrackNames_;
+    /** Active/pending inflation windows; empty on healthy devices. */
+    std::vector<InflationWindow> inflations_;
 
     Counter pageReads_;
     Counter pageWrites_;
     Counter blockErases_;
     Counter readRetries_;
+    Counter inflatedReads_;
 };
 
 }  // namespace recssd

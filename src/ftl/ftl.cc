@@ -151,6 +151,21 @@ Ftl::bulkInstall(Lpn lpn_start, std::uint64_t pages, DataStore::Generator gen)
 }
 
 void
+Ftl::injectFirmwarePause(Tick duration)
+{
+    fwPauses_.inc();
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        span = tracer->begin(tracer->track(cpuTrackName_), "fw_pause",
+                             Phase::FtlCpu);
+    }
+    cpu_.acquire(duration, [this, span]() {
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->end(span);
+    });
+}
+
+void
 Ftl::auditCheckMapping() const
 {
     // Map updates (allocate + set + invalidate) happen atomically

@@ -103,6 +103,13 @@ class Ftl
     void bulkInstall(Lpn lpn_start, std::uint64_t pages,
                      DataStore::Generator gen);
 
+    /**
+     * Fault hook (`src/fault`): occupy the firmware core for
+     * `duration` starting now — a housekeeping burst (log checkpoint,
+     * wear-table flush). Queued commands wait behind it.
+     */
+    void injectFirmwarePause(Tick duration);
+
     MappingTable &map() { return map_; }
     BlockManager &blocks() { return blocks_; }
     PageCache &pageCache() { return cache_; }
@@ -116,6 +123,7 @@ class Ftl
     std::uint64_t hostTrims() const { return hostTrims_.value(); }
     std::uint64_t gcRuns() const { return gcRuns_.value(); }
     std::uint64_t gcPagesMigrated() const { return gcPagesMigrated_.value(); }
+    std::uint64_t firmwarePauses() const { return fwPauses_.value(); }
     /** @} */
 
   private:
@@ -149,6 +157,7 @@ class Ftl
     Counter hostTrims_;
     Counter gcRuns_;
     Counter gcPagesMigrated_;
+    Counter fwPauses_;
 };
 
 }  // namespace recssd

@@ -36,6 +36,12 @@ void
 HostController::fetchCommand(std::uint64_t trace_id,
                              EventQueue::Callback then)
 {
+    if (dead_) {
+        // The drive fell off the bus: the SQ doorbell rings into the
+        // void and the command chain is dropped on the floor.
+        dropped_.inc();
+        return;
+    }
     commands_.inc();
     pcie_.transfer(
         params_.sqeBytes,
@@ -56,6 +62,12 @@ void
 HostController::postCompletion(std::uint64_t trace_id,
                                EventQueue::Callback then)
 {
+    if (dead_) {
+        // In-flight command whose device died mid-chain: the host
+        // never sees a CQE.
+        dropped_.inc();
+        return;
+    }
     SpanId span = invalidSpan;
     if (Tracer *tracer = tracerOf(eq_)) {
         span = tracer->begin(tracer->track(trackName_), "cqe_post",

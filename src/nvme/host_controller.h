@@ -115,6 +115,17 @@ class HostController
     /** Logical block (= flash page) size the namespace exposes. */
     unsigned pageSize() const { return ftl_.flash().params().pageSize; }
 
+    /** @{ Fault hook (`src/fault`): full device dropout.
+     *
+     * After `killNow()` the controller neither fetches new commands
+     * nor posts completions: submissions and in-flight command chains
+     * are silently swallowed (counted in `droppedCommands`), exactly
+     * what the host observes when a drive falls off the bus. */
+    void killNow() { dead_ = true; }
+    bool dead() const { return dead_; }
+    std::uint64_t droppedCommands() const { return dropped_.value(); }
+    /** @} */
+
     std::uint64_t commandsProcessed() const { return commands_.value(); }
 
   private:
@@ -131,8 +142,10 @@ class HostController
     SlsHandler *sls_ = nullptr;
     std::string trackName_;
     SerialResource ctrl_;
+    bool dead_ = false;
 
     Counter commands_;
+    Counter dropped_;
 };
 
 }  // namespace recssd

@@ -48,8 +48,10 @@ struct BatchState
     Matrix scores;
     unsigned batchSize = 0;
     unsigned scoresFilled = 0;
-    /** Completion hook for launchBatch callers. */
-    std::function<void(Tick)> onDone;
+    /** Any SLS op answered degraded (deadline / dead-end fill). */
+    bool degraded = false;
+    /** Completion hook for launchQueryEx callers. */
+    std::function<void(Tick, bool)> onDone;
 };
 
 /** In-flight state of one sub-batch. */
@@ -130,8 +132,22 @@ ModelRunner::ModelRunner(System &sys, const ModelConfig &model,
         }
     }
     if (!per_shard.empty()) {
-        shardedBackend_ = std::make_unique<ShardedSlsBackend>(
-            sys_.eq(), sys_.cpu(), sys_.router(), std::move(per_shard));
+        // The resilient wrapper replaces (never stacks on) the plain
+        // sharded one, and only when the run actually asked for tail
+        // tolerance — so replication=1/no-resil runs stay byte-
+        // identical to the historical sharded path.
+        if (options_.resil.active() || sys_.router().replication() > 1) {
+            resilientBackend_ = std::make_unique<ResilientSlsBackend>(
+                sys_.eq(), sys_.cpu(), sys_.router(), std::move(per_shard),
+                options_.resil, hostCache_.get());
+            resilientBackend_->setDeviceProbe([this](unsigned d) {
+                return !sys_.ssd(d).controller().dead();
+            });
+        } else {
+            shardedBackend_ = std::make_unique<ShardedSlsBackend>(
+                sys_.eq(), sys_.cpu(), sys_.router(),
+                std::move(per_shard));
+        }
     }
 
     // Dense layers.
@@ -160,8 +176,10 @@ ModelRunner::backendFor(const TableRt &table)
 {
     if (!table.onSsd || options_.backend == EmbeddingBackendKind::Dram)
         return *dramBackend_;
-    // SSD tables always go through the shard wrapper; with one device
+    // SSD tables always go through a shard wrapper; with one device
     // it forwards the op untouched to the single inner backend.
+    if (resilientBackend_)
+        return *resilientBackend_;
     recssd_assert(shardedBackend_ != nullptr,
                   "SSD table without SSD backend");
     return *shardedBackend_;
@@ -216,6 +234,16 @@ ModelRunner::scaledLookups(const TableRt &table, double scale) const
 void
 ModelRunner::launchQuery(const QueryShape &shape,
                          std::function<void(Tick)> done)
+{
+    launchQueryEx(shape, [done = std::move(done)](Tick latency, bool) {
+        if (done)
+            done(latency);
+    });
+}
+
+void
+ModelRunner::launchQueryEx(const QueryShape &shape,
+                           std::function<void(Tick, bool)> done)
 {
     unsigned batch_size = shape.batchSize;
     recssd_assert(batch_size > 0, "empty batch");
@@ -329,7 +357,7 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
                 if (options_.functionalMlp && topMlp_)
                     lastScores_ = batch->scores;
                 if (batch->onDone)
-                    batch->onDone(batch->latency);
+                    batch->onDone(batch->latency, batch->degraded);
             }
         });
     };
@@ -371,10 +399,24 @@ ModelRunner::launchSubBatch(unsigned size, unsigned first_sample,
         } else {
             op.indices.assign(size, {});
         }
-        backendFor(table).run(op, [state, t, join](SlsResult result) {
-            state->pooled[t] = std::move(result);
-            join();
-        });
+        SlsBackend &backend = backendFor(table);
+        if (&backend == resilientBackend_.get()) {
+            // Full-fidelity entry point: the degraded flag survives
+            // up to the batch completion.
+            resilientBackend_->runResil(
+                op, [state, t, join, batch](SlsResult result,
+                                            bool degraded) {
+                    if (degraded)
+                        batch->degraded = true;
+                    state->pooled[t] = std::move(result);
+                    join();
+                });
+        } else {
+            backend.run(op, [state, t, join](SlsResult result) {
+                state->pooled[t] = std::move(result);
+                join();
+            });
+        }
     }
 }
 

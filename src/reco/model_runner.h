@@ -26,6 +26,8 @@
 #include "src/load/load_gen.h"
 #include "src/reco/mlp.h"
 #include "src/reco/model_config.h"
+#include "src/resil/resil_config.h"
+#include "src/resil/resilient_backend.h"
 #include "src/shard/sharded_backend.h"
 #include "src/trace/trace_gen.h"
 
@@ -62,6 +64,11 @@ struct RunnerOptions
 
     /** Actually compute the dense layers (tests/examples). */
     bool functionalMlp = false;
+
+    /** Tail tolerance (src/resil): deadlines + hedged sub-ops. The
+     *  resilient wrapper replaces the plain sharded one when any knob
+     *  here is active or the router replicates tables. */
+    ResilConfig resil;
 
     /** Input trace template (universe is overridden per table). */
     TraceSpec trace;
@@ -109,6 +116,16 @@ class ModelRunner
      */
     void launchQuery(const QueryShape &shape, std::function<void(Tick)> done);
 
+    /**
+     * launchQuery with the degraded flag: `done(latency, degraded)`,
+     * where `degraded` is true when any SLS op in the batch was
+     * answered from a deadline expiry or a dead-end degraded fill
+     * (only possible on the resilient backend; always false
+     * otherwise).
+     */
+    void launchQueryEx(const QueryShape &shape,
+                       std::function<void(Tick, bool)> done);
+
     /** Warm up, then measure the average over `batches` batches. */
     RunStats measure(unsigned batch_size, unsigned warmup_batches,
                      unsigned batches);
@@ -132,6 +149,16 @@ class ModelRunner
      * pass-through, so per-shard stats still work (all on shard 0).
      */
     ShardedSlsBackend *shardedBackend() { return shardedBackend_.get(); }
+
+    /**
+     * The tail-tolerant scatter-gather wrapper, built *instead of*
+     * the plain sharded one when `RunnerOptions::resil` is active or
+     * tables are replicated; null otherwise.
+     */
+    ResilientSlsBackend *resilientBackend()
+    {
+        return resilientBackend_.get();
+    }
 
   private:
     struct TableRt
@@ -167,6 +194,7 @@ class ModelRunner
     std::vector<std::unique_ptr<BaselineSsdSlsBackend>> baselineBackends_;
     std::vector<std::unique_ptr<NdpSlsBackend>> ndpBackends_;
     std::unique_ptr<ShardedSlsBackend> shardedBackend_;
+    std::unique_ptr<ResilientSlsBackend> resilientBackend_;
 
     std::unique_ptr<Mlp> bottomMlp_;
     std::unique_ptr<Mlp> topMlp_;

@@ -197,7 +197,8 @@ BatchScheduler::dispatchOne()
     ++inFlight_;
     ++dispatched_;
     dispatchedSamples_ += samples;
-    runner_.launchQuery(fused, [this, members, dispatch](Tick) {
+    runner_.launchQueryEx(fused, [this, members, dispatch](Tick,
+                                                           bool degraded) {
         Tick complete = runner_.sys().eq().now();
         Tracer *tracer = tracerOf(runner_.sys().eq());
         for (auto &m : *members) {
@@ -207,6 +208,7 @@ BatchScheduler::dispatchOne()
             t.arrival = m.arrival;
             t.dispatch = dispatch;
             t.complete = complete;
+            t.degraded = degraded;
             m.done(t);
         }
         recssd_assert(inFlight_ > 0, "in-flight underflow");
@@ -234,6 +236,7 @@ runServe(ModelRunner &runner, const ServeConfig &config)
         LatencyRecorder service;
         unsigned completed = 0;
         unsigned sloMet = 0;
+        unsigned degraded = 0;
         Tick lastDone = 0;
     };
     auto m = std::make_shared<Measure>();
@@ -268,6 +271,8 @@ runServe(ModelRunner &runner, const ServeConfig &config)
                 m->latency.record(t.complete - t.arrival);
                 m->queueing.record(t.dispatch - t.arrival);
                 m->service.record(t.complete - t.dispatch);
+                if (t.degraded)
+                    ++m->degraded;
                 if (t.complete - t.arrival <= config.latencySlo)
                     ++m->sloMet;
             });
@@ -289,6 +294,8 @@ runServe(ModelRunner &runner, const ServeConfig &config)
     out.p50Us = m->latency.percentileUs(0.50);
     out.p95Us = m->latency.percentileUs(0.95);
     out.p99Us = m->latency.percentileUs(0.99);
+    out.p999Us = m->latency.percentileUs(0.999);
+    out.degradedQueries = m->degraded;
     out.meanQueueUs = m->queueing.meanUs();
     out.meanServiceUs = m->service.meanUs();
     out.sloAttainment = m->latency.fractionWithin(config.latencySlo);
@@ -325,19 +332,36 @@ runServe(ModelRunner &runner, const ServeConfig &config)
             ds.maxDepthPerQueue.push_back(
                 drv.queuePair(q).maxOutstanding());
         }
+        const LatencyRecorder *lat = nullptr;
         if (auto *sharded = runner.shardedBackend()) {
-            const LatencyRecorder &lat = sharded->shardLatency(d);
-            ds.subOps = lat.count();
+            lat = &sharded->shardLatency(d);
+        } else if (auto *resil = runner.resilientBackend()) {
+            lat = &resil->shardLatency(d);
+            ds.lateCompletions = resil->lateCompletionsOn(d);
+        }
+        if (lat) {
+            ds.subOps = lat->count();
             if (ds.subOps > 0) {
-                ds.subOpP50Us = lat.percentileUs(0.50);
-                ds.subOpP95Us = lat.percentileUs(0.95);
-                ds.subOpP99Us = lat.percentileUs(0.99);
+                ds.subOpP50Us = lat->percentileUs(0.50);
+                ds.subOpP95Us = lat->percentileUs(0.95);
+                ds.subOpP99Us = lat->percentileUs(0.99);
+                ds.subOpP999Us = lat->percentileUs(0.999);
+                ds.subOpMaxUs = lat->maxUs();
             }
         }
         out.perDevice.push_back(std::move(ds));
     }
     if (auto *sharded = runner.shardedBackend())
         out.scatteredOps = sharded->scatteredOps();
+    if (auto *resil = runner.resilientBackend()) {
+        out.scatteredOps = resil->scatteredOps();
+        out.hedgesFired = resil->hedgesFired();
+        out.hedgeWins = resil->hedgeWins();
+        out.duplicateCompletions = resil->duplicateCompletions();
+        out.deadlineMisses = resil->deadlineMisses();
+        out.failovers = resil->failovers();
+        out.ejectedDevices = resil->unhealthyDevices();
+    }
     return out;
 }
 

@@ -80,6 +80,9 @@ struct QueryTimes
     Tick arrival = 0;   ///< query hit the scheduler
     Tick dispatch = 0;  ///< fused batch launched on the runner
     Tick complete = 0;  ///< fused batch finished
+    /** The fused batch carrying this query delivered a degraded
+     *  answer (deadline expiry / dead-end fill on some SLS op). */
+    bool degraded = false;
 };
 
 /** Knobs of the coalescing batch scheduler. */
@@ -186,6 +189,7 @@ struct ServeStats
     double p50Us = 0.0;
     double p95Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
     /** Scheduler-queue delay (arrival -> dispatch). */
     double meanQueueUs = 0.0;
     /** Fused-batch service time (dispatch -> completion). */
@@ -218,11 +222,27 @@ struct ServeStats
         double subOpP50Us = 0.0;
         double subOpP95Us = 0.0;
         double subOpP99Us = 0.0;
+        double subOpP999Us = 0.0;
+        double subOpMaxUs = 0.0;
+        /** Sub-op completions that arrived after their parent op had
+         *  already delivered (hedge losers / post-deadline answers). */
+        std::uint64_t lateCompletions = 0;
     };
     /** One entry per SSD (entry 0 repeats the legacy fields). */
     std::vector<DeviceStats> perDevice;
     /** SLS ops that fanned out to more than one device. */
     std::uint64_t scatteredOps = 0;
+
+    /** @{ Tail-tolerance accounting; all zero unless the run used
+     *  the resilient backend (deadlines/hedging/replication). */
+    unsigned degradedQueries = 0;
+    std::uint64_t hedgesFired = 0;
+    std::uint64_t hedgeWins = 0;
+    std::uint64_t duplicateCompletions = 0;
+    std::uint64_t deadlineMisses = 0;
+    std::uint64_t failovers = 0;
+    std::vector<unsigned> ejectedDevices;
+    /** @} */
 };
 
 /**

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quantile-tracking hedge-delay policy ("The Tail at Scale").
+ *
+ * Observes every sub-op completion latency; `delay()` answers "how
+ * long should a sub-op be outstanding before we re-issue it to a
+ * replica". Fixed mode uses the configured delay verbatim; Auto mode
+ * hedges past a configured quantile of the observed distribution
+ * (classically p95, so at most ~5% of sub-ops hedge), falling back to
+ * the fixed delay until enough samples arrived.
+ */
+
+#ifndef RECSSD_RESIL_HEDGE_H
+#define RECSSD_RESIL_HEDGE_H
+
+#include <algorithm>
+
+#include "src/common/types.h"
+#include "src/load/latency_recorder.h"
+#include "src/resil/resil_config.h"
+
+namespace recssd
+{
+
+class HedgePolicy
+{
+  public:
+    explicit HedgePolicy(const HedgeConfig &config) : config_(config) {}
+
+    bool active() const { return config_.mode != HedgeMode::Off; }
+
+    /** Record one sub-op completion latency. */
+    void
+    observe(Tick latency)
+    {
+        if (config_.mode == HedgeMode::Auto)
+            observed_.record(latency);
+    }
+
+    /** Current hedge delay under the configured mode. */
+    Tick
+    delay() const
+    {
+        if (config_.mode == HedgeMode::Fixed ||
+            observed_.count() < config_.minSamples)
+            return config_.fixedDelay;
+        auto scaled = static_cast<Tick>(
+            config_.multiplier *
+            static_cast<double>(observed_.percentile(config_.quantile)));
+        return std::max(config_.minDelay, scaled);
+    }
+
+    const HedgeConfig &config() const { return config_; }
+    const LatencyRecorder &observed() const { return observed_; }
+
+  private:
+    HedgeConfig config_;
+    LatencyRecorder observed_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_RESIL_HEDGE_H

@@ -1,0 +1,312 @@
+#include "src/resil/resilient_backend.h"
+
+#include "src/common/logging.h"
+#include "src/obs/tracer.h"
+
+namespace recssd
+{
+
+/** One slice of one op: its candidate devices and issue state. */
+struct ResilSub
+{
+    /** Candidate devices in try order (rotated primary + replicas). */
+    std::vector<unsigned> shards;
+    /** Candidate-local descriptors, parallel to `shards`. */
+    std::vector<const EmbeddingTableDesc *> descs;
+    /** Slice-local indices (valid against every candidate desc). */
+    std::vector<std::vector<RowId>> indices;
+    unsigned next = 0;    ///< next candidate index to try
+    unsigned issues = 0;  ///< issues so far (>1 = hedged)
+    bool served = false;  ///< a result (or degraded fill) landed
+};
+
+/** Barrier state of one resilient operation. */
+struct ResilOp
+{
+    std::uint64_t traceId = 0;
+    std::uint32_t dim = 0;
+    SlsResult result;
+    unsigned left = 0;      ///< unserved subs
+    unsigned partials = 0;  ///< total subs (reduce cost)
+    bool finished = false;
+    bool degraded = false;
+    ResilientSlsBackend::DoneEx done;
+    std::vector<std::shared_ptr<ResilSub>> subs;
+};
+
+ResilientSlsBackend::ResilientSlsBackend(EventQueue &eq, HostCpu &cpu,
+                                         ShardRouter &router,
+                                         std::vector<SlsBackend *> inner,
+                                         const ResilConfig &config,
+                                         HostEmbeddingCache *host_cache)
+    : eq_(eq), cpu_(cpu), router_(router), inner_(std::move(inner)),
+      config_(config), hostCache_(host_cache), hedge_(config.hedge),
+      health_(router.numShards(), config.ejectAfterFailures,
+              config.ejectCooldown),
+      shardLatency_(router.numShards()),
+      lateCompletions_(router.numShards(), 0)
+{
+    recssd_assert(inner_.size() == router_.numShards(),
+                  "one inner backend per shard required (%zu vs %u)",
+                  inner_.size(), router_.numShards());
+    for (const auto *b : inner_)
+        recssd_assert(b != nullptr, "null shard backend");
+}
+
+ResilientSlsBackend::~ResilientSlsBackend() = default;
+
+std::string
+ResilientSlsBackend::name() const
+{
+    return "resilient-" + std::to_string(router_.numShards()) + "x" +
+           std::to_string(router_.replication()) + "r-" +
+           inner_.front()->name();
+}
+
+bool
+ResilientSlsBackend::healthy(unsigned dev) const
+{
+    if (health_.ejected(dev, eq_.now()))
+        return false;
+    return !probe_ || probe_(dev);
+}
+
+std::vector<unsigned>
+ResilientSlsBackend::unhealthyDevices() const
+{
+    std::vector<unsigned> out;
+    for (unsigned d = 0; d < router_.numShards(); ++d)
+        if (!healthy(d))
+            out.push_back(d);
+    return out;
+}
+
+void
+ResilientSlsBackend::run(const SlsOp &op, Done done)
+{
+    runResil(op, [done = std::move(done)](SlsResult r, bool) {
+        done(std::move(r));
+    });
+}
+
+void
+ResilientSlsBackend::runResil(const SlsOp &op, DoneEx done)
+{
+    recssd_assert(op.table != nullptr, "SLS op without table");
+    const ShardedTable &st = router_.tableOf(op.table->id);
+    auto slices = router_.split(op);
+
+    auto rop = std::make_shared<ResilOp>();
+    rop->traceId = op.traceId;
+    rop->dim = op.table->dim;
+    rop->result.assign(op.batch() * op.table->dim, 0.0f);
+    rop->done = std::move(done);
+
+    // Candidate order per sub-op: primary + replicas, rotated so
+    // replica reads balance. The counter advances once per *op* and
+    // each slice adds its index — advancing per sub would alias
+    // against even sub counts (4 slices x 2 candidates locks every
+    // slice to one fixed candidate forever). Deterministic: both the
+    // op counter and the slice index are simulation state.
+    std::uint64_t op_seq = rr_++;
+    auto makeSub = [op_seq](const ShardSlice &slice, std::size_t slice_idx,
+                            std::vector<std::vector<RowId>> idx) {
+        auto sub = std::make_shared<ResilSub>();
+        unsigned ncand = 1 + static_cast<unsigned>(slice.replicas.size());
+        unsigned rot = ncand > 1
+                           ? static_cast<unsigned>((op_seq + slice_idx) %
+                                                   ncand)
+                           : 0;
+        for (unsigned k = 0; k < ncand; ++k) {
+            unsigned c = (rot + k) % ncand;
+            if (c == 0) {
+                sub->shards.push_back(slice.shard);
+                sub->descs.push_back(&slice.desc);
+            } else {
+                sub->shards.push_back(slice.replicas[c - 1].shard);
+                sub->descs.push_back(&slice.replicas[c - 1].desc);
+            }
+        }
+        sub->indices = std::move(idx);
+        return sub;
+    };
+
+    if (slices.empty()) {
+        // Degenerate op (all bags empty): still dispatch once on the
+        // home slice so sparse queries keep their per-op overhead.
+        rop->subs.push_back(makeSub(
+            st.slices.front(), 0,
+            std::vector<std::vector<RowId>>(op.batch())));
+    } else {
+        if (slices.size() > 1)
+            ++scatteredOps_;
+        for (std::size_t i = 0; i < slices.size(); ++i) {
+            rop->subs.push_back(makeSub(*slices[i].slice, i,
+                                        std::move(slices[i].indices)));
+        }
+    }
+    rop->left = rop->partials = static_cast<unsigned>(rop->subs.size());
+
+    if (config_.deadline > 0) {
+        eq_.scheduleAfter(config_.deadline, [this, rop]() {
+            if (rop->finished)
+                return;
+            ++deadlineMisses_;
+            rop->degraded = true;
+            for (auto &sub : rop->subs)
+                if (!sub->served)
+                    degradeSub(rop, *sub);
+            // Deliver immediately: the deadline already expired, so no
+            // reduce charge — the host ships what it has.
+            finishOp(rop, /*immediate=*/true);
+        });
+    }
+
+    for (auto &sub : rop->subs)
+        issueSub(rop, sub);
+}
+
+void
+ResilientSlsBackend::accumulate(ResilOp &rop, const SlsResult &partial)
+{
+    recssd_assert(partial.size() == rop.result.size(),
+                  "shard partial layout mismatch");
+    for (std::size_t i = 0; i < partial.size(); ++i)
+        rop.result[i] += partial[i];
+}
+
+void
+ResilientSlsBackend::degradeSub(const std::shared_ptr<ResilOp> &rop,
+                                ResilSub &sub)
+{
+    // Best effort from the host LRU (keyed by global row); anything
+    // not cached contributes zero. Not counted as served work —
+    // `served` only blocks double accumulation.
+    sub.served = true;
+    rop->degraded = true;
+    ++degradedFills_;
+    if (!hostCache_)
+        return;
+    const EmbeddingTableDesc &d = *sub.descs.front();
+    for (std::size_t b = 0; b < sub.indices.size(); ++b) {
+        for (RowId local : sub.indices[b]) {
+            const auto *vec = hostCache_->get(d.id, d.rowBase + local);
+            if (!vec)
+                continue;
+            for (std::uint32_t e = 0; e < d.dim; ++e)
+                rop->result[b * rop->dim + e] += (*vec)[e];
+        }
+    }
+}
+
+void
+ResilientSlsBackend::finishOp(const std::shared_ptr<ResilOp> &rop,
+                              bool immediate)
+{
+    rop->finished = true;
+    if (immediate || rop->partials <= 1) {
+        rop->done(rop->result, rop->degraded);
+        return;
+    }
+    // Host-side reduce of the extra partial result sets — the same
+    // charge as ShardedSlsBackend, so replication=1 resilient runs
+    // and plain sharded runs time identically.
+    std::uint32_t vec_bytes = rop->dim * 4;
+    std::size_t vectors = rop->result.size() / rop->dim;
+    Tick reduce = cpu_.params().extractBase +
+                  cpu_.dramLookupCost(vec_bytes) * (rop->partials - 1) *
+                      vectors;
+    SpanId span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq_)) {
+        span = tracer->begin(tracer->track("host.sls"), "shard_gather",
+                             Phase::HostCompute, rop->traceId);
+    }
+    cpu_.run(reduce, [this, rop, span]() {
+        if (Tracer *tracer = tracerOf(eq_))
+            tracer->end(span);
+        rop->done(rop->result, rop->degraded);
+    });
+}
+
+void
+ResilientSlsBackend::issueSub(const std::shared_ptr<ResilOp> &rop,
+                              const std::shared_ptr<ResilSub> &sub)
+{
+    if (rop->finished || sub->served)
+        return;
+
+    // Skip candidates that are dead or ejected (each skip is a
+    // failover: a replica absorbs the unhealthy device's read).
+    while (sub->next < sub->shards.size() &&
+           !healthy(sub->shards[sub->next])) {
+        ++failovers_;
+        ++sub->next;
+    }
+    if (sub->next >= sub->shards.size()) {
+        if (sub->issues == 0) {
+            // Every candidate is gone and nothing is in flight:
+            // degrade now rather than hang until the deadline.
+            degradeSub(rop, *sub);
+            if (--rop->left == 0)
+                finishOp(rop, /*immediate=*/false);
+        }
+        // Otherwise an earlier issue is still in flight; it or the
+        // deadline will resolve this sub.
+        return;
+    }
+
+    unsigned idx = sub->next++;
+    unsigned dev = sub->shards[idx];
+    unsigned ord = sub->issues++;
+    ++issuesTotal_;
+
+    SlsOp s;
+    s.table = sub->descs[idx];
+    s.indices = sub->indices;
+    s.traceId = rop->traceId;
+    Tick issued = eq_.now();
+    inner_[dev]->run(s, [this, rop, sub, dev, issued, ord](SlsResult r) {
+        Tick latency = eq_.now() - issued;
+        shardLatency_[dev].record(latency);
+        hedge_.observe(latency);
+        health_.recordSuccess(dev);
+        ++completionsTotal_;
+        if (rop->finished)
+            ++lateCompletions_[dev];
+        if (sub->served) {
+            // First completion already won; this one is hedge waste.
+            ++duplicateCompletions_;
+            return;
+        }
+        sub->served = true;
+        ++servedSubs_;
+        if (ord > 0)
+            ++hedgeWins_;
+        if (rop->finished)
+            return;  // op already delivered degraded; result discarded
+        accumulate(*rop, r);
+        if (--rop->left == 0)
+            finishOp(rop, /*immediate=*/false);
+    });
+
+    // Arm the hedge: if this issue is still unanswered after the
+    // policy delay, charge a timeout against the device and re-issue
+    // to the next untried healthy candidate.
+    if (hedge_.active() && sub->next < sub->shards.size()) {
+        eq_.scheduleAfter(hedge_.delay(), [this, rop, sub, dev]() {
+            if (sub->served || rop->finished)
+                return;
+            health_.recordTimeout(dev, eq_.now());
+            unsigned probe = sub->next;
+            while (probe < sub->shards.size() &&
+                   !healthy(sub->shards[probe]))
+                ++probe;
+            if (probe >= sub->shards.size())
+                return;  // no one left to hedge to
+            ++hedgesFired_;
+            issueSub(rop, sub);
+        });
+    }
+}
+
+}  // namespace recssd

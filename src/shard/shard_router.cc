@@ -68,6 +68,23 @@ ShardRouter::addTable(const EmbeddingTableDesc &global,
     ShardedTable st;
     st.global = global;
 
+    // R-way replication: each slice's copies land on the R-1 devices
+    // following its primary (mod N), allocated right after the
+    // primary so the allocation order at replication=1 is exactly the
+    // seed's. Replica descs share the primary's rows/rowBase, so the
+    // synthetic content generated from (table, global row) is
+    // bit-identical on every copy.
+    unsigned repl = replication();
+    auto addReplicas = [&](ShardSlice &slice) {
+        for (unsigned r = 1; r < repl; ++r) {
+            ReplicaSlice rep;
+            rep.shard = (slice.shard + r) % config_.numShards;
+            rep.desc = slice.desc;
+            rep.desc.baseLpn = alloc_base(rep.shard);
+            slice.replicas.push_back(std::move(rep));
+        }
+    };
+
     if (config_.policy == ShardPolicy::TableHash ||
         config_.numShards == 1) {
         unsigned shard =
@@ -77,6 +94,7 @@ ShardRouter::addTable(const EmbeddingTableDesc &global,
         slice.firstRow = 0;
         slice.desc = global;
         slice.desc.baseLpn = alloc_base(shard);
+        addReplicas(slice);
         st.slices.push_back(std::move(slice));
     } else {
         for (unsigned s = 0; s < config_.numShards; ++s) {
@@ -91,6 +109,7 @@ ShardRouter::addTable(const EmbeddingTableDesc &global,
             slice.desc.rows = rows;
             slice.desc.rowBase = slice.firstRow;
             slice.desc.baseLpn = alloc_base(s);
+            addReplicas(slice);
             st.slices.push_back(std::move(slice));
         }
     }
@@ -147,6 +166,7 @@ ShardRouter::split(const SlsOp &op) const
             OpSlice o;
             o.shard = shard;
             o.desc = &slice->desc;
+            o.slice = slice;
             o.indices.assign(op.batch(), {});
             out.push_back(std::move(o));
         }

@@ -25,6 +25,7 @@
 #ifndef RECSSD_SHARD_SHARD_ROUTER_H
 #define RECSSD_SHARD_SHARD_ROUTER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -50,6 +51,20 @@ struct ShardConfig
     /** Independent SSD devices (1 = the seed single-device system). */
     unsigned numShards = 1;
     ShardPolicy policy = ShardPolicy::TableHash;
+    /**
+     * R-way replication: every slice additionally lives on the R-1
+     * devices following its primary (mod N). 1 = no replication (the
+     * seed layout, bit-for-bit). Clamped to numShards.
+     */
+    unsigned replication = 1;
+};
+
+/** A replica copy of a slice on another device. */
+struct ReplicaSlice
+{
+    unsigned shard = 0;
+    /** Same rows/rowBase as the primary; its own baseLpn. */
+    EmbeddingTableDesc desc;
 };
 
 /** One shard's slice of a table. */
@@ -63,6 +78,8 @@ struct ShardSlice
      * baseLpn inside the owning device, `rows` = slice length.
      */
     EmbeddingTableDesc desc;
+    /** Replica copies, in replica order (empty at replication=1). */
+    std::vector<ReplicaSlice> replicas;
 };
 
 /** A table's full placement across the shard set. */
@@ -83,6 +100,12 @@ class ShardRouter
 
     unsigned numShards() const { return config_.numShards; }
     ShardPolicy policy() const { return config_.policy; }
+    /** Effective replication factor (config clamped to numShards). */
+    unsigned replication() const
+    {
+        return std::max(1u, std::min(config_.replication,
+                                     config_.numShards));
+    }
 
     /**
      * Partition a fresh table. `alloc_base` is called once per slice,
@@ -119,6 +142,8 @@ class ShardRouter
     {
         unsigned shard = 0;
         const EmbeddingTableDesc *desc = nullptr;
+        /** Owning table slice (for replica descriptors); stable. */
+        const ShardSlice *slice = nullptr;
         std::vector<std::vector<RowId>> indices;
         std::size_t lookups = 0;
     };

@@ -16,6 +16,11 @@ Ssd::Ssd(EventQueue &eq, const SsdConfig &config,
                                                    *ftl_, track_prefix);
     sls_ = std::make_unique<SlsEngine>(eq, config_.sls, *ftl_, track_prefix);
     controller_->setSlsHandler(sls_.get());
+    if (!config_.faults.empty()) {
+        injector_ = std::make_unique<FaultInjector>(
+            eq, config_.faults, *flash_, *ftl_, *controller_, track_prefix);
+        injector_->arm();
+    }
 }
 
 }  // namespace recssd

@@ -14,6 +14,8 @@
 #include <string>
 
 #include "src/common/event_queue.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/flash/data_store.h"
 #include "src/flash/flash_array.h"
 #include "src/flash/flash_params.h"
@@ -34,6 +36,8 @@ struct SsdConfig
     SlsEngineParams sls;
     NvmeParams nvme;
     PcieParams pcie;
+    /** Injected misbehavior (empty = healthy device, zero overhead). */
+    DeviceFaultConfig faults;
 };
 
 class Ssd
@@ -53,6 +57,10 @@ class Ssd
     DataStore &store() { return *store_; }
     const SsdConfig &config() const { return config_; }
 
+    /** Non-null only when the config carried fault scenarios. */
+    FaultInjector *faultInjector() { return injector_.get(); }
+    const FaultInjector *faultInjector() const { return injector_.get(); }
+
   private:
     SsdConfig config_;
     std::unique_ptr<DataStore> store_;
@@ -61,6 +69,7 @@ class Ssd
     std::unique_ptr<PcieLink> pcie_;
     std::unique_ptr<HostController> controller_;
     std::unique_ptr<SlsEngine> sls_;
+    std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace recssd

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/fault/fault_plan.h"
 #include "src/flash/flash_array.h"
 #include "src/ftl/ftl.h"
 #include "src/obs/metrics.h"
@@ -101,6 +102,51 @@ runOnce(unsigned num_ssds, ShardPolicy policy)
     return out;
 }
 
+/**
+ * Like runOnce but with the full tail-tolerance machinery live: a
+ * 3-device replicated system, a fault plan (periodic die stalls on
+ * one device, a dropout on another mid-run), auto-quantile hedging
+ * and a deadline. Every nondeterminism hazard the subsystem adds —
+ * injector RNG, hedge timers racing completions, failover paths,
+ * degraded fills — funnels through the same artifact dump.
+ */
+Artifacts
+runFaultedOnce()
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = 3;
+    cfg.shard.policy = ShardPolicy::RowRange;
+    cfg.shard.replication = 2;
+    applyFaultPlan(cfg,
+                   FaultPlan::parse("stall@1:at=2ms,dur=2ms,period=3ms,"
+                                    "count=4; dropout@2:at=8ms"));
+    System sys(cfg);
+    sys.enableTracing();
+    MetricSampler &sampler = sys.startMetricSampler(50 * usec);
+
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    opt.resil.deadline = 30 * msec;
+    opt.resil.hedge.mode = HedgeMode::Auto;
+    opt.resil.hedge.fixedDelay = 1 * msec;
+    opt.resil.hedge.minSamples = 16;
+    ModelRunner runner(sys, tinyModel(), opt);
+    ServeStats stats = runServe(runner, smallServe());
+    EXPECT_EQ(stats.completedQueries, smallServe().queries);
+
+    Artifacts out;
+    std::ostringstream stats_os, metrics_os, trace_os;
+    sys.dumpStatsJson(stats_os);
+    sampler.sampleNow();
+    sampler.writeJsonl(metrics_os);
+    sys.tracer().writeChromeTrace(trace_os);
+    out.statsJson = stats_os.str();
+    out.metricsJsonl = metrics_os.str();
+    out.trace = trace_os.str();
+    return out;
+}
+
 void
 expectIdentical(const Artifacts &a, const Artifacts &b)
 {
@@ -134,6 +180,17 @@ TEST(Determinism, ShardedServeIsByteIdentical)
     Artifacts first = runOnce(2, ShardPolicy::RowRange);
     Artifacts second = runOnce(2, ShardPolicy::RowRange);
     expectIdentical(first, second);
+}
+
+TEST(Determinism, FaultedHedgedServeIsByteIdentical)
+{
+    Artifacts first = runFaultedOnce();
+    Artifacts second = runFaultedOnce();
+    expectIdentical(first, second);
+    // The faulted run must actually differ from the clean one (the
+    // injector fired), not silently no-op into it.
+    Artifacts clean = runOnce(3, ShardPolicy::RowRange);
+    EXPECT_NE(first.statsJson, clean.statsJson);
 }
 
 TEST(Determinism, AuditModeDoesNotPerturbArtifacts)

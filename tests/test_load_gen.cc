@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/load/latency_recorder.h"
 #include "src/load/load_gen.h"
 
 namespace recssd
@@ -168,6 +169,68 @@ TEST(LoadGen, GapsAreAlwaysPositive)
                       QueryShapeSpec{}, 5);
     for (int i = 0; i < 1000; ++i)
         ASSERT_GE(gen.nextGap(), 1u);
+}
+
+// ---- nearest-rank percentile edge cases (tail reporting relies on
+// ---- p999/max being exact, not interpolated) --------------------
+
+TEST(LatencyRecorderPercentiles, SingleSampleIsEveryPercentile)
+{
+    LatencyRecorder r;
+    r.record(42 * usec);
+    EXPECT_EQ(r.percentile(0.50), 42 * usec);
+    EXPECT_EQ(r.percentile(0.99), 42 * usec);
+    EXPECT_EQ(r.percentile(0.999), 42 * usec);
+    EXPECT_EQ(r.percentile(1.0), 42 * usec);
+    EXPECT_DOUBLE_EQ(r.maxUs(), r.percentileUs(1.0));
+}
+
+TEST(LatencyRecorderPercentiles, TwoSamplesSplitAtTheMedian)
+{
+    LatencyRecorder r;
+    r.record(10 * usec);
+    r.record(20 * usec);
+    // Nearest rank: ceil(0.5 * 2) = 1 -> the smaller sample.
+    EXPECT_EQ(r.percentile(0.50), 10 * usec);
+    // Anything past 0.5 rounds up to rank 2.
+    EXPECT_EQ(r.percentile(0.51), 20 * usec);
+    EXPECT_EQ(r.percentile(0.999), 20 * usec);
+}
+
+TEST(LatencyRecorderPercentiles, P999DistinguishesRank999From1000)
+{
+    // 1000 distinct samples 1..1000 us: p999 must be the 999th
+    // smallest (ceil(0.999 * 1000) = 999), NOT the max.
+    LatencyRecorder r;
+    for (int i = 1000; i >= 1; --i)  // reverse: order-independent
+        r.record(Tick(i) * usec);
+    EXPECT_EQ(r.percentile(0.999), 999 * usec);
+    EXPECT_EQ(r.percentile(1.0), 1000 * usec);
+    EXPECT_DOUBLE_EQ(r.maxUs(), 1000.0);
+    EXPECT_EQ(r.percentile(0.50), 500 * usec);
+    EXPECT_EQ(r.percentile(0.99), 990 * usec);
+}
+
+TEST(LatencyRecorderPercentiles, P999OnSmallCountsRoundsToMax)
+{
+    // With n < 1000, ceil(0.999 * n) = n: p999 equals the max.
+    LatencyRecorder r;
+    for (int i = 1; i <= 999; ++i)
+        r.record(Tick(i) * usec);
+    EXPECT_EQ(r.percentile(0.999), 999 * usec);
+}
+
+TEST(LatencyRecorderPercentiles, DuplicatesAndEmptyRecorder)
+{
+    LatencyRecorder empty;
+    EXPECT_EQ(empty.percentile(0.999), 0u);
+    EXPECT_DOUBLE_EQ(empty.maxUs(), 0.0);
+
+    LatencyRecorder r;
+    for (int i = 0; i < 10; ++i)
+        r.record(5 * usec);
+    EXPECT_EQ(r.percentile(0.50), 5 * usec);
+    EXPECT_EQ(r.percentile(0.999), 5 * usec);
 }
 
 }  // namespace

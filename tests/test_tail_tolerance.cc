@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Fault model + tail tolerance: the resilient scatter-gather path
+ * under injected device faults.
+ *
+ * The load-bearing guarantees:
+ *  - a dropped device's reads fail over to replicas and every SLS sum
+ *    stays bit-exact against the synthetic functional reference;
+ *  - deadlines deliver degraded answers instead of hanging, with the
+ *    degraded flag raised and late completions accounted per device;
+ *  - hedge accounting conserves sub-ops (completions = served +
+ *    duplicates; wins <= fires);
+ *  - replica rotation balances reads instead of parity-locking;
+ *  - with resilience off and replication 1, the resilient backend is
+ *    tick-for-tick identical to the plain sharded one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/fault/fault_plan.h"
+#include "src/resil/health.h"
+#include "src/resil/hedge.h"
+#include "src/resil/resilient_backend.h"
+#include "src/shard/sharded_backend.h"
+#include "src/trace/trace_gen.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+constexpr unsigned kBatch = 4;
+constexpr unsigned kLookups = 12;
+
+/** Per-device NDP backends wrapped in the resilient fan-out. */
+struct ResilSet
+{
+    std::vector<std::unique_ptr<NdpSlsBackend>> owned;
+    std::unique_ptr<ResilientSlsBackend> resil;
+
+    ResilSet(System &sys, const ResilConfig &config)
+    {
+        std::vector<SlsBackend *> inner;
+        for (unsigned d = 0; d < sys.numSsds(); ++d) {
+            owned.push_back(std::make_unique<NdpSlsBackend>(
+                sys.eq(), sys.cpu(), sys.driver(d), sys.queues(d),
+                NdpSlsBackend::Options{}));
+            inner.push_back(owned.back().get());
+        }
+        resil = std::make_unique<ResilientSlsBackend>(
+            sys.eq(), sys.cpu(), sys.router(), inner, config);
+        resil->setDeviceProbe([&sys](unsigned d) {
+            return !sys.ssd(d).controller().dead();
+        });
+    }
+};
+
+SystemConfig
+faultedConfig(unsigned num_ssds, unsigned replication,
+              const std::string &plan)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = num_ssds;
+    cfg.shard.policy = ShardPolicy::RowRange;
+    cfg.shard.replication = replication;
+    if (!plan.empty())
+        applyFaultPlan(cfg, FaultPlan::parse(plan));
+    return cfg;
+}
+
+TEST(FaultPlanParse, InlineSpecRoundTrips)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "seed=77; stall@1:at=2ms,dur=500us,period=4ms,count=3,ch=1,die=0; "
+        "inflate@0:at=1ms,dur=10ms,factor=3.5; dropout@3:at=50ms");
+    EXPECT_EQ(plan.seed, 77u);
+    ASSERT_EQ(plan.scenarios.size(), 3u);
+    EXPECT_EQ(plan.maxDevice(), 3u);
+
+    const FaultScenario &stall = plan.scenarios[0];
+    EXPECT_EQ(stall.kind, FaultKind::DieStall);
+    EXPECT_EQ(stall.device, 1u);
+    EXPECT_EQ(stall.at, 2 * msec);
+    EXPECT_EQ(stall.duration, 500 * usec);
+    EXPECT_EQ(stall.period, 4 * msec);
+    EXPECT_EQ(stall.count, 3u);
+    EXPECT_EQ(stall.channel, 1);
+    EXPECT_EQ(stall.die, 0);
+
+    const FaultScenario &inflate = plan.scenarios[1];
+    EXPECT_EQ(inflate.kind, FaultKind::ReadInflation);
+    EXPECT_DOUBLE_EQ(inflate.factor, 3.5);
+
+    const FaultScenario &drop = plan.scenarios[2];
+    EXPECT_EQ(drop.kind, FaultKind::DeviceDropout);
+    EXPECT_EQ(drop.at, 50 * msec);
+
+    EXPECT_EQ(plan.forDevice(1).size(), 1u);
+    EXPECT_TRUE(plan.forDevice(2).empty());
+}
+
+TEST(FaultPlanParse, CommentsAndDefaults)
+{
+    FaultPlan plan = FaultPlan::parse("# a comment\n fwpause@0:at=1ms \n");
+    ASSERT_EQ(plan.scenarios.size(), 1u);
+    EXPECT_EQ(plan.scenarios[0].kind, FaultKind::FirmwarePause);
+    EXPECT_GT(plan.scenarios[0].duration, 0);  // kind default applied
+    EXPECT_EQ(plan.scenarios[0].count, 1u);
+}
+
+TEST(HealthTrackerUnit, EjectsCoolsDownAndRestores)
+{
+    HealthTracker h(2, 3, 10 * msec);
+    Tick now = 1 * msec;
+    EXPECT_FALSE(h.ejected(0, now));
+    h.recordTimeout(0, now);
+    h.recordTimeout(0, now);
+    EXPECT_FALSE(h.ejected(0, now));
+    h.recordTimeout(0, now);
+    EXPECT_TRUE(h.ejected(0, now));
+    EXPECT_EQ(h.ejections(), 1u);
+    // Half-open: the window expires and the device is retried.
+    EXPECT_FALSE(h.ejected(0, now + 11 * msec));
+    // A success during the window restores immediately.
+    h.recordTimeout(1, now);
+    h.recordTimeout(1, now);
+    h.recordTimeout(1, now);
+    EXPECT_TRUE(h.ejected(1, now));
+    h.recordSuccess(1);
+    EXPECT_FALSE(h.ejected(1, now));
+    EXPECT_EQ(h.restorations(), 1u);
+}
+
+TEST(HedgePolicyUnit, FixedAndAutoDelays)
+{
+    HedgeConfig fixed;
+    fixed.mode = HedgeMode::Fixed;
+    fixed.fixedDelay = 3 * msec;
+    HedgePolicy fp(fixed);
+    EXPECT_TRUE(fp.active());
+    EXPECT_EQ(fp.delay(), 3 * msec);
+
+    HedgeConfig autoCfg;
+    autoCfg.mode = HedgeMode::Auto;
+    autoCfg.fixedDelay = 3 * msec;
+    autoCfg.quantile = 0.95;
+    autoCfg.multiplier = 2.0;
+    autoCfg.minSamples = 4;
+    autoCfg.minDelay = 1 * usec;
+    HedgePolicy ap(autoCfg);
+    // Below minSamples: fall back to the fixed delay.
+    ap.observe(100 * usec);
+    EXPECT_EQ(ap.delay(), 3 * msec);
+    ap.observe(100 * usec);
+    ap.observe(100 * usec);
+    ap.observe(200 * usec);
+    // p95 of {100,100,100,200}us is 200us; times the multiplier.
+    EXPECT_EQ(ap.delay(), 400 * usec);
+
+    HedgePolicy off{HedgeConfig{}};
+    EXPECT_FALSE(off.active());
+}
+
+/**
+ * The headline acceptance scenario: 4 row-range devices, 2-way
+ * replication, device 3 drops at t=50ms while ops are continuously in
+ * flight. Hedging rescues the sub-ops swallowed by the dying device;
+ * the probe fails the dead device over for everything issued later.
+ * Every op must complete and every SLS sum must equal the exact
+ * functional reference.
+ */
+TEST(TailTolerance, DropoutFailsOverBitExact)
+{
+    System sys(faultedConfig(4, 2, "dropout@3:at=50ms"));
+    auto table = sys.installTable(10'000, 16);
+
+    ResilConfig rc;
+    rc.hedge.mode = HedgeMode::Fixed;
+    rc.hedge.fixedDelay = 2 * msec;
+    ResilSet set(sys, rc);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 20260806;
+    TraceGenerator gen(spec);
+
+    constexpr unsigned kOps = 25;
+    struct OpResult
+    {
+        std::vector<std::vector<RowId>> indices;
+        SlsResult result;
+        bool degraded = false;
+        bool completed = false;
+    };
+    std::vector<OpResult> ops(kOps);
+    // One op every 4ms: ~12 before the dropout, the rest after, with
+    // several in flight when the device dies.
+    for (unsigned i = 0; i < kOps; ++i) {
+        ops[i].indices = gen.nextBatch(kBatch, kLookups);
+        sys.eq().schedule(Tick(i) * (4 * msec), [&, i]() {
+            SlsOp op;
+            op.table = &table;
+            op.indices = ops[i].indices;
+            set.resil->runResil(op, [&, i](SlsResult r, bool degraded) {
+                ops[i].result = std::move(r);
+                ops[i].degraded = degraded;
+                ops[i].completed = true;
+            });
+        });
+    }
+    sys.run();
+
+    for (unsigned i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(ops[i].completed) << "op " << i << " never completed";
+        EXPECT_FALSE(ops[i].degraded) << "op " << i;
+        EXPECT_EQ(ops[i].result,
+                  synthetic::expectedSls(table, ops[i].indices))
+            << "op " << i << " not bit-exact";
+    }
+    EXPECT_TRUE(sys.ssd(3).controller().dead());
+    // Post-dropout reads landed on replicas, not the dead device.
+    EXPECT_GT(set.resil->failovers(), 0u);
+    // Conservation: every completion is either the serving one or
+    // counted hedge waste (the dead device's swallowed sub-ops are
+    // the issue/completion gap).
+    EXPECT_EQ(set.resil->completionsTotal(),
+              set.resil->servedSubs() + set.resil->duplicateCompletions());
+    EXPECT_LE(set.resil->completionsTotal(), set.resil->issuesTotal());
+    EXPECT_LE(set.resil->hedgeWins(), set.resil->hedgesFired());
+}
+
+/**
+ * A deadline far below the device's service time: the op must deliver
+ * at the deadline with the degraded flag and a zero-filled answer
+ * (no host cache attached), and the real completions that straggle in
+ * afterwards must be counted late and as duplicates.
+ */
+TEST(TailTolerance, DeadlineDeliversDegraded)
+{
+    System sys(faultedConfig(2, 1, ""));
+    auto table = sys.installTable(10'000, 16);
+
+    ResilConfig rc;
+    rc.deadline = 1 * usec;
+    ResilSet set(sys, rc);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 31;
+    TraceGenerator gen(spec);
+
+    SlsOp op;
+    op.table = &table;
+    op.indices = gen.nextBatch(kBatch, kLookups);
+    SlsResult result;
+    bool degraded = false;
+    bool completed = false;
+    Tick done_at = 0;
+    set.resil->runResil(op, [&](SlsResult r, bool d) {
+        result = std::move(r);
+        degraded = d;
+        completed = true;
+        done_at = sys.eq().now();
+    });
+    sys.run();
+
+    ASSERT_TRUE(completed);
+    EXPECT_TRUE(degraded);
+    EXPECT_EQ(done_at, 1 * usec);  // delivered exactly at the deadline
+    EXPECT_EQ(set.resil->deadlineMisses(), 1u);
+    EXPECT_GT(set.resil->degradedFills(), 0u);
+    // No host cache: the degraded answer is all zeros.
+    for (float v : result)
+        EXPECT_EQ(v, 0.0f);
+    // The real sub-op completions arrived after delivery: all late,
+    // all duplicates, none serving.
+    EXPECT_EQ(set.resil->servedSubs(), 0u);
+    EXPECT_EQ(set.resil->completionsTotal(),
+              set.resil->duplicateCompletions());
+    std::uint64_t late = 0;
+    for (unsigned d = 0; d < sys.numSsds(); ++d)
+        late += set.resil->lateCompletionsOn(d);
+    EXPECT_EQ(late, set.resil->completionsTotal());
+    EXPECT_GT(late, 0u);
+}
+
+/**
+ * Die stalls slow one device while hedging re-issues to replicas:
+ * results stay bit-exact and the accounting invariants hold exactly
+ * (no dead devices here, so issues == completions once drained).
+ */
+TEST(TailTolerance, HedgeAccountingConserved)
+{
+    System sys(faultedConfig(
+        3, 2, "stall@0:at=1ms,dur=5ms,period=6ms,count=8,ch=0,die=0"));
+    auto table = sys.installTable(9'000, 16);
+
+    ResilConfig rc;
+    rc.hedge.mode = HedgeMode::Fixed;
+    rc.hedge.fixedDelay = 300 * usec;
+    ResilSet set(sys, rc);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 404;
+    TraceGenerator gen(spec);
+
+    constexpr unsigned kOps = 20;
+    std::vector<std::vector<std::vector<RowId>>> indices(kOps);
+    std::vector<SlsResult> results(kOps);
+    unsigned completed = 0;
+    for (unsigned i = 0; i < kOps; ++i) {
+        indices[i] = gen.nextBatch(kBatch, kLookups);
+        sys.eq().schedule(Tick(i) * (2 * msec), [&, i]() {
+            SlsOp op;
+            op.table = &table;
+            op.indices = indices[i];
+            set.resil->runResil(op, [&, i](SlsResult r, bool) {
+                results[i] = std::move(r);
+                ++completed;
+            });
+        });
+    }
+    sys.run();
+
+    ASSERT_EQ(completed, kOps);
+    for (unsigned i = 0; i < kOps; ++i)
+        EXPECT_EQ(results[i], synthetic::expectedSls(table, indices[i]))
+            << "op " << i;
+    // No device ever dies, so every issue eventually completes.
+    EXPECT_EQ(set.resil->issuesTotal(), set.resil->completionsTotal());
+    EXPECT_EQ(set.resil->completionsTotal(),
+              set.resil->servedSubs() + set.resil->duplicateCompletions());
+    EXPECT_LE(set.resil->hedgeWins(), set.resil->hedgesFired());
+    // Every hedge adds exactly one extra issue, and with no dead
+    // device both the original and the hedge complete — so the extra
+    // completions are all counted as hedge waste.
+    EXPECT_EQ(set.resil->duplicateCompletions(), set.resil->hedgesFired());
+    EXPECT_GT(set.resil->hedgesFired(), 0u);
+}
+
+/**
+ * Replica rotation must spread reads: with 2-way replication over 4
+ * devices and no faults, no device may starve (the parity-lock
+ * regression: a per-sub counter against an even candidate count sent
+ * entire slices to one fixed candidate forever).
+ */
+TEST(TailTolerance, ReplicaReadsBalanceAcrossDevices)
+{
+    System sys(faultedConfig(4, 2, ""));
+    auto table = sys.installTable(12'000, 16);
+
+    ResilSet set(sys, ResilConfig{});
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 555;
+    TraceGenerator gen(spec);
+
+    constexpr unsigned kOps = 40;
+    unsigned completed = 0;
+    for (unsigned i = 0; i < kOps; ++i) {
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(kBatch, kLookups);
+        set.resil->runResil(op, [&](SlsResult, bool) { ++completed; });
+        sys.run();
+    }
+    ASSERT_EQ(completed, kOps);
+
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (unsigned d = 0; d < sys.numSsds(); ++d) {
+        std::uint64_t n = set.resil->subOpsOn(d);
+        lo = std::min(lo, n);
+        hi = std::max(hi, n);
+    }
+    EXPECT_GT(lo, 0u) << "a device starved";
+    EXPECT_LE(hi, 2 * lo) << "replica reads badly imbalanced";
+}
+
+/**
+ * With replication 1, hedging off and no deadline, the resilient
+ * backend must be indistinguishable from the plain sharded one:
+ * identical results at identical simulated times, op for op.
+ */
+TEST(TailTolerance, InactiveConfigMatchesShardedTickForTick)
+{
+    struct Trace
+    {
+        std::vector<SlsResult> results;
+        std::vector<Tick> doneAt;
+    };
+    auto runWith = [](bool resilient) {
+        SystemConfig cfg = test::smallSystem();
+        cfg.shard.numShards = 3;
+        cfg.shard.policy = ShardPolicy::RowRange;
+        System sys(cfg);
+        auto table = sys.installTable(10'000, 16);
+
+        std::vector<std::unique_ptr<NdpSlsBackend>> owned;
+        std::vector<SlsBackend *> inner;
+        for (unsigned d = 0; d < sys.numSsds(); ++d) {
+            owned.push_back(std::make_unique<NdpSlsBackend>(
+                sys.eq(), sys.cpu(), sys.driver(d), sys.queues(d),
+                NdpSlsBackend::Options{}));
+            inner.push_back(owned.back().get());
+        }
+        std::unique_ptr<ShardedSlsBackend> sharded;
+        std::unique_ptr<ResilientSlsBackend> resil;
+        SlsBackend *backend = nullptr;
+        if (resilient) {
+            resil = std::make_unique<ResilientSlsBackend>(
+                sys.eq(), sys.cpu(), sys.router(), inner, ResilConfig{});
+            backend = resil.get();
+        } else {
+            sharded = std::make_unique<ShardedSlsBackend>(
+                sys.eq(), sys.cpu(), sys.router(), inner);
+            backend = sharded.get();
+        }
+
+        TraceSpec spec;
+        spec.kind = TraceKind::Uniform;
+        spec.universe = table.rows;
+        spec.seed = 99;
+        TraceGenerator gen(spec);
+
+        Trace out;
+        for (unsigned i = 0; i < 6; ++i) {
+            SlsOp op;
+            op.table = &table;
+            op.indices = gen.nextBatch(kBatch, kLookups);
+            backend->run(op, [&](SlsResult r) {
+                out.results.push_back(std::move(r));
+                out.doneAt.push_back(sys.eq().now());
+            });
+            sys.run();
+        }
+        return out;
+    };
+
+    Trace plain = runWith(false);
+    Trace resil = runWith(true);
+    ASSERT_EQ(plain.results.size(), resil.results.size());
+    EXPECT_EQ(plain.results, resil.results);
+    EXPECT_EQ(plain.doneAt, resil.doneAt);
+}
+
+/**
+ * Fault stats surface per device: an injected inflation window shows
+ * up in the flash counters and the injector's own accounting, and
+ * only on the targeted device.
+ */
+TEST(TailTolerance, FaultStatsVisiblePerDevice)
+{
+    System sys(faultedConfig(2, 1, "inflate@1:at=0us,dur=200ms,factor=4"));
+    auto table = sys.installTable(10'000, 16);
+
+    ResilConfig rc;
+    rc.hedge.mode = HedgeMode::Fixed;
+    rc.hedge.fixedDelay = 5 * msec;
+    ResilSet set(sys, rc);
+
+    TraceSpec spec;
+    spec.kind = TraceKind::Uniform;
+    spec.universe = table.rows;
+    spec.seed = 7;
+    TraceGenerator gen(spec);
+    for (unsigned i = 0; i < 4; ++i) {
+        SlsOp op;
+        op.table = &table;
+        op.indices = gen.nextBatch(kBatch, kLookups);
+        bool done = false;
+        set.resil->runResil(op, [&](SlsResult, bool) { done = true; });
+        sys.run();
+        ASSERT_TRUE(done);
+    }
+
+    ASSERT_NE(sys.ssd(1).faultInjector(), nullptr);
+    EXPECT_EQ(sys.ssd(0).faultInjector(), nullptr);
+    EXPECT_EQ(sys.ssd(1).faultInjector()->inflationWindows(), 1u);
+    EXPECT_GT(sys.ssd(1).flash().inflatedReads(), 0u);
+    EXPECT_EQ(sys.ssd(0).flash().inflatedReads(), 0u);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -40,6 +40,15 @@
  *   --max-inflight N    concurrent fused batches (default 4)
  *   --io-queues N       NVMe queue pairs to bind (default 4)
  *
+ * Faults & tail tolerance (see README "Fault model"):
+ *   --fault-plan SPEC   inject device faults; SPEC is a plan file or
+ *                       an inline spec like
+ *                       "stall@1:at=2ms,dur=2ms;dropout@3:at=50ms"
+ *   --replication R     R-way table replication across shards
+ *   --hedge-delay-us V  hedge sub-ops after V us, or "auto" to track
+ *                       the observed latency quantile (p95)
+ *   --deadline-us N     per-op deadline; late ops deliver degraded
+ *
  * Observability (see README "Observability"):
  *   --trace-out FILE        record spans; write Chrome trace-event
  *                           JSON (open in Perfetto) and print the
@@ -60,6 +69,7 @@
 #include <string>
 
 #include "src/core/experiment.h"
+#include "src/fault/fault_plan.h"
 #include "src/obs/attribution.h"
 #include "src/reco/model_runner.h"
 #include "src/reco/serving.h"
@@ -83,6 +93,9 @@ usage(const char *argv0)
                  "bursty] [--burst B] [--queries N] [--max-batch N] "
                  "[--max-wait-us N] [--max-inflight N] [--io-queues N] "
                  "[common flags]\n"
+                 "fault/tail-tolerance flags (both modes): "
+                 "[--fault-plan FILE|SPEC] [--replication R] "
+                 "[--hedge-delay-us N|auto] [--deadline-us N]\n"
                  "observability flags (both modes): [--trace-out FILE] "
                  "[--metrics-out FILE] [--metrics-interval-us N] "
                  "[--stats-json FILE|-]\n",
@@ -138,6 +151,10 @@ main(int argc, char **argv)
     std::string metrics_out;
     unsigned metrics_interval_us = 50;
     std::string stats_json;
+    std::string fault_plan;
+    unsigned replication = 1;
+    std::string hedge_delay;
+    unsigned deadline_us = 0;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -207,6 +224,14 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--stats-json")) {
             stats_json = need_value(i);
+        } else if (!std::strcmp(arg, "--fault-plan")) {
+            fault_plan = need_value(i);
+        } else if (!std::strcmp(arg, "--replication")) {
+            replication = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--hedge-delay-us")) {
+            hedge_delay = need_value(i);
+        } else if (!std::strcmp(arg, "--deadline-us")) {
+            deadline_us = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--list-models")) {
             listModels();
             return 0;
@@ -235,6 +260,11 @@ main(int argc, char **argv)
         cfg.ssd.nvme.numQueues = io_queues;
         cfg.host.balancedQueueGrants = true;
     }
+    if (replication == 0)
+        usage(argv[0]);
+    cfg.shard.replication = replication;
+    if (!fault_plan.empty())
+        applyFaultPlan(cfg, FaultPlan::load(fault_plan));
     System sys(cfg);
 
     RunnerOptions opt;
@@ -266,6 +296,16 @@ main(int argc, char **argv)
     opt.pipeline = pipeline;
     opt.forceAllTablesOnSsd = all_ssd;
     opt.seed = seed;
+    opt.resil.deadline = Tick(deadline_us) * usec;
+    if (hedge_delay == "auto") {
+        opt.resil.hedge.mode = HedgeMode::Auto;
+    } else if (!hedge_delay.empty()) {
+        long long us = std::atoll(hedge_delay.c_str());
+        if (us <= 0)
+            usage(argv[0]);
+        opt.resil.hedge.mode = HedgeMode::Fixed;
+        opt.resil.hedge.fixedDelay = Tick(us) * usec;
+    }
 
     const ModelConfig &model = modelByName(model_name);
     ModelRunner runner(sys, model, opt);
@@ -358,8 +398,8 @@ main(int argc, char **argv)
                     sys.numSsds(), shardPolicyName(cfg.shard.policy));
         auto s = runServe(runner, scfg);
         std::printf("latency: p50 %.1fus  p95 %.1fus  p99 %.1fus  "
-                    "mean %.1fus  max %.1fus\n",
-                    s.p50Us, s.p95Us, s.p99Us, s.meanLatencyUs,
+                    "p999 %.1fus  mean %.1fus  max %.1fus\n",
+                    s.p50Us, s.p95Us, s.p99Us, s.p999Us, s.meanLatencyUs,
                     s.maxLatencyUs);
         std::printf("breakdown: queueing %.1fus  service %.1fus\n",
                     s.meanQueueUs, s.meanServiceUs);
@@ -384,13 +424,35 @@ main(int argc, char **argv)
                 for (std::uint64_t c : ds.commandsPerQueue)
                     cmds += c;
                 std::printf("ssd%zu: %llu commands, %llu sub-ops, "
-                            "sub-op p50 %.1fus p95 %.1fus p99 %.1fus\n",
+                            "sub-op p50 %.1fus p95 %.1fus p99 %.1fus "
+                            "p999 %.1fus max %.1fus, %llu late\n",
                             d, static_cast<unsigned long long>(cmds),
                             static_cast<unsigned long long>(ds.subOps),
-                            ds.subOpP50Us, ds.subOpP95Us, ds.subOpP99Us);
+                            ds.subOpP50Us, ds.subOpP95Us, ds.subOpP99Us,
+                            ds.subOpP999Us, ds.subOpMaxUs,
+                            static_cast<unsigned long long>(
+                                ds.lateCompletions));
             }
             std::printf("scatter: %llu ops fanned out to >1 device\n",
                         static_cast<unsigned long long>(s.scatteredOps));
+        }
+        if (runner.resilientBackend()) {
+            std::printf("resilience: %u degraded queries, %llu deadline "
+                        "misses, %llu hedges fired (%llu won), %llu "
+                        "duplicate completions, %llu failovers\n",
+                        s.degradedQueries,
+                        static_cast<unsigned long long>(s.deadlineMisses),
+                        static_cast<unsigned long long>(s.hedgesFired),
+                        static_cast<unsigned long long>(s.hedgeWins),
+                        static_cast<unsigned long long>(
+                            s.duplicateCompletions),
+                        static_cast<unsigned long long>(s.failovers));
+            if (!s.ejectedDevices.empty()) {
+                std::printf("ejected devices:");
+                for (unsigned d : s.ejectedDevices)
+                    std::printf(" ssd%u", d);
+                std::printf("\n");
+            }
         }
         if (dump_stats)
             sys.dumpStats(std::cout);

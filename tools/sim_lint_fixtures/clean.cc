@@ -89,4 +89,21 @@ orderedTraversalIsFine(const std::map<int, int> &ordered)
         (void)kv;
 }
 
+/**
+ * A fault injector done right, shaped like src/fault: durations carry
+ * units, jitter comes from a caller-provided seeded draw, and the
+ * arm time is Tick arithmetic.  Identifiers like `randomJitter` or
+ * `stallTime` embed rule keywords but must not fire R1.
+ */
+inline void
+goodFaultInjection(recssd::EventQueue &eq, Tick randomJitter)
+{
+    constexpr Tick kStallDuration = 2 * recssd::msec;
+    Tick stallTime = eq.now() + kStallDuration + randomJitter;
+    eq.schedule(stallTime, [] {});
+    eq.scheduleAfter(kStallDuration, [] {});
+    Tick disarmed = 0;  // a fault that never fires: 0 is unit-free
+    (void)disarmed;
+}
+
 }  // namespace recssd_fixture

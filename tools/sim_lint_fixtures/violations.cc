@@ -72,4 +72,20 @@ badLatencies(recssd::EventQueue &eq)
     (void)firmware; (void)cast;
 }
 
+/**
+ * A fault injector done wrong: ambient entropy for jitter, unitless
+ * stall durations, raw literals armed on the queue.  The real one
+ * (src/fault) draws everything from the seeded plan RNG and carries
+ * units; these are the exact regressions the rules must keep out.
+ */
+void
+badFaultInjection(recssd::EventQueue &eq)
+{
+    std::srand(static_cast<unsigned>(time(nullptr)));      // expect: R1
+    recssd::Tick jitter = rand() % 1000;                   // expect: R1
+    recssd::Tick stall = 2000000;                          // expect: R2
+    eq.scheduleAfter(50000, [] {});                        // expect: R4
+    (void)jitter; (void)stall;
+}
+
 }  // namespace recssd_fixture
