@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Extension: frequency-aware hot-row layout vs the log-structured
+ * default, on the NDP backend.
+ *
+ * Sweeps trace locality (K=1, K=2 and a Zipf mix) against layout
+ * policy and hot-tier size. For each cell the run reports average
+ * batch latency, in-SSD page-cache hit rate, hot-row tier hit rate,
+ * flash page reads, mean channel utilization over the measured
+ * window and the channel imbalance (max/mean busy time).
+ *
+ * Expected shape: with skewed traces the freq policy concentrates the
+ * hot embedding rows in pinned controller DRAM and dense hot flash
+ * rows, so the combined DRAM hit rate (hot tier + page cache) rises,
+ * flash reads fall, and the surviving flash traffic stays striped
+ * (imbalance stays near 1). With `--layout-policy log` nothing changes
+ * relative to the seed — locked elsewhere by tests/test_layout_*.cc.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/reco/model_runner.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+struct TraceCase
+{
+    const char *name;
+    TraceKind kind;
+    double k;
+    double alpha;
+};
+
+struct CellResult
+{
+    double avgUs = 0.0;
+    double pageCacheHitPct = 0.0;
+    double hotTierHitPct = 0.0;
+    std::uint64_t flashReads = 0;
+    double chanUtilPct = 0.0;
+    double chanImbalance = 0.0;
+};
+
+CellResult
+runCell(const ModelConfig &model, const TraceCase &tc, LayoutPolicy policy,
+        unsigned hot_tier_pages)
+{
+    SystemConfig cfg;
+    cfg.ssd.ftl.layout.policy = policy;
+    cfg.ssd.ftl.layout.hotTierPages = hot_tier_pages;
+    System sys(cfg);
+
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    opt.pipeline = true;
+    opt.trace.kind = tc.kind;
+    opt.trace.k = tc.k;
+    opt.trace.zipfAlpha = tc.alpha;
+    ModelRunner runner(sys, model, opt);
+
+    // Warm long enough for the tracker to classify and migrate the
+    // hot set, then measure channel busy-time deltas over the window.
+    const unsigned kBatch = 16;
+    const unsigned kWarmup = 48;
+    const unsigned kMeasure = 12;
+    for (unsigned i = 0; i < kWarmup; ++i)
+        runner.runBatch(kBatch);
+
+    const FlashParams &fp = sys.ssd(0).flash().params();
+    std::vector<Tick> busy0(fp.numChannels);
+    for (unsigned c = 0; c < fp.numChannels; ++c)
+        busy0[c] = sys.ssd(0).flash().channelBusyTime(c);
+    Tick t0 = sys.eq().now();
+
+    auto stats = runner.measure(kBatch, 0, kMeasure);
+
+    Tick window = sys.eq().now() - t0;
+    double sum = 0.0;
+    double peak = 0.0;
+    for (unsigned c = 0; c < fp.numChannels; ++c) {
+        double busy = static_cast<double>(
+            sys.ssd(0).flash().channelBusyTime(c) - busy0[c]);
+        sum += busy;
+        peak = std::max(peak, busy);
+    }
+    double mean = sum / fp.numChannels;
+
+    CellResult out;
+    out.avgUs = stats.avgLatencyUs;
+    out.pageCacheHitPct = stats.ssdPageCacheHitRate * 100.0;
+    out.hotTierHitPct = stats.hotTierHitRate * 100.0;
+    out.flashReads = stats.flashPageReads;
+    if (window > 0)
+        out.chanUtilPct = 100.0 * mean / static_cast<double>(window);
+    if (mean > 0.0)
+        out.chanImbalance = peak / mean;
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const TraceCase traces[] = {
+        {"K=1", TraceKind::LocalityK, 1.0, 1.05},
+        {"K=2", TraceKind::LocalityK, 2.0, 1.05},
+        {"zipf1.1", TraceKind::Zipf, 0.0, 1.1},
+    };
+    const unsigned tier_sizes[] = {512, 2048};
+
+    const ModelConfig &model = modelByName("RM1");
+    TablePrinter table(
+        "Extension: frequency-aware layout vs log-structured placement "
+        "(RM1, NDP backend)",
+        {"trace", "layout", "hot-tier", "avg-lat", "pc-hit%", "tier-hit%",
+         "flash-reads", "chan-util%", "imbalance"});
+
+    for (const TraceCase &tc : traces) {
+        auto log = runCell(model, tc, LayoutPolicy::Log, 0);
+        table.row({tc.name, "log", "-", TablePrinter::fmtUs(log.avgUs),
+                   TablePrinter::fmt(log.pageCacheHitPct, 1), "-",
+                   std::to_string(log.flashReads),
+                   TablePrinter::fmt(log.chanUtilPct, 1),
+                   TablePrinter::fmt(log.chanImbalance, 2)});
+        for (unsigned pages : tier_sizes) {
+            auto freq = runCell(model, tc, LayoutPolicy::Freq, pages);
+            table.row({tc.name, "freq", std::to_string(pages),
+                       TablePrinter::fmtUs(freq.avgUs),
+                       TablePrinter::fmt(freq.pageCacheHitPct, 1),
+                       TablePrinter::fmt(freq.hotTierHitPct, 1),
+                       std::to_string(freq.flashReads),
+                       TablePrinter::fmt(freq.chanUtilPct, 1),
+                       TablePrinter::fmt(freq.chanImbalance, 2)});
+        }
+    }
+
+    std::printf("\nExpected shape: freq beats log on DRAM service "
+                "(tier-hit%% + pc-hit%%), flash reads and latency for "
+                "skewed traces — large wins on static skew (zipf, where "
+                "pages mature and migrate), smaller ones on recency "
+                "traces (K=1/K=2, served by read-time pins alone); "
+                "bigger hot tiers help until the hot set fits. Channel "
+                "busy-time falls as DRAM absorbs reads, while imbalance "
+                "stays near 1 because hot rows stripe round-robin across "
+                "channels.\n");
+    return 0;
+}

@@ -55,6 +55,12 @@ run_twice serve-2ssd-range \
     --shard-policy range --queries 40 --qps 500 --seed 13
 run_twice batch-base \
     --model RM1 --backend base --all-ssd --seed 13
+# Frequency-aware layout: tracker decay sweeps, hot-cluster migrations
+# racing GC, and hot-tier pins must all replay identically — any
+# unordered-container leak in promotion/demotion order diffs here.
+run_twice batch-ndp-freq-layout \
+    --model RM1 --backend ndp --all-ssd \
+    --layout-policy freq --hot-tier-pages 512 --seed 13
 # The whole tail-tolerance machinery at once: injector RNG, hedge
 # timers racing completions, a mid-run dropout failing over, deadline
 # delivery — all of it must still be a pure function of the config.

@@ -12,11 +12,15 @@
 #      --num-ssds 1 and 4, then the fault matrix: a device dropout
 #      survived via replication + hedging, and a stall/fwpause plan
 #      served through a deadline (degraded answers, not hangs).
-#   4  reproducibility audit — scripts/audit_repro.sh runs seeded
+#   4  layout matrix — ctest -L layout (the frequency-aware placement
+#      property/differential lockdown) plus recssd_sim smoke runs under
+#      --layout-policy freq.
+#   5  reproducibility audit — scripts/audit_repro.sh runs seeded
 #      configs twice in separate processes with RECSSD_AUDIT=1 and
 #      byte-diffs stats/metrics/trace/stdout.
-#   5  quick + shard suites again under ASan+UBSan in a separate build
-#      tree (the 4-device smoke rides the sanitizer leg too).
+#   6  quick + shard + layout suites again under ASan+UBSan in a
+#      separate build tree (the 4-device and freq-layout smokes ride
+#      the sanitizer leg too).
 #      RECSSD_SKIP_SANITIZERS=1 skips this stage (hosts without ASan).
 # Pass a generator via CMAKE_GENERATOR if you want Ninja; the default
 # works everywhere.
@@ -67,12 +71,24 @@ ctest --test-dir build -L shard --output-on-failure -j
     --deadline-us 50000 --queries 30 --qps 20 > /dev/null
 
 echo
-echo "=== stage 4: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
+echo "=== stage 4: layout matrix (ctest -L layout + freq smoke) ==="
+ctest --test-dir build -L layout --output-on-failure -j
+# Freq-layout smoke: the tracker/migration/hot-tier path end to end,
+# batch mode and serve mode. RECSSD_AUDIT keeps the L2P bijection
+# checks live across migrations and GC.
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --model RM1 --backend ndp \
+    --all-ssd --layout-policy freq --hot-tier-pages 512 > /dev/null
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --model RM1 --backend ndp \
+    --all-ssd --num-ssds 2 --shard-policy range --layout-policy freq \
+    --queries 40 --qps 500 > /dev/null
+
+echo
+echo "=== stage 5: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
 ./scripts/audit_repro.sh build/tools/recssd_sim
 
 if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     echo
-    echo "=== stage 5: quick + shard suites under ASan+UBSan ==="
+    echo "=== stage 6: quick + shard + layout suites under ASan+UBSan ==="
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -81,9 +97,12 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --build build-asan -j
     ctest --test-dir build-asan -L quick --output-on-failure -j
     ctest --test-dir build-asan -L shard --output-on-failure -j
+    ctest --test-dir build-asan -L layout --output-on-failure -j
     ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
         --num-ssds 4 --shard-policy range --queries 40 --qps 500 \
         > /dev/null
+    RECSSD_AUDIT=1 ./build-asan/tools/recssd_sim --model RM1 --backend ndp \
+        --all-ssd --layout-policy freq --hot-tier-pages 512 > /dev/null
     ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
         --num-ssds 4 --shard-policy range --replication 2 --batch 4 \
         --fault-plan 'dropout@3:at=50ms' --hedge-delay-us auto \

@@ -1,0 +1,54 @@
+#include "src/cache/hot_row_tier.h"
+
+namespace recssd
+{
+
+HotRowTier::HotRowTier(unsigned capacity_pages) : capacity_(capacity_pages)
+{
+}
+
+bool
+HotRowTier::lookup(Lpn lpn, Ppn &ppn)
+{
+    auto it = map_.find(lpn);
+    if (it == map_.end()) {
+        misses_.inc();
+        return false;
+    }
+    hits_.inc();
+    ppn = it->second;
+    return true;
+}
+
+bool
+HotRowTier::insert(Lpn lpn, Ppn ppn)
+{
+    auto it = map_.find(lpn);
+    if (it != map_.end()) {
+        it->second = ppn;
+        return true;
+    }
+    if (map_.size() >= capacity_) {
+        rejected_.inc();
+        return false;
+    }
+    map_.emplace(lpn, ppn);
+    insertions_.inc();
+    return true;
+}
+
+void
+HotRowTier::update(Lpn lpn, Ppn ppn)
+{
+    auto it = map_.find(lpn);
+    if (it != map_.end())
+        it->second = ppn;
+}
+
+void
+HotRowTier::invalidate(Lpn lpn)
+{
+    map_.erase(lpn);
+}
+
+}  // namespace recssd

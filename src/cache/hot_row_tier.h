@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hot-row DRAM tier: pinned controller-DRAM copies of hot pages.
+ *
+ * Unlike the set-associative FTL page cache (`src/ftl/page_cache.h`),
+ * which churns under cold traffic, this tier is admission-controlled
+ * by the frequency-aware layout policy: only classifier-promoted pages
+ * enter, and an entry leaves only on demotion, overwrite/trim, or a
+ * physical move. Like the page cache, it stores page *identity*
+ * (LPN -> PPN at fill time); bytes are read through the DataStore at
+ * the recorded PPN, which is what a DRAM-resident copy would hold.
+ *
+ * Hit accounting is deliberately disjoint from the page cache: a read
+ * served here never probes the page cache, so
+ *   ftl.hostReads == hot_tier.hits + page_cache.hits + page_cache.misses
+ * holds exactly (locked by tests/test_layout_properties.cc).
+ */
+
+#ifndef RECSSD_CACHE_HOT_ROW_TIER_H
+#define RECSSD_CACHE_HOT_ROW_TIER_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+class HotRowTier
+{
+  public:
+    /** @param capacity_pages Pinned entries; 0 disables admission. */
+    explicit HotRowTier(unsigned capacity_pages);
+
+    /**
+     * Look up a logical page. Counts exactly one hit or miss per call.
+     * @param[out] ppn Physical location of the pinned copy.
+     */
+    bool lookup(Lpn lpn, Ppn &ppn);
+
+    /** Probe without touching hit/miss stats. */
+    bool contains(Lpn lpn) const { return map_.contains(lpn); }
+
+    /**
+     * Pin a page. No eviction: admission fails when full (the layout
+     * manager frees space by demoting, never by silently dropping a
+     * still-hot page).
+     * @return true if the page is now resident.
+     */
+    bool insert(Lpn lpn, Ppn ppn);
+
+    /** Refresh the physical location of a resident page (GC moved it). */
+    void update(Lpn lpn, Ppn ppn);
+
+    /** Unpin a page (demotion, overwrite, trim). */
+    void invalidate(Lpn lpn);
+
+    unsigned capacity() const { return capacity_; }
+    unsigned resident() const { return static_cast<unsigned>(map_.size()); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t insertions() const { return insertions_.value(); }
+    std::uint64_t rejected() const { return rejected_.value(); }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total ? static_cast<double>(hits()) / total : 0.0;
+    }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Lpn, Ppn> map_;  // point lookups only
+
+    Counter hits_;
+    Counter misses_;
+    Counter insertions_;
+    Counter rejected_;  ///< admissions refused for capacity
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_CACHE_HOT_ROW_TIER_H

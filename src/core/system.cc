@@ -88,6 +88,31 @@ System::registerDevice(unsigned d, const std::string &prefix)
     r.addScalar(prefix + "sls", "embed_cache_hits",
                 u64([ssd]() { return ssd->slsEngine().embedCacheHits(); }));
 
+    // Layout counters exist only when the frequency-aware policy is
+    // active, so log-policy configs export byte-identical stats JSON
+    // (same pattern as the fault counters below).
+    if (const LayoutManager *lay = ssd->ftl().layout()) {
+        r.addScalar(prefix + "layout", "promotions",
+                    u64([lay]() { return lay->promotions(); }));
+        r.addScalar(prefix + "layout", "demotions",
+                    u64([lay]() { return lay->demotions(); }));
+        r.addScalar(prefix + "layout", "migrated_pages",
+                    u64([lay]() { return lay->migratedPages(); }));
+        r.addScalar(prefix + "layout", "read_pins",
+                    u64([lay]() { return lay->readPins(); }));
+        r.addScalar(prefix + "layout", "hot_pages_allocated", u64([ssd]() {
+            return ssd->ftl().blocks().hotPagesAllocated();
+        }));
+        r.addScalar(prefix + "layout.hot_tier", "hits",
+                    u64([lay]() { return lay->tier().hits(); }));
+        r.addScalar(prefix + "layout.hot_tier", "misses",
+                    u64([lay]() { return lay->tier().misses(); }));
+        r.addScalar(prefix + "layout.hot_tier", "resident",
+                    u64([lay]() { return lay->tier().resident(); }));
+        r.addScalar(prefix + "sls", "hot_tier_hits",
+                    u64([ssd]() { return ssd->slsEngine().hotTierHits(); }));
+    }
+
     r.addScalar(prefix + "nvme", "commands",
                 u64([ssd]() { return ssd->controller().commandsProcessed(); }));
     r.addScalar(prefix + "pcie", "bytes_moved",
@@ -292,6 +317,18 @@ System::dumpStats(std::ostream &os)
         line(p + "sls.flashPagesRead", ssd->slsEngine().flashPagesRead());
         line(p + "sls.pageCacheHits", ssd->slsEngine().pageCacheHits());
         line(p + "sls.embedCacheHits", ssd->slsEngine().embedCacheHits());
+        if (const LayoutManager *lay = ssd->ftl().layout()) {
+            line(p + "layout.promotions", lay->promotions());
+            line(p + "layout.demotions", lay->demotions());
+            line(p + "layout.migratedPages", lay->migratedPages());
+            line(p + "layout.readPins", lay->readPins());
+            line(p + "layout.hotPagesAllocated",
+                 ssd->ftl().blocks().hotPagesAllocated());
+            line(p + "layout.hotTier.hits", lay->tier().hits());
+            line(p + "layout.hotTier.misses", lay->tier().misses());
+            line(p + "layout.hotTier.resident", lay->tier().resident());
+            line(p + "sls.hotTierHits", ssd->slsEngine().hotTierHits());
+        }
         line(p + "nvme.commands", ssd->controller().commandsProcessed());
         line(p + "pcie.bytesMoved", ssd->pcie().bytesMoved());
         line(p + "driver.commands", drv->commandsIssued());

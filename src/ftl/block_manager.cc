@@ -30,7 +30,7 @@ BlockManager::ensureLpns(RowMeta &row)
 }
 
 bool
-BlockManager::openNewActiveRow()
+BlockManager::openNewActiveRow(Stream stream)
 {
     // Wear-levelled free-row choice: normally any free row works, but
     // when the erase spread grows past the threshold, insist on the
@@ -47,8 +47,9 @@ BlockManager::openNewActiveRow()
     }
     if (best == UINT64_MAX)
         return false;
-    activeRow_ = best;
+    activeRow_[static_cast<unsigned>(stream)] = best;
     rows_[best].state = RowState::Active;
+    rows_[best].stream = stream;
     rows_[best].writeCursor = 0;
     rows_[best].validCount = 0;
     ensureLpns(rows_[best]);
@@ -58,23 +59,25 @@ BlockManager::openNewActiveRow()
 }
 
 Ppn
-BlockManager::allocatePage(Lpn lpn)
+BlockManager::allocatePage(Lpn lpn, Stream stream)
 {
-    if (activeRow_ == UINT64_MAX || rows_[activeRow_].writeCursor >=
-                                        pagesPerRow_) {
-        if (activeRow_ != UINT64_MAX &&
-            rows_[activeRow_].writeCursor >= pagesPerRow_) {
-            rows_[activeRow_].state = RowState::Sealed;
+    std::uint64_t &active = activeRow_[static_cast<unsigned>(stream)];
+    if (active == UINT64_MAX || rows_[active].writeCursor >= pagesPerRow_) {
+        if (active != UINT64_MAX &&
+            rows_[active].writeCursor >= pagesPerRow_) {
+            rows_[active].state = RowState::Sealed;
         }
-        if (!openNewActiveRow())
+        if (!openNewActiveRow(stream))
             return invalidPpn;
     }
-    RowMeta &row = rows_[activeRow_];
+    RowMeta &row = rows_[active];
     std::uint32_t slot = row.writeCursor++;
     (*row.lpns)[slot] = lpn;
     ++row.validCount;
     pagesAllocated_.inc();
-    return activeRow_ * pagesPerRow_ + slot;
+    if (stream == Stream::Hot)
+        hotPagesAllocated_.inc();
+    return active * pagesPerRow_ + slot;
 }
 
 void

@@ -38,6 +38,21 @@ class BlockManager
         Region,    ///< immutable bulk-loaded data
     };
 
+    /**
+     * Append streams. The frequency-aware layout policy segregates
+     * classifier-hot pages into their own active rows so that hot data
+     * clusters physically (dense hot rows stripe round-robin across
+     * channels, and GC never has to copy hot and cold pages together).
+     * The log policy only ever touches `Cold`, which behaves exactly
+     * like the seed's single append log.
+     */
+    enum class Stream : std::uint8_t
+    {
+        Cold = 0,  ///< default log-structured append stream
+        Hot = 1,   ///< classifier-hot pages (freq layout only)
+    };
+    static constexpr unsigned kNumStreams = 2;
+
     BlockManager(const FlashParams &flash, const FtlParams &ftl);
 
     /** Pages covered by one row (pagesPerBlock x channels x dies). */
@@ -49,9 +64,11 @@ class BlockManager
      * Allocate the next physical page of the append log and record
      * that `lpn` will live there. May seal the active row and open a
      * fresh one (wear-levelled choice among free rows).
+     * @param stream Which append stream receives the page; each stream
+     *        maintains its own active row.
      * @return the allocated PPN, or invalidPpn if space is exhausted.
      */
-    Ppn allocatePage(Lpn lpn);
+    Ppn allocatePage(Lpn lpn, Stream stream = Stream::Cold);
 
     /** Mark the page holding stale data invalid (after remap). */
     void invalidate(Ppn ppn);
@@ -100,10 +117,21 @@ class BlockManager
     /** Total pages appended through allocatePage. */
     std::uint64_t pagesAllocated() const { return pagesAllocated_.value(); }
 
+    /** Pages appended to the hot stream (freq layout only). */
+    std::uint64_t hotPagesAllocated() const
+    {
+        return hotPagesAllocated_.value();
+    }
+
+    /** Stream the row was (last) opened for. Meaningful for
+     *  Active/Sealed rows written through allocatePage. */
+    Stream rowStream(std::uint64_t row) const { return rows_[row].stream; }
+
   private:
     struct RowMeta
     {
         RowState state = RowState::Free;
+        Stream stream = Stream::Cold;
         std::uint32_t validCount = 0;
         std::uint32_t eraseCount = 0;
         std::uint32_t writeCursor = 0;
@@ -111,8 +139,9 @@ class BlockManager
         std::unique_ptr<std::vector<Lpn>> lpns;
     };
 
-    /** Pick and open a fresh active row. @return false if none free. */
-    bool openNewActiveRow();
+    /** Pick and open a fresh active row for `stream`.
+     *  @return false if none free. */
+    bool openNewActiveRow(Stream stream);
 
     void ensureLpns(RowMeta &row);
 
@@ -120,13 +149,15 @@ class BlockManager
     FtlParams params_;
     std::uint64_t pagesPerRow_;
     std::vector<RowMeta> rows_;
-    std::uint64_t activeRow_ = UINT64_MAX;
+    /** Active row per append stream (Cold, Hot). */
+    std::uint64_t activeRow_[kNumStreams] = {UINT64_MAX, UINT64_MAX};
     std::uint64_t freeRows_ = 0;
     std::uint64_t regionRows_ = 0;
     /** Rows at or above this index belong to bulk regions. */
     std::uint64_t regionBoundary_;
 
     Counter pagesAllocated_;
+    Counter hotPagesAllocated_;
 };
 
 }  // namespace recssd

@@ -1,0 +1,94 @@
+#include "src/ftl/freq_tracker.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+FreqTracker::FreqTracker(const LayoutParams &params) : params_(params)
+{
+    recssd_assert(params_.promoteThreshold > params_.demoteThreshold,
+                  "hysteresis band requires promote > demote threshold");
+    recssd_assert(params_.counterCap >= params_.promoteThreshold,
+                  "counter cap below the promote threshold");
+    recssd_assert(params_.decayInterval > 0, "decay interval must be > 0");
+}
+
+FreqTracker::Event
+FreqTracker::record(Lpn lpn, std::uint32_t weight)
+{
+    accesses_ += weight;
+    sinceSweep_ += weight;
+    Event ev = Event::None;
+    std::uint32_t &c = counts_[lpn];
+    c = std::min(c + weight, params_.counterCap);
+    if (c >= params_.promoteThreshold && !hot_.contains(lpn)) {
+        hot_.insert(lpn);
+        ev = Event::Promoted;
+    }
+    while (sinceSweep_ >= params_.decayInterval) {
+        sinceSweep_ -= params_.decayInterval;
+        decaySweep();
+    }
+    return ev;
+}
+
+std::uint32_t
+FreqTracker::count(Lpn lpn) const
+{
+    auto it = counts_.find(lpn);
+    return it != counts_.end() ? it->second : 0;
+}
+
+void
+FreqTracker::decaySweep()
+{
+    ++sweeps_;
+    // Halve-and-prune is an order-independent fold; demotions and
+    // maturities are collected here and sorted before anyone
+    // consumes them.
+    // sim-lint: allow(R3) order-independent halve/prune; outputs sorted
+    for (auto it = counts_.begin(); it != counts_.end();) {
+        it->second /= 2;
+        bool was_hot = hot_.contains(it->first);
+        if (was_hot && it->second < params_.demoteThreshold) {
+            hot_.erase(it->first);
+            mature_.erase(it->first);
+            demoted_.push_back(it->first);
+            was_hot = false;
+        } else if (was_hot && it->second >= params_.promoteThreshold &&
+                   !mature_.contains(it->first)) {
+            // Still above the promote bar after halving: the page is
+            // frequency-stable, not a recency blip — worth the flash
+            // copy into a hot-clustered row.
+            mature_.insert(it->first);
+            matured_.push_back(it->first);
+        }
+        if (it->second == 0 && !was_hot)
+            it = counts_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::vector<Lpn>
+FreqTracker::takeDemotions()
+{
+    std::vector<Lpn> out = std::move(demoted_);
+    demoted_.clear();
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Lpn>
+FreqTracker::takeMaturities()
+{
+    std::vector<Lpn> out = std::move(matured_);
+    matured_.clear();
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace recssd

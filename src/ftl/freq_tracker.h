@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Decayed per-page access-frequency tracking with hysteresis.
+ *
+ * The tracker feeds the frequency-aware layout policy: every logical
+ * page read (host path and NDP SLS path alike) bumps a saturating
+ * counter, and every `decayInterval` accesses a sweep halves all
+ * counters, yielding an exponentially decayed frequency estimate.
+ * Accesses carry a weight: the NDP SLS path coalesces every embedding
+ * row gathered from a page into one flash read, so it records the
+ * page once with weight = rows gathered — the counter tracks row
+ * access frequency, not (coalesced) flash-read frequency. A
+ * page is promoted to the hot class when its counter reaches
+ * `promoteThreshold` and demoted only when decay drags it below
+ * `demoteThreshold` — the gap is a hysteresis band, so a page whose
+ * frequency sits exactly on the promote boundary never flaps.
+ *
+ * Hot pages split into two levels. *Promotion* (counter crosses
+ * `promoteThreshold`) makes a page eligible for a free DRAM pin on
+ * its next flash read. *Maturity* — still at or above the promote
+ * threshold after a decay sweep halves it — marks the page
+ * frequency-stable and queues the (expensive) hot-cluster flash
+ * migration; recency churn promotes but rarely matures.
+ *
+ * Determinism: state is a pure function of the access sequence. The
+ * decay sweep folds over a hash map (order-independent: halve +
+ * erase-zero), and demotions/maturities are handed out sorted by LPN
+ * so every consumer sees a reproducible order.
+ */
+
+#ifndef RECSSD_FTL_FREQ_TRACKER_H
+#define RECSSD_FTL_FREQ_TRACKER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/ftl/layout_params.h"
+
+namespace recssd
+{
+
+class FreqTracker
+{
+  public:
+    /** What one recorded access did to the page's classification. */
+    enum class Event : std::uint8_t
+    {
+        None,      ///< counter moved, class unchanged
+        Promoted,  ///< page just crossed into the hot class
+    };
+
+    explicit FreqTracker(const LayoutParams &params);
+
+    /**
+     * Record `weight` row accesses to `lpn` (a coalesced gather of N
+     * rows from one page records once with weight N). May trigger
+     * decay sweeps.
+     */
+    Event record(Lpn lpn, std::uint32_t weight = 1);
+
+    /** Current (decayed, saturating) counter value. */
+    std::uint32_t count(Lpn lpn) const;
+
+    /** True while the page is classified hot. */
+    bool isHot(Lpn lpn) const { return hot_.contains(lpn); }
+
+    /** True once the page proved frequency-stable across a sweep. */
+    bool isMature(Lpn lpn) const { return mature_.contains(lpn); }
+
+    /**
+     * Pages demoted by decay sweeps since the last call, sorted by
+     * LPN (deterministic consumption order). Clears the pending list.
+     */
+    std::vector<Lpn> takeDemotions();
+
+    /**
+     * Pages that newly matured (stayed >= promoteThreshold across a
+     * decay sweep) since the last call, sorted by LPN. Clears the
+     * pending list. Demotion clears maturity, so a page that cools
+     * and re-heats matures (and migrates) again.
+     */
+    std::vector<Lpn> takeMaturities();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t decaySweeps() const { return sweeps_; }
+    std::size_t hotPages() const { return hot_.size(); }
+    std::size_t trackedPages() const { return counts_.size(); }
+
+  private:
+    /** Halve every counter; demote hot pages that fell below the band. */
+    void decaySweep();
+
+    LayoutParams params_;
+    std::unordered_map<Lpn, std::uint32_t> counts_;
+    std::unordered_set<Lpn> hot_;     // membership only, never iterated
+    std::unordered_set<Lpn> mature_;  // membership only, never iterated
+    std::vector<Lpn> demoted_;  ///< pending, sorted at takeDemotions
+    std::vector<Lpn> matured_;  ///< pending, sorted at takeMaturities
+    std::uint64_t accesses_ = 0;
+    std::uint64_t sinceSweep_ = 0;  ///< weighted accesses since last sweep
+    std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_FREQ_TRACKER_H

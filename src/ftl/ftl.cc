@@ -47,9 +47,14 @@ Ftl::Ftl(EventQueue &eq, const FtlParams &params, FlashArray &flash,
       cache_(params.pageCachePages, params.pageCacheWays),
       cpuTrackName_(track_prefix + "ftl.cpu"),
       gcTrackName_(track_prefix + "ftl.gc"),
+      layoutTrackName_(track_prefix + "ftl.layout"),
       cpu_(eq, cpuTrackName_),
       audit_(auditEnabled())
 {
+    if (params_.layout.policy == LayoutPolicy::Freq) {
+        layout_ = std::make_unique<LayoutManager>(params_.layout);
+        layout_->setMigrationKick([this]() { maybeStartMigration(); });
+    }
 }
 
 void
@@ -60,9 +65,23 @@ Ftl::hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id)
     cpu_.acquire(params_.readCmdCpu, [this, lpn, span, trace_id,
                                       done = std::move(done)]() {
         endSpan(eq_, span);
+        if (layout_) {
+            layout_->onAccess(lpn);
+            Ppn pinned;
+            if (layout_->tier().lookup(lpn, pinned)) {
+                // Pinned in the hot-row DRAM tier: served without
+                // probing the page cache, so hot-tier hits and
+                // page-cache hits/misses stay disjoint counts.
+                done(PageView(flash_.store(), pinned));
+                return;
+            }
+        }
         Ppn cached;
         if (cache_.lookup(lpn, cached)) {
-            // Served straight from controller DRAM.
+            // Served straight from controller DRAM. A hot page gets
+            // its tier pin here for free, same as on a flash read.
+            if (layout_ && layout_->isHot(lpn))
+                layout_->pinFromRead(lpn, cached);
             done(PageView(flash_.store(), cached));
             return;
         }
@@ -77,6 +96,14 @@ Ftl::hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id)
             ppn,
             [this, lpn, ppn, done = std::move(done)](const PageView &view) {
                 cache_.insert(lpn, ppn);
+                // Free DRAM pin: the page sits in the controller
+                // buffer at read-DMA completion anyway. Re-check the
+                // mapping — a write or GC move while the read was in
+                // flight makes this PPN stale.
+                if (layout_ && layout_->isHot(lpn) &&
+                    map_.lookup(lpn) == ppn) {
+                    layout_->pinFromRead(lpn, ppn);
+                }
                 done(view);
             },
             trace_id);
@@ -99,16 +126,23 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
                                        done = std::move(done)]() mutable {
         endSpan(eq_, span);
         Ppn old = map_.lookup(lpn);
-        Ppn ppn = blocks_.allocatePage(lpn);
+        BlockManager::Stream stream = layout_ && layout_->isHot(lpn)
+                                          ? BlockManager::Stream::Hot
+                                          : BlockManager::Stream::Cold;
+        Ppn ppn = blocks_.allocatePage(lpn, stream);
         recssd_assert(ppn != invalidPpn, "drive out of space");
         map_.set(lpn, ppn);
         if (old != invalidPpn)
             blocks_.invalidate(old);
         cache_.invalidate(lpn);
+        if (layout_)
+            layout_->onDataInvalidated(lpn);
         flash_.writePage(ppn, *payload,
                          [this, lpn, ppn, payload,
                           done = std::move(done)]() {
                              cache_.insert(lpn, ppn);
+                             if (layout_)
+                                 layout_->onRewrite(lpn, ppn);
                              if (done)
                                  done();
                              maybeStartGc();
@@ -136,6 +170,8 @@ Ftl::hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id)
             blocks_.invalidate(old);
         }
         cache_.invalidate(lpn);
+        if (layout_)
+            layout_->onDataInvalidated(lpn);
         if (done)
             done();
         maybeStartGc();
@@ -274,12 +310,20 @@ Ftl::runGcPass()
                 if (map_.lookup(lpn) == old_ppn) {
                     std::vector<std::byte> buf(flash_.params().pageSize);
                     view.copyOut(0, buf);
-                    Ppn fresh = blocks_.allocatePage(lpn);
+                    // Re-pack by hotness: GC folds cold rows back into
+                    // the cold stream and keeps hot pages clustered.
+                    BlockManager::Stream stream =
+                        layout_ && layout_->isHot(lpn)
+                            ? BlockManager::Stream::Hot
+                            : BlockManager::Stream::Cold;
+                    Ppn fresh = blocks_.allocatePage(lpn, stream);
                     recssd_assert(fresh != invalidPpn,
                                   "GC found no destination space");
                     map_.set(lpn, fresh);
                     blocks_.invalidate(old_ppn);
                     cache_.invalidate(lpn);
+                    if (layout_)
+                        layout_->onPhysicalMove(lpn, fresh);
                     gcPagesMigrated_.inc();
                     flash_.writePage(fresh, buf, [remaining, finish_row]() {
                         if (--*remaining == 0)
@@ -291,6 +335,85 @@ Ftl::runGcPass()
             });
         });
     }
+}
+
+void
+Ftl::maybeStartMigration()
+{
+    if (!layout_ || migrActive_)
+        return;
+    while (true) {
+        Lpn lpn = layout_->popPendingMigration();
+        if (lpn == invalidLpn)
+            return;
+        Ppn old = map_.lookup(lpn);
+        if (old == invalidPpn)
+            continue;  // trimmed while queued
+        std::uint64_t row = blocks_.rowOf(old);
+        if (blocks_.rowState(row) != BlockManager::RowState::Region &&
+            blocks_.rowStream(row) == BlockManager::Stream::Hot) {
+            // Already physically clustered (e.g. rewritten through the
+            // hot stream, or relocated there by GC, while queued): pin
+            // without copying.
+            layout_->tier().insert(lpn, old);
+            continue;
+        }
+        migrActive_ = true;
+        runMigration(lpn, old);
+        return;
+    }
+}
+
+void
+Ftl::runMigration(Lpn lpn, Ppn old_ppn)
+{
+    auto finish = [this]() {
+        migrActive_ = false;
+        maybeStartMigration();
+    };
+    flash_.readPage(old_ppn, [this, lpn, old_ppn,
+                              finish](const PageView &view) {
+        SpanId span = invalidSpan;
+        if (Tracer *tracer = tracerOf(eq_)) {
+            span = tracer->begin(tracer->track(layoutTrackName_),
+                                 "hot_migrate", Phase::FtlCpu);
+        }
+        cpu_.acquire(params_.layout.migratePerPageCpu,
+                     [this, lpn, old_ppn, view, span, finish]() {
+            endSpan(eq_, span);
+            // The page may have been rewritten, trimmed or demoted
+            // while the read was in flight; migrating then would
+            // clobber newer state or undo a demotion.
+            if (map_.lookup(lpn) != old_ppn || !layout_->isHot(lpn)) {
+                finish();
+                return;
+            }
+            std::vector<std::byte> buf(flash_.params().pageSize);
+            view.copyOut(0, buf);
+            Ppn fresh = blocks_.allocatePage(lpn,
+                                             BlockManager::Stream::Hot);
+            if (fresh == invalidPpn) {
+                // Space exhausted: leave the page where it is. It can
+                // still be pinned on a later rewrite.
+                finish();
+                return;
+            }
+            map_.set(lpn, fresh);
+            blocks_.invalidate(old_ppn);
+            cache_.invalidate(lpn);
+            // Any read-time pin still references old_ppn, which GC
+            // may now erase; drop it and re-pin at the fresh PPN once
+            // the copy lands.
+            layout_->onDataInvalidated(lpn);
+            flash_.writePage(fresh, buf, [this, lpn, fresh, finish]() {
+                layout_->onMigrated(lpn, fresh);
+                if (audit_)
+                    auditCheckMapping();
+                maybeStartGc();
+                finish();
+            });
+        });
+    });
 }
 
 }  // namespace recssd

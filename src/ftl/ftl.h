@@ -16,6 +16,7 @@
 #define RECSSD_FTL_FTL_H
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -25,6 +26,7 @@
 #include "src/flash/flash_array.h"
 #include "src/ftl/block_manager.h"
 #include "src/ftl/ftl_params.h"
+#include "src/ftl/layout_manager.h"
 #include "src/ftl/mapping_table.h"
 #include "src/ftl/page_cache.h"
 
@@ -117,6 +119,14 @@ class Ftl
     const FtlParams &params() const { return params_; }
     EventQueue &eventQueue() { return eq_; }
 
+    /**
+     * The frequency-aware layout subsystem, or nullptr under the
+     * default `Log` policy (which then has zero footprint: no stats,
+     * no extra branches that change timing).
+     */
+    LayoutManager *layout() { return layout_.get(); }
+    const LayoutManager *layout() const { return layout_.get(); }
+
     /** @{ Stats. */
     std::uint64_t hostReads() const { return hostReads_.value(); }
     std::uint64_t hostWrites() const { return hostWrites_.value(); }
@@ -134,6 +144,16 @@ class Ftl
     void runGcPass();
 
     /**
+     * Drain the layout manager's promotion queue: start the next
+     * hot-cluster migration if none is in flight. Pages already
+     * resident in a hot-stream row are pinned without a copy.
+     */
+    void maybeStartMigration();
+
+    /** Copy one promoted page into the hot append stream. */
+    void runMigration(Lpn lpn, Ppn old_ppn);
+
+    /**
      * RECSSD_AUDIT: verify the L2P overlay and the per-row valid-page
      * bookkeeping still form a bijection (run after every GC erase).
      */
@@ -147,9 +167,12 @@ class Ftl
     PageCache cache_;
     std::string cpuTrackName_;
     std::string gcTrackName_;
+    std::string layoutTrackName_;
     SerialResource cpu_;
     std::function<void(Lpn)> writeObserver_;
+    std::unique_ptr<LayoutManager> layout_;  ///< null under Log policy
     bool gcActive_ = false;
+    bool migrActive_ = false;  ///< a hot-cluster migration is in flight
     bool audit_;  ///< RECSSD_AUDIT cached at construction
 
     Counter hostReads_;

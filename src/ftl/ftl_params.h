@@ -13,6 +13,7 @@
 #define RECSSD_FTL_FTL_PARAMS_H
 
 #include "src/common/types.h"
+#include "src/ftl/layout_params.h"
 
 namespace recssd
 {
@@ -45,6 +46,13 @@ struct FtlParams
      * already prefers the least-erased free row).
      */
     unsigned wearLevelThreshold = 2;
+
+    /**
+     * Data-layout policy (`src/ftl/layout_params.h`). The default
+     * `Log` policy leaves every artifact byte-identical to a build
+     * without the layout subsystem.
+     */
+    LayoutParams layout;
 };
 
 }  // namespace recssd

@@ -1,0 +1,73 @@
+#include "src/ftl/layout_manager.h"
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+LayoutManager::LayoutManager(const LayoutParams &params)
+    : params_(params), tracker_(params), tier_(params.hotTierPages)
+{
+}
+
+void
+LayoutManager::onAccess(Lpn lpn, std::uint32_t weight)
+{
+    FreqTracker::Event ev = tracker_.record(lpn, weight);
+    if (ev == FreqTracker::Event::Promoted)
+        promotions_.inc();
+    // Decay sweeps fire inside record(); drain their outputs.
+    // Demoted pages lose their DRAM pin immediately (the flash copy
+    // is re-packed cold by the next GC pass over its row); matured
+    // pages queue for the hot-cluster flash migration.
+    for (Lpn demoted : tracker_.takeDemotions()) {
+        demotions_.inc();
+        tier_.invalidate(demoted);
+    }
+    bool queued = false;
+    for (Lpn matured : tracker_.takeMaturities()) {
+        pending_.push_back(matured);
+        queued = true;
+    }
+    if (queued && kick_)
+        kick_();
+}
+
+void
+LayoutManager::pinFromRead(Lpn lpn, Ppn ppn)
+{
+    if (tier_.contains(lpn))
+        return;
+    if (tier_.insert(lpn, ppn))
+        readPins_.inc();
+}
+
+Lpn
+LayoutManager::popPendingMigration()
+{
+    while (!pending_.empty()) {
+        Lpn lpn = pending_.front();
+        pending_.pop_front();
+        // A decay sweep may have demoted the page while it queued;
+        // migrating it would undo the demotion, so skip.
+        if (tracker_.isHot(lpn))
+            return lpn;
+    }
+    return invalidLpn;
+}
+
+void
+LayoutManager::onMigrated(Lpn lpn, Ppn ppn)
+{
+    migrated_.inc();
+    tier_.insert(lpn, ppn);
+}
+
+void
+LayoutManager::onRewrite(Lpn lpn, Ppn ppn)
+{
+    if (tracker_.isHot(lpn))
+        tier_.insert(lpn, ppn);
+}
+
+}  // namespace recssd

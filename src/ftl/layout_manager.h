@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The frequency-aware layout subsystem's control plane.
+ *
+ * Owns the access-frequency tracker and the hot-row DRAM tier, and
+ * turns classifier events into layout actions:
+ *
+ *  - promotion  -> the page is pinned into the hot tier for free on
+ *    its next flash read (the bytes are already in the controller's
+ *    buffer when the read DMA completes);
+ *  - maturity (stable across a decay sweep) -> enqueue a hot-cluster
+ *    migration (the Ftl drains the queue one page at a time on the
+ *    firmware core, copying the page into a dedicated hot superblock
+ *    row whose append order stripes round-robin across channels) and
+ *    pin the page once the copy lands;
+ *  - demotion   -> unpin from the tier; the physical copy is re-packed
+ *    to a cold row lazily by the next GC pass over its row;
+ *  - overwrite/trim -> unpin (the pinned PPN went stale), re-pin on
+ *    write completion if the page is still classified hot;
+ *  - GC move    -> refresh the pinned PPN.
+ *
+ * Built only under `LayoutPolicy::Freq`; a `Log` system never
+ * constructs one, so the seed path stays byte-identical.
+ */
+
+#ifndef RECSSD_FTL_LAYOUT_MANAGER_H
+#define RECSSD_FTL_LAYOUT_MANAGER_H
+
+#include <deque>
+#include <functional>
+
+#include "src/cache/hot_row_tier.h"
+#include "src/common/stats.h"
+#include "src/ftl/freq_tracker.h"
+#include "src/ftl/layout_params.h"
+
+namespace recssd
+{
+
+class LayoutManager
+{
+  public:
+    explicit LayoutManager(const LayoutParams &params);
+
+    /** The Ftl installs its migration pump here (called on maturity). */
+    void setMigrationKick(std::function<void()> kick)
+    {
+        kick_ = std::move(kick);
+    }
+
+    /**
+     * Record a logical-page access (host read or NDP SLS page) of
+     * `weight` rows — a coalesced SLS gather records the page once
+     * with weight = rows gathered from it. Handles any
+     * promotion/demotion the access triggers.
+     */
+    void onAccess(Lpn lpn, std::uint32_t weight = 1);
+
+    /** The hot-row DRAM tier, consulted before any flash read. */
+    HotRowTier &tier() { return tier_; }
+    const HotRowTier &tier() const { return tier_; }
+
+    const FreqTracker &tracker() const { return tracker_; }
+
+    /** True while the page is classified hot. */
+    bool isHot(Lpn lpn) const { return tracker_.isHot(lpn); }
+
+    /** Next page awaiting hot-cluster migration, or invalidLpn. */
+    Lpn popPendingMigration();
+
+    bool hasPendingMigrations() const { return !pending_.empty(); }
+
+    /**
+     * A flash read of a hot-but-unpinned `lpn` completed at `ppn`:
+     * pin it for free (the page is in the controller buffer anyway).
+     */
+    void pinFromRead(Lpn lpn, Ppn ppn);
+
+    /** A hot-cluster migration landed `lpn` at `ppn`: pin it. */
+    void onMigrated(Lpn lpn, Ppn ppn);
+
+    /** GC moved the live copy of `lpn` to `ppn`. */
+    void onPhysicalMove(Lpn lpn, Ppn ppn) { tier_.update(lpn, ppn); }
+
+    /** Host write/trim made any pinned copy of `lpn` stale. */
+    void onDataInvalidated(Lpn lpn) { tier_.invalidate(lpn); }
+
+    /** A host write of `lpn` completed at `ppn`: re-pin if still hot. */
+    void onRewrite(Lpn lpn, Ppn ppn);
+
+    const LayoutParams &params() const { return params_; }
+
+    /** @{ Stats. */
+    std::uint64_t promotions() const { return promotions_.value(); }
+    std::uint64_t demotions() const { return demotions_.value(); }
+    std::uint64_t migratedPages() const { return migrated_.value(); }
+    std::uint64_t readPins() const { return readPins_.value(); }
+    /** @} */
+
+  private:
+    LayoutParams params_;
+    FreqTracker tracker_;
+    HotRowTier tier_;
+    std::deque<Lpn> pending_;  ///< maturity-ordered migration queue
+    std::function<void()> kick_;
+
+    Counter promotions_;
+    Counter demotions_;
+    Counter migrated_;
+    Counter readPins_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_LAYOUT_MANAGER_H

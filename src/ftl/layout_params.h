@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Frequency-aware embedding layout configuration.
+ *
+ * RecFlash-style data mapping (PAPERS.md): the FTL tracks per-page
+ * access frequency with decayed counters, clusters hot pages into
+ * dedicated hot superblock rows (whose append order stripes
+ * round-robin across channels/dies by PPN construction), pins hot
+ * pages in a small controller-DRAM hot tier consulted before any
+ * flash read, and re-packs cold pages out of hot rows during GC.
+ *
+ * The default policy is `Log`: the seed's pure log-structured
+ * placement, with every structure below unbuilt. A `Log` run is
+ * tick-for-tick and artifact-byte-identical to a build without this
+ * subsystem (locked by tests/test_layout_differential.cc).
+ */
+
+#ifndef RECSSD_FTL_LAYOUT_PARAMS_H
+#define RECSSD_FTL_LAYOUT_PARAMS_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** How the FTL places embedding pages on flash. */
+enum class LayoutPolicy : std::uint8_t
+{
+    Log,   ///< seed behaviour: append wherever the log head lands
+    Freq,  ///< frequency-aware hot/cold clustering + hot DRAM tier
+};
+
+struct LayoutParams
+{
+    LayoutPolicy policy = LayoutPolicy::Log;
+
+    /** Hot-row DRAM tier capacity, in pages (16KB each by default). */
+    unsigned hotTierPages = 1024;
+
+    /**
+     * Decayed-counter classifier with hysteresis: a page becomes hot
+     * when its counter reaches `promoteThreshold`, and is demoted only
+     * when decay drags it below `demoteThreshold`. The gap between the
+     * two is the hysteresis band — a page oscillating around the
+     * promote boundary never flaps.
+     */
+    std::uint32_t promoteThreshold = 4;
+    std::uint32_t demoteThreshold = 1;
+
+    /** Counters saturate here (bounds decay time for former-hot rows). */
+    std::uint32_t counterCap = 64;
+
+    /**
+     * Row accesses between decay sweeps; each sweep halves every
+     * counter, so frequency estimates are exponentially decayed with a
+     * half-life of `decayInterval` accesses. Promotion (a DRAM pin on
+     * the next flash read) reacts within a window; hot-cluster flash
+     * migration additionally requires the page to stay at or above the
+     * promote threshold across a sweep, so only frequency-stable pages
+     * pay the copy — a recency-churned working set (the K traces)
+     * stays DRAM-pinned only.
+     */
+    std::uint64_t decayInterval = 16384;
+
+    /** Firmware cost per page moved by a hot-cluster migration. */
+    Tick migratePerPageCpu = 6 * usec;
+};
+
+/** Stable short name used in logs, stats and bench tables. */
+inline const char *
+layoutPolicyName(LayoutPolicy p)
+{
+    return p == LayoutPolicy::Freq ? "freq" : "log";
+}
+
+}  // namespace recssd
+
+#endif  // RECSSD_FTL_LAYOUT_PARAMS_H

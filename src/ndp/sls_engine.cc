@@ -183,11 +183,35 @@ SlsEngine::pump()
         entries_with_work = rrOrder_.size();
 
         PageWork work = entry->pages[entry->nextPage++];
+        if (LayoutManager *layout = ftl_.layout()) {
+            // NDP SLS page touches feed the same frequency tracker as
+            // host reads — embedding gathers are what make rows hot.
+            // The gather coalesces every row wanted from this page
+            // into one flash read, so weight the access by row count.
+            layout->onAccess(
+                work.lpn,
+                static_cast<std::uint32_t>(work.pairIdx.size()));
+            Ppn pinned;
+            if (layout->tier().lookup(work.lpn, pinned)) {
+                // Served from the hot-row DRAM tier; counted apart
+                // from page-cache hits (disjoint accounting).
+                hotTierHits_.inc();
+                PageView view(ftl_.flash().store(), pinned);
+                translate(entry, std::move(work), &view);
+                continue;
+            }
+        }
         Ppn cached;
         if (ftl_.cacheLookup(work.lpn, cached)) {
             // Step 3b: the page already sits in the FTL page cache;
-            // process it directly without a flash access.
+            // process it directly without a flash access. A hot page
+            // gets its tier pin here for free, same as on a flash
+            // read.
             pageCacheHits_.inc();
+            if (LayoutManager *layout = ftl_.layout()) {
+                if (layout->isHot(work.lpn))
+                    layout->pinFromRead(work.lpn, cached);
+            }
             PageView view(ftl_.flash().store(), cached);
             translate(entry, std::move(work), &view);
             continue;
@@ -199,9 +223,18 @@ SlsEngine::pump()
         flashPages_.inc();
         ftl_.readPhysical(
             ppn,
-            [this, entry, work = std::move(work)](
+            [this, entry, ppn, work = std::move(work)](
                 const PageView &view) mutable {
                 --outstandingFlash_;
+                if (LayoutManager *layout = ftl_.layout()) {
+                    // Free DRAM pin for a hot page: its bytes are in
+                    // the controller buffer at read-DMA completion.
+                    // Re-check the mapping — a write or GC move while
+                    // the read was in flight makes this PPN stale.
+                    if (layout->isHot(work.lpn) &&
+                        ftl_.translate(work.lpn) == ppn)
+                        layout->pinFromRead(work.lpn, ppn);
+                }
                 translate(entry, std::move(work), &view);
                 pump();
             },

@@ -110,6 +110,8 @@ class SlsEngine : public SlsHandler
     std::uint64_t requests() const { return requests_.value(); }
     std::uint64_t flashPagesRead() const { return flashPages_.value(); }
     std::uint64_t pageCacheHits() const { return pageCacheHits_.value(); }
+    /** SLS pages served from the hot-row DRAM tier (freq layout). */
+    std::uint64_t hotTierHits() const { return hotTierHits_.value(); }
     std::uint64_t embedCacheHits() const
     {
         return cache_ ? cache_->hits() : 0;
@@ -190,6 +192,7 @@ class SlsEngine : public SlsHandler
     Counter requests_;
     Counter flashPages_;
     Counter pageCacheHits_;
+    Counter hotTierHits_;
 };
 
 }  // namespace recssd

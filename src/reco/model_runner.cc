@@ -432,10 +432,20 @@ ModelRunner::measure(unsigned batch_size, unsigned warmup_batches,
     if (partition_)
         partition_->resetStats();
     std::uint64_t flash_before = 0;
+    std::uint64_t pc_hits_before = 0;
+    std::uint64_t pc_misses_before = 0;
+    std::uint64_t tier_hits_before = 0;
+    std::uint64_t tier_misses_before = 0;
     for (unsigned d = 0; d < sys_.numSsds(); ++d) {
         if (auto *cache = sys_.ssd(d).slsEngine().embeddingCache())
             cache->resetStats();
         flash_before += sys_.ssd(d).flash().pageReads();
+        pc_hits_before += sys_.ssd(d).ftl().pageCache().hits();
+        pc_misses_before += sys_.ssd(d).ftl().pageCache().misses();
+        if (const LayoutManager *lay = sys_.ssd(d).ftl().layout()) {
+            tier_hits_before += lay->tier().hits();
+            tier_misses_before += lay->tier().misses();
+        }
     }
 
     RunStats stats;
@@ -459,16 +469,38 @@ ModelRunner::measure(unsigned batch_size, unsigned warmup_batches,
     std::uint64_t flash_after = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_total = 0;
+    std::uint64_t pc_hits = 0;
+    std::uint64_t pc_misses = 0;
+    std::uint64_t tier_hits = 0;
+    std::uint64_t tier_misses = 0;
     for (unsigned d = 0; d < sys_.numSsds(); ++d) {
         flash_after += sys_.ssd(d).flash().pageReads();
         if (auto *cache = sys_.ssd(d).slsEngine().embeddingCache()) {
             cache_hits += cache->hits();
             cache_total += cache->hits() + cache->misses();
         }
+        pc_hits += sys_.ssd(d).ftl().pageCache().hits();
+        pc_misses += sys_.ssd(d).ftl().pageCache().misses();
+        if (const LayoutManager *lay = sys_.ssd(d).ftl().layout()) {
+            tier_hits += lay->tier().hits();
+            tier_misses += lay->tier().misses();
+        }
     }
     if (cache_total > 0) {
         stats.ssdEmbedCacheHitRate =
             static_cast<double>(cache_hits) / cache_total;
+    }
+    pc_hits -= pc_hits_before;
+    pc_misses -= pc_misses_before;
+    tier_hits -= tier_hits_before;
+    tier_misses -= tier_misses_before;
+    if (pc_hits + pc_misses > 0) {
+        stats.ssdPageCacheHitRate =
+            static_cast<double>(pc_hits) / (pc_hits + pc_misses);
+    }
+    if (tier_hits + tier_misses > 0) {
+        stats.hotTierHitRate =
+            static_cast<double>(tier_hits) / (tier_hits + tier_misses);
     }
     stats.flashPageReads = flash_after - flash_before;
     return stats;

@@ -87,6 +87,13 @@ struct RunStats
     double hostCacheHitRate = 0.0;
     double partitionHitRate = 0.0;
     double ssdEmbedCacheHitRate = 0.0;
+    /** In-SSD page-cache hit rate over the measured window (delta of
+     *  hits/misses, so warmup traffic is excluded). */
+    double ssdPageCacheHitRate = 0.0;
+    /** Hot-row DRAM tier hit rate over the measured window; 0 unless
+     *  the frequency-aware layout policy is active. Disjoint from the
+     *  page-cache rate: a hot-tier hit never probes the page cache. */
+    double hotTierHitRate = 0.0;
     std::uint64_t flashPageReads = 0;
 };
 

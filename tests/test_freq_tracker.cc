@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the decayed access-frequency tracker: decay math,
+ * counter saturation, promote/demote hysteresis (no flapping on a
+ * boundary-frequency row) and determinism across identical runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/ftl/freq_tracker.h"
+
+namespace recssd
+{
+namespace
+{
+
+LayoutParams
+params(std::uint32_t promote, std::uint32_t demote, std::uint32_t cap,
+       std::uint64_t decay_interval)
+{
+    LayoutParams p;
+    p.policy = LayoutPolicy::Freq;
+    p.promoteThreshold = promote;
+    p.demoteThreshold = demote;
+    p.counterCap = cap;
+    p.decayInterval = decay_interval;
+    return p;
+}
+
+TEST(FreqTracker, DecaySweepHalvesEveryCounter)
+{
+    FreqTracker t(params(4, 1, 64, 8));
+    // 6 accesses to page 7, 2 to page 9 => sweep fires on the 8th
+    // access and halves both: 6 -> 3, 2 -> 1.
+    for (int i = 0; i < 6; ++i)
+        t.record(7);
+    t.record(9);
+    t.record(9);
+    EXPECT_EQ(t.decaySweeps(), 1u);
+    EXPECT_EQ(t.count(7), 3u);
+    EXPECT_EQ(t.count(9), 1u);
+    EXPECT_EQ(t.accesses(), 8u);
+}
+
+TEST(FreqTracker, DecayPrunesColdZeroCounters)
+{
+    FreqTracker t(params(4, 1, 64, 4));
+    t.record(1);  // counter 1
+    t.record(2);
+    t.record(2);
+    t.record(2);  // sweep: page 1 -> 0 (pruned), page 2: 3 -> 1
+    EXPECT_EQ(t.decaySweeps(), 1u);
+    EXPECT_EQ(t.count(1), 0u);
+    EXPECT_EQ(t.trackedPages(), 1u);
+}
+
+TEST(FreqTracker, WeightedRecordCountsRowAccesses)
+{
+    // A coalesced SLS gather of N rows from one page records once
+    // with weight N: promotion fires immediately when the weight
+    // alone crosses the threshold, and the weighted accesses drive
+    // decay sweeps the same as N individual records would.
+    FreqTracker t(params(4, 1, 64, 8));
+    EXPECT_EQ(t.record(3, 6), FreqTracker::Event::Promoted);
+    EXPECT_EQ(t.count(3), 6u);
+    EXPECT_EQ(t.accesses(), 6u);
+    // Weight 10 pushes past the interval twice over: 16 weighted
+    // accesses = two sweeps, counter 6 + 10 -> capped path 16 is
+    // below cap 64, halved twice -> 4.
+    t.record(3, 10);
+    EXPECT_EQ(t.decaySweeps(), 2u);
+    EXPECT_EQ(t.count(3), 4u);
+    EXPECT_TRUE(t.isHot(3));
+}
+
+TEST(FreqTracker, CounterSaturatesAtCap)
+{
+    FreqTracker t(params(4, 1, 8, 1'000'000));
+    for (int i = 0; i < 100; ++i)
+        t.record(42);
+    EXPECT_EQ(t.count(42), 8u);
+    EXPECT_TRUE(t.isHot(42));
+}
+
+TEST(FreqTracker, PromotesExactlyOnceAtThreshold)
+{
+    FreqTracker t(params(4, 1, 64, 1'000'000));
+    unsigned promotions = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (t.record(5) == FreqTracker::Event::Promoted)
+            ++promotions;
+    }
+    EXPECT_EQ(promotions, 1u);
+    EXPECT_TRUE(t.isHot(5));
+    EXPECT_EQ(t.hotPages(), 1u);
+}
+
+TEST(FreqTracker, BoundaryFrequencyRowNeverFlaps)
+{
+    // A row re-accessed right at the promote boundary each interval:
+    // its counter oscillates inside the hysteresis band
+    // [demote, promote] and the class must never change after the
+    // first promotion.
+    FreqTracker t(params(4, 1, 64, 4));
+    for (int i = 0; i < 4; ++i)
+        t.record(11);  // promoted on access 4, then halved to 2
+    ASSERT_TRUE(t.isHot(11));
+
+    unsigned repromotions = 0;
+    for (int round = 0; round < 50; ++round) {
+        // Two touches + two other-page touches per interval: counter
+        // cycles 2 -> 4 -> (sweep) 2, always >= demoteThreshold.
+        for (int i = 0; i < 2; ++i) {
+            if (t.record(11) == FreqTracker::Event::Promoted)
+                ++repromotions;
+        }
+        t.record(1000 + round);
+        t.record(2000 + round);
+        EXPECT_TRUE(t.isHot(11)) << "round " << round;
+    }
+    EXPECT_EQ(repromotions, 0u) << "hysteresis band must prevent flapping";
+    EXPECT_TRUE(t.takeDemotions().empty());
+}
+
+TEST(FreqTracker, MaturityRequiresSurvivingASweep)
+{
+    // Promotion is cheap (DRAM pin on next read); maturity — which
+    // queues the expensive flash migration — requires the counter to
+    // stay at or above the promote threshold across a decay sweep.
+    FreqTracker t(params(4, 1, 64, 8));
+    for (int i = 0; i < 6; ++i)
+        t.record(5);  // promoted at 4, counter 6
+    t.record(100);
+    t.record(101);  // sweep: 6 -> 3, below promote bar
+    EXPECT_EQ(t.decaySweeps(), 1u);
+    EXPECT_TRUE(t.isHot(5)) << "still inside the hysteresis band";
+    EXPECT_FALSE(t.isMature(5)) << "a recency blip must not migrate";
+    EXPECT_TRUE(t.takeMaturities().empty());
+
+    // A genuinely hot page survives the halving and matures once.
+    t.record(5, 8);  // counter 3 + 8 = 11; sweep: 11 -> 5 >= 4
+    EXPECT_EQ(t.decaySweeps(), 2u);
+    EXPECT_TRUE(t.isMature(5));
+    auto matured = t.takeMaturities();
+    ASSERT_EQ(matured.size(), 1u);
+    EXPECT_EQ(matured[0], Lpn(5));
+    EXPECT_TRUE(t.takeMaturities().empty()) << "drained exactly once";
+
+    // Demotion clears maturity so a re-heated page migrates again.
+    Lpn other = 200;
+    while (t.isHot(5))
+        t.record(other++);
+    EXPECT_FALSE(t.isMature(5));
+}
+
+TEST(FreqTracker, IdlePageDecaysToDemotion)
+{
+    FreqTracker t(params(4, 1, 64, 4));
+    for (int i = 0; i < 4; ++i)
+        t.record(11);  // hot, counter halved to 2
+    ASSERT_TRUE(t.isHot(11));
+
+    // Only other pages from here on: 11's counter halves 2 -> 1 -> 0;
+    // it is demoted when it falls below demoteThreshold.
+    Lpn other = 100;
+    while (t.isHot(11))
+        t.record(other++);
+    auto demoted = t.takeDemotions();
+    ASSERT_EQ(demoted.size(), 1u);
+    EXPECT_EQ(demoted[0], Lpn(11));
+    EXPECT_FALSE(t.isHot(11));
+    // Demotions are drained exactly once.
+    EXPECT_TRUE(t.takeDemotions().empty());
+}
+
+TEST(FreqTracker, DemotionsComeOutSortedByLpn)
+{
+    FreqTracker t(params(2, 1, 64, 1'000'000));
+    // Promote in a scrambled order...
+    for (Lpn lpn : {97, 3, 55, 12, 80}) {
+        t.record(lpn);
+        t.record(lpn);
+    }
+    EXPECT_EQ(t.hotPages(), 5u);
+    // ...then let everything decay to zero in one artificial burst of
+    // cold traffic (interval is huge, so force sweeps via a fresh
+    // tracker with a small interval instead).
+    FreqTracker t2(params(2, 1, 64, 10));
+    for (Lpn lpn : {97, 3, 55, 12, 80}) {
+        t2.record(lpn);
+        t2.record(lpn);
+    }
+    // 10 accesses so far -> one sweep already ran (counters 2 -> 1).
+    // One more sweep drags every counter below the demote threshold.
+    for (Lpn filler = 500; filler < 510; ++filler)
+        t2.record(filler);
+    auto demoted = t2.takeDemotions();
+    ASSERT_EQ(demoted.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(demoted.begin(), demoted.end()));
+}
+
+TEST(FreqTracker, DeterministicAcrossIdenticalRuns)
+{
+    auto run = [](std::vector<Lpn> *demotions_out) {
+        FreqTracker t(params(4, 1, 32, 16));
+        Rng rng(1234);
+        std::vector<Lpn> all_demoted;
+        for (int i = 0; i < 5000; ++i) {
+            // Skewed synthetic stream: small ids dominate.
+            Lpn lpn = rng.bernoulli(0.7) ? rng.uniformInt(8)
+                                         : rng.uniformInt(4096);
+            t.record(lpn);
+            for (Lpn d : t.takeDemotions())
+                all_demoted.push_back(d);
+        }
+        *demotions_out = all_demoted;
+        return std::tuple(t.accesses(), t.decaySweeps(), t.hotPages(),
+                          t.trackedPages());
+    };
+    std::vector<Lpn> demoted_a;
+    std::vector<Lpn> demoted_b;
+    auto a = run(&demoted_a);
+    auto b = run(&demoted_b);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(demoted_a, demoted_b)
+        << "demotion order must be reproducible run-to-run";
+}
+
+}  // namespace
+}  // namespace recssd

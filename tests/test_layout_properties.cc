@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Property lockdown of the FTL/cache contract under the
+ * frequency-aware layout policy.
+ *
+ * Under randomized seeded workloads with `LayoutPolicy::Freq`:
+ *  - the L2P overlay <-> per-row valid-count bijection holds after
+ *    every hot-cluster migration and GC erase (RECSSD_AUDIT runs the
+ *    check inside the FTL at both points),
+ *  - no logical page is ever mapped to two live physical pages,
+ *  - every read returns bytes bit-equal to the same workload run
+ *    under the default log placement,
+ *  - hot-tier hits and page-cache hits/misses partition the host
+ *    reads exactly (the double-count regression test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+/** Scoped RECSSD_AUDIT=1 (components cache it at construction). */
+struct ScopedAudit
+{
+    ScopedAudit() { ::setenv("RECSSD_AUDIT", "1", 1); }
+    ~ScopedAudit() { ::unsetenv("RECSSD_AUDIT"); }
+};
+
+FtlParams
+freqParams(unsigned hot_tier_pages = 64)
+{
+    FtlParams p;
+    p.layout.policy = LayoutPolicy::Freq;
+    p.layout.hotTierPages = hot_tier_pages;
+    p.layout.promoteThreshold = 3;
+    p.layout.demoteThreshold = 1;
+    p.layout.decayInterval = 256;
+    return p;
+}
+
+/** One drive stack a test owns (tiny geometry: GC in milliseconds). */
+struct Drive
+{
+    FlashParams fp = test::tinyFlash();
+    EventQueue eq;
+    DataStore store{fp.pageSize};
+    FlashArray flash{eq, fp, store};
+    Ftl ftl;
+
+    explicit Drive(const FtlParams &params) : ftl(eq, params, flash) {}
+};
+
+/** Fill a page-sized buffer with content unique to (lpn, version). */
+std::vector<std::byte>
+pagePattern(unsigned page_size, Lpn lpn, unsigned version)
+{
+    std::vector<std::byte> buf(page_size);
+    for (unsigned i = 0; i < page_size; ++i) {
+        buf[i] = std::byte(static_cast<std::uint8_t>(
+            (lpn * 131 + version * 31 + i) & 0xff));
+    }
+    return buf;
+}
+
+/**
+ * Run a randomized skewed workload: writes that force GC, reads hot
+ * enough to drive promotions and hot-cluster migrations, occasional
+ * trims. Identical seeds produce identical command sequences, so a
+ * log-policy drive and a freq-policy drive see the same traffic.
+ */
+void
+runWorkload(Drive &d, std::uint64_t seed, unsigned ops,
+            std::vector<unsigned> *versions)
+{
+    const Lpn kUniverse = 48;
+    const Lpn kHotSet = 6;  // read-skew targets lpns [0, kHotSet)
+    Rng rng(seed);
+    versions->assign(kUniverse, 0);
+    // The read-hot set is bulk-installed into an immutable Region row,
+    // like real embedding tables: GC never re-packs region rows, so
+    // hot-cluster migration is the only mechanism that can move these
+    // pages — the property genuinely exercises runMigration. (Pages
+    // seeded via hostWrite get clustered early by the GC relocation
+    // path instead, which picks the stream from the tracker.)
+    unsigned page_size = d.fp.pageSize;
+    d.ftl.bulkInstall(0, kHotSet,
+                      [page_size](std::uint64_t page, std::size_t offset,
+                                  std::span<std::byte> out) {
+                          auto pat = pagePattern(page_size, page, 1);
+                          for (std::size_t i = 0; i < out.size(); ++i)
+                              out[i] = pat[offset + i];
+                      });
+    for (Lpn lpn = 0; lpn < kHotSet; ++lpn)
+        (*versions)[lpn] = 1;
+    for (Lpn lpn = kHotSet; lpn < kUniverse; ++lpn) {
+        (*versions)[lpn] = 1;
+        auto buf = pagePattern(d.fp.pageSize, lpn, 1);
+        d.ftl.hostWrite(lpn, buf, nullptr);
+        d.eq.run();
+    }
+    for (unsigned op = 0; op < ops; ++op) {
+        double dice = rng.uniformDouble();
+        if (dice < 0.35) {
+            // Write: skewed, and never to the read-hot region lpns — a
+            // rewrite would overlay the page into a log row, letting
+            // GC (not migration) do the clustering. GC still sees a
+            // hot/cold mix from the write skew.
+            Lpn lpn = rng.bernoulli(0.5)
+                          ? 8 + rng.uniformInt(8)
+                          : kHotSet + rng.uniformInt(kUniverse - kHotSet);
+            (*versions)[lpn] += 1;
+            auto buf = pagePattern(d.fp.pageSize, lpn, (*versions)[lpn]);
+            d.ftl.hostWrite(lpn, buf, nullptr);
+        } else if (dice < 0.95) {
+            // Read: heavily skewed so a small set crosses the promote
+            // threshold, matures and migrates.
+            Lpn lpn = rng.bernoulli(0.8) ? rng.uniformInt(kHotSet)
+                                         : rng.uniformInt(kUniverse);
+            d.ftl.hostRead(lpn, [](const PageView &) {});
+        } else {
+            Lpn lpn = rng.uniformInt(kUniverse);
+            (*versions)[lpn] = 0;
+            d.ftl.hostTrim(lpn, nullptr);
+        }
+        d.eq.run();
+    }
+}
+
+TEST(LayoutProperties, BijectionHoldsThroughMigrationsAndGc)
+{
+    // RECSSD_AUDIT makes the FTL verify the overlay<->valid-count
+    // bijection after every GC erase AND every hot-cluster migration;
+    // any violation aborts the test binary.
+    ScopedAudit audit;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+        Drive d(freqParams());
+        std::vector<unsigned> versions;
+        runWorkload(d, seed, 4000, &versions);
+
+        ASSERT_NE(d.ftl.layout(), nullptr);
+        EXPECT_GT(d.ftl.layout()->promotions(), 0u) << "seed " << seed;
+        EXPECT_GT(d.ftl.layout()->migratedPages(), 0u) << "seed " << seed;
+        EXPECT_GT(d.ftl.blocks().hotPagesAllocated(), 0u)
+            << "seed " << seed;
+        EXPECT_GT(d.ftl.gcRuns(), 0u)
+            << "workload must force GC for the property to bite";
+
+        // No logical page maps to two live physical pages: the overlay
+        // is a function Lpn -> Ppn by construction, so the dual check
+        // is that no PPN is claimed twice.
+        std::unordered_set<Ppn> seen;  // membership only, never iterated
+        d.ftl.map().forEachOverlay([&](Lpn lpn, Ppn ppn) {
+            EXPECT_TRUE(seen.insert(ppn).second)
+                << "PPN " << ppn << " live twice (second LPN " << lpn
+                << ")";
+        });
+    }
+}
+
+TEST(LayoutProperties, ReadBackBitEqualToLogPlacement)
+{
+    // The layout policy moves data around; it must never change data.
+    // Same seeded workload on a log drive and a freq drive, then every
+    // logical page must read back bit-identical.
+    ScopedAudit audit;
+    Drive log_drive{FtlParams{}};
+    Drive freq_drive{freqParams()};
+    std::vector<unsigned> versions_log;
+    std::vector<unsigned> versions_freq;
+    runWorkload(log_drive, 77, 3000, &versions_log);
+    runWorkload(freq_drive, 77, 3000, &versions_freq);
+    ASSERT_EQ(versions_log, versions_freq);
+
+    for (Lpn lpn = 0; lpn < versions_log.size(); ++lpn) {
+        std::vector<std::byte> a(log_drive.fp.pageSize);
+        std::vector<std::byte> b(freq_drive.fp.pageSize);
+        bool got_a = false;
+        bool got_b = false;
+        log_drive.ftl.hostRead(lpn, [&](const PageView &v) {
+            v.copyOut(0, a);
+            got_a = true;
+        });
+        freq_drive.ftl.hostRead(lpn, [&](const PageView &v) {
+            v.copyOut(0, b);
+            got_b = true;
+        });
+        log_drive.eq.run();
+        freq_drive.eq.run();
+        ASSERT_TRUE(got_a && got_b);
+        EXPECT_EQ(a, b) << "LPN " << lpn << " diverged under freq layout";
+        if (versions_log[lpn] > 0) {
+            EXPECT_EQ(a, pagePattern(log_drive.fp.pageSize, lpn,
+                                     versions_log[lpn]))
+                << "LPN " << lpn << " lost its last written version";
+        }
+    }
+}
+
+TEST(LayoutProperties, HotTierServesHotPagesFromDram)
+{
+    // Once a page crosses the promote threshold, the next read pins
+    // it into the DRAM tier for free (its bytes are already in the
+    // controller buffer); later reads are served from the pin with no
+    // flash access and the freshest bytes.
+    Drive d(freqParams());
+    auto buf = pagePattern(d.fp.pageSize, 5, 1);
+    d.ftl.hostWrite(5, buf, nullptr);
+    d.eq.run();
+
+    for (int i = 0; i < 8; ++i) {
+        d.ftl.hostRead(5, [](const PageView &) {});
+        d.eq.run();
+    }
+    ASSERT_NE(d.ftl.layout(), nullptr);
+    ASSERT_TRUE(d.ftl.layout()->tier().contains(5))
+        << "8 reads past promoteThreshold=3 must pin the page";
+    EXPECT_GT(d.ftl.layout()->readPins(), 0u);
+
+    std::uint64_t flash_reads_before = d.flash.pageReads();
+    std::vector<std::byte> out(d.fp.pageSize);
+    d.ftl.hostRead(5, [&](const PageView &v) { v.copyOut(0, out); });
+    d.eq.run();
+    EXPECT_EQ(d.flash.pageReads(), flash_reads_before)
+        << "a hot-tier hit must not touch flash";
+    EXPECT_EQ(out, buf);
+
+    // An overwrite unpins the stale copy and re-pins the fresh one at
+    // write completion (still classified hot).
+    auto buf2 = pagePattern(d.fp.pageSize, 5, 2);
+    d.ftl.hostWrite(5, buf2, nullptr);
+    d.eq.run();
+    ASSERT_TRUE(d.ftl.layout()->tier().contains(5));
+    d.ftl.hostRead(5, [&](const PageView &v) { v.copyOut(0, out); });
+    d.eq.run();
+    EXPECT_EQ(out, buf2) << "tier must serve the rewritten bytes";
+
+    // A trim unpins for good until re-promotion.
+    d.ftl.hostTrim(5, nullptr);
+    d.eq.run();
+    EXPECT_FALSE(d.ftl.layout()->tier().contains(5));
+}
+
+TEST(LayoutProperties, HitAccountingPartitionsHostReads)
+{
+    // The double-count regression test: every host read lands in
+    // exactly one of {hot-tier hit, page-cache hit, page-cache miss}.
+    // A hot-tier hit short-circuits before the page-cache probe, so
+    // the three counters must partition ftl.hostReads exactly.
+    for (std::uint64_t seed : {5u, 6u}) {
+        Drive d(freqParams());
+        std::vector<unsigned> versions;
+        runWorkload(d, seed, 2500, &versions);
+
+        const HotRowTier &tier = d.ftl.layout()->tier();
+        const PageCache &pc = d.ftl.pageCache();
+        EXPECT_GT(tier.hits(), 0u) << "workload must exercise the tier";
+        EXPECT_GT(pc.hits() + pc.misses(), 0u);
+        EXPECT_EQ(d.ftl.hostReads(),
+                  tier.hits() + pc.hits() + pc.misses())
+            << "seed " << seed
+            << ": hot-tier and page-cache accounting overlap or leak";
+        // Dual form: every host read probes the tier exactly once.
+        EXPECT_EQ(d.ftl.hostReads(), tier.hits() + tier.misses())
+            << "seed " << seed;
+    }
+}
+
+TEST(LayoutProperties, LogPolicyHasNoLayoutFootprint)
+{
+    // Under the default policy the subsystem must not even exist —
+    // that is what keeps the seed's stats and timing byte-identical.
+    Drive d{FtlParams{}};
+    EXPECT_EQ(d.ftl.layout(), nullptr);
+    std::vector<unsigned> versions;
+    runWorkload(d, 99, 500, &versions);
+    EXPECT_EQ(d.ftl.layout(), nullptr);
+    EXPECT_EQ(d.ftl.blocks().hotPagesAllocated(), 0u);
+}
+
+TEST(LayoutProperties, RegionPagesMigrateIntoHotRows)
+{
+    // Bulk-installed embedding pages live in immutable Region rows;
+    // a page that stays hot across a decay sweep (maturity) must be
+    // copied into a hot log row via the overlay without disturbing
+    // the region (and reads still return the synthetic content).
+    ScopedAudit audit;
+    Drive d(freqParams());
+    const std::uint64_t kPages = 8;
+    d.ftl.bulkInstall(0, kPages,
+                      [](std::uint64_t page, std::size_t offset,
+                         std::span<std::byte> out) {
+                          for (std::size_t i = 0; i < out.size(); ++i) {
+                              out[i] = std::byte(static_cast<std::uint8_t>(
+                                  (page * 7 + offset + i) & 0xff));
+                          }
+                      });
+
+    // 300 reads: promoted at read 3, pinned on the next read, matured
+    // at the decayInterval=256 sweep, then migrated off the region.
+    for (int i = 0; i < 300; ++i) {
+        d.ftl.hostRead(2, [](const PageView &) {});
+        d.eq.run();
+    }
+    ASSERT_NE(d.ftl.layout(), nullptr);
+    EXPECT_GT(d.ftl.layout()->migratedPages(), 0u);
+    EXPECT_TRUE(d.ftl.layout()->tier().contains(2));
+
+    std::vector<std::byte> out(d.fp.pageSize);
+    d.ftl.hostRead(2, [&](const PageView &v) { v.copyOut(0, out); });
+    d.eq.run();
+    std::vector<std::byte> expect(d.fp.pageSize);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        expect[i] = std::byte(static_cast<std::uint8_t>((2 * 7 + i) & 0xff));
+    EXPECT_EQ(out, expect)
+        << "migrated region page must keep its synthetic content";
+}
+
+}  // namespace
+}  // namespace recssd

@@ -25,6 +25,10 @@
  *   --num-ssds N        independent SSD devices to shard across
  *                       (default 1 = the single-device prototype)
  *   --shard-policy P    hash | range table partitioning (default hash)
+ *   --layout-policy P   log | freq data placement (default log; freq
+ *                       enables the frequency-aware hot-row layout)
+ *   --hot-tier-pages N  freq: hot-row DRAM tier capacity in pages
+ *                       (default 1024)
  *   --seed N            RNG seed (default 42)
  *   --stats             dump device counters after the run
  *   --list-models       print the zoo and exit
@@ -87,8 +91,9 @@ usage(const char *argv0)
                  "[--trace uniform|k|seq|str|zipf] [--k V] [--batch N] "
                  "[--batches N] [--warmup N] [--host-cache] [--partition] "
                  "[--ssd-cache MB] [--no-pipeline] [--all-ssd] "
-                 "[--num-ssds N] [--shard-policy hash|range] [--seed N] "
-                 "[--stats] [--list-models]\n"
+                 "[--num-ssds N] [--shard-policy hash|range] "
+                 "[--layout-policy log|freq] [--hot-tier-pages N] "
+                 "[--seed N] [--stats] [--list-models]\n"
                  "       %s --serve [--qps R] [--arrival poisson|fixed|"
                  "bursty] [--burst B] [--queries N] [--max-batch N] "
                  "[--max-wait-us N] [--max-inflight N] [--io-queues N] "
@@ -136,6 +141,8 @@ main(int argc, char **argv)
     bool all_ssd = false;
     unsigned num_ssds = 1;
     std::string shard_policy = "hash";
+    std::string layout_policy = "log";
+    unsigned hot_tier_pages = 1024;
     std::uint64_t seed = 42;
     bool dump_stats = false;
     bool serve = false;
@@ -193,6 +200,10 @@ main(int argc, char **argv)
             num_ssds = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--shard-policy")) {
             shard_policy = need_value(i);
+        } else if (!std::strcmp(arg, "--layout-policy")) {
+            layout_policy = need_value(i);
+        } else if (!std::strcmp(arg, "--hot-tier-pages")) {
+            hot_tier_pages = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--seed")) {
             seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
         } else if (!std::strcmp(arg, "--stats")) {
@@ -252,6 +263,14 @@ main(int argc, char **argv)
         cfg.shard.policy = ShardPolicy::TableHash;
     } else if (shard_policy == "range") {
         cfg.shard.policy = ShardPolicy::RowRange;
+    } else {
+        usage(argv[0]);
+    }
+    if (layout_policy == "log") {
+        cfg.ssd.ftl.layout.policy = LayoutPolicy::Log;
+    } else if (layout_policy == "freq") {
+        cfg.ssd.ftl.layout.policy = LayoutPolicy::Freq;
+        cfg.ssd.ftl.layout.hotTierPages = hot_tier_pages;
     } else {
         usage(argv[0]);
     }
@@ -478,6 +497,12 @@ main(int argc, char **argv)
     if (ssd_cache_mb)
         std::printf("SSD embed cache hit rate: %.1f%%\n",
                     stats.ssdEmbedCacheHitRate * 100);
+    if (layout_policy == "freq") {
+        std::printf("SSD page cache hit rate: %.1f%%\n",
+                    stats.ssdPageCacheHitRate * 100);
+        std::printf("hot tier hit rate: %.1f%%\n",
+                    stats.hotTierHitRate * 100);
+    }
     std::printf("flash page reads: %llu\n",
                 static_cast<unsigned long long>(stats.flashPageReads));
 
