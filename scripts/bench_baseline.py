@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Perf-regression harness: run seeded recssd_sim configs and compare
+latency / throughput / blame metrics against committed baselines.
+
+Every metric is simulated-time, so values are exact functions of the
+seed and config — identical on any host, under sanitizers, at any
+optimization level. Tolerances exist to absorb *intended* performance
+drift (an optimization PR re-baselines), not machine noise; a change
+that silently shifts p99 by more than the per-metric tolerance fails
+the gate.
+
+Usage:
+  bench_baseline.py [--sim PATH] [--config NAME ...]   compare (gate)
+  bench_baseline.py --update [--sim PATH]              re-baseline +
+                                                       refresh the
+                                                       BENCH_serve.json
+                                                       trajectory
+  bench_baseline.py --self-test                        prove the gate
+                                                       detects drift
+                                                       (no sim needed)
+
+Baseline schema (bench/baselines/<name>.json):
+  {"schema": 1, "name": ..., "args": [...],
+   "metrics": {"latency.p99_us": ..., ...},
+   "tolerances": {"default_rel": 0.05,
+                  "per_metric": {"blame.requests": 0.0, ...}}}
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DIR = os.path.join(REPO, "bench", "baselines")
+TRAJECTORY = os.path.join(REPO, "BENCH_serve.json")
+
+# Seeded configs under the gate. Loads are sustainable (the healthy
+# system is not saturated) so the tails measure the machine, not the
+# backlog. Args get --stats-json/--blame-out appended at run time.
+CONFIGS = {
+    "serve_ndp_1ssd": [
+        "--serve", "--model", "RM1", "--backend", "ndp", "--all-ssd",
+        "--queries", "40", "--qps", "5", "--seed", "13",
+    ],
+    "serve_ndp_4ssd_range": [
+        "--serve", "--model", "RM1", "--backend", "ndp", "--all-ssd",
+        "--num-ssds", "4", "--shard-policy", "range",
+        "--queries", "40", "--qps", "20", "--seed", "13",
+    ],
+}
+
+# Counted metrics are exact (a change in how many requests the blame
+# report covers is a bug, not drift); continuous metrics get the
+# default relative tolerance unless tightened here.
+EXACT_METRICS = ("blame.requests", "blame.tail_requests",
+                 "throughput.fused_batches")
+DEFAULT_REL = 0.05
+
+LATENCY_RE = re.compile(
+    r"latency: p50 ([\d.]+)us\s+p95 ([\d.]+)us\s+p99 ([\d.]+)us\s+"
+    r"p999 ([\d.]+)us\s+mean ([\d.]+)us\s+max ([\d.]+)us")
+THROUGHPUT_RE = re.compile(
+    r"throughput: ([\d.]+) qps sustained, (\d+) fused batches")
+
+
+def run_config(sim, name, args):
+    """Run one config; return its flat {metric: value} dict."""
+    with tempfile.TemporaryDirectory(prefix="recssd_bench_") as tmp:
+        blame_out = os.path.join(tmp, "blame.json")
+        argv = [sim] + args + ["--blame-out", blame_out]
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise RuntimeError("%s: sim exited %d" % (name,
+                                                      proc.returncode))
+        out = proc.stdout
+
+        lat = LATENCY_RE.search(out)
+        if not lat:
+            raise RuntimeError("%s: no latency line in sim output" % name)
+        thr = THROUGHPUT_RE.search(out)
+        if not thr:
+            raise RuntimeError("%s: no throughput line in sim output" %
+                               name)
+        with open(blame_out) as f:
+            blame = json.load(f)
+
+    metrics = {
+        "latency.p50_us": float(lat.group(1)),
+        "latency.p95_us": float(lat.group(2)),
+        "latency.p99_us": float(lat.group(3)),
+        "latency.p999_us": float(lat.group(4)),
+        "latency.mean_us": float(lat.group(5)),
+        "latency.max_us": float(lat.group(6)),
+        "throughput.qps": float(thr.group(1)),
+        "throughput.fused_batches": float(thr.group(2)),
+        "blame.requests": float(blame["requests"]),
+        "blame.tail_requests": float(blame["tail_requests"]),
+        "blame.mean_request_us": float(blame["mean_request_us"]),
+        "blame.queueing_fraction": float(blame["queueing_fraction"]),
+        "blame.tail_queueing_fraction":
+            float(blame["tail_queueing_fraction"]),
+    }
+    return metrics
+
+
+def tolerance_for(baseline, metric):
+    tols = baseline.get("tolerances", {})
+    per = tols.get("per_metric", {})
+    if metric in per:
+        return float(per[metric])
+    return float(tols.get("default_rel", DEFAULT_REL))
+
+
+def compare(baseline, measured):
+    """Return a list of (metric, base, got, drift, tol, ok) rows."""
+    rows = []
+    for metric in sorted(baseline["metrics"]):
+        base = float(baseline["metrics"][metric])
+        tol = tolerance_for(baseline, metric)
+        if metric not in measured:
+            rows.append((metric, base, None, None, tol, False))
+            continue
+        got = float(measured[metric])
+        denom = max(abs(base), 1e-9)
+        drift = abs(got - base) / denom
+        rows.append((metric, base, got, drift, tol, drift <= tol))
+    return rows
+
+
+def print_rows(name, rows):
+    print("-- %s" % name)
+    print("   %-28s %12s %12s %8s %6s  %s" %
+          ("metric", "baseline", "measured", "drift", "tol", "status"))
+    for metric, base, got, drift, tol, ok in rows:
+        if got is None:
+            print("   %-28s %12.3f %12s %8s %6.2f  MISSING" %
+                  (metric, base, "-", "-", tol))
+            continue
+        print("   %-28s %12.3f %12.3f %7.2f%% %5.0f%%  %s" %
+              (metric, base, got, drift * 100, tol * 100,
+               "ok" if ok else "REGRESSION"))
+
+
+def baseline_path(name):
+    return os.path.join(BASELINE_DIR, name + ".json")
+
+
+def make_baseline(name, args, metrics):
+    per_metric = {m: 0.0 for m in EXACT_METRICS if m in metrics}
+    return {
+        "schema": 1,
+        "name": name,
+        "args": args,
+        "metrics": metrics,
+        "tolerances": {
+            "default_rel": DEFAULT_REL,
+            "per_metric": per_metric,
+        },
+    }
+
+
+def cmd_update(sim, names):
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    trajectory = {"schema": 1, "configs": {}}
+    for name in names:
+        metrics = run_config(sim, name, CONFIGS[name])
+        baseline = make_baseline(name, CONFIGS[name], metrics)
+        with open(baseline_path(name), "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        trajectory["configs"][name] = metrics
+        print("baselined %s (%d metrics)" % (name, len(metrics)))
+    with open(TRAJECTORY, "w") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("trajectory -> %s" % os.path.relpath(TRAJECTORY, REPO))
+    return 0
+
+
+def cmd_compare(sim, names):
+    failed = False
+    for name in names:
+        path = baseline_path(name)
+        if not os.path.exists(path):
+            print("-- %s: no baseline (%s); run --update" % (name, path))
+            failed = True
+            continue
+        with open(path) as f:
+            baseline = json.load(f)
+        measured = run_config(sim, name, baseline.get("args",
+                                                      CONFIGS[name]))
+        rows = compare(baseline, measured)
+        print_rows(name, rows)
+        if not all(ok for *_, ok in rows):
+            failed = True
+    if failed:
+        print("bench gate: REGRESSION (or missing baseline)")
+        return 1
+    print("bench gate: ok (%d configs within tolerance)" % len(names))
+    return 0
+
+
+def cmd_self_test():
+    """Prove the comparator catches drift, without running the sim."""
+    metrics = {"latency.p99_us": 1000.0, "throughput.qps": 450.0,
+               "blame.requests": 40.0}
+    baseline = make_baseline("self_test", [], dict(metrics))
+
+    rows = compare(baseline, dict(metrics))
+    assert all(ok for *_, ok in rows), "identical metrics must pass"
+
+    # Drift just inside tolerance passes ...
+    within = dict(metrics)
+    within["latency.p99_us"] *= 1.0 + DEFAULT_REL * 0.9
+    rows = compare(baseline, within)
+    assert all(ok for *_, ok in rows), "in-tolerance drift must pass"
+
+    # ... beyond tolerance fails, in either direction.
+    for factor in (1.0 + DEFAULT_REL * 2, 1.0 - DEFAULT_REL * 2):
+        bad = dict(metrics)
+        bad["latency.p99_us"] *= factor
+        rows = compare(baseline, bad)
+        assert not all(ok for *_, ok in rows), \
+            "out-of-tolerance drift must fail (factor %s)" % factor
+
+    # Exact metrics reject any change at all.
+    bad = dict(metrics)
+    bad["blame.requests"] += 1
+    rows = compare(baseline, bad)
+    assert not all(ok for *_, ok in rows), "exact metric must be exact"
+
+    # A metric missing from the measurement is a failure, not a skip.
+    short = dict(metrics)
+    del short["throughput.qps"]
+    rows = compare(baseline, short)
+    assert not all(ok for *_, ok in rows), "missing metric must fail"
+
+    print("bench_baseline self-test: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sim",
+                    default=os.path.join(REPO, "build", "tools",
+                                         "recssd_sim"))
+    ap.add_argument("--config", action="append", choices=sorted(CONFIGS),
+                    help="restrict to named config(s); default all")
+    ap.add_argument("--update", action="store_true",
+                    help="regenerate baselines + trajectory")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the comparator detects regressions")
+    opts = ap.parse_args()
+
+    if opts.self_test:
+        return cmd_self_test()
+    names = opts.config or sorted(CONFIGS)
+    if opts.update:
+        return cmd_update(opts.sim, names)
+    return cmd_compare(opts.sim, names)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

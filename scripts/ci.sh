@@ -18,9 +18,17 @@
 #   5  reproducibility audit — scripts/audit_repro.sh runs seeded
 #      configs twice in separate processes with RECSSD_AUDIT=1 and
 #      byte-diffs stats/metrics/trace/stdout.
-#   6  quick + shard + layout suites again under ASan+UBSan in a
-#      separate build tree (the 4-device and freq-layout smokes ride
-#      the sanitizer leg too).
+#   6  observability + perf-regression gate — ctest -L obs2 (blame /
+#      utilization / SLO suites, with RECSSD_AUDIT asserting the
+#      critical-path partition and Little's-law invariants), the
+#      bench_baseline.py comparator self-test (proves the gate detects
+#      drift), then the gate proper over the seeded configs in
+#      bench/baselines/. All gated metrics are simulated-time, so they
+#      are exact on any host; a regression here means the change moved
+#      simulated performance, not the machine.
+#   7  quick + shard + layout + obs2 suites again under ASan+UBSan in
+#      a separate build tree (the 4-device and freq-layout smokes and
+#      one bench-gate config ride the sanitizer leg too).
 #      RECSSD_SKIP_SANITIZERS=1 skips this stage (hosts without ASan).
 # Pass a generator via CMAKE_GENERATOR if you want Ninja; the default
 # works everywhere.
@@ -86,9 +94,15 @@ echo
 echo "=== stage 5: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
 ./scripts/audit_repro.sh build/tools/recssd_sim
 
+echo
+echo "=== stage 6: observability + perf-regression gate ==="
+RECSSD_AUDIT=1 ctest --test-dir build -L obs2 --output-on-failure -j
+python3 scripts/bench_baseline.py --self-test
+python3 scripts/bench_baseline.py --sim build/tools/recssd_sim
+
 if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     echo
-    echo "=== stage 6: quick + shard + layout suites under ASan+UBSan ==="
+    echo "=== stage 7: quick + shard + layout + obs2 suites under ASan+UBSan ==="
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -98,6 +112,11 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     ctest --test-dir build-asan -L quick --output-on-failure -j
     ctest --test-dir build-asan -L shard --output-on-failure -j
     ctest --test-dir build-asan -L layout --output-on-failure -j
+    ctest --test-dir build-asan -L obs2 --output-on-failure -j
+    # The bench gate under ASan: simulated-time metrics are host- and
+    # sanitizer-independent, so the same baselines must hold exactly.
+    python3 scripts/bench_baseline.py --sim build-asan/tools/recssd_sim \
+        --config serve_ndp_1ssd
     ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
         --num-ssds 4 --shard-policy range --queries 40 --qps 500 \
         > /dev/null

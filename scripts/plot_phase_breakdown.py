@@ -9,9 +9,18 @@ Input: attribution JSON files produced by either
 Each file is one AttributionReport: {"requests": N, "coverage": C,
 "phases": [{"phase": name, "fraction": f, "mean_us": m, ...}, ...]}.
 
+Critical-path blame reports (recssd_sim --blame-out FILE) are accepted
+too — detected by their "resources" key — and render as blame stacks:
+one segment per (resource, span) blame target, heaviest targets first,
+the long tail of small rows collapsed into "(rest)". Mixing phase and
+blame files in one chart works; each bar uses its own column set.
+
 Usage:
     scripts/plot_phase_breakdown.py <dir-or-json> [more.json ...]
-        [-o breakdown.png]
+        [-o breakdown.png] [--tail] [--top N]
+
+--tail plots a blame report's tail view (share of p99-and-worse
+request time) instead of the whole-population view.
 
 With matplotlib installed, writes a stacked horizontal-bar chart (one
 bar per config, one segment per phase). Without it, falls back to an
@@ -48,7 +57,29 @@ PALETTE = [
 ]
 
 
-def load_report(path):
+def blame_fractions(report, tail=False, top=8):
+    """Collapse a BlameReport into {segment: fraction} columns.
+
+    Segments are "track/name" blame targets, heaviest `top` kept,
+    the rest folded into "(rest)" so die-per-channel fan-outs don't
+    drown the legend.
+    """
+    key = "tail_fraction" if tail else "fraction"
+    rows = sorted(report["resources"], key=lambda r: -r[key])
+    fractions = {}
+    rest = 0.0
+    for i, row in enumerate(rows):
+        track = row["track"] or "(uncovered)"
+        if i < top:
+            fractions["%s/%s" % (track, row["name"])] = row[key]
+        else:
+            rest += row[key]
+    if rest > 0.0:
+        fractions["(rest)"] = rest
+    return fractions
+
+
+def load_report(path, tail=False, top=8):
     with open(path) as f:
         report = json.load(f)
     label = os.path.basename(path)
@@ -56,7 +87,11 @@ def load_report(path):
         label = label[len("phases_"):]
     if label.endswith(".json"):
         label = label[: -len(".json")]
-    fractions = {row["phase"]: row["fraction"] for row in report["phases"]}
+    if "resources" in report:  # critical-path blame report
+        fractions = blame_fractions(report, tail=tail, top=top)
+    else:  # phase attribution report
+        fractions = {row["phase"]: row["fraction"]
+                     for row in report["phases"]}
     return label, report, fractions
 
 
@@ -137,9 +172,15 @@ def main():
                     help="output image (with matplotlib)")
     ap.add_argument("--ascii", action="store_true",
                     help="force the ASCII rendering")
+    ap.add_argument("--tail", action="store_true",
+                    help="blame reports: plot the tail (>= p99) view")
+    ap.add_argument("--top", type=int, default=8,
+                    help="blame reports: segments before collapsing "
+                         "into (rest)")
     args = ap.parse_args()
 
-    reports = [load_report(f) for f in collect_inputs(args.inputs)]
+    reports = [load_report(f, tail=args.tail, top=args.top)
+               for f in collect_inputs(args.inputs)]
     phases = phase_columns(reports)
 
     use_ascii = args.ascii

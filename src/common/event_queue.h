@@ -21,7 +21,8 @@
 namespace recssd
 {
 
-class Tracer;  // src/obs — attached here so every layer can reach it
+class Tracer;                // src/obs — attached here so every layer
+class UtilizationCollector;  // can reach them without new plumbing
 
 /** Priority queue of timed callbacks; the heart of the simulator. */
 class EventQueue
@@ -73,6 +74,12 @@ class EventQueue
      *  instrumentation points cost one pointer check. */
     Tracer *tracer() const { return tracer_; }
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Same pattern for the resource-utilization collector: null (the
+     *  default) means collection is off and every resource acquire
+     *  pays one pointer check. */
+    UtilizationCollector *util() const { return util_; }
+    void setUtil(UtilizationCollector *util) { util_ = util; }
     /** @} */
 
   private:
@@ -98,6 +105,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     Tracer *tracer_ = nullptr;
+    UtilizationCollector *util_ = nullptr;
     std::priority_queue<Event, std::vector<Event>, Later> events_;
 
     /** @{ RECSSD_AUDIT: pops must be strictly increasing in

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/utilization.h"  // header-inline record(); no link dep
 
 namespace recssd
 {
@@ -18,6 +19,8 @@ SerialResource::acquire(Tick service, EventQueue::Callback done)
     Tick start = std::max(eq_.now(), freeAt_);
     freeAt_ = start + service;
     busy_ += service;
+    if (UtilizationCollector *util = eq_.util())
+        util->record(name_, eq_.now(), start, freeAt_);
     // Always schedule the completion so simulated time covers the
     // work even when nobody waits on it.
     if (!done)
@@ -46,6 +49,8 @@ PoolResource::acquire(Tick service, EventQueue::Callback done)
     Tick start = std::max(eq_.now(), *it);
     *it = start + service;
     busy_ += service;
+    if (UtilizationCollector *util = eq_.util())
+        util->record(name_, eq_.now(), start, *it, servers());
     if (!done)
         done = []() {};
     eq_.schedule(*it, std::move(done));

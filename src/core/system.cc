@@ -41,8 +41,30 @@ System::System(const SystemConfig &config) : config_(config)
     buildRegistry();
 }
 
+Tick
+System::run()
+{
+    Tick end = eq_.run();
+    // Close the sampled series at drain time: the final partial
+    // interval would otherwise be dropped, and a run shorter than one
+    // interval would export only the t=0 snapshot.
+    if (sampler_)
+        sampler_->finish();
+    return end;
+}
+
+UtilizationCollector &
+System::enableUtilization(Tick bucket)
+{
+    recssd_assert(!util_, "utilization collector already enabled");
+    util_ = std::make_unique<UtilizationCollector>(eq_, bucket);
+    util_->setEnabled(true);
+    return *util_;
+}
+
 void
-System::registerDevice(unsigned d, const std::string &prefix)
+System::registerDevice(unsigned d, const std::string &prefix,
+                       bool force_layout, bool force_fault)
 {
     auto u64 = [](auto get) {
         return [get]() { return static_cast<double>(get()); };
@@ -90,27 +112,38 @@ System::registerDevice(unsigned d, const std::string &prefix)
 
     // Layout counters exist only when the frequency-aware policy is
     // active, so log-policy configs export byte-identical stats JSON
-    // (same pattern as the fault counters below).
-    if (const LayoutManager *lay = ssd->ftl().layout()) {
+    // (same pattern as the fault counters below). In a mixed system
+    // where *any* device runs the policy, devices without it register
+    // zero-valued columns so every device exports the same JSONL
+    // schema and rows stay aligned.
+    const LayoutManager *lay = ssd->ftl().layout();
+    if (lay || force_layout) {
+        auto layU64 = [lay, u64](auto get) -> StatRegistry::Getter {
+            if (!lay)
+                return []() { return 0.0; };
+            return u64(get);
+        };
         r.addScalar(prefix + "layout", "promotions",
-                    u64([lay]() { return lay->promotions(); }));
+                    layU64([lay]() { return lay->promotions(); }));
         r.addScalar(prefix + "layout", "demotions",
-                    u64([lay]() { return lay->demotions(); }));
+                    layU64([lay]() { return lay->demotions(); }));
         r.addScalar(prefix + "layout", "migrated_pages",
-                    u64([lay]() { return lay->migratedPages(); }));
+                    layU64([lay]() { return lay->migratedPages(); }));
         r.addScalar(prefix + "layout", "read_pins",
-                    u64([lay]() { return lay->readPins(); }));
-        r.addScalar(prefix + "layout", "hot_pages_allocated", u64([ssd]() {
-            return ssd->ftl().blocks().hotPagesAllocated();
-        }));
+                    layU64([lay]() { return lay->readPins(); }));
+        r.addScalar(prefix + "layout", "hot_pages_allocated",
+                    layU64([ssd]() {
+                        return ssd->ftl().blocks().hotPagesAllocated();
+                    }));
         r.addScalar(prefix + "layout.hot_tier", "hits",
-                    u64([lay]() { return lay->tier().hits(); }));
+                    layU64([lay]() { return lay->tier().hits(); }));
         r.addScalar(prefix + "layout.hot_tier", "misses",
-                    u64([lay]() { return lay->tier().misses(); }));
+                    layU64([lay]() { return lay->tier().misses(); }));
         r.addScalar(prefix + "layout.hot_tier", "resident",
-                    u64([lay]() { return lay->tier().resident(); }));
-        r.addScalar(prefix + "sls", "hot_tier_hits",
-                    u64([ssd]() { return ssd->slsEngine().hotTierHits(); }));
+                    layU64([lay]() { return lay->tier().resident(); }));
+        r.addScalar(prefix + "sls", "hot_tier_hits", layU64([ssd]() {
+            return ssd->slsEngine().hotTierHits();
+        }));
     }
 
     r.addScalar(prefix + "nvme", "commands",
@@ -124,16 +157,25 @@ System::registerDevice(unsigned d, const std::string &prefix)
                 u64([drv]() { return drv->commandsIssued(); }));
 
     // Fault counters exist only on devices with an armed injector, so
-    // fault-free configs export byte-identical stats JSON.
-    if (const FaultInjector *fi = ssd->faultInjector()) {
+    // fault-free configs export byte-identical stats JSON. Fault-mode
+    // runs register the columns on *every* device (zero-valued where
+    // no injector is armed): a plan targeting only ssd1 used to leave
+    // ssd0.fault.* missing from JSONL output entirely.
+    const FaultInjector *fi = ssd->faultInjector();
+    if (fi || force_fault) {
+        auto fiU64 = [fi, u64](auto get) -> StatRegistry::Getter {
+            if (!fi)
+                return []() { return 0.0; };
+            return u64(get);
+        };
         r.addScalar(prefix + "fault", "die_stalls",
-                    u64([fi]() { return fi->dieStalls(); }));
+                    fiU64([fi]() { return fi->dieStalls(); }));
         r.addScalar(prefix + "fault", "fw_pauses",
-                    u64([fi]() { return fi->firmwarePauses(); }));
+                    fiU64([fi]() { return fi->firmwarePauses(); }));
         r.addScalar(prefix + "fault", "inflation_windows",
-                    u64([fi]() { return fi->inflationWindows(); }));
+                    fiU64([fi]() { return fi->inflationWindows(); }));
         r.addScalar(prefix + "fault", "dropouts",
-                    u64([fi]() { return fi->dropouts(); }));
+                    fiU64([fi]() { return fi->dropouts(); }));
         r.addScalar(prefix + "fault", "inflated_reads",
                     u64([ssd]() { return ssd->flash().inflatedReads(); }));
         r.addScalar(prefix + "fault", "dropped_commands", u64([ssd]() {
@@ -161,15 +203,28 @@ System::buildRegistry()
     r.addScalar("sim", "now_us",
                 [eq]() { return ticksToUs(eq->now()); });
 
+    // Schema-consistency flags: if any device carries the layout
+    // policy or an armed fault injector, every device registers those
+    // column groups (zero-valued where absent). Single-device systems
+    // degenerate to the device's own state, so seed output is
+    // untouched.
+    bool any_layout = false;
+    bool any_fault = false;
+    for (unsigned d = 0; d < numSsds(); ++d) {
+        any_layout = any_layout || ssds_[d]->ftl().layout() != nullptr;
+        any_fault = any_fault || ssds_[d]->faultInjector() != nullptr;
+    }
+
     if (numSsds() == 1) {
         // Seed layout: device 0's stats under the historical names.
-        registerDevice(0, "");
+        registerDevice(0, "", any_layout, any_fault);
     } else {
         // Per-device subtrees plus cross-device aggregates under the
         // historical names, so existing dashboards keep working and
         // the property tests can check per-shard totals sum up.
         for (unsigned d = 0; d < numSsds(); ++d)
-            registerDevice(d, "ssd" + std::to_string(d) + ".");
+            registerDevice(d, "ssd" + std::to_string(d) + ".", any_layout,
+                           any_fault);
 
         auto sum = [this](auto per_device) {
             return [this, per_device]() {

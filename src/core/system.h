@@ -29,6 +29,7 @@
 #include "src/host/unvme_driver.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
+#include "src/obs/utilization.h"
 #include "src/shard/shard_router.h"
 #include "src/ssd/ssd.h"
 
@@ -101,8 +102,12 @@ class System
                                          std::uint32_t dim,
                                          std::uint32_t attr_bytes = 4);
 
-    /** Drain the event queue. @return final simulated time. */
-    Tick run() { return eq_.run(); }
+    /**
+     * Drain the event queue. @return final simulated time. A running
+     * metric sampler emits its closing sample at drain time so the
+     * final partial interval is never dropped.
+     */
+    Tick run();
 
     /** Dump every component's statistics (counters, utilization). */
     void dumpStats(std::ostream &os);
@@ -117,6 +122,13 @@ class System
 
     /** Every component stat under one hierarchical name space. */
     const StatRegistry &stats() const { return registry_; }
+
+    /**
+     * Mutable registry access for harnesses that publish run-scoped
+     * series (e.g. the serve-mode SLO monitor). Default runs never
+     * register anything here, so stats JSON stays byte-identical.
+     */
+    StatRegistry &statsMut() { return registry_; }
 
     /**
      * Dump every registered stat as one JSON object with
@@ -135,6 +147,17 @@ class System
 
     /** The running sampler, or nullptr if never started. */
     MetricSampler *metricSampler() { return sampler_.get(); }
+
+    /**
+     * Begin collecting per-resource utilization and queue-length
+     * timelines (bucket width `bucket` ticks of sim time). Call
+     * before run(); off by default so untouched runs pay one null
+     * check per resource acquire.
+     */
+    UtilizationCollector &enableUtilization(Tick bucket);
+
+    /** The running collector, or nullptr if never enabled. */
+    UtilizationCollector *utilization() { return util_.get(); }
     /** @} */
 
   private:
@@ -147,8 +170,14 @@ class System
      */
     void auditStatConsistency() const;
 
-    /** Register device d's component stats under `prefix`. */
-    void registerDevice(unsigned d, const std::string &prefix);
+    /**
+     * Register device d's component stats under `prefix`. The force
+     * flags register zero-valued layout.* / fault.* columns even on
+     * devices missing the component, so every device in a fault- or
+     * layout-mode run exports the same JSONL columns.
+     */
+    void registerDevice(unsigned d, const std::string &prefix,
+                        bool force_layout, bool force_fault);
 
     SystemConfig config_;
     EventQueue eq_;
@@ -161,6 +190,7 @@ class System
     StatRegistry registry_;
     bool audit_ = false;  ///< RECSSD_AUDIT cached at construction
     std::unique_ptr<MetricSampler> sampler_;
+    std::unique_ptr<UtilizationCollector> util_;
     std::uint32_t nextTableId_ = 0;
     /** Next slsTableAlign slot, per device. */
     std::vector<std::uint64_t> nextTableSlot_;

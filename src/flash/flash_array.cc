@@ -19,8 +19,10 @@ FlashArray::FlashArray(EventQueue &eq, const FlashParams &params,
         channels_.push_back(std::make_unique<SerialResource>(eq_, ch));
         channelTrackNames_.push_back(ch);
         for (unsigned d = 0; d < params_.diesPerChannel; ++d) {
-            dies_.push_back(std::make_unique<SerialResource>(
-                eq_, ch + ".die" + std::to_string(d)));
+            std::string die_name = ch + ".die" + std::to_string(d);
+            dies_.push_back(
+                std::make_unique<SerialResource>(eq_, die_name));
+            dieTrackNames_.push_back(std::move(die_name));
         }
     }
 }
@@ -61,6 +63,30 @@ FlashArray::arrayReadTime()
         }
     }
     return t;
+}
+
+void
+FlashArray::emitDieSpans(const FlashAddress &addr, Phase phase,
+                         Tick service, std::uint64_t trace_id)
+{
+    Tracer *tracer = tracerOf(eq_);
+    if (!tracer)
+        return;
+    // Die-level wait/busy spans, recorded just before the die is
+    // acquired. They carry the same phase as the enclosing channel
+    // span (per-phase attribution totals are unchanged) but nest
+    // deeper, so critical-path blame can name the die whose backlog
+    // held a request up: a stalled or oversubscribed die shows as a
+    // long "wait" on every victim queued behind it. The "busy" span's
+    // end is in the future, which is safe — the completion event at
+    // exactly that tick keeps the trace's clamp window covering it.
+    TrackId track = tracer->track(
+        dieTrackNames_[addr.channel * params_.diesPerChannel + addr.die]);
+    Tick now = eq_.now();
+    Tick start = std::max(now, die(addr.channel, addr.die).freeAt());
+    if (start > now)
+        tracer->span(track, "wait", phase, trace_id, now, start);
+    tracer->span(track, "busy", phase, trace_id, start, start + service);
 }
 
 void
@@ -105,14 +131,17 @@ FlashArray::readPage(Ppn ppn, ReadCallback done, std::uint64_t trace_id)
 
     // Phase 1: command issue occupies the channel bus.
     channel(addr.channel).acquire(params_.cmdLatency, [this, addr, ppn, span,
+                                                       trace_id,
                                                        done =
                                                            std::move(done)]()
                                                           mutable {
         // Phase 2: array read occupies the die (plus any injected
         // read retries on marginal cells).
+        Tick service = arrayReadTime();
+        emitDieSpans(addr, Phase::FlashRead, service, trace_id);
         die(addr.channel, addr.die)
-            .acquire(arrayReadTime(), [this, addr, ppn, span,
-                                       done = std::move(done)]() mutable {
+            .acquire(service, [this, addr, ppn, span,
+                               done = std::move(done)]() mutable {
                 // Phase 3: page data crosses the channel bus.
                 channel(addr.channel)
                     .acquire(params_.pageTransferTime(),
@@ -144,8 +173,10 @@ FlashArray::writePage(Ppn ppn, std::span<const std::byte> data,
 
     // Command + data transfer occupy the channel, then tPROG the die.
     Tick xfer = params_.cmdLatency + params_.pageTransferTime();
-    channel(addr.channel).acquire(xfer, [this, addr, span,
+    channel(addr.channel).acquire(xfer, [this, addr, span, trace_id,
                                          done = std::move(done)]() mutable {
+        emitDieSpans(addr, Phase::FlashWrite, params_.programLatency,
+                     trace_id);
         die(addr.channel, addr.die)
             .acquire(params_.programLatency,
                      [this, span, done = std::move(done)]() {

@@ -29,6 +29,7 @@
 #include "src/common/stats.h"
 #include "src/flash/data_store.h"
 #include "src/flash/flash_params.h"
+#include "src/obs/phase.h"
 
 namespace recssd
 {
@@ -121,6 +122,11 @@ class FlashArray
     /** Array-read occupancy including injected read retries. */
     Tick arrayReadTime();
 
+    /** Record die-track wait/busy spans for an op about to occupy the
+     *  die (no-op when tracing is off). */
+    void emitDieSpans(const FlashAddress &addr, Phase phase, Tick service,
+                      std::uint64_t trace_id);
+
     /** One injected latency-inflation window. */
     struct InflationWindow
     {
@@ -136,6 +142,8 @@ class FlashArray
     std::vector<std::unique_ptr<SerialResource>> dies_;
     /** Pre-built trace track names, one per channel. */
     std::vector<std::string> channelTrackNames_;
+    /** Pre-built trace track names, one per die (parallel to dies_). */
+    std::vector<std::string> dieTrackNames_;
     /** Active/pending inflation windows; empty on healthy devices. */
     std::vector<InflationWindow> inflations_;
 

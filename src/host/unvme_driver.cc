@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/obs/tracer.h"
+#include "src/obs/utilization.h"
 
 namespace recssd
 {
@@ -29,6 +30,7 @@ UnvmeDriver::UnvmeDriver(EventQueue &eq, HostCpu &cpu, HostController &ctrl,
     numQueues_ = std::min(cpu.params().ioQueues, ctrl.params().numQueues);
     recssd_assert(numQueues_ > 0, "driver bound zero I/O queues");
     queueBusy_.assign(numQueues_, false);
+    occupiedAt_.assign(numQueues_, 0);
     perQueueCommands_.resize(numQueues_);
     for (unsigned q = 0; q < numQueues_; ++q) {
         ioThreads_.push_back(std::make_unique<SerialResource>(
@@ -84,6 +86,7 @@ UnvmeDriver::occupy(unsigned queue)
                   "sync API misuse: queue %u already has a command in "
                   "flight", queue);
     queueBusy_[queue] = true;
+    occupiedAt_[queue] = eq_.now();
     perQueueCommands_[queue].inc();
 }
 
@@ -91,6 +94,12 @@ void
 UnvmeDriver::release(unsigned queue)
 {
     queueBusy_[queue] = false;
+    // Queue-pair occupancy: the command was "in service" on the pair
+    // from occupy to release, so the pair's utilization timeline is
+    // its submission-to-completion residency.
+    if (UtilizationCollector *util = eq_.util())
+        util->record(queueTrackNames_[queue], occupiedAt_[queue],
+                     occupiedAt_[queue], eq_.now());
 }
 
 std::uint64_t

@@ -152,6 +152,9 @@ class UnvmeDriver
     HostController &ctrl_;
     unsigned numQueues_;
     std::vector<bool> queueBusy_;
+    /** Tick each queue's in-flight command occupied it (utilization
+     *  timelines report occupancy as one op per command). */
+    std::vector<Tick> occupiedAt_;
     /** Pre-built trace track names, one per I/O queue. */
     std::vector<std::string> queueTrackNames_;
     std::vector<std::unique_ptr<SerialResource>> ioThreads_;

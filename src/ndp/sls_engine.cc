@@ -1,10 +1,12 @@
 #include "src/ndp/sls_engine.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
 #include "src/ndp/attr_codec.h"
 #include "src/obs/tracer.h"
+#include "src/obs/utilization.h"
 
 namespace recssd
 {
@@ -99,7 +101,15 @@ SlsEngine::processConfig(const EntryPtr &entry)
                                   "config_scan", Phase::NdpConfig,
                                   entry->traceId);
     }
-    ftl_.cpu().acquire(scan_cost, [this, entry, scan_span]() {
+    // The engine's utilization view: its work rides the firmware
+    // core, so the wait/service split comes from that core's backlog
+    // at enqueue time.
+    Tick scan_enq = eq_.now();
+    Tick scan_start = std::max(scan_enq, ftl_.cpu().freeAt());
+    ftl_.cpu().acquire(scan_cost, [this, entry, scan_span, scan_enq,
+                                   scan_start]() {
+        if (UtilizationCollector *util = eq_.util())
+            util->record(trackName_, scan_enq, scan_start, eq_.now());
         if (Tracer *tracer = tracerOf(eq_))
             tracer->end(scan_span);
         const SlsConfig &cfg = entry->cfg;
@@ -263,8 +273,12 @@ SlsEngine::translate(const EntryPtr &entry, PageWork work,
         xlate_span = tracer->begin(tracer->track(trackName_), "translate",
                                    Phase::NdpTranslate, entry->traceId);
     }
+    Tick xlate_enq = eq_.now();
+    Tick xlate_start = std::max(xlate_enq, ftl_.cpu().freeAt());
     ftl_.cpu().acquire(cost, [this, entry, work = std::move(work), page,
-                              xlate_span]() {
+                              xlate_span, xlate_enq, xlate_start]() {
+        if (UtilizationCollector *util = eq_.util())
+            util->record(trackName_, xlate_enq, xlate_start, eq_.now());
         if (Tracer *tracer = tracerOf(eq_))
             tracer->end(xlate_span);
         const SlsConfig &cfg = entry->cfg;

@@ -1,0 +1,390 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "src/common/audit.h"
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+/**
+ * Point-lookup index only (determinism rule R3): blame walks requests
+ * in root-span insertion order and does `find(req)` here; the map is
+ * never iterated, and each per-request vector preserves span append
+ * order, so hash order never reaches any output.
+ */
+using SpanIndex =
+    std::unordered_map<std::uint64_t, std::vector<const SpanRecord *>>;
+
+SpanIndex
+indexByRequest(const Tracer &tracer)
+{
+    SpanIndex index;
+    for (const SpanRecord &s : tracer.spans()) {
+        if (s.req != 0 && s.phase != Phase::Request)
+            index[s.req].push_back(&s);
+    }
+    return index;
+}
+
+RequestBlame
+blameIndexed(const Tracer &tracer, const SpanIndex &index,
+             const SpanRecord &root)
+{
+    RequestBlame out;
+    out.req = root.req;
+    Tick lo = root.begin;
+    Tick hi = root.end == maxTick ? root.begin : root.end;
+    out.e2e = hi - lo;
+    if (out.e2e == 0)
+        return out;
+
+    // Children: the request's own spans plus — for scheduler queries —
+    // the fused batch that executed it, clamped to the root interval.
+    struct Child
+    {
+        const SpanRecord *span;
+        Tick b, e;  ///< clamped interval
+    };
+    std::vector<Child> children;
+    auto collect = [&](std::uint64_t req) {
+        auto it = index.find(req);
+        if (it == index.end())
+            return;
+        for (const SpanRecord *s : it->second) {
+            Tick b = std::max(s->begin, lo);
+            Tick e = std::min(s->end == maxTick ? hi : s->end, hi);
+            if (b >= e)
+                continue;
+            children.push_back({s, b, e});
+        }
+    };
+    collect(root.req);
+    if (root.parent != 0)
+        collect(root.parent);
+
+    // Elementary-segment sweep, same O(n log n) shape as attribution:
+    // sorted open/close edges, but the winner of each segment is the
+    // deepest active *span*, not just the deepest phase. Depth key is
+    // (phase priority, original begin tick, collection index): a span
+    // opened later is the more proximate cause of the wait, and the
+    // index makes equal-tick ties deterministic.
+    using Key = std::tuple<int, Tick, std::size_t>;
+    struct Edge
+    {
+        Tick t;
+        bool close;  ///< closes sort before opens at equal t
+        std::size_t child;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(children.size() * 2);
+    for (std::size_t j = 0; j < children.size(); ++j) {
+        edges.push_back({children[j].b, false, j});
+        edges.push_back({children[j].e, true, j});
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge &a, const Edge &b) {
+        if (a.t != b.t)
+            return a.t < b.t;
+        if (a.close != b.close)
+            return a.close;
+        return a.child < b.child;
+    });
+
+    std::set<Key> active;
+    std::vector<Tick> perChild(children.size(), 0);
+    Tick otherTicks = 0;
+    auto keyOf = [&](std::size_t j) {
+        return Key{phasePriority(children[j].span->phase),
+                   children[j].span->begin, j};
+    };
+    auto charge = [&](Tick b, Tick e) {
+        if (b >= e)
+            return;
+        if (active.empty())
+            otherTicks += e - b;
+        else
+            perChild[std::get<2>(*active.rbegin())] += e - b;
+    };
+
+    Tick cursor = lo;
+    for (const Edge &edge : edges) {
+        charge(cursor, edge.t);
+        cursor = std::max(cursor, edge.t);
+        if (edge.close)
+            active.erase(keyOf(edge.child));
+        else
+            active.insert(keyOf(edge.child));
+    }
+    charge(cursor, hi);
+
+    // Fold per-span ticks into per-(track, name) slices, preserving
+    // first-appearance order. Slice strings borrow from the tracer,
+    // which outlives every report built from it.
+    const std::vector<std::string> &tracks = tracer.tracks();
+    auto addSlice = [&](const char *track, const char *name, Phase phase,
+                        Tick ticks) {
+        if (ticks == 0)
+            return;
+        for (RequestBlame::Slice &s : out.slices) {
+            if (!std::strcmp(s.track, track) && !std::strcmp(s.name, name)) {
+                s.ticks += ticks;
+                return;
+            }
+        }
+        out.slices.push_back({track, name, phase, ticks});
+    };
+    for (std::size_t j = 0; j < children.size(); ++j) {
+        addSlice(tracks[children[j].span->track].c_str(),
+                 children[j].span->name, children[j].span->phase,
+                 perChild[j]);
+    }
+    addSlice("", "other", Phase::Other, otherTicks);
+    return out;
+}
+
+}  // namespace
+
+Tick
+RequestBlame::totalTicks() const
+{
+    Tick total = 0;
+    for (const Slice &s : slices)
+        total += s.ticks;
+    return total;
+}
+
+bool
+blameIsQueueing(const char *name)
+{
+    // Waiting-in-line span names across the stack: scheduler queue,
+    // NVMe queue-pair grant wait, die/channel backlog wait, firmware
+    // pause. Everything else is a resource doing work.
+    return !std::strcmp(name, "sched_queue") ||
+           !std::strcmp(name, "queue_wait") ||
+           !std::strcmp(name, "wait") || !std::strcmp(name, "fw_pause");
+}
+
+RequestBlame
+blameRequest(const Tracer &tracer, const SpanRecord &root)
+{
+    return blameIndexed(tracer, indexByRequest(tracer), root);
+}
+
+std::size_t
+validateSpanOrdering(const Tracer &tracer)
+{
+    std::size_t violations = 0;
+    for (const SpanRecord &s : tracer.spans()) {
+        if (s.end != maxTick && s.end < s.begin)
+            ++violations;  // time ran backwards inside a span
+        if (s.phase == Phase::Request && s.parent != 0) {
+            if (s.parent == s.req) {
+                ++violations;  // self-parent cycle
+                continue;
+            }
+            // The parent chain must terminate in one hop: a query's
+            // fused batch is itself parentless, so hedged duplicates
+            // and stalled sub-ops can never form a causality cycle.
+            const SpanRecord *parent = tracer.rootOf(s.parent);
+            if (parent && parent->parent != 0)
+                ++violations;
+        }
+    }
+    return violations;
+}
+
+BlameReport
+computeBlame(const Tracer &tracer, const char *root_name)
+{
+    // Same population rule as phase attribution: named roots when
+    // present (serving queries), otherwise every root.
+    std::vector<const SpanRecord *> roots;
+    bool named_only = false;
+    for (const SpanRecord &s : tracer.spans()) {
+        if (s.phase != Phase::Request)
+            continue;
+        bool named = root_name && !std::strcmp(s.name, root_name);
+        if (named && !named_only) {
+            named_only = true;
+            roots.clear();
+        }
+        if (!named_only || named)
+            roots.push_back(&s);
+    }
+
+    SpanIndex index = indexByRequest(tracer);
+    std::vector<RequestBlame> per_req;
+    per_req.reserve(roots.size());
+    for (const SpanRecord *root : roots)
+        per_req.push_back(blameIndexed(tracer, index, *root));
+
+    const bool audit = auditEnabled();
+
+    BlameReport report;
+    report.requests = static_cast<unsigned>(per_req.size());
+    if (per_req.empty())
+        return report;
+
+    // Tail population: nearest-rank p99 of end-to-end latency.
+    std::vector<Tick> e2es;
+    e2es.reserve(per_req.size());
+    for (const RequestBlame &r : per_req)
+        e2es.push_back(r.e2e);
+    std::sort(e2es.begin(), e2es.end());
+    Tick tail_threshold =
+        e2es[static_cast<std::size_t>(0.99 * (e2es.size() - 1))];
+    report.tailThresholdUs = ticksToUs(tail_threshold);
+
+    // Aggregate rows keyed by (track, name); first-appearance order
+    // until the final sort. The unordered map is a point-lookup index
+    // only (rule R3) — output order comes from the rows vector.
+    std::unordered_map<std::string, std::size_t> rowIndex;
+    auto rowFor = [&](const RequestBlame::Slice &s) -> BlameRow & {
+        std::string key = std::string(s.track) + '\x1f' + s.name;
+        auto it = rowIndex.find(key);
+        if (it == rowIndex.end()) {
+            it = rowIndex.emplace(std::move(key), report.rows.size()).first;
+            BlameRow row;
+            row.track = s.track;
+            row.name = s.name;
+            row.phase = s.phase;
+            row.queueing = blameIsQueueing(s.name);
+            report.rows.push_back(std::move(row));
+        }
+        return report.rows[it->second];
+    };
+
+    double queue_us = 0.0;
+    double tail_queue_us = 0.0;
+    for (const RequestBlame &r : per_req) {
+        if (audit) {
+            recssd_assert(r.totalTicks() == r.e2e,
+                          "audit: blame slices of request %llu sum to "
+                          "%llu ticks but e2e is %llu",
+                          static_cast<unsigned long long>(r.req),
+                          static_cast<unsigned long long>(r.totalTicks()),
+                          static_cast<unsigned long long>(r.e2e));
+        }
+        bool tail = r.e2e >= tail_threshold;
+        report.totalRequestUs += ticksToUs(r.e2e);
+        if (tail) {
+            ++report.tailRequests;
+            report.tailTotalUs += ticksToUs(r.e2e);
+        }
+        for (const RequestBlame::Slice &s : r.slices) {
+            BlameRow &row = rowFor(s);
+            double us = ticksToUs(s.ticks);
+            ++row.requests;
+            row.totalUs += us;
+            if (row.queueing)
+                queue_us += us;
+            if (tail) {
+                row.tailUs += us;
+                if (row.queueing)
+                    tail_queue_us += us;
+            }
+        }
+    }
+
+    report.meanRequestUs =
+        report.totalRequestUs / static_cast<double>(per_req.size());
+    for (BlameRow &row : report.rows) {
+        row.fraction = report.totalRequestUs > 0.0
+                           ? row.totalUs / report.totalRequestUs
+                           : 0.0;
+        row.tailFraction =
+            report.tailTotalUs > 0.0 ? row.tailUs / report.tailTotalUs : 0.0;
+    }
+    report.queueingFraction = report.totalRequestUs > 0.0
+                                  ? queue_us / report.totalRequestUs
+                                  : 0.0;
+    report.tailQueueingFraction =
+        report.tailTotalUs > 0.0 ? tail_queue_us / report.tailTotalUs : 0.0;
+
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const BlameRow &a, const BlameRow &b) {
+                  if (a.totalUs != b.totalUs)
+                      return a.totalUs > b.totalUs;
+                  if (a.track != b.track)
+                      return a.track < b.track;
+                  return a.name < b.name;
+              });
+    return report;
+}
+
+const BlameRow *
+BlameReport::find(const std::string &track, const std::string &name) const
+{
+    for (const BlameRow &row : rows) {
+        if (row.track == track && row.name == name)
+            return &row;
+    }
+    return nullptr;
+}
+
+void
+BlameReport::print(std::ostream &os) const
+{
+    auto fmt = [](double v, int prec) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+        return std::string(buf);
+    };
+    os << "== critical-path blame: " << requests << " requests, mean e2e "
+       << fmt(meanRequestUs, 1) << "us, tail = " << tailRequests
+       << " requests >= " << fmt(tailThresholdUs, 1) << "us ==\n";
+    os << "  " << std::left << std::setw(24) << "resource" << std::setw(14)
+       << "span" << std::setw(9) << "kind" << std::right << std::setw(7)
+       << "reqs" << std::setw(12) << "total-us" << std::setw(9) << "share"
+       << std::setw(11) << "tail" << "\n";
+    for (const BlameRow &row : rows) {
+        os << "  " << std::left << std::setw(24)
+           << (row.track.empty() ? "(uncovered)" : row.track)
+           << std::setw(14) << row.name << std::setw(9)
+           << (row.queueing ? "queue" : "service") << std::right
+           << std::setw(7) << row.requests << std::setw(12)
+           << fmt(row.totalUs, 1) << std::setw(8)
+           << fmt(row.fraction * 100, 1) << "%" << std::setw(10)
+           << fmt(row.tailFraction * 100, 1) << "%\n";
+    }
+    os << "queueing share: " << fmt(queueingFraction * 100, 1)
+       << "% of all request time, " << fmt(tailQueueingFraction * 100, 1)
+       << "% of tail time\n";
+}
+
+void
+BlameReport::writeJson(std::ostream &os) const
+{
+    os << "{\"requests\":" << requests << ",\"mean_request_us\":"
+       << meanRequestUs << ",\"total_request_us\":" << totalRequestUs
+       << ",\"tail_threshold_us\":" << tailThresholdUs
+       << ",\"tail_requests\":" << tailRequests << ",\"tail_total_us\":"
+       << tailTotalUs << ",\"queueing_fraction\":" << queueingFraction
+       << ",\"tail_queueing_fraction\":" << tailQueueingFraction
+       << ",\"resources\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const BlameRow &row = rows[i];
+        os << (i ? "," : "") << "\n{\"track\":\"" << jsonEscape(row.track)
+           << "\",\"name\":\"" << jsonEscape(row.name) << "\",\"phase\":\""
+           << jsonEscape(phaseName(row.phase)) << "\",\"kind\":\""
+           << (row.queueing ? "queue" : "service")
+           << "\",\"requests\":" << row.requests << ",\"total_us\":"
+           << row.totalUs << ",\"fraction\":" << row.fraction
+           << ",\"tail_us\":" << row.tailUs << ",\"tail_fraction\":"
+           << row.tailFraction << "}";
+    }
+    os << "\n]}\n";
+}
+
+}  // namespace recssd

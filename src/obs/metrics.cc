@@ -134,6 +134,14 @@ MetricSampler::sampleNow()
 }
 
 void
+MetricSampler::finish()
+{
+    if (!rows_.empty() && rows_.back().ts == eq_.now())
+        return;
+    sampleNow();
+}
+
+void
 MetricSampler::fire()
 {
     sampleNow();

@@ -104,6 +104,15 @@ class MetricSampler
     /** Take one sample immediately (also used for a final snapshot). */
     void sampleNow();
 
+    /**
+     * Close the series at simulation end: emit one final sample unless
+     * the last row already sits at the current tick. Without this the
+     * final partial interval is silently dropped — a run shorter than
+     * one interval would export only the t=0 snapshot. Idempotent, so
+     * harnesses that drain the queue repeatedly stay duplicate-free.
+     */
+    void finish();
+
     const std::vector<MetricRow> &rows() const { return rows_; }
 
     /** One JSON object per line; `ts_us` first, then every metric. */

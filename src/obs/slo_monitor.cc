@@ -1,0 +1,89 @@
+#include "src/obs/slo_monitor.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+SloMonitor::SloMonitor(const SloConfig &config) : config_(config)
+{
+    recssd_assert(config_.window > 0, "SLO window must be positive");
+    recssd_assert(config_.objective > 0.0 && config_.objective < 1.0,
+                  "SLO objective must be in (0, 1)");
+}
+
+void
+SloMonitor::record(Tick completion, Tick latency)
+{
+    Tick window_start = completion - completion % config_.window;
+    if (open_ && window_start != curStart_) {
+        recssd_assert(window_start > curStart_,
+                      "SLO completions arrived out of order");
+        closeWindow();
+    }
+    if (!open_) {
+        open_ = true;
+        curStart_ = window_start;
+        curMet_ = 0;
+        curLatUs_.clear();
+    }
+    curLatUs_.push_back(ticksToUs(latency));
+    if (latency <= config_.target) {
+        ++curMet_;
+        ++totalMet_;
+    }
+    ++totalQueries_;
+}
+
+void
+SloMonitor::closeWindow()
+{
+    Window w;
+    w.start = curStart_;
+    w.queries = static_cast<unsigned>(curLatUs_.size());
+    w.met = curMet_;
+    std::sort(curLatUs_.begin(), curLatUs_.end());
+    auto pct = [&](double q) {
+        auto idx = static_cast<std::size_t>(q * (curLatUs_.size() - 1));
+        return curLatUs_[idx];
+    };
+    if (!curLatUs_.empty()) {
+        w.p50Us = pct(0.50);
+        w.p99Us = pct(0.99);
+    }
+    windows_.push_back(w);
+    open_ = false;
+}
+
+void
+SloMonitor::finish()
+{
+    if (open_)
+        closeWindow();
+}
+
+double
+SloMonitor::overallAttainment() const
+{
+    return totalQueries_ ? static_cast<double>(totalMet_) / totalQueries_
+                         : 1.0;
+}
+
+double
+SloMonitor::burnRate(double attainment) const
+{
+    return (1.0 - attainment) / (1.0 - config_.objective);
+}
+
+double
+SloMonitor::worstWindowBurnRate() const
+{
+    double worst = 0.0;
+    for (const Window &w : windows_)
+        worst = std::max(worst, burnRate(w.attainment()));
+    return worst;
+}
+
+}  // namespace recssd

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 
 namespace recssd
 {
@@ -241,6 +242,12 @@ runServe(ModelRunner &runner, const ServeConfig &config)
     };
     auto m = std::make_shared<Measure>();
 
+    // Windowed SLO monitor (opt-in). Shared ownership: the stat
+    // registry getters below may outlive this frame.
+    std::shared_ptr<SloMonitor> mon;
+    if (config.slo.enabled)
+        mon = std::make_shared<SloMonitor>(config.slo);
+
     // Host-vs-SSD split accounting over the whole run: lookups the
     // host LRU cache / static partition absorb never reach the SSD.
     std::uint64_t host_before = 0;
@@ -261,13 +268,18 @@ runServe(ModelRunner &runner, const ServeConfig &config)
 
     for (unsigned i = 0; i < total; ++i) {
         const QueryDesc &q = arrivals[i];
-        eq.schedule(q.arrival, [&scheduler, &config, m, i,
+        eq.schedule(q.arrival, [&scheduler, &config, m, mon, i,
                                 shape = q.shape]() {
-            scheduler.submit(shape, [&config, m, i](const QueryTimes &t) {
+            scheduler.submit(shape, [&config, m, mon,
+                                     i](const QueryTimes &t) {
                 ++m->completed;
                 m->lastDone = t.complete;
                 if (i < config.warmupQueries)
                     return;
+                // Event processing is completion-time ordered, which
+                // is exactly the order the monitor requires.
+                if (mon)
+                    mon->record(t.complete, t.complete - t.arrival);
                 m->latency.record(t.complete - t.arrival);
                 m->queueing.record(t.dispatch - t.arrival);
                 m->service.record(t.complete - t.dispatch);
@@ -361,6 +373,40 @@ runServe(ModelRunner &runner, const ServeConfig &config)
         out.deadlineMisses = resil->deadlineMisses();
         out.failovers = resil->failovers();
         out.ejectedDevices = resil->unhealthyDevices();
+    }
+    if (mon) {
+        mon->finish();
+        for (const SloMonitor::Window &w : mon->windows()) {
+            ServeStats::SloWindow sw;
+            sw.startUs = ticksToUs(w.start);
+            sw.queries = w.queries;
+            sw.attainment = w.attainment();
+            sw.p50Us = w.p50Us;
+            sw.p99Us = w.p99Us;
+            sw.burnRate = mon->burnRate(w.attainment());
+            out.sloWindows.push_back(sw);
+        }
+        out.sloMonitorAttainment = mon->overallAttainment();
+        out.errorBudgetBurnRate = mon->overallBurnRate();
+        out.worstWindowBurnRate = mon->worstWindowBurnRate();
+
+        // Surface the monitor in the stat registry so stats JSON and
+        // the metric sampler pick it up; the getters share ownership
+        // of the (now finished) monitor. Default runs never reach
+        // here, so registry contents stay byte-identical.
+        StatRegistry &reg = sys.statsMut();
+        reg.addScalar("serve.slo", "windows", [mon]() {
+            return static_cast<double>(mon->windows().size());
+        });
+        reg.addScalar("serve.slo", "attainment", [mon]() {
+            return mon->overallAttainment();
+        });
+        reg.addScalar("serve.slo", "burn_rate", [mon]() {
+            return mon->overallBurnRate();
+        });
+        reg.addScalar("serve.slo", "worst_window_burn_rate", [mon]() {
+            return mon->worstWindowBurnRate();
+        });
     }
     return out;
 }

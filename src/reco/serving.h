@@ -33,6 +33,7 @@
 #include "src/common/stats.h"
 #include "src/load/latency_recorder.h"
 #include "src/load/load_gen.h"
+#include "src/obs/slo_monitor.h"
 #include "src/obs/tracer.h"
 #include "src/reco/model_runner.h"
 
@@ -178,6 +179,9 @@ struct ServeConfig
     unsigned warmupQueries = 20;
     Tick latencySlo = 50 * msec;
     std::uint64_t seed = 99;
+    /** Windowed SLO monitoring (attainment + error-budget burn);
+     *  disabled by default so existing harnesses are untouched. */
+    SloConfig slo;
 };
 
 /** What the batched harness measured. */
@@ -242,6 +246,24 @@ struct ServeStats
     std::uint64_t deadlineMisses = 0;
     std::uint64_t failovers = 0;
     std::vector<unsigned> ejectedDevices;
+    /** @} */
+
+    /** @{ SLO monitor output; empty/zero unless `ServeConfig::slo`
+     *  is enabled. Windows tumble over completion time. */
+    struct SloWindow
+    {
+        double startUs = 0.0;
+        unsigned queries = 0;
+        double attainment = 0.0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+        /** (1 - attainment) / (1 - objective). */
+        double burnRate = 0.0;
+    };
+    std::vector<SloWindow> sloWindows;
+    double sloMonitorAttainment = 0.0;
+    double errorBudgetBurnRate = 0.0;
+    double worstWindowBurnRate = 0.0;
     /** @} */
 };
 

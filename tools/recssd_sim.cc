@@ -57,11 +57,25 @@
  *   --trace-out FILE        record spans; write Chrome trace-event
  *                           JSON (open in Perfetto) and print the
  *                           per-phase latency-attribution table
+ *   --blame-out FILE        record spans (tracing auto-enabled) and
+ *                           write the critical-path blame report as
+ *                           JSON, plus print the blame table
+ *   --util-out FILE         record per-resource utilization / queue
+ *                           timelines and write them as JSON
+ *   --util-bucket-us N      utilization timeline bucket (default 1000)
  *   --metrics-out FILE      sample the stat registry over sim time;
  *                           JSONL by default, CSV when FILE ends .csv
  *   --metrics-interval-us N sampling period (default 50)
  *   --stats-json FILE       dump final device counters as JSON
  *                           ("-" = stdout)
+ *
+ * SLO monitor (serve mode; see README "Observability"):
+ *   --slo-target-us N       enable windowed SLO monitoring against an
+ *                           N-microsecond latency target
+ *   --slo-goal F            attainment objective in (0,1) (default
+ *                           0.99); burn rate 1.0 = budget spent
+ *                           exactly as provisioned
+ *   --slo-window-us N       tumbling window width (default 10000)
  */
 
 #include <algorithm>
@@ -75,6 +89,8 @@
 #include "src/core/experiment.h"
 #include "src/fault/fault_plan.h"
 #include "src/obs/attribution.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/utilization.h"
 #include "src/reco/model_runner.h"
 #include "src/reco/serving.h"
 
@@ -102,8 +118,11 @@ usage(const char *argv0)
                  "[--fault-plan FILE|SPEC] [--replication R] "
                  "[--hedge-delay-us N|auto] [--deadline-us N]\n"
                  "observability flags (both modes): [--trace-out FILE] "
-                 "[--metrics-out FILE] [--metrics-interval-us N] "
-                 "[--stats-json FILE|-]\n",
+                 "[--blame-out FILE] [--util-out FILE] "
+                 "[--util-bucket-us N] [--metrics-out FILE] "
+                 "[--metrics-interval-us N] [--stats-json FILE|-]\n"
+                 "SLO flags (serve mode): [--slo-target-us N] "
+                 "[--slo-goal F] [--slo-window-us N]\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -155,9 +174,15 @@ main(int argc, char **argv)
     unsigned max_inflight = 4;
     unsigned io_queues = 4;
     std::string trace_out;
+    std::string blame_out;
+    std::string util_out;
+    unsigned util_bucket_us = 1000;
     std::string metrics_out;
     unsigned metrics_interval_us = 50;
     std::string stats_json;
+    unsigned slo_target_us = 0;
+    double slo_goal = 0.99;
+    unsigned slo_window_us = 10000;
     std::string fault_plan;
     unsigned replication = 1;
     std::string hedge_delay;
@@ -228,6 +253,19 @@ main(int argc, char **argv)
             io_queues = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--trace-out")) {
             trace_out = need_value(i);
+        } else if (!std::strcmp(arg, "--blame-out")) {
+            blame_out = need_value(i);
+        } else if (!std::strcmp(arg, "--util-out")) {
+            util_out = need_value(i);
+        } else if (!std::strcmp(arg, "--util-bucket-us")) {
+            util_bucket_us =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--slo-target-us")) {
+            slo_target_us = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--slo-goal")) {
+            slo_goal = std::atof(need_value(i));
+        } else if (!std::strcmp(arg, "--slo-window-us")) {
+            slo_window_us = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--metrics-out")) {
             metrics_out = need_value(i);
         } else if (!std::strcmp(arg, "--metrics-interval-us")) {
@@ -329,10 +367,12 @@ main(int argc, char **argv)
     const ModelConfig &model = modelByName(model_name);
     ModelRunner runner(sys, model, opt);
 
-    if (metrics_interval_us == 0)
+    if (metrics_interval_us == 0 || util_bucket_us == 0)
         usage(argv[0]);
-    if (!trace_out.empty())
+    if (!trace_out.empty() || !blame_out.empty())
         sys.enableTracing();
+    if (!util_out.empty())
+        sys.enableUtilization(Tick(util_bucket_us) * usec);
     if (!metrics_out.empty())
         sys.startMetricSampler(Tick(metrics_interval_us) * usec);
 
@@ -353,6 +393,32 @@ main(int argc, char **argv)
             AttributionReport report = attribute(sys.tracer());
             report.print(std::cout);
         }
+        if (!blame_out.empty()) {
+            std::ofstream os(blame_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             blame_out.c_str());
+                std::exit(1);
+            }
+            BlameReport blame = computeBlame(sys.tracer());
+            blame.writeJson(os);
+            blame.print(std::cout);
+            std::printf("blame: %u requests (%u tail) -> %s\n",
+                        blame.requests, blame.tailRequests,
+                        blame_out.c_str());
+        }
+        if (!util_out.empty()) {
+            std::ofstream os(util_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             util_out.c_str());
+                std::exit(1);
+            }
+            UtilizationCollector &util = *sys.utilization();
+            util.writeJson(os, sys.eq().now());
+            std::printf("utilization: %zu resources -> %s\n",
+                        util.resources().size(), util_out.c_str());
+        }
         if (!metrics_out.empty()) {
             std::ofstream os(metrics_out);
             if (!os) {
@@ -360,8 +426,9 @@ main(int argc, char **argv)
                              metrics_out.c_str());
                 std::exit(1);
             }
+            // System::run() already closed the series (final partial
+            // interval included), so no extra snapshot here.
             MetricSampler &sampler = *sys.metricSampler();
-            sampler.sampleNow();  // final snapshot at drain time
             bool csv = metrics_out.size() > 4 &&
                        metrics_out.rfind(".csv") == metrics_out.size() - 4;
             if (csv)
@@ -408,6 +475,14 @@ main(int argc, char **argv)
         scfg.queries = queries;
         scfg.warmupQueries = std::max(1u, queries / 10);
         scfg.seed = seed;
+        if (slo_target_us > 0) {
+            if (slo_window_us == 0 || slo_goal <= 0.0 || slo_goal >= 1.0)
+                usage(argv[0]);
+            scfg.slo.enabled = true;
+            scfg.slo.target = Tick(slo_target_us) * usec;
+            scfg.slo.objective = slo_goal;
+            scfg.slo.window = Tick(slo_window_us) * usec;
+        }
 
         std::printf("serving %s, backend %s, %s arrivals @ %.1f qps, "
                     "batch %u, coalesce cap %u, %u queue pairs, "
@@ -429,6 +504,13 @@ main(int argc, char **argv)
                     s.avgCoalescedSamples, s.maxSchedulerDepth);
         std::printf("split: %.1f%% of lookups served host-side\n",
                     s.hostServedFraction * 100);
+        if (scfg.slo.enabled) {
+            std::printf("slo: %u windows, attainment %.4f vs goal %.2f, "
+                        "burn rate %.2f (worst window %.2f)\n",
+                        static_cast<unsigned>(s.sloWindows.size()),
+                        s.sloMonitorAttainment, slo_goal,
+                        s.errorBudgetBurnRate, s.worstWindowBurnRate);
+        }
         if (sys.numSsds() == 1) {
             for (std::size_t q = 0; q < s.commandsPerQueue.size(); ++q) {
                 std::printf("queue %zu: %llu commands, max depth %u\n", q,

@@ -106,4 +106,27 @@ goodFaultInjection(recssd::EventQueue &eq, Tick randomJitter)
     (void)disarmed;
 }
 
+/**
+ * An artifact writer done right, shaped like the blame/utilization
+ * exporters (src/obs): the unordered container serves point lookups
+ * only; emission walks an insertion-ordered vector through a
+ * name-sorted index, so the output bytes are a pure function of the
+ * run.  The `find()` against the unordered index must not fire R3.
+ */
+template <typename Stream>
+inline void
+goodArtifactWriter(Stream &os, const std::vector<double> &rows,
+                   const std::unordered_map<std::string, std::size_t>
+                       &index,
+                   const std::vector<std::string> &sortedNames)
+{
+    os << "{";
+    for (const std::string &name : sortedNames) {
+        auto it = index.find(name);  // lookup, not traversal
+        if (it != index.end())
+            os << "\"" << name << "\":" << rows[it->second] << ",";
+    }
+    os << "}";
+}
+
 }  // namespace recssd_fixture

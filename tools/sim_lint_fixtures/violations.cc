@@ -88,4 +88,23 @@ badFaultInjection(recssd::EventQueue &eq)
     (void)jitter; (void)stall;
 }
 
+/**
+ * An artifact writer done wrong: the blame/utilization exporters keep
+ * an unordered index for point lookups, but this one *walks* it to
+ * emit JSON rows -- hash order reaches the output file, so two runs of
+ * the same seed diff.  The real writers (src/obs/critical_path.cc,
+ * src/obs/utilization.cc) iterate an insertion-ordered vector or a
+ * name-sorted index instead.
+ */
+template <typename Stream>
+void
+badArtifactWriter(Stream &os,
+                  const std::unordered_map<std::string, double> &rows)
+{
+    os << "{";
+    for (const auto &kv : rows)                            // expect: R3
+        os << "\"" << kv.first << "\":" << kv.second << ",";
+    os << "}";
+}
+
 }  // namespace recssd_fixture
