@@ -60,7 +60,7 @@ main()
     fresh[0] = 999.0f;
     bool updated = false;
     Tick t0 = sys.eq().now();
-    updateRow(sys.driver(), 0, table, row, fresh, [&]() { updated = true; });
+    updateRow(sys.driver(), sys.queues(), table, row, fresh, [&]() { updated = true; });
     sys.run();
     std::printf("in-place update took %.1fus (NVMe write + program): %s\n",
                 ticksToUs(sys.eq().now() - t0), updated ? "ok" : "FAILED");

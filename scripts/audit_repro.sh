@@ -61,6 +61,14 @@ run_twice batch-base \
 run_twice batch-ndp-freq-layout \
     --model RM1 --backend ndp --all-ssd \
     --layout-policy freq --hot-tier-pages 512 --seed 13
+# Mixed read-write serving: the seeded update stream, flush batching,
+# replica write fan-out, GC kicked by update churn, and fence
+# redirects in the NDP engine must all replay identically — the
+# write path gets no reproducibility exemption.
+run_twice serve-1ssd-updates \
+    --serve --model RM1 --backend ndp --all-ssd --num-ssds 1 \
+    --update-rate 2000 --update-skew 0.8 \
+    --queries 40 --qps 500 --seed 13
 # The whole tail-tolerance machinery at once: injector RNG, hedge
 # timers racing completions, a mid-run dropout failing over, deadline
 # delivery — all of it must still be a pure function of the config.

@@ -51,13 +51,23 @@ CONFIGS = {
         "--num-ssds", "4", "--shard-policy", "range",
         "--queries", "40", "--qps", "20", "--seed", "13",
     ],
+    # Mixed read-write serving: the online-update stream competes with
+    # queries for firmware CPU and NVMe queues. Gates the write path
+    # (applied counts, WA accounting) alongside the read tail.
+    "serve_ndp_1ssd_updates": [
+        "--serve", "--model", "RM1", "--backend", "ndp", "--all-ssd",
+        "--queries", "40", "--qps", "5", "--seed", "13",
+        "--update-rate", "2000", "--update-skew", "0.8",
+    ],
 }
 
 # Counted metrics are exact (a change in how many requests the blame
 # report covers is a bug, not drift); continuous metrics get the
 # default relative tolerance unless tightened here.
 EXACT_METRICS = ("blame.requests", "blame.tail_requests",
-                 "throughput.fused_batches")
+                 "throughput.fused_batches", "update.applied",
+                 "update.flushes", "update.host_page_writes",
+                 "update.flash_page_writes", "update.gc_runs")
 DEFAULT_REL = 0.05
 
 LATENCY_RE = re.compile(
@@ -65,6 +75,11 @@ LATENCY_RE = re.compile(
     r"p999 ([\d.]+)us\s+mean ([\d.]+)us\s+max ([\d.]+)us")
 THROUGHPUT_RE = re.compile(
     r"throughput: ([\d.]+) qps sustained, (\d+) fused batches")
+UPDATES_RE = re.compile(
+    r"updates: (\d+) applied / (\d+) submitted in (\d+) flushes")
+WRITE_PATH_RE = re.compile(
+    r"write path: (\d+) host page writes -> (\d+) flash programs "
+    r"\(WA ([\d.]+)\), (\d+) GC runs")
 
 
 def run_config(sim, name, args):
@@ -105,6 +120,20 @@ def run_config(sim, name, args):
         "blame.tail_queueing_fraction":
             float(blame["tail_queueing_fraction"]),
     }
+
+    # Mixed-RW configs print the update/write-path lines; read-only
+    # configs don't, and their baselines stay byte-identical.
+    upd = UPDATES_RE.search(out)
+    wp = WRITE_PATH_RE.search(out)
+    if upd and wp:
+        metrics.update({
+            "update.applied": float(upd.group(1)),
+            "update.flushes": float(upd.group(3)),
+            "update.host_page_writes": float(wp.group(1)),
+            "update.flash_page_writes": float(wp.group(2)),
+            "update.write_amplification": float(wp.group(3)),
+            "update.gc_runs": float(wp.group(4)),
+        })
     return metrics
 
 

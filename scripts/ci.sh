@@ -15,10 +15,15 @@
 #   4  layout matrix — ctest -L layout (the frequency-aware placement
 #      property/differential lockdown) plus recssd_sim smoke runs under
 #      --layout-policy freq.
-#   5  reproducibility audit — scripts/audit_repro.sh runs seeded
+#   5  mixed read-write matrix — ctest -L updates2 (the write-path /
+#      read-after-write consistency lockdown, including the torn-sum
+#      death test) plus recssd_sim smokes with a live update stream at
+#      1 and 4 SSDs and one faulted mixed-RW leg; RECSSD_AUDIT keeps
+#      the torn-gather invariant armed throughout.
+#   6  reproducibility audit — scripts/audit_repro.sh runs seeded
 #      configs twice in separate processes with RECSSD_AUDIT=1 and
 #      byte-diffs stats/metrics/trace/stdout.
-#   6  observability + perf-regression gate — ctest -L obs2 (blame /
+#   7  observability + perf-regression gate — ctest -L obs2 (blame /
 #      utilization / SLO suites, with RECSSD_AUDIT asserting the
 #      critical-path partition and Little's-law invariants), the
 #      bench_baseline.py comparator self-test (proves the gate detects
@@ -26,9 +31,10 @@
 #      bench/baselines/. All gated metrics are simulated-time, so they
 #      are exact on any host; a regression here means the change moved
 #      simulated performance, not the machine.
-#   7  quick + shard + layout + obs2 suites again under ASan+UBSan in
-#      a separate build tree (the 4-device and freq-layout smokes and
-#      one bench-gate config ride the sanitizer leg too).
+#   8  quick + shard + layout + obs2 + updates2 suites again under
+#      ASan+UBSan in a separate build tree (the 4-device, freq-layout
+#      and mixed-RW smokes and one bench-gate config ride the
+#      sanitizer leg too).
 #      RECSSD_SKIP_SANITIZERS=1 skips this stage (hosts without ASan).
 # Pass a generator via CMAKE_GENERATOR if you want Ninja; the default
 # works everywhere.
@@ -91,18 +97,39 @@ RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --model RM1 --backend ndp \
     --queries 40 --qps 500 > /dev/null
 
 echo
-echo "=== stage 5: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
+echo "=== stage 5: mixed read-write matrix (ctest -L updates2 + update smokes) ==="
+RECSSD_AUDIT=1 ctest --test-dir build -L updates2 --output-on-failure -j
+# Mixed-RW smokes: online update stream racing serve-mode gathers,
+# single device and sharded+replicated. RECSSD_AUDIT arms the
+# torn-gather invariant inside the NDP engine for the whole run.
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --model RM1 --backend ndp \
+    --all-ssd --num-ssds 1 --update-rate 2000 --update-skew 0.8 \
+    --queries 40 --qps 500 > /dev/null
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --model RM1 --backend ndp \
+    --all-ssd --num-ssds 4 --shard-policy hash --replication 2 \
+    --update-rate 2000 --update-skew 0.8 --rw-ratio 0.5 \
+    --queries 40 --qps 500 > /dev/null
+# Faulted mixed-RW leg: a device dropout mid-stream must not break
+# read-after-write on the surviving replicas.
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --model RM1 --backend ndp \
+    --all-ssd --num-ssds 4 --shard-policy range --replication 2 --batch 4 \
+    --update-rate 1000 --update-skew 0.8 \
+    --fault-plan 'dropout@3:at=50ms' --hedge-delay-us auto \
+    --deadline-us 50000 --queries 30 --qps 20 > /dev/null
+
+echo
+echo "=== stage 6: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
 ./scripts/audit_repro.sh build/tools/recssd_sim
 
 echo
-echo "=== stage 6: observability + perf-regression gate ==="
+echo "=== stage 7: observability + perf-regression gate ==="
 RECSSD_AUDIT=1 ctest --test-dir build -L obs2 --output-on-failure -j
 python3 scripts/bench_baseline.py --self-test
 python3 scripts/bench_baseline.py --sim build/tools/recssd_sim
 
 if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     echo
-    echo "=== stage 7: quick + shard + layout + obs2 suites under ASan+UBSan ==="
+    echo "=== stage 8: quick + shard + layout + obs2 + updates2 suites under ASan+UBSan ==="
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -113,6 +140,7 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     ctest --test-dir build-asan -L shard --output-on-failure -j
     ctest --test-dir build-asan -L layout --output-on-failure -j
     ctest --test-dir build-asan -L obs2 --output-on-failure -j
+    RECSSD_AUDIT=1 ctest --test-dir build-asan -L updates2 --output-on-failure -j
     # The bench gate under ASan: simulated-time metrics are host- and
     # sanitizer-independent, so the same baselines must hold exactly.
     python3 scripts/bench_baseline.py --sim build-asan/tools/recssd_sim \
@@ -126,6 +154,9 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
         --num-ssds 4 --shard-policy range --replication 2 --batch 4 \
         --fault-plan 'dropout@3:at=50ms' --hedge-delay-us auto \
         --deadline-us 50000 --queries 30 --qps 20 > /dev/null
+    RECSSD_AUDIT=1 ./build-asan/tools/recssd_sim --serve --model RM1 \
+        --backend ndp --all-ssd --num-ssds 1 --update-rate 2000 \
+        --update-skew 0.8 --queries 40 --qps 500 > /dev/null
 fi
 
 echo

@@ -1,5 +1,6 @@
 #include "src/embedding/dram_backend.h"
 
+#include "src/common/logging.h"
 #include "src/embedding/synthetic_values.h"
 #include "src/obs/tracer.h"
 
@@ -12,6 +13,16 @@ DramSlsBackend::DramSlsBackend(EventQueue &eq, HostCpu &cpu)
 }
 
 void
+DramSlsBackend::applyUpdate(const EmbeddingTableDesc &table, RowId row,
+                            std::span<const float> values)
+{
+    recssd_assert(values.size() == table.dim,
+                  "value width does not match the table");
+    overrides_[{table.id, table.globalRow(row)}] =
+        std::vector<float>(values.begin(), values.end());
+}
+
+void
 DramSlsBackend::run(const SlsOp &op, Done done)
 {
     const EmbeddingTableDesc &table = *op.table;
@@ -19,7 +30,25 @@ DramSlsBackend::run(const SlsOp &op, Done done)
                                  op.totalLookups();
     // Functional result computed up front; only its availability is
     // delayed by the simulated gather time.
-    SlsResult result = synthetic::expectedSls(table, op.indices);
+    SlsResult result;
+    if (overrides_.empty()) {
+        result = synthetic::expectedSls(table, op.indices);
+    } else {
+        result.assign(op.indices.size() * table.dim, 0.0f);
+        for (std::size_t b = 0; b < op.indices.size(); ++b) {
+            for (RowId row : op.indices[b]) {
+                auto it =
+                    overrides_.find({table.id, table.globalRow(row)});
+                for (std::uint32_t e = 0; e < table.dim; ++e) {
+                    result[b * table.dim + e] +=
+                        it != overrides_.end()
+                            ? it->second[e]
+                            : synthetic::value(table.id,
+                                               table.globalRow(row), e);
+                }
+            }
+        }
+    }
     SpanId span = invalidSpan;
     if (Tracer *tracer = tracerOf(eq_)) {
         span = tracer->begin(tracer->track("host.sls"), "dram_gather",

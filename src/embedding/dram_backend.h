@@ -10,6 +10,11 @@
 #ifndef RECSSD_EMBEDDING_DRAM_BACKEND_H
 #define RECSSD_EMBEDDING_DRAM_BACKEND_H
 
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "src/common/event_queue.h"
 #include "src/embedding/sls_backend.h"
 #include "src/host/host_cpu.h"
@@ -25,12 +30,28 @@ class DramSlsBackend : public SlsBackend
     void run(const SlsOp &op, Done done) override;
     std::string name() const override { return "dram"; }
 
+    /**
+     * Reflect a committed online row update in the DRAM copy of the
+     * table: subsequent gathers of `row` (global id) read `values`
+     * instead of the pristine synthetic content. The result stays
+     * bit-identical to what the SSD backends serve after the same
+     * update as long as the values are exactly representable at the
+     * table's attribute encoding (integer-valued floats, as
+     * `synthetic::updatedVector` produces).
+     */
+    void applyUpdate(const EmbeddingTableDesc &table, RowId row,
+                     std::span<const float> values);
+
     /** Fixed per-operator dispatch overhead. */
     static constexpr Tick opOverhead = 3 * usec;
 
   private:
     EventQueue &eq_;
     HostCpu &cpu_;
+    /** (table id, global row) -> replacement vector. Empty in update-
+     *  free runs, which keep the pristine expectedSls fast path. */
+    std::map<std::pair<std::uint32_t, RowId>, std::vector<float>>
+        overrides_;
 };
 
 }  // namespace recssd

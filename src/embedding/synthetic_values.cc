@@ -71,6 +71,27 @@ expectedSls(const EmbeddingTableDesc &desc,
     return out;
 }
 
+float
+updatedValue(std::uint32_t table_id, RowId row, std::uint32_t element,
+             std::uint64_t version)
+{
+    if (version == 0)
+        return value(table_id, row, element);
+    std::uint64_t h = mix((std::uint64_t(table_id) << 48) ^ (row << 12) ^
+                          element ^ (version * 0x9e3779b97f4a7c15ull));
+    return static_cast<float>(h & 0xF);
+}
+
+std::vector<float>
+updatedVector(const EmbeddingTableDesc &desc, RowId row,
+              std::uint64_t version)
+{
+    std::vector<float> v(desc.dim);
+    for (std::uint32_t e = 0; e < desc.dim; ++e)
+        v[e] = updatedValue(desc.id, desc.globalRow(row), e, version);
+    return v;
+}
+
 DataStore::Generator
 makeGenerator(const EmbeddingTableDesc &desc)
 {

@@ -51,6 +51,22 @@ expectedSls(const EmbeddingTableDesc &desc,
  */
 DataStore::Generator makeGenerator(const EmbeddingTableDesc &desc);
 
+/**
+ * Deterministic content of one element after `version` committed
+ * online updates of its row (version 0 = the pristine install). Like
+ * `value`, results are small integer-valued floats, so attribute
+ * encoding and fp32 accumulation stay exact and every layer — the
+ * update stream producing the write payload, a DRAM replica applying
+ * the same update, and a test predicting the post-update sum — derives
+ * identical bytes independently.
+ */
+float updatedValue(std::uint32_t table_id, RowId row, std::uint32_t element,
+                   std::uint64_t version);
+
+/** Decoded fp32 vector of a (table-local) row after `version` updates. */
+std::vector<float> updatedVector(const EmbeddingTableDesc &desc, RowId row,
+                                 std::uint64_t version);
+
 }  // namespace synthetic
 
 }  // namespace recssd

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/ndp/attr_codec.h"
+#include "src/obs/tracer.h"
 
 namespace recssd
 {
@@ -25,36 +26,59 @@ patchSlot(std::vector<std::byte> &page, const EmbeddingTableDesc &table,
 }  // namespace
 
 void
-updateRow(UnvmeDriver &driver, unsigned queue,
+updateRow(UnvmeDriver &driver, QueueAllocator &queues,
           const EmbeddingTableDesc &table, RowId row,
-          std::span<const float> values, std::function<void()> done)
+          std::span<const float> values, std::function<void()> done,
+          std::uint64_t trace_id)
 {
     recssd_assert(row < table.rows, "row out of range");
     recssd_assert(values.size() == table.dim,
                   "value width does not match the table");
     Lpn lpn = table.lpnOf(row);
-
-    if (table.rowsPerPage == 1) {
-        // The row owns the page: write directly.
-        auto page = std::make_shared<std::vector<std::byte>>(
-            driver.pageSize(), std::byte{0});
-        patchSlot(*page, table, row, values);
-        driver.writePage(queue, lpn, page, std::move(done));
-        return;
-    }
-
-    // Packed layout: read-modify-write the shared page.
     auto desc = table;
     auto vals = std::vector<float>(values.begin(), values.end());
-    driver.readPage(queue, lpn, [&driver, queue, desc, row, lpn,
-                                 vals = std::move(vals),
-                                 done = std::move(done)](
-                                    const PageView &view) mutable {
-        auto page = std::make_shared<std::vector<std::byte>>(
-            driver.pageSize());
-        view.copyOut(0, *page);
-        patchSlot(*page, desc, row, vals);
-        driver.writePage(queue, lpn, page, std::move(done));
+
+    EventQueue &eq = driver.eventQueue();
+    SpanId wait_span = invalidSpan;
+    if (Tracer *tracer = tracerOf(eq)) {
+        wait_span = tracer->begin(tracer->track("host.update"), "queue_wait",
+                                  Phase::HostQueueWait, trace_id);
+    }
+    queues.acquire([&driver, &queues, &eq, desc, row, lpn, wait_span,
+                    trace_id, vals = std::move(vals),
+                    done = std::move(done)](unsigned queue) mutable {
+        if (Tracer *tracer = tracerOf(eq))
+            tracer->end(wait_span);
+        auto finish = [&queues, queue, done = std::move(done)]() {
+            queues.release(queue);
+            if (done)
+                done();
+        };
+
+        if (desc.rowsPerPage == 1) {
+            // The row owns the page: write directly.
+            auto page = std::make_shared<std::vector<std::byte>>(
+                driver.pageSize(), std::byte{0});
+            patchSlot(*page, desc, row, vals);
+            driver.writePage(queue, lpn, page, std::move(finish), trace_id);
+            return;
+        }
+
+        // Packed layout: read-modify-write the shared page, holding the
+        // queue across both commands so nothing interleaves on it.
+        driver.readPage(
+            queue, lpn,
+            [&driver, queue, desc, row, lpn, trace_id,
+             vals = std::move(vals),
+             finish = std::move(finish)](const PageView &view) mutable {
+                auto page = std::make_shared<std::vector<std::byte>>(
+                    driver.pageSize());
+                view.copyOut(0, *page);
+                patchSlot(*page, desc, row, vals);
+                driver.writePage(queue, lpn, page, std::move(finish),
+                                 trace_id);
+            },
+            trace_id);
     });
 }
 

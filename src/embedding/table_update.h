@@ -13,10 +13,12 @@
 #ifndef RECSSD_EMBEDDING_TABLE_UPDATE_H
 #define RECSSD_EMBEDDING_TABLE_UPDATE_H
 
+#include <cstdint>
 #include <functional>
 #include <span>
 
 #include "src/embedding/embedding_table.h"
+#include "src/host/queue_allocator.h"
 #include "src/host/unvme_driver.h"
 
 namespace recssd
@@ -29,13 +31,21 @@ namespace recssd
  * layout writes directly. The new value is visible to every backend
  * on completion.
  *
- * @param queue Driver I/O queue to use (held for the whole update).
+ * The update competes for NVMe queues like any other host traffic: it
+ * acquires a queue grant from `queues` (waiting behind serve traffic
+ * when all queues are busy, with a `queue_wait` trace span), holds the
+ * queue for the whole RMW so the per-queue depth gauges and
+ * utilization timelines see the write, and releases it on completion.
+ *
  * @param values New fp32 element values (encoded at the table's
  *        attribute size).
+ * @param trace_id Owning trace request (0 = none); tags every span the
+ *        update produces down the stack.
  */
-void updateRow(UnvmeDriver &driver, unsigned queue,
+void updateRow(UnvmeDriver &driver, QueueAllocator &queues,
                const EmbeddingTableDesc &table, RowId row,
-               std::span<const float> values, std::function<void()> done);
+               std::span<const float> values, std::function<void()> done,
+               std::uint64_t trace_id = 0);
 
 }  // namespace recssd
 

@@ -67,6 +67,18 @@ class DataStore
     /** True if the page has explicitly written content. */
     bool hasStored(Ppn ppn) const { return stored_.contains(ppn); }
 
+    /**
+     * True if reading the page yields real content (explicit bytes or
+     * a synthetic region) rather than the zero-fill fallback. A PPN
+     * that was erased and not rewritten is not covered — the torn-sum
+     * audit uses this to tell "legitimately old bytes" apart from
+     * "destroyed bytes".
+     */
+    bool covered(Ppn ppn) const
+    {
+        return stored_.contains(ppn) || findRegion(ppn) != nullptr;
+    }
+
     /** Number of explicitly stored pages. */
     std::size_t storedPages() const { return stored_.size(); }
 

@@ -95,15 +95,18 @@ Ftl::hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id)
         flash_.readPage(
             ppn,
             [this, lpn, ppn, done = std::move(done)](const PageView &view) {
-                cache_.insert(lpn, ppn);
+                // Re-check the mapping — a write or GC move while the
+                // read was in flight makes this PPN stale, and a stale
+                // cache entry would resurrect a pointer the write path
+                // already invalidated (later SLS gathers would consume
+                // it with a stable epoch, defeating the write fence).
+                bool current = map_.lookup(lpn) == ppn;
+                if (current)
+                    cache_.insert(lpn, ppn);
                 // Free DRAM pin: the page sits in the controller
-                // buffer at read-DMA completion anyway. Re-check the
-                // mapping — a write or GC move while the read was in
-                // flight makes this PPN stale.
-                if (layout_ && layout_->isHot(lpn) &&
-                    map_.lookup(lpn) == ppn) {
+                // buffer at read-DMA completion anyway.
+                if (layout_ && layout_->isHot(lpn) && current)
                     layout_->pinFromRead(lpn, ppn);
-                }
                 done(view);
             },
             trace_id);
@@ -115,8 +118,6 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
                std::uint64_t trace_id)
 {
     hostWrites_.inc();
-    if (writeObserver_)
-        writeObserver_(lpn);
     // Copy the payload now; the caller's buffer may not outlive the
     // simulated DMA.
     auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
@@ -132,6 +133,14 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
         Ppn ppn = blocks_.allocatePage(lpn, stream);
         recssd_assert(ppn != invalidPpn, "drive out of space");
         map_.set(lpn, ppn);
+        ++writeEpochs_[lpn];
+        // Observers (the NDP embedding cache) invalidate here, at the
+        // instant the mapping/epoch changes — not at command entry.
+        // Firing early would let a gather that consumed the old page
+        // re-insert its value *after* the invalidation, resurrecting
+        // a vector the write already superseded.
+        if (writeObserver_)
+            writeObserver_(lpn);
         if (old != invalidPpn)
             blocks_.invalidate(old);
         cache_.invalidate(lpn);
@@ -140,9 +149,16 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
         flash_.writePage(ppn, *payload,
                          [this, lpn, ppn, payload,
                           done = std::move(done)]() {
-                             cache_.insert(lpn, ppn);
-                             if (layout_)
-                                 layout_->onRewrite(lpn, ppn);
+                             // A newer write to the same LPN may have
+                             // remapped it during this program; caching
+                             // or hot-tier-pinning the superseded PPN
+                             // would hand later gathers a stale page
+                             // with a stable epoch.
+                             if (map_.lookup(lpn) == ppn) {
+                                 cache_.insert(lpn, ppn);
+                                 if (layout_)
+                                     layout_->onRewrite(lpn, ppn);
+                             }
                              if (done)
                                  done();
                              maybeStartGc();
@@ -155,8 +171,6 @@ void
 Ftl::hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id)
 {
     hostTrims_.inc();
-    if (writeObserver_)
-        writeObserver_(lpn);
     SpanId span = beginCpuSpan(eq_, cpuTrackName_, "trim_cmd", trace_id);
     cpu_.acquire(params_.trimCmdCpu, [this, lpn, span,
                                       done = std::move(done)]() {
@@ -165,6 +179,12 @@ Ftl::hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id)
         // overlay simply has nothing to deallocate.
         Ppn old = map_.lookup(lpn);
         map_.unset(lpn);
+        ++writeEpochs_[lpn];
+        // Same ordering rule as hostWrite: observers fire at the
+        // mapping change so deferred gather-completion inserts cannot
+        // outlive the invalidation.
+        if (writeObserver_)
+            writeObserver_(lpn);
         if (old != invalidPpn && map_.lookup(lpn) != old) {
             // The overlay (not a region) held the page: reclaim it.
             blocks_.invalidate(old);
@@ -320,6 +340,7 @@ Ftl::runGcPass()
                     recssd_assert(fresh != invalidPpn,
                                   "GC found no destination space");
                     map_.set(lpn, fresh);
+                    ++writeEpochs_[lpn];
                     blocks_.invalidate(old_ppn);
                     cache_.invalidate(lpn);
                     if (layout_)
@@ -399,6 +420,7 @@ Ftl::runMigration(Lpn lpn, Ppn old_ppn)
                 return;
             }
             map_.set(lpn, fresh);
+            ++writeEpochs_[lpn];
             blocks_.invalidate(old_ppn);
             cache_.invalidate(lpn);
             // Any read-time pin still references old_ppn, which GC
@@ -406,7 +428,10 @@ Ftl::runMigration(Lpn lpn, Ppn old_ppn)
             // the copy lands.
             layout_->onDataInvalidated(lpn);
             flash_.writePage(fresh, buf, [this, lpn, fresh, finish]() {
-                layout_->onMigrated(lpn, fresh);
+                // A host write during the program supersedes the
+                // migrated copy; pinning it would serve stale data.
+                if (map_.lookup(lpn) == fresh)
+                    layout_->onMigrated(lpn, fresh);
                 if (audit_)
                     auditCheckMapping();
                 maybeStartGc();

@@ -19,6 +19,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 
 #include "src/common/event_queue.h"
 #include "src/common/resource.h"
@@ -112,6 +113,22 @@ class Ftl
      */
     void injectFirmwarePause(Tick duration);
 
+    /**
+     * Monotonic remap epoch of one logical page: bumped every time its
+     * L2P mapping changes (host write, trim, GC relocation, hot-cluster
+     * migration). The SLS engine snapshots the epoch when it resolves a
+     * gather's PPN and re-resolves at consume time on mismatch, so a
+     * deferred translation never sums bytes from a PPN whose logical
+     * page has since moved — the read-after-write old-or-new fence.
+     * Never-remapped pages (including the whole bulk-installed region)
+     * sit at epoch 0 and pay only a hash miss here.
+     */
+    std::uint64_t writeEpochOf(Lpn lpn) const
+    {
+        auto it = writeEpochs_.find(lpn);
+        return it == writeEpochs_.end() ? 0 : it->second;
+    }
+
     MappingTable &map() { return map_; }
     BlockManager &blocks() { return blocks_; }
     PageCache &pageCache() { return cache_; }
@@ -170,6 +187,8 @@ class Ftl
     std::string layoutTrackName_;
     SerialResource cpu_;
     std::function<void(Lpn)> writeObserver_;
+    /** Per-LPN remap epochs (point lookups only — see writeEpochOf). */
+    std::unordered_map<Lpn, std::uint64_t> writeEpochs_;
     std::unique_ptr<LayoutManager> layout_;  ///< null under Log policy
     bool gcActive_ = false;
     bool migrActive_ = false;  ///< a hot-cluster migration is in flight

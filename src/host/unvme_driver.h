@@ -57,6 +57,9 @@ class UnvmeDriver
     /** Logical block size of the attached namespace. */
     unsigned pageSize() const { return ctrl_.pageSize(); }
 
+    /** The simulation clock this driver schedules on. */
+    EventQueue &eventQueue() { return eq_; }
+
     /** @{ Standard data path (one logical page per command). The
      *  optional trailing trace id tags every span the command produces
      *  down the stack with its owning request. */

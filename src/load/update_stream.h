@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Seeded online embedding-update stream.
+ *
+ * Production recommenders continuously push retrained rows while
+ * serving reads. This generator models that write path as an open-loop
+ * Poisson stream of per-row delta writes: a configurable aggregate
+ * rate, a Zipf row-popularity skew (retraining touches hot rows more
+ * often), and row targets spread across the model's tables in
+ * proportion to their row counts. The stream owns its Rng, so enabling
+ * updates never perturbs the query-arrival sequence of the same seed.
+ */
+
+#ifndef RECSSD_LOAD_UPDATE_STREAM_H
+#define RECSSD_LOAD_UPDATE_STREAM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace recssd
+{
+
+/** Configuration of the online-update stream (off by default). */
+struct UpdateStreamSpec
+{
+    /** Aggregate update rate, rows per simulated second; 0 = off. */
+    double rate = 0.0;
+    /** Zipf skew of updated rows within a table; 0 = uniform. */
+    double skew = 0.0;
+    /** Row updates coalesced into one flushed write batch. */
+    unsigned flushRows = 8;
+    /** Flush timeout: the oldest pending update never waits longer. */
+    Tick maxWait = 500 * usec;
+    /** Concurrent flushes in flight before the stream backpressures. */
+    unsigned maxInFlight = 2;
+    /** Stream seed (combined with the serve seed by the flusher). */
+    std::uint64_t seed = 1;
+
+    bool enabled() const { return rate > 0.0; }
+};
+
+/** One generated row update. */
+struct UpdateDesc
+{
+    Tick arrival = 0;
+    /** Index into the caller's table list (not the table id). */
+    std::uint32_t tableIdx = 0;
+    /** Table-local row to rewrite. */
+    RowId row = 0;
+    /** Global sequence number (feeds the per-row version counter). */
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Deterministic generator for the stream: Poisson inter-arrivals at
+ * `spec.rate`, table choice weighted by row count, row choice Zipf-
+ * skewed (rank 0 hottest) or uniform.
+ */
+class UpdateStream
+{
+  public:
+    /** `tableRows[i]` is the row count of the caller's i-th table. */
+    UpdateStream(const UpdateStreamSpec &spec,
+                 std::vector<std::uint64_t> tableRows, std::uint64_t seed);
+
+    /** Generate the next update (strictly increasing arrivals). */
+    UpdateDesc next();
+
+    /** Generate every update arriving at or before `horizon`. */
+    std::vector<UpdateDesc> until(Tick horizon);
+
+    const UpdateStreamSpec &spec() const { return spec_; }
+
+  private:
+    UpdateStreamSpec spec_;
+    std::vector<std::uint64_t> tableRows_;
+    std::vector<std::uint64_t> cumRows_;  ///< inclusive prefix sums
+    Rng rng_;
+    /** Per-table samplers, built lazily only when skew > 0. */
+    std::vector<std::unique_ptr<ZipfSampler>> zipf_;
+    double meanGapNs_;
+    Tick clock_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_LOAD_UPDATE_STREAM_H

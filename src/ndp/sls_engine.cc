@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/audit.h"
 #include "src/common/logging.h"
 #include "src/ndp/attr_codec.h"
 #include "src/obs/tracer.h"
@@ -14,7 +15,7 @@ namespace recssd
 SlsEngine::SlsEngine(EventQueue &eq, const SlsEngineParams &params, Ftl &ftl,
                      const std::string &track_prefix)
     : eq_(eq), params_(params), ftl_(ftl),
-      trackName_(track_prefix + "ndp.engine")
+      trackName_(track_prefix + "ndp.engine"), audit_(auditEnabled())
 {
     if (params_.embeddingCacheBytes > 0) {
         cache_ = std::make_unique<EmbeddingCache>(
@@ -193,6 +194,12 @@ SlsEngine::pump()
         entries_with_work = rrOrder_.size();
 
         PageWork work = entry->pages[entry->nextPage++];
+        // Snapshot the page's remap epoch at PPN-resolution time. All
+        // three resolution paths below (hot tier, page cache, flash
+        // read) defer the functional gather to a later firmware-core
+        // grant; the consume-time check in translate() re-resolves the
+        // mapping if it moved in between.
+        work.epoch = ftl_.writeEpochOf(work.lpn);
         if (LayoutManager *layout = ftl_.layout()) {
             // NDP SLS page touches feed the same frequency tracker as
             // host reads — embedding gathers are what make rows hot.
@@ -276,11 +283,40 @@ SlsEngine::translate(const EntryPtr &entry, PageWork work,
     Tick xlate_enq = eq_.now();
     Tick xlate_start = std::max(xlate_enq, ftl_.cpu().freeAt());
     ftl_.cpu().acquire(cost, [this, entry, work = std::move(work), page,
-                              xlate_span, xlate_enq, xlate_start]() {
+                              xlate_span, xlate_enq, xlate_start]() mutable {
         if (UtilizationCollector *util = eq_.util())
             util->record(trackName_, xlate_enq, xlate_start, eq_.now());
         if (Tracer *tracer = tracerOf(eq_))
             tracer->end(xlate_span);
+        if (!params_.disableWriteFence &&
+            ftl_.writeEpochOf(work.lpn) != work.epoch) {
+            // Read-after-write fence: the logical page was remapped
+            // (host rewrite, trim, GC or migration move) between PPN
+            // resolution and this consume. The stale PPN's bytes may
+            // already be erased; re-point the view at the live mapping
+            // so the gather sums the old-or-new row, never a torn one.
+            // Content at a fixed PPN only ever changes via block erase
+            // (writes go to fresh PPNs), so the re-resolved view is
+            // consistent.
+            fenceRedirects_.inc();
+            page = PageView(ftl_.flash().store(), ftl_.translate(work.lpn));
+        }
+        if (audit_) {
+            // Torn-sum invariant: consuming a PPN that is no longer
+            // the live mapping is only sound while its bytes are
+            // intact (the gather then sums the valid *old* row). If
+            // the stale page's content is gone (GC erased its block)
+            // the sum would be zeros — neither old nor new.
+            Ppn live = ftl_.translate(work.lpn);
+            recssd_assert(
+                page.ppn() == live || live == invalidPpn ||
+                    ftl_.flash().store().covered(page.ppn()),
+                "torn SLS gather: LPN %llu consumed erased PPN %llu "
+                "(live mapping %llu)",
+                static_cast<unsigned long long>(work.lpn),
+                static_cast<unsigned long long>(page.ppn()),
+                static_cast<unsigned long long>(live));
+        }
         const SlsConfig &cfg = entry->cfg;
         std::vector<std::byte> vec_buf(cfg.vectorBytes());
         for (std::uint32_t idx : work.pairIdx) {

@@ -57,6 +57,14 @@ struct SlsEngineParams
     std::uint64_t embeddingCacheBytes = 0;
     /** Slot size of the embedding cache. */
     std::uint32_t embeddingCacheVectorBytes = 256;
+
+    /**
+     * Test-only hook: disable the consume-time remap fence so the
+     * torn-sum RECSSD_AUDIT invariant and the no-torn-sum property
+     * test can prove they catch the bug the fence prevents. Never set
+     * outside tests.
+     */
+    bool disableWriteFence = false;
 };
 
 /** Per-request FTL-side time breakdown, as reported in Fig 8. */
@@ -112,6 +120,13 @@ class SlsEngine : public SlsHandler
     std::uint64_t pageCacheHits() const { return pageCacheHits_.value(); }
     /** SLS pages served from the hot-row DRAM tier (freq layout). */
     std::uint64_t hotTierHits() const { return hotTierHits_.value(); }
+    /**
+     * Gathers whose deferred translation was re-pointed at the live
+     * mapping because the page was remapped (host rewrite, trim, GC or
+     * migration move) after its PPN was resolved — the read-after-
+     * write fence engaging.
+     */
+    std::uint64_t fenceRedirects() const { return fenceRedirects_.value(); }
     std::uint64_t embedCacheHits() const
     {
         return cache_ ? cache_->hits() : 0;
@@ -124,6 +139,10 @@ class SlsEngine : public SlsHandler
     {
         Lpn lpn;
         std::vector<std::uint32_t> pairIdx;
+        /** The page's FTL remap epoch when its PPN was resolved; a
+         *  mismatch at consume time means the mapping moved and the
+         *  captured PPN may hold erased bytes (see translate). */
+        std::uint64_t epoch = 0;
     };
 
     /** One pending-SLS-request buffer entry (Fig 7, red structures). */
@@ -188,11 +207,13 @@ class SlsEngine : public SlsHandler
 
     std::string trackName_;
     SlsTiming lastTiming_;
+    bool audit_;  ///< RECSSD_AUDIT cached at construction
 
     Counter requests_;
     Counter flashPages_;
     Counter pageCacheHits_;
     Counter hotTierHits_;
+    Counter fenceRedirects_;
 };
 
 }  // namespace recssd

@@ -158,7 +158,13 @@ MetricSampler::writeJsonl(std::ostream &os) const
     for (const MetricRow &row : rows_) {
         os << "{\"ts_us\":";
         printNumber(os, ticksToUs(row.ts));
-        for (std::size_t i = 0; i < names.size(); ++i) {
+        // Stats registered after a row was sampled (e.g. the
+        // serve.update.* scalars added at end of run) have no value in
+        // that row — emit only the columns that existed at sample
+        // time. Reading past row.values would export uninitialized
+        // memory and break the two-run reproducibility audit.
+        std::size_t cols = std::min(names.size(), row.values.size());
+        for (std::size_t i = 0; i < cols; ++i) {
             os << ",\"" << jsonEscape(names[i]) << "\":";
             printNumber(os, row.values[i]);
         }
@@ -180,6 +186,10 @@ MetricSampler::writeCsv(std::ostream &os) const
             os << ",";
             printNumber(os, v);
         }
+        // Columns registered after this row was sampled: empty cells
+        // (the stat did not exist yet), never uninitialized reads.
+        for (std::size_t i = row.values.size(); i < names.size(); ++i)
+            os << ",";
         os << "\n";
     }
 }

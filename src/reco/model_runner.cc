@@ -171,6 +171,17 @@ ModelRunner::ssdTables() const
     return n;
 }
 
+std::vector<EmbeddingTableDesc>
+ModelRunner::ssdTableDescs() const
+{
+    std::vector<EmbeddingTableDesc> out;
+    for (const auto &t : tables_) {
+        if (t.onSsd)
+            out.push_back(t.desc);
+    }
+    return out;
+}
+
 SlsBackend &
 ModelRunner::backendFor(const TableRt &table)
 {

@@ -147,6 +147,10 @@ class ModelRunner
     /** Tables placed on the SSD under the current options. */
     unsigned ssdTables() const;
 
+    /** Global descriptors of the SSD-resident tables, in model order —
+     *  the online-update stream's write targets. */
+    std::vector<EmbeddingTableDesc> ssdTableDescs() const;
+
     HostEmbeddingCache *hostCache() { return hostCache_.get(); }
     StaticPartition *partition() { return partition_.get(); }
 

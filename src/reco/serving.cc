@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/obs/metrics.h"
+#include "src/reco/update_flusher.h"
 
 namespace recssd
 {
@@ -248,6 +249,39 @@ runServe(ModelRunner &runner, const ServeConfig &config)
     if (config.slo.enabled)
         mon = std::make_shared<SloMonitor>(config.slo);
 
+    // Online-update stream (opt-in). Shared ownership: the registry
+    // getters below may outlive this frame. Write-path device counters
+    // snapshot before and after so WA is a whole-run delta.
+    std::shared_ptr<UpdateFlusher> updates;
+    struct WriteSnap
+    {
+        std::uint64_t hostWrites = 0;
+        std::uint64_t flashWrites = 0;
+        std::uint64_t erases = 0;
+        std::uint64_t gcRuns = 0;
+        std::uint64_t gcMigrated = 0;
+        std::uint64_t fenceRedirects = 0;
+    };
+    auto snapWrites = [&sys]() {
+        WriteSnap s;
+        for (unsigned d = 0; d < sys.numSsds(); ++d) {
+            Ssd &ssd = sys.ssd(d);
+            s.hostWrites += ssd.ftl().hostWrites();
+            s.flashWrites += ssd.flash().pageWrites();
+            s.erases += ssd.flash().blockErases();
+            s.gcRuns += ssd.ftl().gcRuns();
+            s.gcMigrated += ssd.ftl().gcPagesMigrated();
+            s.fenceRedirects += ssd.slsEngine().fenceRedirects();
+        }
+        return s;
+    };
+    WriteSnap writes_before;
+    if (config.updates.enabled()) {
+        updates = std::make_shared<UpdateFlusher>(
+            sys, runner.ssdTableDescs(), config.updates, config.seed);
+        writes_before = snapWrites();
+    }
+
     // Host-vs-SSD split accounting over the whole run: lookups the
     // host LRU cache / static partition absorb never reach the SSD.
     std::uint64_t host_before = 0;
@@ -266,10 +300,14 @@ runServe(ModelRunner &runner, const ServeConfig &config)
     };
     splitCounters(host_before, total_before);
 
+    // Arrival ticks are relative to the start of the run; rebase on
+    // the current clock so callers may warm the system up (prefill,
+    // profiling) before serving. Zero-base runs are unchanged.
+    const Tick base = eq.now();
     for (unsigned i = 0; i < total; ++i) {
         const QueryDesc &q = arrivals[i];
-        eq.schedule(q.arrival, [&scheduler, &config, m, mon, i,
-                                shape = q.shape]() {
+        eq.schedule(base + q.arrival, [&scheduler, &config, m, mon, i,
+                                       shape = q.shape]() {
             scheduler.submit(shape, [&config, m, mon,
                                      i](const QueryTimes &t) {
                 ++m->completed;
@@ -290,11 +328,18 @@ runServe(ModelRunner &runner, const ServeConfig &config)
             });
         });
     }
+    // Mixed read-write serving: the update stream spans the query
+    // arrival horizon, so write traffic races reads for NVMe queues,
+    // firmware CPU, flash dies — and feeds GC.
+    if (updates)
+        updates->scheduleUntil(arrivals.back().arrival);
+
     // The measurement window opens when the first measured query
     // arrives (its arrival tick is known up front).
     Tick measure_start =
-        config.warmupQueries < total ? arrivals[config.warmupQueries].arrival
-                                     : 0;
+        config.warmupQueries < total
+            ? base + arrivals[config.warmupQueries].arrival
+            : base;
     sys.run();
     recssd_assert(m->completed == total,
                   "serving path lost queries: %u of %u completed",
@@ -406,6 +451,68 @@ runServe(ModelRunner &runner, const ServeConfig &config)
         });
         reg.addScalar("serve.slo", "worst_window_burn_rate", [mon]() {
             return mon->worstWindowBurnRate();
+        });
+    }
+    if (updates) {
+        WriteSnap after = snapWrites();
+        ServeStats::UpdateStats &u = out.update;
+        u.submitted = updates->submitted();
+        u.applied = updates->applied();
+        u.replicaWrites = updates->replicaWrites();
+        u.flushes = updates->flushes();
+        u.skippedDeadDevice = updates->skippedDeadDevice();
+        if (updates->flushLatency().count() > 0) {
+            u.meanFlushUs = updates->flushLatency().meanUs();
+            u.p99FlushUs = updates->flushLatency().percentileUs(0.99);
+        }
+        u.hostPageWrites = after.hostWrites - writes_before.hostWrites;
+        u.flashPageWrites = after.flashWrites - writes_before.flashWrites;
+        u.blockErases = after.erases - writes_before.erases;
+        u.gcRuns = after.gcRuns - writes_before.gcRuns;
+        u.gcPagesMigrated = after.gcMigrated - writes_before.gcMigrated;
+        u.fenceRedirects =
+            after.fenceRedirects - writes_before.fenceRedirects;
+        if (u.hostPageWrites > 0) {
+            u.writeAmplification =
+                static_cast<double>(u.flashPageWrites) /
+                static_cast<double>(u.hostPageWrites);
+        }
+
+        // Surface the update stream in the stat registry (stats JSON
+        // + metric sampler). The getters snapshot the finished run and
+        // share ownership of the flusher. Update-free runs never reach
+        // here, so registry contents stay byte-identical to the seed.
+        StatRegistry &reg = sys.statsMut();
+        auto shared = std::make_shared<ServeStats::UpdateStats>(u);
+        reg.addScalar("serve.update", "submitted", [shared]() {
+            return static_cast<double>(shared->submitted);
+        });
+        reg.addScalar("serve.update", "applied", [shared]() {
+            return static_cast<double>(shared->applied);
+        });
+        reg.addScalar("serve.update", "replica_writes", [shared]() {
+            return static_cast<double>(shared->replicaWrites);
+        });
+        reg.addScalar("serve.update", "flushes", [shared]() {
+            return static_cast<double>(shared->flushes);
+        });
+        reg.addScalar("serve.update", "skipped_dead", [shared]() {
+            return static_cast<double>(shared->skippedDeadDevice);
+        });
+        reg.addScalar("serve.update", "host_page_writes", [shared]() {
+            return static_cast<double>(shared->hostPageWrites);
+        });
+        reg.addScalar("serve.update", "flash_page_writes", [shared]() {
+            return static_cast<double>(shared->flashPageWrites);
+        });
+        reg.addScalar("serve.update", "write_amplification", [shared]() {
+            return shared->writeAmplification;
+        });
+        reg.addScalar("serve.update", "gc_runs", [shared]() {
+            return static_cast<double>(shared->gcRuns);
+        });
+        reg.addScalar("serve.update", "fence_redirects", [shared]() {
+            return static_cast<double>(shared->fenceRedirects);
         });
     }
     return out;

@@ -33,6 +33,7 @@
 #include "src/common/stats.h"
 #include "src/load/latency_recorder.h"
 #include "src/load/load_gen.h"
+#include "src/load/update_stream.h"
 #include "src/obs/slo_monitor.h"
 #include "src/obs/tracer.h"
 #include "src/reco/model_runner.h"
@@ -182,6 +183,10 @@ struct ServeConfig
     /** Windowed SLO monitoring (attainment + error-budget burn);
      *  disabled by default so existing harnesses are untouched. */
     SloConfig slo;
+    /** Online embedding-update stream mixed into the serve run;
+     *  disabled by default (rate 0) so existing harnesses — and their
+     *  byte-identical artifacts — are untouched. */
+    UpdateStreamSpec updates;
 };
 
 /** What the batched harness measured. */
@@ -264,6 +269,33 @@ struct ServeStats
     double sloMonitorAttainment = 0.0;
     double errorBudgetBurnRate = 0.0;
     double worstWindowBurnRate = 0.0;
+    /** @} */
+
+    /** @{ Online-update stream + write-path accounting; all zero
+     *  unless `ServeConfig::updates` is enabled. Counter fields are
+     *  whole-run deltas summed over every device. */
+    struct UpdateStats
+    {
+        std::uint64_t submitted = 0;   ///< row updates generated
+        std::uint64_t applied = 0;     ///< row updates flushed
+        std::uint64_t replicaWrites = 0;  ///< page writes incl. replicas
+        std::uint64_t flushes = 0;
+        std::uint64_t skippedDeadDevice = 0;
+        double meanFlushUs = 0.0;
+        double p99FlushUs = 0.0;
+        /** Host-issued page writes (the update traffic itself). */
+        std::uint64_t hostPageWrites = 0;
+        /** Flash page programs, including GC/migration relocations. */
+        std::uint64_t flashPageWrites = 0;
+        std::uint64_t blockErases = 0;
+        std::uint64_t gcRuns = 0;
+        std::uint64_t gcPagesMigrated = 0;
+        /** flashPageWrites / hostPageWrites. */
+        double writeAmplification = 0.0;
+        /** SLS gathers re-pointed at the live mapping by the read-
+         *  after-write fence (see SlsEngine::fenceRedirects). */
+        std::uint64_t fenceRedirects = 0;
+    } update;
     /** @} */
 };
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Online-update serving driver: batched, replica-converging row
+ * writes racing the read path.
+ *
+ * The write-path sibling of `BatchScheduler`: row updates from the
+ * seeded `UpdateStream` coalesce into flushed batches (size cap +
+ * flush timeout + in-flight cap), and every flushed row fans out
+ * through the `ShardRouter` to its primary slice and all replica
+ * copies, so replicated serving stays bit-exact through failover
+ * after an update. Writes go through `updateRow`, competing for NVMe
+ * queues with the serve traffic on each device; each flush is its own
+ * trace request ("update"), so update phases appear in blame and
+ * utilization output alongside queries.
+ *
+ * Dead devices (fault-plan dropouts swallow their commands) are
+ * probed before each write and skipped — counted, not hung.
+ */
+
+#ifndef RECSSD_RECO_UPDATE_FLUSHER_H
+#define RECSSD_RECO_UPDATE_FLUSHER_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/embedding/embedding_table.h"
+#include "src/load/latency_recorder.h"
+#include "src/load/update_stream.h"
+
+namespace recssd
+{
+
+class UpdateFlusher
+{
+  public:
+    /**
+     * @param tables Global descriptors of the SSD-resident tables
+     *        (`ModelRunner::ssdTableDescs()`), indexed by the stream's
+     *        `UpdateDesc::tableIdx`.
+     * @param seed Serve seed; combined with `spec.seed` so the stream
+     *        is independent of the query-arrival Rng.
+     */
+    UpdateFlusher(System &sys, std::vector<EmbeddingTableDesc> tables,
+                  const UpdateStreamSpec &spec, std::uint64_t seed);
+
+    /**
+     * Generate the whole stream up to `horizon` and schedule each
+     * submit on the event queue at its arrival tick.
+     */
+    void scheduleUntil(Tick horizon);
+
+    /** Enqueue one row update now (normally via scheduleUntil). */
+    void submit(const UpdateDesc &update);
+
+    /** @{ Stream accounting. */
+    std::uint64_t submitted() const { return submitted_; }
+    /** Row updates whose flush completed on every live target. */
+    std::uint64_t applied() const { return applied_; }
+    /** Page writes issued, counting each replica copy. */
+    std::uint64_t replicaWrites() const { return replicaWrites_; }
+    std::uint64_t flushes() const { return flushes_; }
+    /** Writes skipped because the target device was dead. */
+    std::uint64_t skippedDeadDevice() const { return skippedDead_; }
+    /** Flush latency (dispatch to last replica write completion). */
+    const LatencyRecorder &flushLatency() const { return flushLatency_; }
+    /** @} */
+
+  private:
+    void maybeDispatch(bool timer_fired);
+    void dispatchOne();
+    void armTimer();
+
+    System &sys_;
+    std::vector<EmbeddingTableDesc> tables_;
+    UpdateStreamSpec spec_;
+
+    std::deque<UpdateDesc> pending_;
+    unsigned inFlight_ = 0;
+    bool timerArmed_ = false;
+    std::uint64_t timerGen_ = 0;
+
+    /** Committed update count per (tableIdx, row): the version the
+     *  deterministic payload (`synthetic::updatedVector`) encodes. */
+    std::map<std::pair<std::uint32_t, RowId>, std::uint64_t> versions_;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t applied_ = 0;
+    std::uint64_t replicaWrites_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t skippedDead_ = 0;
+    LatencyRecorder flushLatency_;
+};
+
+}  // namespace recssd
+
+#endif  // RECSSD_RECO_UPDATE_FLUSHER_H

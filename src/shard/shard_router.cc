@@ -189,4 +189,30 @@ ShardRouter::split(const SlsOp &op) const
     return out;
 }
 
+std::vector<ShardRouter::UpdateTarget>
+ShardRouter::updateTargets(std::uint32_t table_id, RowId row) const
+{
+    const ShardedTable &table = tableOf(table_id);
+    recssd_assert(row < table.global.rows, "row %llu outside table %u",
+                  static_cast<unsigned long long>(row), table_id);
+
+    const ShardSlice *owner = nullptr;
+    for (const ShardSlice &slice : table.slices) {
+        if (row >= slice.firstRow && row < slice.firstRow + slice.desc.rows) {
+            owner = &slice;
+            break;
+        }
+    }
+    recssd_assert(owner != nullptr, "row %llu of table %u has no slice",
+                  static_cast<unsigned long long>(row), table_id);
+
+    RowId local = row - owner->firstRow;
+    std::vector<UpdateTarget> out;
+    out.reserve(1 + owner->replicas.size());
+    out.push_back({owner->shard, &owner->desc, local, false});
+    for (const ReplicaSlice &replica : owner->replicas)
+        out.push_back({replica.shard, &replica.desc, local, true});
+    return out;
+}
+
 }  // namespace recssd

@@ -149,6 +149,23 @@ class ShardRouter
     };
     std::vector<OpSlice> split(const SlsOp &op) const;
 
+    /**
+     * Write targets of one global-row update: the owning primary slice
+     * first, then every replica copy in replica order. Each target
+     * names the device and the slice-local descriptor/row to rewrite —
+     * converging all of them is what keeps replicated serving
+     * bit-exact through failover after an online update.
+     */
+    struct UpdateTarget
+    {
+        unsigned shard = 0;
+        const EmbeddingTableDesc *desc = nullptr;
+        RowId localRow = 0;
+        bool replica = false;
+    };
+    std::vector<UpdateTarget> updateTargets(std::uint32_t table_id,
+                                            RowId row) const;
+
   private:
     ShardConfig config_;
     /** node-stable: OpSlice::desc points into mapped ShardedTables. */

@@ -259,6 +259,59 @@ TEST(GoldenLatency, ServeShardedTwoDevices)
     EXPECT_GT(range.perDevice[1].subOps, 0u);
 }
 
+// Mixed read-write golden: the same pinned serve run with an online
+// update stream competing for firmware CPU and queues. Pins the read
+// latency AND the exact write-path counters, so a change that shifts
+// flush batching, replica fan-out or GC cadence fails loudly even if
+// the read tail happens to absorb it.
+constexpr Tick kGoldenMixedServeMeanNs = 5'667'342;
+constexpr std::uint64_t kGoldenMixedApplied = 1'839;
+constexpr std::uint64_t kGoldenMixedHostPageWrites = 1'839;
+constexpr std::uint64_t kGoldenMixedFlashPageWrites = 1'839;
+constexpr std::uint64_t kGoldenMixedGcRuns = 0;
+
+TEST(GoldenLatency, ServeMixedReadWrite)
+{
+    SystemConfig cfg = test::smallSystem();
+    System sys(cfg);
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    opt.trace.kind = TraceKind::Uniform;
+    opt.seed = 20260806;
+    ModelRunner runner(sys, tinyModel(), opt);
+
+    ServeConfig scfg;
+    scfg.arrivals.qps = 300.0;
+    scfg.shape.minBatch = 4;
+    scfg.shape.maxBatch = 4;
+    scfg.queries = 24;
+    scfg.warmupQueries = 4;
+    scfg.seed = 20260806;
+    scfg.updates.rate = 20'000.0;
+    scfg.updates.skew = 0.8;
+    ServeStats s = runServe(runner, scfg);
+
+    EXPECT_EQ(meanNs(s), kGoldenMixedServeMeanNs)
+        << "mixed-RW serve golden changed: old " << kGoldenMixedServeMeanNs
+        << " new " << meanNs(s) << " ns.";
+    EXPECT_EQ(s.update.applied, kGoldenMixedApplied)
+        << "applied-update count changed: old " << kGoldenMixedApplied
+        << " new " << s.update.applied;
+    EXPECT_EQ(s.update.hostPageWrites, kGoldenMixedHostPageWrites)
+        << "host page writes changed: old " << kGoldenMixedHostPageWrites
+        << " new " << s.update.hostPageWrites;
+    EXPECT_EQ(s.update.flashPageWrites, kGoldenMixedFlashPageWrites)
+        << "flash programs changed: old " << kGoldenMixedFlashPageWrites
+        << " new " << s.update.flashPageWrites;
+    EXPECT_EQ(s.update.gcRuns, kGoldenMixedGcRuns)
+        << "GC run count changed: old " << kGoldenMixedGcRuns << " new "
+        << s.update.gcRuns;
+    // The stream must actually have run: reads raced real writes.
+    EXPECT_GT(s.update.applied, 0u);
+    EXPECT_GT(s.update.hostPageWrites, 0u);
+}
+
 TEST(GoldenLatency, RelationshipsHold)
 {
     // Independent of the exact constants: SSD must cost more than

@@ -285,6 +285,113 @@ TEST(LayoutProperties, LogPolicyHasNoLayoutFootprint)
     EXPECT_EQ(d.ftl.blocks().hotPagesAllocated(), 0u);
 }
 
+TEST(LayoutProperties, HotRowUpdateNeverLeavesStalePin)
+{
+    // Interleaving property for the online-update write path: at
+    // EVERY event boundary — mid-write, mid-trim, mid-migration,
+    // mid-GC — a pinned hot-tier entry must point at the live L2P
+    // mapping. The write path invalidates the pin at the map-change
+    // instant and only re-pins from deferred completions when the
+    // mapping is still current (the `map_.lookup(lpn) == ppn` guards
+    // in hostRead / hostWrite / runMigration); without those guards a
+    // completion racing a newer write resurrects a stale pin that
+    // later gathers would consume with a stable epoch. Single-steps
+    // the event queue so the check runs between every pair of events,
+    // not just at quiescence.
+    ScopedAudit audit;
+    const Lpn kUniverse = 48;
+    const Lpn kHotSet = 6;
+    for (std::uint64_t seed : {101u, 202u, 303u}) {
+        Drive d(freqParams());
+        Rng rng(seed);
+        std::vector<unsigned> versions(kUniverse, 0);
+        unsigned page_size = d.fp.pageSize;
+        d.ftl.bulkInstall(0, kHotSet,
+                          [page_size](std::uint64_t page, std::size_t offset,
+                                      std::span<std::byte> out) {
+                              auto pat = pagePattern(page_size, page, 1);
+                              for (std::size_t i = 0; i < out.size(); ++i)
+                                  out[i] = pat[offset + i];
+                          });
+        for (Lpn lpn = 0; lpn < kHotSet; ++lpn)
+            versions[lpn] = 1;
+        for (Lpn lpn = kHotSet; lpn < kUniverse; ++lpn) {
+            versions[lpn] = 1;
+            auto buf = pagePattern(page_size, lpn, 1);
+            d.ftl.hostWrite(lpn, buf, nullptr);
+            d.eq.run();
+        }
+
+        std::uint64_t checks = 0;
+        std::uint64_t pinned_seen = 0;
+        auto checkPins = [&]() {
+            for (Lpn lpn = 0; lpn < kUniverse; ++lpn) {
+                if (!d.ftl.layout()->tier().contains(lpn))
+                    continue;
+                ++pinned_seen;
+                Ppn pinned = invalidPpn;
+                ASSERT_TRUE(d.ftl.layout()->tier().lookup(lpn, pinned));
+                EXPECT_EQ(pinned, d.ftl.translate(lpn))
+                    << "seed " << seed << " LPN " << lpn
+                    << ": pin points at a superseded physical page";
+            }
+            ++checks;
+        };
+
+        // Writes skew onto the read-hot set itself here — unlike the
+        // other workloads this one WANTS rewrites of pinned pages, so
+        // every in-flight program races a live pin.
+        for (unsigned op = 0; op < 1500; ++op) {
+            double dice = rng.uniformDouble();
+            if (dice < 0.45) {
+                Lpn lpn = rng.bernoulli(0.6)
+                              ? rng.uniformInt(kHotSet)
+                              : rng.uniformInt(kUniverse);
+                versions[lpn] += 1;
+                auto buf = pagePattern(page_size, lpn, versions[lpn]);
+                d.ftl.hostWrite(lpn, buf, nullptr);
+            } else if (dice < 0.95) {
+                Lpn lpn = rng.bernoulli(0.8) ? rng.uniformInt(kHotSet)
+                                             : rng.uniformInt(kUniverse);
+                d.ftl.hostRead(lpn, [](const PageView &) {});
+            } else {
+                // Trims stay off the bulk-installed region: a region
+                // page keeps its region mapping after trim, which is
+                // fine for serving but would make the version oracle
+                // below ambiguous.
+                Lpn lpn = kHotSet + rng.uniformInt(kUniverse - kHotSet);
+                versions[lpn] = 0;
+                d.ftl.hostTrim(lpn, nullptr);
+            }
+            while (d.eq.runOne())
+                checkPins();
+        }
+        ASSERT_NE(d.ftl.layout(), nullptr);
+        EXPECT_GT(pinned_seen, 0u)
+            << "seed " << seed
+            << ": workload never pinned a page — property is vacuous";
+        EXPECT_GT(d.ftl.gcRuns(), 0u) << "seed " << seed;
+
+        // Quiescent byte-check: pins must also serve the LAST written
+        // version, not merely a live physical page.
+        for (Lpn lpn = 0; lpn < kUniverse; ++lpn) {
+            if (versions[lpn] == 0)
+                continue;
+            std::vector<std::byte> out(page_size);
+            bool got = false;
+            d.ftl.hostRead(lpn, [&](const PageView &v) {
+                v.copyOut(0, out);
+                got = true;
+            });
+            d.eq.run();
+            ASSERT_TRUE(got);
+            EXPECT_EQ(out, pagePattern(page_size, lpn, versions[lpn]))
+                << "seed " << seed << " LPN " << lpn
+                << " served stale bytes after the interleaved run";
+        }
+    }
+}
+
 TEST(LayoutProperties, RegionPagesMigrateIntoHotRows)
 {
     // Bulk-installed embedding pages live in immutable Region rows;

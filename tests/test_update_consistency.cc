@@ -1,0 +1,627 @@
+/**
+ * @file
+ * Consistency properties of online embedding updates.
+ *
+ * The write path's contract, locked down as executable properties:
+ *
+ *  - Read-after-write visibility: a completed row update is seen
+ *    bit-identically by the host-DRAM, baseline-SSD and NDP backends.
+ *  - Old-or-new: an SLS gather racing an in-flight page write (and
+ *    the GC relocations/erases it triggers) returns either the old
+ *    vector or the new one — never a torn mixture or zero-fill. The
+ *    race sweep drives 10k+ seeded interleavings (random write
+ *    offsets, firmware pauses stretching the gather's read window,
+ *    enough write pressure to keep GC running); a deterministic
+ *    forced-eviction recipe then constructs the exact
+ *    resolve/remap/erase/consume interleaving and proves the fence
+ *    is load-bearing: with the test-only `disableWriteFence` knob
+ *    the recipe sums the erased page, and under RECSSD_AUDIT the
+ *    engine's torn-gather invariant catches it.
+ *  - Replica convergence: with 2-way replication every replica
+ *    serves the updated vector after the fan-out write.
+ *  - Determinism: mixed read-write serve runs are a pure function of
+ *    their seed (byte-identical stats JSON), audit-on runs included;
+ *    a zero-rate update spec leaves artifacts byte-identical to a
+ *    config that never mentions updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/embedding/baseline_backend.h"
+#include "src/embedding/dram_backend.h"
+#include "src/embedding/ndp_backend.h"
+#include "src/embedding/synthetic_values.h"
+#include "src/embedding/table_update.h"
+#include "src/reco/model_runner.h"
+#include "src/reco/serving.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+/** Scoped RECSSD_AUDIT=1 (components cache it at construction). */
+class ScopedAudit
+{
+  public:
+    ScopedAudit() { ::setenv("RECSSD_AUDIT", "1", 1); }
+    ~ScopedAudit() { ::unsetenv("RECSSD_AUDIT"); }
+};
+
+/** Row content at a given update version (0 = pristine). */
+std::vector<float>
+versionVector(const EmbeddingTableDesc &table, RowId row,
+              std::uint64_t version)
+{
+    return synthetic::updatedVector(table, row, version);
+}
+
+// ---------------------------------------------------------------------------
+// Read-after-write visibility across backends.
+
+TEST(UpdateConsistency, VisibilityAcrossBackends)
+{
+    SystemConfig cfg = test::smallSystem();
+    System sys(cfg);
+    auto table = sys.installTable(10'000, 8);
+
+    DramSlsBackend dram(sys.eq(), sys.cpu());
+    BaselineSsdSlsBackend base(sys.eq(), sys.cpu(), sys.driver(),
+                               sys.queues(),
+                               BaselineSsdSlsBackend::Options{});
+    NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(), sys.queues(),
+                      NdpSlsBackend::Options{});
+
+    // Commit version-3 content for two rows through the block
+    // interface, and mirror it into the DRAM copy.
+    for (RowId row : {RowId(42), RowId(999)}) {
+        std::vector<float> fresh = versionVector(table, row, 3);
+        bool done = false;
+        updateRow(sys.driver(), sys.queues(), table, row, fresh,
+                  [&]() { done = true; });
+        sys.run();
+        ASSERT_TRUE(done);
+        dram.applyUpdate(table, row, fresh);
+    }
+
+    // A batch mixing updated and pristine rows must be bit-identical
+    // across all three backends.
+    SlsOp op;
+    op.table = &table;
+    op.indices = {{42, 7}, {999}, {7, 8, 9}};
+    std::vector<SlsResult> results;
+    for (SlsBackend *backend :
+         std::initializer_list<SlsBackend *>{&dram, &base, &ndp}) {
+        SlsResult out;
+        backend->run(op, [&](SlsResult r) { out = std::move(r); });
+        sys.run();
+        results.push_back(std::move(out));
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[0], results[2]);
+
+    // And equal to the functional expectation built from versions.
+    std::vector<float> expect(3 * table.dim, 0.0f);
+    for (std::uint32_t e = 0; e < table.dim; ++e) {
+        expect[e] = versionVector(table, 42, 3)[e] +
+                    versionVector(table, 7, 0)[e];
+        expect[table.dim + e] = versionVector(table, 999, 3)[e];
+        expect[2 * table.dim + e] = versionVector(table, 7, 0)[e] +
+                                    versionVector(table, 8, 0)[e] +
+                                    versionVector(table, 9, 0)[e];
+    }
+    EXPECT_EQ(results[0], expect);
+}
+
+// ---------------------------------------------------------------------------
+// Old-or-new under adversarial gather/write interleavings.
+
+struct SweepOutcome
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t torn = 0;       ///< result neither old nor new
+    std::uint64_t redirects = 0;  ///< fence re-pointed a stale view
+    std::uint64_t newSeen = 0;    ///< gather observed the new value
+};
+
+/**
+ * One seeded race campaign on a tiny drive: every round launches a
+ * single-row NDP gather and, microseconds later, an update to that
+ * same row — plus random firmware pauses that stretch the window
+ * between the gather's page resolution and its deferred sum, and
+ * filler updates to other rows that keep the log churning and GC
+ * erasing. Verifies each gather returns exactly the old or the new
+ * vector; anything else counts as torn.
+ */
+SweepOutcome
+raceSweep(bool disable_fence, std::uint64_t seed, unsigned rounds)
+{
+    SystemConfig cfg;
+    cfg.ssd.flash = test::tinyFlash();
+    // Narrow GC rows (2 channels x 1 die x 4 pages = 8 pages/row):
+    // a burst of updates invalidates a whole row fast, so GC erases
+    // fire while gathers are in flight — the exact race the fence
+    // must win.
+    cfg.ssd.flash.diesPerChannel = 1;
+    cfg.ssd.flash.pagesPerBlock = 4;
+    cfg.ssd.flash.blocksPerDie = 24;
+    // A page cache big enough to hold the whole drive would absorb
+    // every gather before it touches flash; keep it token-sized (one
+    // set of 8 ways) so reads race real flash traffic.
+    cfg.ssd.ftl.pageCachePages = 8;
+    cfg.ssd.sls.disableWriteFence = disable_fence;
+    System sys(cfg);
+
+    auto table = sys.installTable(64, 8);
+    NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(), sys.queues(),
+                      NdpSlsBackend::Options{});
+
+    Rng rng(seed);
+    std::vector<std::uint64_t> version(table.rows, 0);
+    SweepOutcome out;
+    std::uint64_t redirects_before =
+        sys.ssd().slsEngine().fenceRedirects();
+
+    for (unsigned round = 0; round < rounds; ++round) {
+        EventQueue &eq = sys.eq();
+        Tick t0 = eq.now();
+        RowId target = rng.uniformInt(table.rows);
+        std::vector<float> oldv =
+            versionVector(table, target, version[target]);
+        std::vector<float> newv =
+            versionVector(table, target, ++version[target]);
+
+        SlsOp op;
+        op.table = &table;
+        op.indices = {{target}};
+        SlsResult result;
+        bool gathered = false;
+        ndp.run(op, [&](SlsResult r) {
+            result = std::move(r);
+            gathered = true;
+        });
+
+        // Firmware pauses: the first can land between the gather's
+        // page resolution and its flash read completing; the second
+        // queues behind the racing write, holding the deferred sum
+        // back while programs/GC/erases complete underneath it.
+        if (rng.bernoulli(0.5)) {
+            Tick at = t0 + (8 + rng.uniformInt(30)) * usec;
+            Tick dur = (1 + rng.uniformInt(20)) * msec;
+            eq.schedule(at,
+                        [&sys, dur]() {
+                            sys.ssd().ftl().injectFirmwarePause(dur);
+                        });
+        }
+        bool updated = false;
+        eq.schedule(t0 + rng.uniformInt(100) * usec, [&, newv]() {
+            updateRow(sys.driver(), sys.queues(), table, target, newv,
+                      [&updated]() { updated = true; });
+        });
+        if (rng.bernoulli(0.5)) {
+            Tick at = t0 + (20 + rng.uniformInt(120)) * usec;
+            Tick dur = (1 + rng.uniformInt(30)) * msec;
+            eq.schedule(at,
+                        [&sys, dur]() {
+                            sys.ssd().ftl().injectFirmwarePause(dur);
+                        });
+        }
+        // Filler writes to other rows: log pressure that keeps GC
+        // relocating and erasing while the gather is in flight. At
+        // most one write per row per round — NVMe makes no ordering
+        // promise for same-LBA writes racing on different queues
+        // (the UpdateFlusher coalesces per-row for exactly this
+        // reason), so duplicate fillers could finish out of order
+        // and leave storage one version behind the bookkeeping.
+        unsigned fillers = rng.uniformInt(10);
+        std::set<RowId> written;
+        for (unsigned f = 0; f < fillers; ++f) {
+            RowId other = rng.uniformInt(table.rows);
+            if (other == target || !written.insert(other).second)
+                continue;
+            std::vector<float> fv =
+                versionVector(table, other, ++version[other]);
+            eq.schedule(t0 + rng.uniformInt(300) * usec, [&, other, fv]() {
+                updateRow(sys.driver(), sys.queues(), table, other, fv,
+                          []() {});
+            });
+        }
+
+        sys.run();
+        EXPECT_TRUE(gathered);
+        EXPECT_TRUE(updated);
+        ++out.rounds;
+        if (result == newv)
+            ++out.newSeen;
+        else if (result != oldv)
+            ++out.torn;
+    }
+    out.redirects =
+        sys.ssd().slsEngine().fenceRedirects() - redirects_before;
+    return out;
+}
+
+TEST(UpdateConsistency, NoTornSumAcrossSeededInterleavings)
+{
+    // 21 campaigns x 500 rounds = 10'500 gather/write interleavings.
+    SweepOutcome total;
+    for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+        SweepOutcome o = raceSweep(false, seed, 500);
+        EXPECT_EQ(o.torn, 0u) << "torn gather with the fence on, seed "
+                              << seed;
+        total.rounds += o.rounds;
+        total.torn += o.torn;
+        total.redirects += o.redirects;
+        total.newSeen += o.newSeen;
+    }
+    EXPECT_GE(total.rounds, 10'000u);
+    EXPECT_EQ(total.torn, 0u);
+    // The sweep is only meaningful if the races actually happen: the
+    // fence must have re-pointed stale views, and some gathers must
+    // have observed the new value.
+    EXPECT_GT(total.redirects, 0u);
+    EXPECT_GT(total.newSeen, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic forced-eviction tear.
+
+struct RecipeOutcome
+{
+    std::vector<float> result;
+    std::vector<float> oldv;
+    std::vector<float> newv;
+    std::uint64_t redirects = 0;
+    std::uint64_t gcRunsDuringRace = 0;
+};
+
+/**
+ * The exact interleaving the fence exists for, constructed step by
+ * step rather than found by sweeping:
+ *
+ *  1. Seal an overlay row whose only valid page is the target row's
+ *     current page (write the target, fill the row with neighbours,
+ *     rewrite the neighbours elsewhere).
+ *  2. Park the drive exactly at the GC low watermark with a 7/8-full
+ *     active row, so the next two allocations tip it over.
+ *  3. In one event-drained run: launch the gather (it resolves the
+ *     target's PPN and issues the flash read), inject a long firmware
+ *     pause, and queue behind it an update to the target (invalidates
+ *     the resolved page — its row is now fully invalid), one scratch
+ *     write (opens a fresh row, dropping free rows below the
+ *     watermark) and one trim (whose firmware grant starts GC). GC
+ *     erases the all-invalid victim row — zero-filling the page the
+ *     gather resolved — before the paused gather gets the CPU back to
+ *     run its deferred sum.
+ *
+ * With the fence on, the consume-time epoch check re-points the view
+ * at the live mapping and the gather returns the new value. With the
+ * fence off it sums the erased page: neither old nor new.
+ */
+RecipeOutcome
+forcedEvictionRace(bool disable_fence)
+{
+    SystemConfig cfg;
+    cfg.ssd.flash = test::tinyFlash();
+    // Narrow GC rows, same as raceSweep: 2 x 1 x 4 pages per row.
+    cfg.ssd.flash.diesPerChannel = 1;
+    cfg.ssd.flash.pagesPerBlock = 4;
+    cfg.ssd.flash.blocksPerDie = 24;
+    cfg.ssd.ftl.pageCachePages = 8;
+    cfg.ssd.sls.disableWriteFence = disable_fence;
+    System sys(cfg);
+    EventQueue &eq = sys.eq();
+    auto table = sys.installTable(64, 8);
+    NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(), sys.queues(),
+                      NdpSlsBackend::Options{});
+    auto &blocks = sys.ssd().ftl().blocks();
+    const std::uint64_t row_pages = blocks.pagesPerRow();
+
+    auto put = [&](RowId row, std::uint64_t ver) {
+        bool done = false;
+        updateRow(sys.driver(), sys.queues(), table, row,
+                  versionVector(table, row, ver), [&]() { done = true; });
+        sys.run();
+        EXPECT_TRUE(done);
+    };
+    // Step 1: the victim row — target's page plus its neighbours,
+    // then move the neighbours on so the target's page is the row's
+    // only valid page.
+    put(0, 1);
+    for (RowId r = 1; r < row_pages; ++r)
+        put(r, 1);
+    for (RowId r = 1; r < row_pages; ++r)
+        put(r, 2);
+
+    // Step 2: cyclic scratch overwrites walk free rows down to the
+    // low watermark, then top the active row up to one free slot.
+    // The cycle spans three rows, so (a) the active row never holds
+    // an already-invalidated slot (a page recurs only after the row
+    // sealed), and (b) all the garbage left behind is reclaimable —
+    // GC can always climb back to its high watermark instead of
+    // churning live pages forever.
+    const Lpn scratch = 17 * slsTableAlign;
+    const std::uint64_t scratch_span = 3 * row_pages;
+    std::uint64_t next_scratch = 0;
+    auto scratchLpn = [&]() {
+        return scratch + (next_scratch++ % scratch_span);
+    };
+    auto putScratch = [&]() {
+        bool done = false;
+        auto data = std::make_shared<std::vector<std::byte>>(
+            sys.driver().pageSize(), std::byte{0x5A});
+        sys.driver().writePage(0, scratchLpn(), data,
+                               [&]() { done = true; });
+        sys.run();
+        EXPECT_TRUE(done);
+    };
+    while (blocks.freeRows() > cfg.ssd.ftl.gcLowWatermarkRows)
+        putScratch();
+    auto activeUsed = [&]() -> std::uint32_t {
+        for (std::uint64_t r = 0; r < blocks.numRows(); ++r)
+            if (blocks.rowState(r) == BlockManager::RowState::Active)
+                return blocks.rowValidCount(r);
+        return 0;
+    };
+    while (activeUsed() + 1 < row_pages)
+        putScratch();
+    EXPECT_EQ(sys.ssd().ftl().gcRuns(), 0u)
+        << "setup must stop short of triggering GC";
+
+    // Step 3: the race itself.
+    RecipeOutcome out;
+    out.oldv = versionVector(table, 0, 1);
+    out.newv = versionVector(table, 0, 2);
+    std::uint64_t gc_before = sys.ssd().ftl().gcRuns();
+    std::uint64_t redirects_before = sys.ssd().slsEngine().fenceRedirects();
+
+    SlsOp op;
+    op.table = &table;
+    op.indices = {{0}};
+    bool gathered = false;
+    Tick t0 = eq.now();
+    ndp.run(op, [&](SlsResult r) {
+        out.result = std::move(r);
+        gathered = true;
+    });
+    // The pause must land after the gather resolves its PPN (the
+    // config scan runs within the first few microseconds) but before
+    // its flash read completes (60us later), so the deferred sum
+    // queues behind everything below.
+    eq.schedule(t0 + 30 * usec, [&]() {
+        sys.ssd().ftl().injectFirmwarePause(50 * msec);
+    });
+    eq.schedule(t0 + 40 * usec, [&]() {
+        updateRow(sys.driver(), sys.queues(), table, 0,
+                  versionVector(table, 0, 2), []() {});
+    });
+    eq.schedule(t0 + 50 * usec, [&]() {
+        auto data = std::make_shared<std::vector<std::byte>>(
+            sys.driver().pageSize(), std::byte{0x5A});
+        sys.driver().writePage(1, scratchLpn(), data, []() {});
+    });
+    eq.schedule(t0 + 60 * usec, [&]() {
+        sys.driver().trimPage(2, scratch + 0, []() {});
+    });
+    sys.run();
+    EXPECT_TRUE(gathered);
+
+    out.redirects =
+        sys.ssd().slsEngine().fenceRedirects() - redirects_before;
+    out.gcRunsDuringRace = sys.ssd().ftl().gcRuns() - gc_before;
+    return out;
+}
+
+TEST(UpdateConsistency, FenceRedirectsForcedEviction)
+{
+    // With the fence on, the consume-time epoch check re-points the
+    // gather at the live mapping: the result is exactly the new row.
+    RecipeOutcome o = forcedEvictionRace(false);
+    EXPECT_GT(o.gcRunsDuringRace, 0u)
+        << "recipe must actually erase under the gather";
+    EXPECT_GE(o.redirects, 1u);
+    EXPECT_EQ(o.result, o.newv);
+}
+
+TEST(UpdateConsistency, DisabledFenceTearsUnderForcedEviction)
+{
+    // The shipped fence is load-bearing: the identical recipe with
+    // the fence compiled out sums the GC-erased page — neither the
+    // old row nor the new one.
+    RecipeOutcome o = forcedEvictionRace(true);
+    EXPECT_GT(o.gcRunsDuringRace, 0u);
+    EXPECT_NE(o.result, o.oldv);
+    EXPECT_NE(o.result, o.newv);
+}
+
+TEST(UpdateConsistencyDeathTest, AuditCatchesTornGather)
+{
+    // Under RECSSD_AUDIT the engine's consume-time invariant panics
+    // on the first gather that would sum an erased page. The audit
+    // env var must be set before the System is constructed (the
+    // engine caches it), hence everything lives inside the death
+    // statement.
+    EXPECT_DEATH(
+        {
+            ScopedAudit audit;
+            forcedEvictionRace(true);
+        },
+        "torn");
+}
+
+// ---------------------------------------------------------------------------
+// Replica convergence.
+
+TEST(UpdateConsistency, ReplicatedWritesConvergeOnEveryDevice)
+{
+    SystemConfig cfg = test::smallSystem();
+    cfg.shard.numShards = 2;
+    cfg.shard.policy = ShardPolicy::RowRange;
+    cfg.shard.replication = 2;
+    System sys(cfg);
+    auto table = sys.installTable(1'000, 8);
+
+    const RowId row = 123;
+    std::vector<float> fresh = versionVector(table, row, 5);
+    auto targets = sys.router().updateTargets(table.id, row);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_NE(targets[0].shard, targets[1].shard);
+    EXPECT_FALSE(targets[0].replica);
+    EXPECT_TRUE(targets[1].replica);
+
+    unsigned done = 0;
+    for (const auto &t : targets) {
+        updateRow(sys.driver(t.shard), sys.queues(t.shard), *t.desc,
+                  t.localRow, fresh, [&]() { ++done; });
+    }
+    sys.run();
+    ASSERT_EQ(done, targets.size());
+
+    // Every copy — primary and replica, each through its own device's
+    // NDP engine — serves the updated vector.
+    for (const auto &t : targets) {
+        NdpSlsBackend ndp(sys.eq(), sys.cpu(), sys.driver(t.shard),
+                          sys.queues(t.shard), NdpSlsBackend::Options{});
+        SlsOp op;
+        op.table = t.desc;
+        op.indices = {{t.localRow}};
+        SlsResult result;
+        ndp.run(op, [&](SlsResult r) { result = std::move(r); });
+        sys.run();
+        EXPECT_EQ(result, fresh) << "shard " << t.shard;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of mixed read-write serving.
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 50'000, 16, 8}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+/** Serve the fixed mixed-RW workload; return the stats-JSON bytes
+ *  plus the update counters that must reproduce exactly. */
+struct MixedArtifacts
+{
+    std::string statsJson;
+    std::uint64_t applied = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t hostPageWrites = 0;
+    double p99Us = 0.0;
+};
+
+MixedArtifacts
+runMixedOnce(double update_rate)
+{
+    SystemConfig cfg = test::smallSystem();
+    System sys(cfg);
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    ModelRunner runner(sys, tinyModel(), opt);
+
+    ServeConfig scfg;
+    scfg.arrivals.qps = 300.0;
+    scfg.shape.minBatch = 4;
+    scfg.shape.maxBatch = 4;
+    scfg.batching.maxBatchSamples = 16;
+    scfg.batching.maxInFlight = 2;
+    scfg.queries = 20;
+    scfg.warmupQueries = 4;
+    scfg.seed = 20260808;
+    scfg.updates.rate = update_rate;
+    scfg.updates.skew = 0.8;
+    ServeStats stats = runServe(runner, scfg);
+
+    MixedArtifacts art;
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    art.statsJson = os.str();
+    art.applied = stats.update.applied;
+    art.flushes = stats.update.flushes;
+    art.hostPageWrites = stats.update.hostPageWrites;
+    art.p99Us = stats.p99Us;
+    return art;
+}
+
+TEST(UpdateConsistency, MixedServeIsByteIdenticalAcrossRuns)
+{
+    MixedArtifacts first = runMixedOnce(5'000.0);
+    MixedArtifacts second = runMixedOnce(5'000.0);
+    EXPECT_GT(first.applied, 0u);
+    EXPECT_GT(first.hostPageWrites, 0u);
+    EXPECT_EQ(first.statsJson, second.statsJson);
+    EXPECT_EQ(first.applied, second.applied);
+    EXPECT_EQ(first.flushes, second.flushes);
+    EXPECT_EQ(first.p99Us, second.p99Us);
+}
+
+TEST(UpdateConsistency, AuditDoesNotPerturbMixedServe)
+{
+    MixedArtifacts plain = runMixedOnce(5'000.0);
+    MixedArtifacts audited = [] {
+        ScopedAudit audit;
+        return runMixedOnce(5'000.0);
+    }();
+    EXPECT_EQ(plain.statsJson, audited.statsJson);
+    EXPECT_EQ(plain.applied, audited.applied);
+    EXPECT_EQ(plain.p99Us, audited.p99Us);
+}
+
+TEST(UpdateConsistency, ZeroRateSpecLeavesServeByteIdentical)
+{
+    // A spec that sets every knob but keeps rate 0 must not disturb a
+    // single output byte relative to the default (no-updates) config:
+    // the flusher is never built and serve.update.* never registers.
+    MixedArtifacts off = runMixedOnce(0.0);
+
+    SystemConfig cfg = test::smallSystem();
+    System sys(cfg);
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    ModelRunner runner(sys, tinyModel(), opt);
+    ServeConfig scfg;
+    scfg.arrivals.qps = 300.0;
+    scfg.shape.minBatch = 4;
+    scfg.shape.maxBatch = 4;
+    scfg.batching.maxBatchSamples = 16;
+    scfg.batching.maxInFlight = 2;
+    scfg.queries = 20;
+    scfg.warmupQueries = 4;
+    scfg.seed = 20260808;
+    scfg.updates.rate = 0.0;  // disabled, every other knob set
+    scfg.updates.skew = 0.9;
+    scfg.updates.flushRows = 4;
+    scfg.updates.maxWait = 100 * usec;
+    scfg.updates.maxInFlight = 7;
+    scfg.updates.seed = 555;
+    ServeStats stats = runServe(runner, scfg);
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+
+    EXPECT_EQ(os.str(), off.statsJson);
+    EXPECT_EQ(stats.update.applied, 0u);
+    EXPECT_EQ(stats.update.hostPageWrites, 0u);
+    EXPECT_EQ(stats.update.writeAmplification, 0.0);
+    EXPECT_TRUE(off.statsJson.find("serve.update") == std::string::npos);
+}
+
+}  // namespace
+}  // namespace recssd

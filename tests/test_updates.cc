@@ -34,7 +34,7 @@ class UpdateTest : public ::testing::Test
            const std::vector<float> &values)
     {
         bool done = false;
-        updateRow(sys_->driver(), 0, table, row, values,
+        updateRow(sys_->driver(), sys_->queues(), table, row, values,
                   [&]() { done = true; });
         sys_->run();
         ASSERT_TRUE(done);
@@ -151,7 +151,7 @@ TEST_F(UpdateTest, OutOfRangeRowPanics)
 {
     makeSystem();
     auto table = sys_->installTable(100, 8);
-    EXPECT_DEATH(updateRow(sys_->driver(), 0, table, 100,
+    EXPECT_DEATH(updateRow(sys_->driver(), sys_->queues(), table, 100,
                            std::vector<float>(8, 0.0f), []() {}),
                  "out of range");
 }

@@ -76,6 +76,17 @@
  *                           0.99); burn rate 1.0 = budget spent
  *                           exactly as provisioned
  *   --slo-window-us N       tumbling window width (default 10000)
+ *
+ * Online embedding updates (serve mode; see README "Write path"):
+ *   --update-rate R     mixed read-write serving: stream R row
+ *                       updates per second at the SSD-resident
+ *                       tables (default 0 = read-only)
+ *   --update-skew A     zipf skew of updated rows (default 0 =
+ *                       uniform); hot rows collide with hot reads
+ *   --rw-ratio F        alternative to --update-rate: pick the
+ *                       update rate so reads are fraction F of all
+ *                       row operations (lookups + updates), F in
+ *                       (0,1]
  */
 
 #include <algorithm>
@@ -122,7 +133,9 @@ usage(const char *argv0)
                  "[--util-bucket-us N] [--metrics-out FILE] "
                  "[--metrics-interval-us N] [--stats-json FILE|-]\n"
                  "SLO flags (serve mode): [--slo-target-us N] "
-                 "[--slo-goal F] [--slo-window-us N]\n",
+                 "[--slo-goal F] [--slo-window-us N]\n"
+                 "update flags (serve mode): [--update-rate R] "
+                 "[--update-skew A] [--rw-ratio F]\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -183,6 +196,9 @@ main(int argc, char **argv)
     unsigned slo_target_us = 0;
     double slo_goal = 0.99;
     unsigned slo_window_us = 10000;
+    double update_rate = 0.0;
+    double update_skew = 0.0;
+    double rw_ratio = 0.0;
     std::string fault_plan;
     unsigned replication = 1;
     std::string hedge_delay;
@@ -266,6 +282,12 @@ main(int argc, char **argv)
             slo_goal = std::atof(need_value(i));
         } else if (!std::strcmp(arg, "--slo-window-us")) {
             slo_window_us = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--update-rate")) {
+            update_rate = std::atof(need_value(i));
+        } else if (!std::strcmp(arg, "--update-skew")) {
+            update_skew = std::atof(need_value(i));
+        } else if (!std::strcmp(arg, "--rw-ratio")) {
+            rw_ratio = std::atof(need_value(i));
         } else if (!std::strcmp(arg, "--metrics-out")) {
             metrics_out = need_value(i);
         } else if (!std::strcmp(arg, "--metrics-interval-us")) {
@@ -291,6 +313,11 @@ main(int argc, char **argv)
 
     if (batch == 0 || batches == 0)
         usage(argv[0]);
+    if (update_rate < 0.0 || update_skew < 0.0 || rw_ratio < 0.0 ||
+        rw_ratio > 1.0)
+        usage(argv[0]);
+    if (!serve && (update_rate > 0.0 || update_skew > 0.0 || rw_ratio > 0.0))
+        usage(argv[0]);  // the update stream rides the serve harness
 
     if (num_ssds == 0)
         usage(argv[0]);
@@ -483,6 +510,15 @@ main(int argc, char **argv)
             scfg.slo.objective = slo_goal;
             scfg.slo.window = Tick(slo_window_us) * usec;
         }
+        if (rw_ratio > 0.0 && update_rate <= 0.0) {
+            // Row reads arrive at qps x batch x lookups/sample; pick
+            // the update rate that makes reads fraction F of all row
+            // operations (reads + updates). F = 1 keeps it read-only.
+            double reads_per_sec = qps * batch * model.lookupsPerSample();
+            update_rate = reads_per_sec * (1.0 - rw_ratio) / rw_ratio;
+        }
+        scfg.updates.rate = update_rate;
+        scfg.updates.skew = update_skew;
 
         std::printf("serving %s, backend %s, %s arrivals @ %.1f qps, "
                     "batch %u, coalesce cap %u, %u queue pairs, "
@@ -490,6 +526,9 @@ main(int argc, char **argv)
                     model.name.c_str(), backend.c_str(), arrival.c_str(),
                     qps, batch, scfg.batching.maxBatchSamples, io_queues,
                     sys.numSsds(), shardPolicyName(cfg.shard.policy));
+        if (scfg.updates.enabled())
+            std::printf("update stream: %.1f rows/s, zipf skew %.2f\n",
+                        scfg.updates.rate, scfg.updates.skew);
         auto s = runServe(runner, scfg);
         std::printf("latency: p50 %.1fus  p95 %.1fus  p99 %.1fus  "
                     "p999 %.1fus  mean %.1fus  max %.1fus\n",
@@ -504,6 +543,30 @@ main(int argc, char **argv)
                     s.avgCoalescedSamples, s.maxSchedulerDepth);
         std::printf("split: %.1f%% of lookups served host-side\n",
                     s.hostServedFraction * 100);
+        if (scfg.updates.enabled()) {
+            const auto &u = s.update;
+            std::printf(
+                "updates: %llu applied / %llu submitted in %llu flushes "
+                "(flush mean %.1fus p99 %.1fus), %llu page writes incl. "
+                "replicas, %llu skipped (dead device)\n",
+                static_cast<unsigned long long>(u.applied),
+                static_cast<unsigned long long>(u.submitted),
+                static_cast<unsigned long long>(u.flushes), u.meanFlushUs,
+                u.p99FlushUs,
+                static_cast<unsigned long long>(u.replicaWrites),
+                static_cast<unsigned long long>(u.skippedDeadDevice));
+            std::printf(
+                "write path: %llu host page writes -> %llu flash programs "
+                "(WA %.2f), %llu GC runs (%llu pages migrated, %llu "
+                "erases), %llu fence redirects\n",
+                static_cast<unsigned long long>(u.hostPageWrites),
+                static_cast<unsigned long long>(u.flashPageWrites),
+                u.writeAmplification,
+                static_cast<unsigned long long>(u.gcRuns),
+                static_cast<unsigned long long>(u.gcPagesMigrated),
+                static_cast<unsigned long long>(u.blockErases),
+                static_cast<unsigned long long>(u.fenceRedirects));
+        }
         if (scfg.slo.enabled) {
             std::printf("slo: %u windows, attainment %.4f vs goal %.2f, "
                         "burn rate %.2f (worst window %.2f)\n",
