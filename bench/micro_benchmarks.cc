@@ -10,6 +10,7 @@
 
 #include "src/cache/lru_cache.h"
 #include "src/cache/set_assoc_lru.h"
+#include "src/common/analysis.h"
 #include "src/common/event_queue.h"
 #include "src/common/random.h"
 #include "src/embedding/synthetic_values.h"
@@ -29,7 +30,10 @@ BM_EventQueueScheduleRun(benchmark::State &state)
         EventQueue eq;
         int sink = 0;
         for (int i = 0; i < 1000; ++i)
-            eq.schedule(static_cast<Tick>(i % 97), [&sink]() { ++sink; });
+            eq.schedule(static_cast<Tick>(i % 97), [&sink]() {
+                RECSSD_CAPTURES_MAPPING("sink outlives eq.run() below");
+                ++sink;
+            });
         eq.run();
         benchmark::DoNotOptimize(sink);
     }

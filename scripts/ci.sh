@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate. Stages:
-#   0  static analysis — sim-lint (self-test + tree scan over
-#      src/ tools/ bench/) and clang-tidy over the exported compile
-#      database; the advisory clang-format diff check rides along.
-#      RECSSD_SKIP_TIDY=1 skips the clang-tidy leg (hosts without
-#      LLVM); sim-lint always runs (python3 only).
+#   0  static analysis — sim-lint (self-test incl. the R5-R8 protocol
+#      fixtures and tree-mutation checks, then a tree scan over src/
+#      tools/ bench/ that also writes build/sim_lint.json and emits
+#      GitHub annotations under GITHUB_ACTIONS) and clang-tidy over
+#      the exported compile database (result cached per content hash —
+#      an unchanged tree skips the re-run); the advisory clang-format
+#      diff check rides along. RECSSD_SKIP_TIDY=1 skips the clang-tidy
+#      leg (hosts without LLVM); sim-lint always runs (python3 only).
 #   1  ctest -L quick — the sub-second unit suites, fails fast on
 #      broken plumbing.
 #   2  full tier-1 suite.
@@ -36,17 +39,30 @@
 #      and mixed-RW smokes and one bench-gate config ride the
 #      sanitizer leg too).
 #      RECSSD_SKIP_SANITIZERS=1 skips this stage (hosts without ASan).
+#   9  serve + sharded + mixed-RW smokes under ThreadSanitizer in a
+#      third build tree. The simulator is single-threaded today, so
+#      this leg documents (and keeps green) the parallel-DES readiness
+#      contract declared through SimMutex/RECSSD_GUARDED_BY in
+#      src/common/analysis.h rather than hunting live races.
+#      RECSSD_SKIP_TSAN=1 skips it (hosts without TSan runtimes).
+# The main build is configured with -DRECSSD_WERROR=ON: the tier-1
+# tree must compile warning-clean under -Wall -Wextra -Werror.
 # Pass a generator via CMAKE_GENERATOR if you want Ninja; the default
 # works everywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+cmake -B build -S . -DRECSSD_WERROR=ON
 
 echo
 echo "=== stage 0: static analysis (sim-lint + clang-tidy) ==="
 python3 tools/sim_lint.py --self-test
-python3 tools/sim_lint.py
+# Tree scan: machine-readable report for dashboards/artifacts, plus
+# inline ::error annotations when running inside GitHub Actions.
+lint_fmt=text
+[[ -n "${GITHUB_ACTIONS:-}" ]] && lint_fmt=github
+python3 tools/sim_lint.py --format "${lint_fmt}" \
+    --json-out build/sim_lint.json
 if [[ "${RECSSD_SKIP_TIDY:-0}" != "1" ]]; then
     ./scripts/run_clang_tidy.sh build
 else
@@ -155,6 +171,25 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
         --fault-plan 'dropout@3:at=50ms' --hedge-delay-us auto \
         --deadline-us 50000 --queries 30 --qps 20 > /dev/null
     RECSSD_AUDIT=1 ./build-asan/tools/recssd_sim --serve --model RM1 \
+        --backend ndp --all-ssd --num-ssds 1 --update-rate 2000 \
+        --update-skew 0.8 --queries 40 --qps 500 > /dev/null
+fi
+
+if [[ "${RECSSD_SKIP_TSAN:-0}" != "1" ]]; then
+    echo
+    echo "=== stage 9: serve + sharded smokes under ThreadSanitizer ==="
+    TSAN_FLAGS="-fsanitize=thread"
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+        -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+    cmake --build build-tsan -j --target recssd_sim
+    ./build-tsan/tools/recssd_sim --serve --model RM1 --backend ndp \
+        --all-ssd --num-ssds 1 --queries 40 --qps 500 > /dev/null
+    ./build-tsan/tools/recssd_sim --serve --model RM1 --backend ndp \
+        --all-ssd --num-ssds 4 --shard-policy hash --queries 40 \
+        --qps 500 > /dev/null
+    RECSSD_AUDIT=1 ./build-tsan/tools/recssd_sim --serve --model RM1 \
         --backend ndp --all-ssd --num-ssds 1 --update-rate 2000 \
         --update-skew 0.8 --queries 40 --qps 500 > /dev/null
 fi

@@ -25,6 +25,25 @@ fi
 # Translation units only; headers are covered via HeaderFilterRegex.
 mapfile -t sources < <(find src tools bench -name '*.cc' | sort)
 
+# Result cache keyed on the content of everything that can change a
+# finding: the compile database, the check config, and all sources and
+# headers. A CI re-run over an unchanged tree skips the (minutes-long)
+# tidy pass; any edit, flag change, or clang-tidy upgrade misses.
+stamp_file="${BUILD_DIR}/.clang-tidy-stamp"
+stamp="$(
+    {
+        clang-tidy --version
+        cat .clang-tidy "${BUILD_DIR}/compile_commands.json"
+        find src tools bench \( -name '*.cc' -o -name '*.h' \) \
+            -print0 | sort -z | xargs -0 cat
+    } | sha256sum | cut -d' ' -f1
+)"
+if [[ -f "${stamp_file}" && "$(cat "${stamp_file}")" == "${stamp}" ]]; then
+    echo "run_clang_tidy: tree unchanged since last clean pass" \
+         "(${stamp_file}); skipping"
+    exit 0
+fi
+
 if command -v run-clang-tidy > /dev/null 2>&1; then
     run-clang-tidy -p "${BUILD_DIR}" -quiet "${sources[@]}"
 else
@@ -32,5 +51,8 @@ else
     for f in "${sources[@]}"; do
         clang-tidy -p "${BUILD_DIR}" --quiet "$f" || status=1
     done
-    exit "$status"
+    [[ "$status" -ne 0 ]] && exit "$status"
 fi
+
+# Only a fully clean pass is cached.
+echo "${stamp}" > "${stamp_file}"

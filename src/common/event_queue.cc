@@ -17,21 +17,30 @@ EventQueue::schedule(Tick when, Callback cb)
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(now_));
     recssd_assert(cb != nullptr, "cannot schedule a null callback");
+    SimLockGuard hold(mu_);
     events_.push(Event{when, nextSeq_++, std::move(cb)});
 }
 
 bool
 EventQueue::runOne()
 {
-    if (events_.empty())
-        return false;
-    // priority_queue::top returns const ref; move the callback out via
-    // a const_cast, which is safe because we pop immediately.
-    Event &ev = const_cast<Event &>(events_.top());
-    Tick when = ev.when;
-    std::uint64_t seq = ev.seq;
-    Callback cb = std::move(ev.cb);
-    events_.pop();
+    Tick when;
+    std::uint64_t seq;
+    Callback cb;
+    {
+        // The queue mutation is the cross-LP surface; the callback
+        // itself runs outside the lock (it may re-enter schedule()).
+        SimLockGuard hold(mu_);
+        if (events_.empty())
+            return false;
+        // priority_queue::top returns const ref; move the callback out
+        // via a const_cast, which is safe because we pop immediately.
+        Event &ev = const_cast<Event &>(events_.top());
+        when = ev.when;
+        seq = ev.seq;
+        cb = std::move(ev.cb);
+        events_.pop();
+    }
     if (audit_) {
         recssd_assert(!popped_ || when > lastWhen_ ||
                           (when == lastWhen_ && seq > lastSeq_),
@@ -62,10 +71,16 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    if (events_.empty())
+    if (empty())
         return now_;  // nothing to simulate; time does not flow
-    while (!events_.empty() && events_.top().when <= limit)
+    while (true) {
+        {
+            SimLockGuard hold(mu_);
+            if (events_.empty() || events_.top().when > limit)
+                break;
+        }
         runOne();
+    }
     if (now_ < limit)
         now_ = limit;
     return now_;

@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/types.h"
 
 namespace recssd
@@ -38,17 +39,37 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule a callback at an absolute tick (>= now). */
-    void schedule(Tick when, Callback cb);
+    /**
+     * Schedule a callback at an absolute tick (>= now).
+     *
+     * The callback is a *deferred body* under the deferred-state
+     * protocol (DESIGN.md): its captures are issue-time snapshots, so
+     * mapping-derived state must be re-validated inside before use
+     * and reference captures need an ownership annotation.
+     */
+    void schedule(Tick when, Callback cb) RECSSD_DEFERS_CALLBACK
+        RECSSD_EXCLUDES(mu_);
 
     /** Schedule a callback `delay` ticks from now. */
-    void scheduleAfter(Tick delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+    void scheduleAfter(Tick delay, Callback cb) RECSSD_DEFERS_CALLBACK
+        RECSSD_EXCLUDES(mu_)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const RECSSD_EXCLUDES(mu_)
+    {
+        SimLockGuard hold(mu_);
+        return events_.empty();
+    }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const RECSSD_EXCLUDES(mu_)
+    {
+        SimLockGuard hold(mu_);
+        return events_.size();
+    }
 
     /**
      * Execute the next event, advancing time to its tick.
@@ -101,12 +122,24 @@ class EventQueue
         }
     };
 
+    /**
+     * Pre-declared parallel-DES capability (see src/common/analysis.h):
+     * the cross-LP surface — event insertion and extraction — will
+     * serialize on this when logical processes run concurrently.
+     * Zero-cost today: SimLockGuard compiles to nothing, and the
+     * determinism suite proves artifacts stay byte-identical.
+     */
+    mutable SimMutex mu_;
+
+    /** Owned by the executing logical process (single consumer):
+     *  `now_`/`executed_` advance only inside runOne(). */
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextSeq_ RECSSD_GUARDED_BY(mu_) = 0;
     std::uint64_t executed_ = 0;
     Tracer *tracer_ = nullptr;
     UtilizationCollector *util_ = nullptr;
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    std::priority_queue<Event, std::vector<Event>, Later> events_
+        RECSSD_GUARDED_BY(mu_);
 
     /** @{ RECSSD_AUDIT: pops must be strictly increasing in
      *  (when, seq) -- time never runs backwards, and same-tick events

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/event_queue.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
@@ -34,7 +35,8 @@ class SerialResource
      * Work starts at max(now, previous completion).
      * @return the completion tick.
      */
-    Tick acquire(Tick service, EventQueue::Callback done);
+    Tick acquire(Tick service, EventQueue::Callback done)
+        RECSSD_DEFERS_CALLBACK;
 
     /** Enqueue work with no completion callback. */
     Tick acquire(Tick service) { return acquire(service, nullptr); }
@@ -67,7 +69,8 @@ class PoolResource
      * Enqueue `service` ticks of work on the earliest-free server.
      * @return the completion tick.
      */
-    Tick acquire(Tick service, EventQueue::Callback done);
+    Tick acquire(Tick service, EventQueue::Callback done)
+        RECSSD_DEFERS_CALLBACK;
 
     Tick acquire(Tick service) { return acquire(service, nullptr); }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/logging.h"
 #include "src/ndp/attr_codec.h"
 #include "src/obs/tracer.h"
@@ -47,6 +48,10 @@ updateRow(UnvmeDriver &driver, QueueAllocator &queues,
     queues.acquire([&driver, &queues, &eq, desc, row, lpn, wait_span,
                     trace_id, vals = std::move(vals),
                     done = std::move(done)](unsigned queue) mutable {
+        RECSSD_CAPTURES_MAPPING("driver/queues/eq are the caller's "
+                                "long-lived host objects; applyUpdate's "
+                                "contract requires them to outlive the "
+                                "update completion");
         if (Tracer *tracer = tracerOf(eq))
             tracer->end(wait_span);
         auto finish = [&queues, queue, done = std::move(done)]() {
@@ -71,6 +76,8 @@ updateRow(UnvmeDriver &driver, QueueAllocator &queues,
             [&driver, queue, desc, row, lpn, trace_id,
              vals = std::move(vals),
              finish = std::move(finish)](const PageView &view) mutable {
+                RECSSD_CAPTURES_MAPPING("driver outlives the held queue "
+                                        "slot; released only via finish");
                 auto page = std::make_shared<std::vector<std::byte>>(
                     driver.pageSize());
                 view.copyOut(0, *page);

@@ -146,6 +146,13 @@ FlashArray::readPage(Ppn ppn, ReadCallback done, std::uint64_t trace_id)
                 channel(addr.channel)
                     .acquire(params_.pageTransferTime(),
                              [this, ppn, span, done = std::move(done)]() {
+                                 // The flash layer is below the L2P map:
+                                 // ppn is this read's physical target, not
+                                 // a mapping snapshot. The log-structured
+                                 // FTL never rewrites a live ppn, so the
+                                 // bytes under it are stable until erase.
+                                 RECSSD_DEFERRED_SAFE(
+                                     "physical address, not mapping state");
                                  if (Tracer *tracer = tracerOf(eq_))
                                      tracer->end(span);
                                  done(PageView(store_, ppn));

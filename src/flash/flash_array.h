@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/event_queue.h"
 #include "src/common/random.h"
 #include "src/common/resource.h"
@@ -72,16 +73,21 @@ class FlashArray
     /**
      * Read a physical page. The callback fires when the data has
      * crossed the channel bus into controller DRAM. `trace_id` tags
-     * the channel/die span with the owning request.
+     * the channel/die span with the owning request. The callback is a
+     * deferred body: a PPN captured into it is an issue-time snapshot
+     * that GC or a racing write can remap before completion.
      */
-    void readPage(Ppn ppn, ReadCallback done, std::uint64_t trace_id = 0);
+    void readPage(Ppn ppn, ReadCallback done, std::uint64_t trace_id = 0)
+        RECSSD_DEFERS_CALLBACK;
 
     /** Program a physical page with the given content. */
     void writePage(Ppn ppn, std::span<const std::byte> data,
-                   DoneCallback done, std::uint64_t trace_id = 0);
+                   DoneCallback done, std::uint64_t trace_id = 0)
+        RECSSD_DEFERS_CALLBACK;
 
     /** Erase a whole block (identified by any PPN inside it). */
-    void eraseBlock(Ppn any_ppn_in_block, DoneCallback done);
+    void eraseBlock(Ppn any_ppn_in_block, DoneCallback done)
+        RECSSD_DEFERS_CALLBACK;
 
     /** Earliest tick at which the given page's channel+die are free. */
     Tick backlogFor(Ppn ppn) const;

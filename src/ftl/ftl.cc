@@ -18,7 +18,7 @@ namespace
  *  covers core queueing + service); invalidSpan when tracing is off. */
 SpanId
 beginCpuSpan(EventQueue &eq, const std::string &track, const char *name,
-             std::uint64_t trace_id)
+             std::uint64_t trace_id) RECSSD_SPAN_BEGIN
 {
     Tracer *tracer = tracerOf(eq);
     if (!tracer)
@@ -28,7 +28,7 @@ beginCpuSpan(EventQueue &eq, const std::string &track, const char *name,
 }
 
 void
-endSpan(EventQueue &eq, SpanId span)
+endSpan(EventQueue &eq, SpanId span) RECSSD_SPAN_END
 {
     if (span == invalidSpan)
         return;
@@ -133,7 +133,7 @@ Ftl::hostWrite(Lpn lpn, std::span<const std::byte> data, DoneCallback done,
         Ppn ppn = blocks_.allocatePage(lpn, stream);
         recssd_assert(ppn != invalidPpn, "drive out of space");
         map_.set(lpn, ppn);
-        ++writeEpochs_[lpn];
+        bumpWriteEpoch(lpn);
         // Observers (the NDP embedding cache) invalidate here, at the
         // instant the mapping/epoch changes — not at command entry.
         // Firing early would let a gather that consumed the old page
@@ -179,7 +179,7 @@ Ftl::hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id)
         // overlay simply has nothing to deallocate.
         Ppn old = map_.lookup(lpn);
         map_.unset(lpn);
-        ++writeEpochs_[lpn];
+        bumpWriteEpoch(lpn);
         // Same ordering rule as hostWrite: observers fire at the
         // mapping change so deferred gather-completion inserts cannot
         // outlive the invalidation.
@@ -340,7 +340,7 @@ Ftl::runGcPass()
                     recssd_assert(fresh != invalidPpn,
                                   "GC found no destination space");
                     map_.set(lpn, fresh);
-                    ++writeEpochs_[lpn];
+                    bumpWriteEpoch(lpn);
                     blocks_.invalidate(old_ppn);
                     cache_.invalidate(lpn);
                     if (layout_)
@@ -411,27 +411,28 @@ Ftl::runMigration(Lpn lpn, Ppn old_ppn)
             }
             std::vector<std::byte> buf(flash_.params().pageSize);
             view.copyOut(0, buf);
-            Ppn fresh = blocks_.allocatePage(lpn,
-                                             BlockManager::Stream::Hot);
-            if (fresh == invalidPpn) {
+            Ppn fresh_ppn = blocks_.allocatePage(lpn,
+                                                 BlockManager::Stream::Hot);
+            if (fresh_ppn == invalidPpn) {
                 // Space exhausted: leave the page where it is. It can
                 // still be pinned on a later rewrite.
                 finish();
                 return;
             }
-            map_.set(lpn, fresh);
-            ++writeEpochs_[lpn];
+            map_.set(lpn, fresh_ppn);
+            bumpWriteEpoch(lpn);
             blocks_.invalidate(old_ppn);
             cache_.invalidate(lpn);
             // Any read-time pin still references old_ppn, which GC
             // may now erase; drop it and re-pin at the fresh PPN once
             // the copy lands.
             layout_->onDataInvalidated(lpn);
-            flash_.writePage(fresh, buf, [this, lpn, fresh, finish]() {
+            flash_.writePage(fresh_ppn, buf,
+                             [this, lpn, fresh_ppn, finish]() {
                 // A host write during the program supersedes the
                 // migrated copy; pinning it would serve stale data.
-                if (map_.lookup(lpn) == fresh)
-                    layout_->onMigrated(lpn, fresh);
+                if (map_.lookup(lpn) == fresh_ppn)
+                    layout_->onMigrated(lpn, fresh_ppn);
                 if (audit_)
                     auditCheckMapping();
                 maybeStartGc();

@@ -21,6 +21,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/analysis.h"
 #include "src/common/event_queue.h"
 #include "src/common/resource.h"
 #include "src/common/stats.h"
@@ -53,11 +54,13 @@ class Ftl
      * receives a lazily-copied view of the page bytes (zero-filled
      * for never-written pages, like a trimmed real drive).
      */
-    void hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id = 0);
+    void hostRead(Lpn lpn, ReadDone done, std::uint64_t trace_id = 0)
+        RECSSD_DEFERS_CALLBACK;
 
     /** Service a host write of one logical page (log append). */
     void hostWrite(Lpn lpn, std::span<const std::byte> data,
-                   DoneCallback done, std::uint64_t trace_id = 0);
+                   DoneCallback done, std::uint64_t trace_id = 0)
+        RECSSD_DEFERS_CALLBACK;
 
     /**
      * Deallocate a logical page (NVMe DSM). The mapping is dropped
@@ -65,14 +68,19 @@ class Ftl
      * zeroes and GC skips the data. Bulk-region pages lose their
      * overlay only (the immutable region shows through again).
      */
-    void hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id = 0);
+    void hostTrim(Lpn lpn, DoneCallback done, std::uint64_t trace_id = 0)
+        RECSSD_DEFERS_CALLBACK;
     /** @} */
 
     /**
      * Observe every host write (the SLS engine registers here to keep
-     * its embedding cache coherent with in-place table updates).
+     * its embedding cache coherent with in-place table updates). The
+     * stored observer reports *mapping changes*: it may only ever fire
+     * right after the map mutation it reports (sim-lint R5), never at
+     * command entry — a reader notified early re-reads the old row.
      */
     void setWriteObserver(std::function<void(Lpn)> observer)
+        RECSSD_NOTIFIES_MAP_SET
     {
         writeObserver_ = std::move(observer);
     }
@@ -83,15 +91,18 @@ class Ftl
     SerialResource &cpu() { return cpu_; }
 
     /** Untimed L2P translation (engine charges CPU itself). */
-    Ppn translate(Lpn lpn) { return map_.lookup(lpn); }
+    Ppn translate(Lpn lpn) RECSSD_LIVE_LOOKUP { return map_.lookup(lpn); }
 
     /** Untimed page-cache probe (engine charges CPU itself). */
-    bool cacheLookup(Lpn lpn, Ppn &ppn) { return cache_.lookup(lpn, ppn); }
+    bool cacheLookup(Lpn lpn, Ppn &ppn) RECSSD_LIVE_LOOKUP
+    {
+        return cache_.lookup(lpn, ppn);
+    }
     void cacheInsert(Lpn lpn, Ppn ppn) { cache_.insert(lpn, ppn); }
 
     /** Direct flash page read, bypassing command-handling costs. */
     void readPhysical(Ppn ppn, FlashArray::ReadCallback done,
-                      std::uint64_t trace_id = 0)
+                      std::uint64_t trace_id = 0) RECSSD_DEFERS_CALLBACK
     {
         flash_.readPage(ppn, std::move(done), trace_id);
     }
@@ -123,8 +134,10 @@ class Ftl
      * Never-remapped pages (including the whole bulk-installed region)
      * sit at epoch 0 and pay only a hash miss here.
      */
-    std::uint64_t writeEpochOf(Lpn lpn) const
+    std::uint64_t writeEpochOf(Lpn lpn) const RECSSD_LIVE_LOOKUP
+        RECSSD_EXCLUDES(epochMutex_)
     {
+        SimLockGuard hold(epochMutex_);
         auto it = writeEpochs_.find(lpn);
         return it == writeEpochs_.end() ? 0 : it->second;
     }
@@ -154,6 +167,14 @@ class Ftl
     /** @} */
 
   private:
+    /** Bump a page's remap epoch (the write/GC/migration side of the
+     *  fence read by writeEpochOf). */
+    void bumpWriteEpoch(Lpn lpn) RECSSD_EXCLUDES(epochMutex_)
+    {
+        SimLockGuard hold(epochMutex_);
+        ++writeEpochs_[lpn];
+    }
+
     /** Kick garbage collection if watermarks demand it. */
     void maybeStartGc();
 
@@ -187,8 +208,16 @@ class Ftl
     std::string layoutTrackName_;
     SerialResource cpu_;
     std::function<void(Lpn)> writeObserver_;
+    /**
+     * Pre-declared parallel-DES capability: the epoch fence is read by
+     * the NDP engine at gather-consume time and bumped by the write/GC
+     * path — the one FTL structure two logical processes will touch.
+     * Zero-cost today (see src/common/analysis.h).
+     */
+    mutable SimMutex epochMutex_;
     /** Per-LPN remap epochs (point lookups only — see writeEpochOf). */
-    std::unordered_map<Lpn, std::uint64_t> writeEpochs_;
+    std::unordered_map<Lpn, std::uint64_t> writeEpochs_
+        RECSSD_GUARDED_BY(epochMutex_);
     std::unique_ptr<LayoutManager> layout_;  ///< null under Log policy
     bool gcActive_ = false;
     bool migrActive_ = false;  ///< a hot-cluster migration is in flight

@@ -18,6 +18,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/common/analysis.h"
 #include "src/common/types.h"
 
 namespace recssd
@@ -26,14 +27,16 @@ namespace recssd
 class MappingTable
 {
   public:
-    /** Current physical page for a logical page, or invalidPpn. */
-    Ppn lookup(Lpn lpn) const;
+    /** Current physical page for a logical page, or invalidPpn.
+     *  This is *the* live lookup of the deferred-state protocol:
+     *  completion callbacks re-validate captured PPNs through it. */
+    Ppn lookup(Lpn lpn) const RECSSD_LIVE_LOOKUP;
 
     /** Point-update from the write path (overlays any region). */
-    void set(Lpn lpn, Ppn ppn);
+    void set(Lpn lpn, Ppn ppn) RECSSD_MAP_MUTATOR;
 
     /** Remove a point mapping (trim). Regions are unaffected. */
-    void unset(Lpn lpn);
+    void unset(Lpn lpn) RECSSD_MAP_MUTATOR;
 
     /** Install a contiguous identity-style region mapping. */
     void installRegion(Lpn lpn_start, Ppn ppn_start, std::uint64_t pages);

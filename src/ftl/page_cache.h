@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 
@@ -34,7 +35,7 @@ class PageCache
      * Look up a logical page; refreshes LRU state on hit.
      * @param[out] ppn Physical location of the cached copy.
      */
-    bool lookup(Lpn lpn, Ppn &ppn);
+    bool lookup(Lpn lpn, Ppn &ppn) RECSSD_LIVE_LOOKUP;
 
     /** Probe without updating LRU or hit/miss stats. */
     bool contains(Lpn lpn) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/analysis.h"
 #include "src/common/logging.h"
 #include "src/obs/tracer.h"
 #include "src/obs/utilization.h"
@@ -155,6 +156,13 @@ UnvmeDriver::readPage(unsigned queue, Lpn lpn, ReadDone done,
                     cpu_.params().completionCost,
                     [this, queue, cid, view, dev_span, poll_span,
                      done = std::move(done)]() {
+                        // The view binds a physical page the FTL resolved
+                        // (and fenced) at service time; log-structured
+                        // writes allocate fresh ppns, so the bytes under
+                        // an outstanding view never change across the
+                        // driver's completion-poll delay.
+                        RECSSD_DEFERRED_SAFE(
+                            "view pins an immutable physical page");
                         endSpan(eq_, poll_span);
                         consumeCompletion(queue, cid);
                         release(queue);

@@ -40,7 +40,7 @@ PcieLink::transfer(std::uint64_t bytes, EventQueue::Callback done,
                     tracer->end(span);
                 done();
             });
-        } else if (Tracer *tracer = tracerOf(eq_)) {
+        } else if (tracerOf(eq_) != nullptr) {
             eq_.scheduleAfter(lat, [this, span]() {
                 if (Tracer *t = tracerOf(eq_))
                     t->end(span);

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/event_queue.h"
 #include "src/common/types.h"
 
@@ -41,41 +42,62 @@ class StatRegistry
   public:
     using Getter = std::function<double()>;
 
-    /** Register a scalar under `group.name`. Order is preserved. */
+    /** Register a scalar under `group.name`. Order is preserved.
+     *  Registrations must dominate the sampler's first touch within a
+     *  body and may never run from a deferred event (sim-lint R6):
+     *  rows are positional, so a late column makes earlier rows
+     *  narrower than the name list. */
     void addScalar(const std::string &group, const std::string &name,
-                   Getter get);
+                   Getter get) RECSSD_STAT_REGISTRATION
+        RECSSD_EXCLUDES(mu_);
 
     /** @{ Conveniences over the common stat types (not owned). */
     void addCounter(const std::string &group, const std::string &name,
-                    const Counter *c);
+                    const Counter *c) RECSSD_STAT_REGISTRATION;
     void addGauge(const std::string &group, const std::string &name,
-                  const Gauge *g);
+                  const Gauge *g) RECSSD_STAT_REGISTRATION;
     /** Registers `<name>.count` and `<name>.mean`. */
     void addSample(const std::string &group, const std::string &name,
-                   const SampleStat *s);
+                   const SampleStat *s) RECSSD_STAT_REGISTRATION;
     /** @} */
 
-    std::size_t size() const { return names_.size(); }
-    const std::vector<std::string> &names() const { return names_; }
+    std::size_t size() const RECSSD_EXCLUDES(mu_)
+    {
+        SimLockGuard hold(mu_);
+        return names_.size();
+    }
+    const std::vector<std::string> &names() const RECSSD_EXCLUDES(mu_)
+    {
+        SimLockGuard hold(mu_);
+        return names_;
+    }
 
     /** Evaluate every getter, in registration order. */
-    std::vector<double> sample() const;
+    std::vector<double> sample() const RECSSD_REGISTRY_SAMPLING
+        RECSSD_EXCLUDES(mu_);
 
     /**
      * Evaluate the getter registered under `name` (linear scan;
      * audit/test use only). Asserts the name exists.
      */
-    double valueOf(const std::string &name) const;
+    double valueOf(const std::string &name) const RECSSD_REGISTRY_SAMPLING;
 
     /**
      * Dump all current values as one JSON object, keys sorted
      * lexicographically so output is diffable run to run.
      */
-    void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os) const RECSSD_REGISTRY_SAMPLING;
 
   private:
-    std::vector<std::string> names_;
-    std::vector<Getter> getters_;
+    /**
+     * Pre-declared parallel-DES capability: registration happens at
+     * system setup, but under concurrent logical processes a late
+     * subsystem could race the sampling LP — the exact R6 hazard, made
+     * a machine-checked contract. Zero-cost today (analysis.h).
+     */
+    mutable SimMutex mu_;
+    std::vector<std::string> names_ RECSSD_GUARDED_BY(mu_);
+    std::vector<Getter> getters_ RECSSD_GUARDED_BY(mu_);
 };
 
 /** One row of the sampled time series. */
@@ -99,10 +121,10 @@ class MetricSampler
      * Take a first sample now and keep sampling every `interval` ticks
      * for as long as the simulation has other work pending.
      */
-    void start();
+    void start() RECSSD_REGISTRY_SAMPLING;
 
     /** Take one sample immediately (also used for a final snapshot). */
-    void sampleNow();
+    void sampleNow() RECSSD_REGISTRY_SAMPLING;
 
     /**
      * Close the series at simulation end: emit one final sample unless
@@ -115,11 +137,15 @@ class MetricSampler
 
     const std::vector<MetricRow> &rows() const { return rows_; }
 
-    /** One JSON object per line; `ts_us` first, then every metric. */
-    void writeJsonl(std::ostream &os) const;
+    /** One JSON object per line; `ts_us` first, then every metric.
+     *  Indexed reads are clamped to each row's own width (sim-lint
+     *  R6): rows sampled before a late registration are narrower than
+     *  the registry's final name list. */
+    void writeJsonl(std::ostream &os) const RECSSD_REGISTRY_SAMPLING;
 
-    /** Header row of `ts_us` + metric names, then one row per sample. */
-    void writeCsv(std::ostream &os) const;
+    /** Header row of `ts_us` + metric names, then one row per sample.
+     *  Missing (late-registered) cells render empty. */
+    void writeCsv(std::ostream &os) const RECSSD_REGISTRY_SAMPLING;
 
   private:
     void fire();

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/event_queue.h"
 #include "src/common/types.h"
 #include "src/obs/phase.h"
@@ -83,17 +84,21 @@ class Tracer
      * the exported trace; the attribution pass treats its interval as
      * the request's end-to-end latency.
      */
-    SpanId beginRequest(const char *name, std::uint64_t req);
+    SpanId beginRequest(const char *name, std::uint64_t req)
+        RECSSD_SPAN_BEGIN;
 
     /** Link a request to the fused batch that executes it. */
     void setRequestParent(std::uint64_t req, std::uint64_t parent);
 
-    /** Open a span now; `end` stamps the closing time. */
+    /** Open a span now; `end` stamps the closing time. Every begun
+     *  span must be ended or handed off on every path (sim-lint R7):
+     *  the exporter clamps leaked spans, but the attribution pass
+     *  silently loses the phase. */
     SpanId begin(TrackId track, const char *name, Phase phase,
-                 std::uint64_t req = 0);
+                 std::uint64_t req = 0) RECSSD_SPAN_BEGIN;
 
     /** Close an open span at the current tick. */
-    void end(SpanId id);
+    void end(SpanId id) RECSSD_SPAN_END;
 
     /** Record an already-closed span with explicit begin/end ticks. */
     void span(TrackId track, const char *name, Phase phase,

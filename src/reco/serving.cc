@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/analysis.h"
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/obs/metrics.h"
@@ -308,6 +309,9 @@ runServe(ModelRunner &runner, const ServeConfig &config)
         const QueryDesc &q = arrivals[i];
         eq.schedule(base + q.arrival, [&scheduler, &config, m, mon, i,
                                        shape = q.shape]() {
+            RECSSD_CAPTURES_MAPPING("scheduler/config are the serve "
+                                    "harness's stack objects; runServe "
+                                    "drains the queue before returning");
             scheduler.submit(shape, [&config, m, mon,
                                      i](const QueryTimes &t) {
                 ++m->completed;

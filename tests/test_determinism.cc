@@ -206,6 +206,57 @@ TEST(Determinism, AuditModeDoesNotPerturbArtifacts)
     expectIdentical(plain, audited);
 }
 
+TEST(Determinism, AuditedMixedRwServeIsByteIdentical)
+{
+    // Mixed read-write serving under RECSSD_AUDIT drives every surface
+    // the deferred-state protocol (src/common/analysis.h) annotates:
+    // the write path bumps per-LPN remap epochs through the guarded
+    // Ftl helpers, the NDP engine re-validates gather snapshots via
+    // writeEpochOf, the write observer fires after each map mutation,
+    // and the sampler reads the mutex-guarded StatRegistry throughout.
+    // The SimMutex/SimLockGuard contracts are zero-cost by design, so
+    // two audited runs must still export byte-identical artifacts —
+    // and must match an unaudited run byte for byte.
+    auto mixedRun = [] {
+        SystemConfig cfg = test::smallSystem();
+        cfg.shard.numShards = 2;
+        cfg.shard.policy = ShardPolicy::RowRange;
+        System sys(cfg);
+        sys.enableTracing();
+        MetricSampler &sampler = sys.startMetricSampler(50 * usec);
+
+        RunnerOptions opt;
+        opt.backend = EmbeddingBackendKind::Ndp;
+        opt.forceAllTablesOnSsd = true;
+        ModelRunner runner(sys, tinyModel(), opt);
+        ServeConfig serve = smallServe();
+        serve.updates.rate = 50'000.0;
+        serve.updates.skew = 0.8;
+        ServeStats stats = runServe(runner, serve);
+        EXPECT_EQ(stats.completedQueries, serve.queries);
+        EXPECT_GT(stats.update.applied, 0u)
+            << "update stream must actually exercise the write path";
+
+        Artifacts out;
+        std::ostringstream stats_os, metrics_os, trace_os;
+        sys.dumpStatsJson(stats_os);
+        sampler.sampleNow();
+        sampler.writeJsonl(metrics_os);
+        sys.tracer().writeChromeTrace(trace_os);
+        out.statsJson = stats_os.str();
+        out.metricsJsonl = metrics_os.str();
+        out.trace = trace_os.str();
+        return out;
+    };
+
+    Artifacts plain = mixedRun();
+    ScopedAudit audit;
+    Artifacts first = mixedRun();
+    Artifacts second = mixedRun();
+    expectIdentical(first, second);
+    expectIdentical(plain, first);
+}
+
 TEST(Determinism, AuditValidatesFtlMappingAcrossGc)
 {
     // Serve-mode reads rarely trigger GC, so drive the FTL write path

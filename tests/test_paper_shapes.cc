@@ -46,7 +46,7 @@ TEST(PaperShapes, Fig8StridedNdpSpeedup)
 {
     // Fresh system per backend so neither rides the other's warm
     // device page cache.
-    Tick lat[2];
+    Tick lat[2] = {0, 0};
     for (int pass = 0; pass < 2; ++pass) {
         System sys;
         unsigned rpp = sys.config().ssd.flash.pageSize / (32 * 4);

@@ -126,8 +126,9 @@ TEST(ShardProperties, SplitIsAnExactRepartition)
         // multisets (order within a bag may change).
         std::vector<std::multiset<RowId>> rebuilt(batch);
         for (const auto &s : slices) {
-            if (!first)
+            if (!first) {
                 EXPECT_GT(s.shard, prev_shard) << "slices sorted by shard";
+            }
             first = false;
             prev_shard = s.shard;
             ASSERT_EQ(s.indices.size(), batch)

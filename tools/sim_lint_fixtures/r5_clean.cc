@@ -1,0 +1,111 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R5 deferred-revalidate clean shapes.
+ * Every body here follows the deferred-state protocol; the self-test
+ * fails if the linter reports anything in this file.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r5_clean_fixture
+{
+
+using Lpn = unsigned long;
+using Ppn = unsigned long;
+
+struct MappingTable
+{
+    Ppn lookup(Lpn lpn) const RECSSD_LIVE_LOOKUP;
+    void set(Lpn lpn, Ppn ppn) RECSSD_MAP_MUTATOR;
+};
+
+struct FlashArray
+{
+    template <typename Done>
+    void readPage(Ppn ppn, Done done) RECSSD_DEFERS_CALLBACK;
+};
+
+struct EventQueue
+{
+    template <typename Fn>
+    void scheduleAfter(long delay, Fn fn) RECSSD_DEFERS_CALLBACK;
+};
+
+struct PageCache
+{
+    void insert(Lpn lpn, Ppn ppn);
+};
+
+struct Device
+{
+    MappingTable map_;
+    FlashArray flash_;
+    PageCache cache_;
+    void (*writeObserver_)(Lpn) = nullptr;
+
+    void setWriteObserver(void (*obs)(Lpn)) RECSSD_NOTIFIES_MAP_SET;
+
+    // The canonical guarded insert: re-resolve through the live map
+    // before the snapshot is consumed.
+    void readGuarded(Lpn lpn)
+    {
+        Ppn ppn = map_.lookup(lpn);
+        flash_.readPage(ppn, [this, lpn, ppn]() {
+            bool current = map_.lookup(lpn) == ppn;
+            if (current)
+                cache_.insert(lpn, ppn);
+        });
+    }
+
+    // Guard and use on one line is equally dominated.
+    void readGuardedCompact(Lpn lpn)
+    {
+        Ppn ppn = map_.lookup(lpn);
+        flash_.readPage(ppn, [this, lpn, ppn]() {
+            if (map_.lookup(lpn) == ppn) cache_.insert(lpn, ppn);
+        });
+    }
+
+    // In-code justification when the snapshot provably cannot go
+    // stale (preferred over a line suppression: it survives moves).
+    void readPinned(EventQueue &eq, Lpn lpn, long delay)
+    {
+        Ppn ppn = map_.lookup(lpn);
+        eq.scheduleAfter(delay, [this, lpn, ppn]() {
+            RECSSD_DEFERRED_SAFE("region is pinned read-only for the "
+                                 "lifetime of this command");
+            cache_.insert(lpn, ppn);
+        });
+    }
+
+    // Non-state captures (LPNs, counters, completion tokens) are
+    // completion-stable identifiers, not mapping snapshots.
+    void countLater(EventQueue &eq, Lpn lpn, long delay)
+    {
+        long issued = 7;
+        eq.scheduleAfter(delay, [this, lpn, issued]() {
+            cache_.insert(lpn, issued);
+        });
+    }
+
+    // Observer fired at the map-set instant: mutation dominates the
+    // notification in the same body.
+    void writeNotifyAtSet(Lpn lpn, Ppn fresh_ppn)
+    {
+        map_.set(lpn, fresh_ppn);
+        if (writeObserver_)
+            writeObserver_(lpn);
+    }
+};
+
+// An immediate helper lambda is not a deferred body: captures are
+// consumed synchronously while every snapshot is still current.
+inline long
+sumTwice(MappingTable &map, Lpn lpn)
+{
+    Ppn ppn = map.lookup(lpn);
+    auto twice = [ppn]() { return static_cast<long>(ppn) * 2; };
+    return twice();
+}
+
+}  // namespace r5_clean_fixture

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R5 deferred-revalidate violations.
+ *
+ * The protocol (DESIGN.md "Deferred-state protocol"): state captured
+ * at command issue -- a PPN, a PageView, a cache slot, a pin -- is a
+ * snapshot that a racing write, trim or GC pass can invalidate before
+ * the completion callback runs.  Every use of such a capture inside a
+ * deferred body must be dominated by a RECSSD_LIVE_LOOKUP call.  The
+ * annotations below mirror the real protocol surface (MappingTable,
+ * FlashArray, Ftl) so the linter's registry pass sees the same tokens
+ * it sees in src/.  Never compiled; never scanned by CI.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r5_fixture
+{
+
+using Lpn = unsigned long;
+using Ppn = unsigned long;
+
+struct MappingTable
+{
+    Ppn lookup(Lpn lpn) const RECSSD_LIVE_LOOKUP;
+    void set(Lpn lpn, Ppn ppn) RECSSD_MAP_MUTATOR;
+    void unset(Lpn lpn) RECSSD_MAP_MUTATOR;
+};
+
+struct FlashArray
+{
+    template <typename Done>
+    void readPage(Ppn ppn, Done done) RECSSD_DEFERS_CALLBACK;
+};
+
+struct EventQueue
+{
+    template <typename Fn>
+    void scheduleAfter(long delay, Fn fn) RECSSD_DEFERS_CALLBACK;
+};
+
+struct PageCache
+{
+    void insert(Lpn lpn, Ppn ppn);
+};
+
+struct HotTier
+{
+    void pinFromRead(Lpn lpn, Ppn ppn);
+};
+
+struct Device
+{
+    MappingTable map_;
+    FlashArray flash_;
+    PageCache cache_;
+    HotTier tier_;
+    void (*writeObserver_)(Lpn) = nullptr;
+
+    void setWriteObserver(void (*obs)(Lpn)) RECSSD_NOTIFIES_MAP_SET;
+
+    // The PR 8 bug class verbatim: `ppn` was resolved at issue time;
+    // by the time the flash read completes a racing write may have
+    // remapped the LPN, and the insert poisons the page cache with a
+    // mapping that no longer exists.
+    void readStaleInsert(Lpn lpn)
+    {
+        Ppn ppn = map_.lookup(lpn);
+        flash_.readPage(ppn, [this, lpn, ppn]() {
+            cache_.insert(lpn, ppn);  // expect: R5
+        });
+    }
+
+    // A live lookup AFTER the first use does not help: the pin below
+    // already consumed the stale snapshot.
+    void pinThenCheck(Lpn lpn)
+    {
+        Ppn ppn = map_.lookup(lpn);
+        flash_.readPage(ppn, [this, lpn, ppn]() {
+            tier_.pinFromRead(lpn, ppn);  // expect: R5
+            if (map_.lookup(lpn) != ppn)
+                return;
+        });
+    }
+
+    // Scheduled events are deferred bodies too: a tick later the
+    // snapshot is just as stale as after a flash completion.
+    void insertLater(EventQueue &eq, Lpn lpn, long delay)
+    {
+        Ppn ppn = map_.lookup(lpn);
+        eq.scheduleAfter(delay, [this, lpn, ppn]() {
+            cache_.insert(lpn, ppn);  // expect: R5
+        });
+    }
+
+    // Observer fired at command entry: readers notified *before* the
+    // map mutation observe the old mapping and re-read stale rows
+    // (PR 8's observer-at-entry bug).
+    void writeNotifyEarly(Lpn lpn, Ppn fresh_ppn)
+    {
+        if (writeObserver_)
+            writeObserver_(lpn);  // expect: R5
+        map_.set(lpn, fresh_ppn);
+    }
+};
+
+}  // namespace r5_fixture

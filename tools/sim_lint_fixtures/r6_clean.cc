@@ -1,0 +1,79 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R6 register-before-sample clean shapes.
+ * The self-test fails if the linter reports anything here.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r6_clean_fixture
+{
+
+struct StatRegistry
+{
+    void addScalar(const char *group, const char *name)
+        RECSSD_STAT_REGISTRATION;
+};
+
+struct MetricSampler
+{
+    void sampleNow() RECSSD_REGISTRY_SAMPLING;
+};
+
+// Registration dominates the sampler's first touch.
+void
+registerThenSample(StatRegistry &reg, MetricSampler &sampler)
+{
+    reg.addScalar("serve", "early");
+    sampler.sampleNow();
+}
+
+// Cross-function late registration is deliberate and legal: rows
+// sampled before a subsystem comes up simply lack its columns, and
+// clamped exporters render them correctly.  Only same-body
+// sample-then-register (provably racing) is flagged.
+void
+registerOnly(StatRegistry &reg)
+{
+    reg.addScalar("serve", "subsystem");
+}
+
+void
+sampleOnly(MetricSampler &sampler)
+{
+    sampler.sampleNow();
+}
+
+struct Row
+{
+    const double *values;
+    unsigned long values_count;
+};
+
+// The fixed exporter: every indexed read is bounded by the sampled
+// row's own width (min of the two), so late-registered columns render
+// as blanks instead of out-of-bounds reads.
+template <typename Os, typename Names>
+unsigned long
+clampedExport(Os &os, const Names &names, const Row &row)
+{
+    unsigned long cols = names.size() < row.values_count
+                             ? names.size()
+                             : row.values_count;
+    for (unsigned long i = 0; i < cols; ++i) {
+        os << row.values[i];
+    }
+    return cols;
+}
+
+// Indexing something that is not a sampled row is out of scope.
+template <typename Os>
+void
+dumpSquares(Os &os, const double *table, unsigned long count)
+{
+    for (unsigned long i = 0; i < count; ++i) {
+        os << table[i] * table[i];
+    }
+}
+
+}  // namespace r6_clean_fixture

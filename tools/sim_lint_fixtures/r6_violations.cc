@@ -1,0 +1,97 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R6 register-before-sample violations.
+ *
+ * The registry's sampled rows are positional: a row captured at tick T
+ * has exactly the columns registered by T.  A registration that runs
+ * after the sampler's first touch (in the same body), or from a
+ * deferred event body, produces rows narrower than the final name
+ * list -- and an exporter that indexes those rows by the registry's
+ * *current* width reads out of bounds (the PR 8 ASLR-dependent OOB).
+ * Never compiled; never scanned by CI.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r6_fixture
+{
+
+struct StatRegistry
+{
+    void addScalar(const char *group, const char *name)
+        RECSSD_STAT_REGISTRATION;
+    void addCounter(const char *group, const char *name)
+        RECSSD_STAT_REGISTRATION;
+};
+
+struct MetricSampler
+{
+    void sampleNow() RECSSD_REGISTRY_SAMPLING;
+    void writeJsonl() RECSSD_REGISTRY_SAMPLING;
+};
+
+struct EventQueue
+{
+    template <typename Fn>
+    void scheduleAfter(long delay, Fn fn) RECSSD_DEFERS_CALLBACK;
+};
+
+// Registration after the registry has already been sampled in the
+// same body: every row captured above has no column for "late".
+void
+lateRegistration(StatRegistry &reg, MetricSampler &sampler)
+{
+    sampler.sampleNow();
+    reg.addScalar("serve", "late");  // expect: R6
+}
+
+// Same shape through an exporter touch instead of a sample.
+void
+registerAfterExport(StatRegistry &reg, MetricSampler &sampler)
+{
+    sampler.writeJsonl();
+    reg.addCounter("serve", "post_export");  // expect: R6
+}
+
+// A deferred event body can never dominate the sampler's first touch,
+// whatever the textual order.
+void
+deferredRegistration(StatRegistry *reg, EventQueue &eq, long delay)
+{
+    eq.scheduleAfter(delay, [reg]() {
+        reg->addCounter("serve", "deferred");  // expect: R6
+    });
+}
+
+struct Row
+{
+    const double *values;
+};
+
+// Exporter bound by the registry's *current* name count instead of
+// the sampled row's own width: rows captured before a late
+// registration are narrower than `names`, so values[i] walks off the
+// end of the row (the PR 8 out-of-bounds read, found only because
+// ASLR happened to place a poisoned page there).
+template <typename Os, typename Names>
+void
+unclampedExport(Os &os, const Names &names, const Row &row)
+{
+    for (unsigned long i = 0; i < names.size(); ++i) {  // expect: R6
+        os << row.values[i];
+    }
+}
+
+// The indirect version: the bound hides behind a local that still
+// derives only from the registry's width.
+template <typename Os, typename Names>
+void
+unclampedIndirect(Os &os, const Names &names, const Row &row)
+{
+    unsigned long cols = names.size();
+    for (unsigned long i = 0; i < cols; ++i) {  // expect: R6
+        os << row.values[i];
+    }
+}
+
+}  // namespace r6_fixture

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R7 span-pairing clean shapes.
+ * The self-test fails if the linter reports anything here.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r7_clean_fixture
+{
+
+using SpanId = unsigned long;
+
+struct Tracer
+{
+    SpanId begin(const char *track, const char *name) RECSSD_SPAN_BEGIN;
+    void end(SpanId span) RECSSD_SPAN_END;
+};
+
+struct EventQueue
+{
+    template <typename Fn>
+    void scheduleAfter(long delay, Fn fn) RECSSD_DEFERS_CALLBACK;
+};
+
+// Straight-line begin/end.
+void
+paired(Tracer &tracer)
+{
+    SpanId span = tracer.begin("cpu", "reduce");
+    tracer.end(span);
+}
+
+// End on the early path before the return, end on the main path too.
+int
+endedOnEveryPath(Tracer &tracer, int rows)
+{
+    SpanId span = tracer.begin("cpu", "gather");
+    if (rows == 0) {
+        tracer.end(span);
+        return -1;
+    }
+    tracer.end(span);
+    return rows;
+}
+
+// Handed off into the continuation that ends it at completion time.
+void
+handoff(Tracer &tracer, EventQueue &eq, long delay)
+{
+    SpanId span = tracer.begin("flash", "read");
+    eq.scheduleAfter(delay, [&tracer, span]() {
+        RECSSD_CAPTURES_MAPPING("tracer outlives the drained queue");
+        tracer.end(span);
+    });
+}
+
+// Returned to the caller, who owns ending it.
+SpanId
+beginPhase(Tracer &tracer)
+{
+    SpanId span = tracer.begin("cpu", "phase");
+    return span;
+}
+
+struct Pending
+{
+    SpanId span;
+};
+
+// Stored into a pending record; the drain path ends it later.
+void
+stash(Tracer &tracer, Pending &pending)
+{
+    SpanId span = tracer.begin("queue", "wait");
+    pending.span = span;
+}
+
+// A container `.begin()` assignment is not a span begin (zero-arg
+// call): iterators are exempt even though the method is named begin.
+template <typename Map>
+unsigned long
+firstKey(const Map &m)
+{
+    auto it = m.begin();
+    return it == m.end() ? 0UL : it->first;
+}
+
+}  // namespace r7_clean_fixture

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R8 event-payload-ownership clean shapes.
+ * The self-test fails if the linter reports anything here.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r8_clean_fixture
+{
+
+struct EventQueue
+{
+    template <typename Fn>
+    void scheduleAfter(long delay, Fn fn) RECSSD_DEFERS_CALLBACK;
+};
+
+struct Ftl
+{
+    void poke();
+};
+
+// Value captures own their payload outright.
+void
+armByValue(EventQueue &eq, long delay)
+{
+    long budget = 3;
+    eq.scheduleAfter(delay, [budget]() { (void)budget; });
+}
+
+// `this` is the idiomatic owner: members are reached through the
+// object, whose lifetime encloses the queue it schedules on.
+struct Device
+{
+    EventQueue eq_;
+    long ticks_ = 0;
+
+    void arm(long delay)
+    {
+        eq_.scheduleAfter(delay, [this]() { ++ticks_; });
+    }
+};
+
+// A justified reference: the annotation names the lifetime argument.
+void
+armAnnotated(EventQueue &eq, Ftl &ftl, long delay)
+{
+    eq.scheduleAfter(delay, [&ftl]() {
+        RECSSD_CAPTURES_MAPPING("Ftl is owned by the System that also "
+                                "owns and drains this queue");
+        ftl.poke();
+    });
+}
+
+// An immediate helper lambda may borrow freely: it runs inline while
+// every referent is alive, so ownership is the caller's frame.
+template <typename Items, typename Fn>
+void
+forEach(const Items &items, Fn fn)
+{
+    for (const auto &item : items)
+        fn(item);
+}
+
+inline long
+sumInline(const long (&table)[4])
+{
+    long total = 0;
+    auto add = [&total](long v) { total += v; };
+    forEach(table, add);
+    return total;
+}
+
+}  // namespace r8_clean_fixture

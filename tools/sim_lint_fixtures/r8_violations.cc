@@ -1,0 +1,66 @@
+/**
+ * @file
+ * sim-lint self-test fixture: R8 event-payload-ownership violations.
+ *
+ * A scheduled event's payload outlives the frame that armed it.  A
+ * reference capture in a deferred body aliases mutable simulator
+ * state with no ownership story: if the referent moves, shrinks or
+ * dies before the tick fires, the event dereferences garbage -- and
+ * under the parallel-DES kernel it becomes a data race.  References
+ * need an explicit RECSSD_CAPTURES_MAPPING("lifetime argument").
+ * Never compiled; never scanned by CI.
+ */
+
+#include "src/common/analysis.h"
+
+namespace r8_fixture
+{
+
+struct EventQueue
+{
+    template <typename Fn>
+    void scheduleAfter(long delay, Fn fn) RECSSD_DEFERS_CALLBACK;
+};
+
+struct Ftl
+{
+    void poke();
+};
+
+struct Stats
+{
+    long retries = 0;
+};
+
+// Default reference capture: aliases every local in scope.
+void
+armDefaultRef(EventQueue &eq, Ftl &ftl, long delay)
+{
+    int budget = 3;
+    eq.scheduleAfter(delay, [&]() {  // expect: R8
+        ftl.poke();
+        (void)budget;
+    });
+}
+
+// Named reference capture with no ownership annotation.
+void
+armNamedRef(EventQueue &eq, Ftl &ftl, long delay)
+{
+    eq.scheduleAfter(delay, [&ftl]() {  // expect: R8
+        ftl.poke();
+    });
+}
+
+// A reference to a *local* is the worst case: the frame is gone long
+// before the tick fires.
+void
+armLocalRef(EventQueue &eq, long delay)
+{
+    Stats stats;
+    eq.scheduleAfter(delay, [&stats]() {  // expect: R8
+        ++stats.retries;
+    });
+}
+
+}  // namespace r8_fixture

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * sim-lint self-test fixture: S1 stale-suppression detection.
+ *
+ * Every suppression must absorb at least one finding; an allow()
+ * whose rule no longer fires on its target is dead weight that will
+ * silently swallow the next real violation at that line.  Never
+ * compiled; never scanned by CI.
+ */
+
+long liveValue();
+
+// A standalone allow targets the next line -- where R3 never fires.
+// sim-lint: allow(R3) drifted: the unordered walk was removed  // expect: S1
+long
+takeValue()
+{
+    return liveValue();
+}
+
+long
+takeOther()
+{
+    return liveValue();  // sim-lint: allow(R2) drifted: no Tick literal  // expect: S1
+}
+
+// sim-lint: file-allow(R4) drifted: no schedule() calls remain  // expect: S1
+
+// A live suppression for contrast: R1 really fires here, so this
+// allow is load-bearing and must NOT be reported stale.
+long
+entropy()
+{
+    return static_cast<long>(time(nullptr));  // sim-lint: allow(R1) fixture exercises a live suppression
+}
