@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Extension: multi-tenant QoS isolation — dmClock vs FIFO vs solo.
+ *
+ * The headline experiment of the QoS subsystem. One victim tenant
+ * with a modest, SLO-bound query stream shares an NDP-serving SSD
+ * with a bursty antagonist that offers several times the machine's
+ * capacity (and, in one scenario, a mixed read-write antagonist whose
+ * update stream competes through the same flash dies). Three
+ * measurements per scenario:
+ *
+ *   solo     the victim alone on the machine — its intrinsic tail
+ *   fifo     victim + antagonist through the anonymous FIFO admission
+ *            baseline: one arrival-ordered queue, shares ignored
+ *   dmclock  the same mix under the dmClock scheduler, the victim
+ *            holding a reservation floor and the antagonist a limit
+ *
+ * Expected shape (and the acceptance bar this bench demonstrates):
+ * under FIFO the victim's p99 inflates to several times its solo tail
+ * — its queries wait behind the antagonist's entire backlog. Under
+ * dmclock the reservation phase admits the victim at its floor no
+ * matter how deep the antagonist's queue grows, holding its p99
+ * within ~1.5x solo while the antagonist (correctly) absorbs the
+ * overload as latency. Work conservation keeps total throughput the
+ * same under both policies; isolation changes who waits, not how much
+ * work gets done.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/qos/tenant_serve.h"
+
+using namespace recssd;
+using namespace recssd::bench;
+
+namespace
+{
+
+/** Two small packed tables (the update-interference model): fits the
+ *  small bench drive and keeps per-query service in the ~ms range so
+ *  a few hundred measured queries cover many reservation periods. */
+ModelConfig
+smallModel()
+{
+    ModelConfig m;
+    m.name = "small";
+    m.tables = {TableGroup{2, 40'000, 16, 8, 4, 64}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+constexpr const char *kVictim =
+    "victim:model=small,qps=60,batch=2,slo=20ms,res=60,weight=1,"
+    "queries=240";
+
+struct Scenario
+{
+    const char *name;
+    /** Antagonist spec ('' = the victim alone). */
+    const char *antagonist;
+};
+
+const Scenario kScenarios[] = {
+    {"solo", ""},
+    {"burst",
+     "antagonist:model=small,qps=600,arrival=bursty,burst=8,batch=4,"
+     "weight=1,limit=120,queries=480"},
+    {"burst+rw",
+     "antagonist:model=small,qps=600,arrival=bursty,burst=8,batch=4,"
+     "weight=1,limit=120,update_rate=2000,update_skew=0.8,queries=480"},
+};
+
+TenantServeStats
+measure(const Scenario &sc, QosPolicy policy)
+{
+    SystemConfig cfg;
+    cfg.ssd.flash.blocksPerDie = 64;
+    cfg.ssd.flash.pagesPerBlock = 8;
+    System sys(cfg);
+
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    opt.trace.kind = TraceKind::Zipf;
+
+    TenantServeConfig tcfg;
+    std::string spec = kVictim;
+    if (sc.antagonist[0] != '\0')
+        spec += std::string(";") + sc.antagonist;
+    tcfg.tenants = TenantSet::parse(spec);
+    tcfg.modelResolver = [](const std::string &) { return smallModel(); };
+    tcfg.qos.policy = policy;
+    tcfg.qos.window = 8;
+    tcfg.batching.maxBatchSamples = 16;
+    tcfg.batching.maxWait = 500 * usec;
+    tcfg.batching.maxInFlight = 4;
+    tcfg.warmupQueries = 24;
+    tcfg.seed = 42;
+    return runServeTenants(sys, opt, tcfg);
+}
+
+}  // namespace
+
+int
+main()
+{
+    TablePrinter table(
+        "Extension: QoS isolation, victim vs bursty antagonist on one "
+        "NDP drive (dmClock: victim res 60/s, antagonist limit 120/s; "
+        "window 8)",
+        {"scenario", "policy", "vic-p50", "vic-p99", "vic-attain",
+         "vic-qps", "res-grants", "ant-p99", "ant-limit-defer",
+         "mix-qps"});
+
+    double solo_p99 = 0.0;
+    double fifo_p99 = 0.0;
+    double dm_p99 = 0.0;
+    for (const Scenario &sc : kScenarios) {
+        const bool mixed = sc.antagonist[0] != '\0';
+        std::vector<QosPolicy> policies;
+        if (mixed)
+            policies = {QosPolicy::Fifo, QosPolicy::Dmclock};
+        else
+            policies = {QosPolicy::Dmclock};
+        for (QosPolicy policy : policies) {
+            TenantServeStats s = measure(sc, policy);
+            const auto &v = s.perTenant[0];
+            std::string ant_p99 = "-";
+            std::string ant_defer = "-";
+            if (mixed) {
+                const auto &a = s.perTenant[1];
+                ant_p99 = TablePrinter::fmtUs(a.p99Us);
+                ant_defer = std::to_string(a.qos.limitDeferrals);
+            }
+            table.row({sc.name, qosPolicyName(policy),
+                       TablePrinter::fmtUs(v.p50Us),
+                       TablePrinter::fmtUs(v.p99Us),
+                       TablePrinter::fmt(v.sloAttainment, 4),
+                       TablePrinter::fmt(v.achievedQps, 1),
+                       std::to_string(v.qos.reservationGrants), ant_p99,
+                       ant_defer, TablePrinter::fmt(s.achievedQps, 1)});
+            if (!mixed)
+                solo_p99 = v.p99Us;
+            else if (std::string(sc.name) == "burst") {
+                if (policy == QosPolicy::Fifo)
+                    fifo_p99 = v.p99Us;
+                else
+                    dm_p99 = v.p99Us;
+            }
+        }
+    }
+
+    std::printf(
+        "\nvictim p99: solo %.0fus, fifo %.0fus (%.1fx solo), dmclock "
+        "%.0fus (%.2fx solo)\n",
+        solo_p99, fifo_p99, fifo_p99 / solo_p99, dm_p99,
+        dm_p99 / solo_p99);
+    recssd_assert(fifo_p99 >= 3.0 * solo_p99,
+                  "fifo must starve the victim behind the antagonist "
+                  "backlog (got %.1fx solo)", fifo_p99 / solo_p99);
+    recssd_assert(dm_p99 <= 1.5 * solo_p99,
+                  "dmclock must isolate the victim tail (got %.2fx "
+                  "solo)", dm_p99 / solo_p99);
+
+    std::printf(
+        "\nShape: FIFO makes the victim's tail the antagonist's queue "
+        "— every victim query waits behind whatever burst landed "
+        "first, so its p99 tracks the overload, not its own load. "
+        "dmClock's reservation phase admits the victim at its 60/s "
+        "floor regardless of backlog depth, pinning its tail near "
+        "solo; the antagonist's limit tag meanwhile caps how fast it "
+        "may drain, so the overload it offered comes back to it as "
+        "queueing delay. The mixed read-write scenario shows the same "
+        "isolation holding when the antagonist also writes: its "
+        "update flushes draw from the same limit budget (aux "
+        "charges), so writes cannot launder load past the cap.\n");
+    return 0;
+}

@@ -69,6 +69,13 @@ run_twice serve-1ssd-updates \
     --serve --model RM1 --backend ndp --all-ssd --num-ssds 1 \
     --update-rate 2000 --update-skew 0.8 \
     --queries 40 --qps 500 --seed 13
+# Multi-tenant QoS serving: per-tenant load generators, dmClock tag
+# assignment and grant order, tenant-tagged spans, the per-tenant
+# registry gauges in the metrics series, and a limit-throttled update
+# stream must all replay identically across processes.
+run_twice serve-qos-2tenant \
+    --serve --backend ndp --all-ssd --seed 13 \
+    --tenants 'victim:model=RM1,qps=10,batch=4,slo=50ms,res=10,weight=1,queries=30;antagonist:model=RM1,qps=40,arrival=bursty,burst=4,batch=4,weight=1,limit=20,update_rate=500,queries=40'
 # The whole tail-tolerance machinery at once: injector RNG, hedge
 # timers racing completions, a mid-run dropout failing over, deadline
 # delivery — all of it must still be a pure function of the config.

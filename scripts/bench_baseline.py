@@ -59,6 +59,18 @@ CONFIGS = {
         "--queries", "40", "--qps", "5", "--seed", "13",
         "--update-rate", "2000", "--update-skew", "0.8",
     ],
+    # Multi-tenant QoS serving: a reserved victim sharing the drive
+    # with a limited bursty antagonist under the dmClock admission
+    # scheduler. Gates per-tenant tails, attainment, and the exact
+    # grant/deferral counters (the scheduler's decision sequence).
+    "serve_qos_2tenant": [
+        "--serve", "--backend", "ndp", "--all-ssd", "--seed", "13",
+        "--tenants",
+        "victim:model=RM1,qps=4,batch=4,slo=100ms,res=4,weight=1,"
+        "queries=30;"
+        "antagonist:model=RM1,qps=8,batch=4,arrival=bursty,burst=4,"
+        "weight=1,limit=10,queries=60",
+    ],
 }
 
 # Counted metrics are exact (a change in how many requests the blame
@@ -68,6 +80,12 @@ EXACT_METRICS = ("blame.requests", "blame.tail_requests",
                  "throughput.fused_batches", "update.applied",
                  "update.flushes", "update.host_page_writes",
                  "update.flash_page_writes", "update.gc_runs")
+# Per-tenant counted metrics (tenant names are config-specific, so
+# exactness is matched by suffix): grant and deferral counts are the
+# QoS scheduler's decision sequence, exact by determinism.
+EXACT_SUFFIXES = (".admitted", ".reservation_grants", ".weight_grants",
+                  ".limit_deferrals", ".fused_batches", ".admissions",
+                  ".queries")
 DEFAULT_REL = 0.05
 
 LATENCY_RE = re.compile(
@@ -80,6 +98,18 @@ UPDATES_RE = re.compile(
 WRITE_PATH_RE = re.compile(
     r"write path: (\d+) host page writes -> (\d+) flash programs "
     r"\(WA ([\d.]+)\), (\d+) GC runs")
+# Multi-tenant (--tenants) serve output: per-tenant latency + qos
+# lines and a whole-mix summary instead of the single-stream lines.
+TENANT_LAT_RE = re.compile(
+    r"tenant ([\w-]+) \[[\w-]+\]: p50 ([\d.]+)us\s+p95 ([\d.]+)us\s+"
+    r"p99 ([\d.]+)us\s+mean ([\d.]+)us\s+max ([\d.]+)us\s+"
+    r"attainment ([\d.]+)\s+qps ([\d.]+)")
+TENANT_QOS_RE = re.compile(
+    r"tenant ([\w-]+) qos: (\d+) admitted \((\d+) reservation / (\d+) "
+    r"weight\), (\d+) limit deferrals, queue depth max (\d+)")
+MIX_RE = re.compile(
+    r"mix: (\d+) queries, ([\d.]+) qps sustained, (\d+) fused batches, "
+    r"(\d+) admissions")
 
 
 def run_config(sim, name, args):
@@ -93,16 +123,56 @@ def run_config(sim, name, args):
             raise RuntimeError("%s: sim exited %d" % (name,
                                                       proc.returncode))
         out = proc.stdout
-
-        lat = LATENCY_RE.search(out)
-        if not lat:
-            raise RuntimeError("%s: no latency line in sim output" % name)
-        thr = THROUGHPUT_RE.search(out)
-        if not thr:
-            raise RuntimeError("%s: no throughput line in sim output" %
-                               name)
         with open(blame_out) as f:
             blame = json.load(f)
+
+    blame_metrics = {
+        "blame.requests": float(blame["requests"]),
+        "blame.tail_requests": float(blame["tail_requests"]),
+        "blame.mean_request_us": float(blame["mean_request_us"]),
+        "blame.queueing_fraction": float(blame["queueing_fraction"]),
+        "blame.tail_queueing_fraction":
+            float(blame["tail_queueing_fraction"]),
+    }
+
+    mix = MIX_RE.search(out)
+    if mix:
+        # Multi-tenant serve: one metric namespace per tenant.
+        metrics = {
+            "mix.queries": float(mix.group(1)),
+            "mix.qps": float(mix.group(2)),
+            "mix.fused_batches": float(mix.group(3)),
+            "mix.admissions": float(mix.group(4)),
+        }
+        for m in TENANT_LAT_RE.finditer(out):
+            t = "tenant.%s." % m.group(1)
+            metrics.update({
+                t + "p50_us": float(m.group(2)),
+                t + "p95_us": float(m.group(3)),
+                t + "p99_us": float(m.group(4)),
+                t + "mean_us": float(m.group(5)),
+                t + "attainment": float(m.group(7)),
+                t + "qps": float(m.group(8)),
+            })
+        for m in TENANT_QOS_RE.finditer(out):
+            t = "tenant.%s." % m.group(1)
+            metrics.update({
+                t + "admitted": float(m.group(2)),
+                t + "reservation_grants": float(m.group(3)),
+                t + "weight_grants": float(m.group(4)),
+                t + "limit_deferrals": float(m.group(5)),
+            })
+        if len(metrics) == 4:
+            raise RuntimeError("%s: no tenant lines in sim output" % name)
+        metrics.update(blame_metrics)
+        return metrics
+
+    lat = LATENCY_RE.search(out)
+    if not lat:
+        raise RuntimeError("%s: no latency line in sim output" % name)
+    thr = THROUGHPUT_RE.search(out)
+    if not thr:
+        raise RuntimeError("%s: no throughput line in sim output" % name)
 
     metrics = {
         "latency.p50_us": float(lat.group(1)),
@@ -113,13 +183,8 @@ def run_config(sim, name, args):
         "latency.max_us": float(lat.group(6)),
         "throughput.qps": float(thr.group(1)),
         "throughput.fused_batches": float(thr.group(2)),
-        "blame.requests": float(blame["requests"]),
-        "blame.tail_requests": float(blame["tail_requests"]),
-        "blame.mean_request_us": float(blame["mean_request_us"]),
-        "blame.queueing_fraction": float(blame["queueing_fraction"]),
-        "blame.tail_queueing_fraction":
-            float(blame["tail_queueing_fraction"]),
     }
+    metrics.update(blame_metrics)
 
     # Mixed-RW configs print the update/write-path lines; read-only
     # configs don't, and their baselines stay byte-identical.
@@ -179,8 +244,12 @@ def baseline_path(name):
     return os.path.join(BASELINE_DIR, name + ".json")
 
 
+def is_exact(metric):
+    return metric in EXACT_METRICS or metric.endswith(EXACT_SUFFIXES)
+
+
 def make_baseline(name, args, metrics):
-    per_metric = {m: 0.0 for m in EXACT_METRICS if m in metrics}
+    per_metric = {m: 0.0 for m in metrics if is_exact(m)}
     return {
         "schema": 1,
         "name": name,

@@ -23,6 +23,12 @@
 #      death test) plus recssd_sim smokes with a live update stream at
 #      1 and 4 SSDs and one faulted mixed-RW leg; RECSSD_AUDIT keeps
 #      the torn-gather invariant armed throughout.
+#   5q multi-tenant QoS matrix — ctest -L qos (dmClock invariants,
+#      tenant-spec grammar, zero-tenant byte-identity) plus --tenants
+#      smokes: the victim/antagonist pair under dmclock and under the
+#      fifo A/B baseline, and a 4-tenant / 2-model mix whose fourth
+#      tenant runs a mixed read-write stream throttled by its own QoS
+#      limit budget.
 #   6  reproducibility audit — scripts/audit_repro.sh runs seeded
 #      configs twice in separate processes with RECSSD_AUDIT=1 and
 #      byte-diffs stats/metrics/trace/stdout.
@@ -34,10 +40,10 @@
 #      bench/baselines/. All gated metrics are simulated-time, so they
 #      are exact on any host; a regression here means the change moved
 #      simulated performance, not the machine.
-#   8  quick + shard + layout + obs2 + updates2 suites again under
-#      ASan+UBSan in a separate build tree (the 4-device, freq-layout
-#      and mixed-RW smokes and one bench-gate config ride the
-#      sanitizer leg too).
+#   8  quick + shard + layout + obs2 + updates2 + qos suites again
+#      under ASan+UBSan in a separate build tree (the 4-device,
+#      freq-layout, mixed-RW and 2-tenant QoS smokes and two
+#      bench-gate configs ride the sanitizer leg too).
 #      RECSSD_SKIP_SANITIZERS=1 skips this stage (hosts without ASan).
 #   9  serve + sharded + mixed-RW smokes under ThreadSanitizer in a
 #      third build tree. The simulator is single-threaded today, so
@@ -134,6 +140,24 @@ RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --model RM1 --backend ndp \
     --deadline-us 50000 --queries 30 --qps 20 > /dev/null
 
 echo
+echo "=== stage 5q: multi-tenant QoS matrix (ctest -L qos + tenant smokes) ==="
+ctest --test-dir build -L qos --output-on-failure -j
+# The victim/antagonist pair, dmClock and the fifo A/B baseline. The
+# antagonist offers 10x the victim's load through a bursty arrival
+# process and is clamped by its limit tag.
+QOS_PAIR='victim:model=RM1,qps=20,batch=4,slo=50ms,res=20,weight=1,queries=30;antagonist:model=RM1,qps=200,arrival=bursty,burst=8,batch=8,weight=1,limit=40,queries=60'
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --backend ndp --all-ssd \
+    --tenants "${QOS_PAIR}" > /dev/null
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --backend ndp --all-ssd \
+    --qos-policy fifo --tenants "${QOS_PAIR}" > /dev/null
+# 4 tenants across 2 models; tenant d's update stream drains the same
+# QoS limit budget as its reads (aux charges).
+RECSSD_AUDIT=1 ./build/tools/recssd_sim --serve --backend ndp --all-ssd \
+    --qos-window 8 \
+    --tenants 'a:model=RM1,qps=10,batch=4,res=10,queries=20;b:model=RM1,qps=20,batch=4,weight=2,queries=20;c:model=NCF,qps=10,batch=4,weight=1,queries=20;d:model=NCF,qps=50,batch=4,weight=1,limit=20,update_rate=1000,queries=30' \
+    > /dev/null
+
+echo
 echo "=== stage 6: two-run reproducibility audit (RECSSD_AUDIT=1) ==="
 ./scripts/audit_repro.sh build/tools/recssd_sim
 
@@ -145,7 +169,7 @@ python3 scripts/bench_baseline.py --sim build/tools/recssd_sim
 
 if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     echo
-    echo "=== stage 8: quick + shard + layout + obs2 + updates2 suites under ASan+UBSan ==="
+    echo "=== stage 8: quick + shard + layout + obs2 + updates2 + qos suites under ASan+UBSan ==="
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -157,10 +181,11 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     ctest --test-dir build-asan -L layout --output-on-failure -j
     ctest --test-dir build-asan -L obs2 --output-on-failure -j
     RECSSD_AUDIT=1 ctest --test-dir build-asan -L updates2 --output-on-failure -j
+    ctest --test-dir build-asan -L qos --output-on-failure -j
     # The bench gate under ASan: simulated-time metrics are host- and
     # sanitizer-independent, so the same baselines must hold exactly.
     python3 scripts/bench_baseline.py --sim build-asan/tools/recssd_sim \
-        --config serve_ndp_1ssd
+        --config serve_ndp_1ssd --config serve_qos_2tenant
     ./build-asan/tools/recssd_sim --serve --model RM1 --backend ndp --all-ssd \
         --num-ssds 4 --shard-policy range --queries 40 --qps 500 \
         > /dev/null
@@ -173,6 +198,8 @@ if [[ "${RECSSD_SKIP_SANITIZERS:-0}" != "1" ]]; then
     RECSSD_AUDIT=1 ./build-asan/tools/recssd_sim --serve --model RM1 \
         --backend ndp --all-ssd --num-ssds 1 --update-rate 2000 \
         --update-skew 0.8 --queries 40 --qps 500 > /dev/null
+    RECSSD_AUDIT=1 ./build-asan/tools/recssd_sim --serve --backend ndp \
+        --all-ssd --tenants "${QOS_PAIR}" > /dev/null
 fi
 
 if [[ "${RECSSD_SKIP_TSAN:-0}" != "1" ]]; then

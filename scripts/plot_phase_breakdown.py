@@ -18,9 +18,19 @@ blame files in one chart works; each bar uses its own column set.
 Usage:
     scripts/plot_phase_breakdown.py <dir-or-json> [more.json ...]
         [-o breakdown.png] [--tail] [--top N]
+    scripts/plot_phase_breakdown.py --tenants metrics.jsonl
+        [-o tenants.png] [--tenant-metric pending]
 
 --tail plots a blame report's tail view (share of p99-and-worse
 request time) instead of the whole-population view.
+
+--tenants switches to the tenant-stacked rendering: the input is a
+MetricSampler series (recssd_sim --metrics-out FILE.jsonl from a
+--tenants serve run), and the chart stacks one area per tenant from
+the serve.tenant.<name>.<metric> columns — by default the live
+`pending` queue-depth gauge, the direct visualization of who is
+absorbing an overload. Columns appear mid-series when the harness
+registers its gauges; missing cells read as 0.
 
 With matplotlib installed, writes a stacked horizontal-bar chart (one
 bar per config, one segment per phase). Without it, falls back to an
@@ -164,6 +174,77 @@ def matplotlib_chart(reports, phases, out):
     print(f"wrote {out}")
 
 
+def load_tenant_series(path, metric):
+    """Parse a MetricSampler JSONL into per-tenant time series.
+
+    Returns (ts_us, {tenant: [values]}), all series aligned to ts_us
+    (cells before a column existed are 0).
+    """
+    prefix = "serve.tenant."
+    suffix = "." + metric
+    ts = []
+    series = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            ts.append(row["ts_us"])
+            for key, value in row.items():
+                if not key.startswith(prefix) or not key.endswith(suffix):
+                    continue
+                tenant = key[len(prefix):-len(suffix)]
+                series.setdefault(tenant, [0.0] * (len(ts) - 1))
+                series[tenant].append(float(value))
+            for vals in series.values():
+                if len(vals) < len(ts):
+                    vals.append(0.0)
+    if not series:
+        sys.exit(f"no serve.tenant.*.{metric} columns in {path} "
+                 "(was the run started with --tenants and "
+                 "--metrics-out FILE.jsonl?)")
+    return ts, series
+
+
+def ascii_tenant_chart(ts, series, metric, width=72):
+    """One sparkline row per tenant, shared scale."""
+    peak = max(max(vals) for vals in series.values()) or 1.0
+    shades = " .:-=+*#%@"
+    label_w = max(len(t) for t in series)
+    step = max(1, len(ts) // width)
+    print(f"Per-tenant {metric} over time (peak {peak:.0f}, "
+          f"{ts[-1] / 1000.0:.1f}ms span):\n")
+    for tenant in sorted(series):
+        vals = series[tenant]
+        cells = ""
+        for i in range(0, len(vals), step):
+            window = vals[i:i + step]
+            frac = max(window) / peak
+            cells += shades[min(len(shades) - 1,
+                                int(frac * (len(shades) - 1) + 0.5))]
+        print(f"  {tenant:<{label_w}} |{cells}|")
+    print(f"\nScale: ' '=0 .. '@'={peak:.0f} {metric}")
+
+
+def matplotlib_tenant_chart(ts, series, metric, out):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    tenants = sorted(series)
+    ts_ms = [t / 1000.0 for t in ts]
+    fig, ax = plt.subplots(figsize=(9, 4))
+    ax.stackplot(ts_ms, [series[t] for t in tenants], labels=tenants)
+    ax.set_xlabel("time (ms)")
+    ax.set_ylabel(metric)
+    ax.legend(loc="upper right", fontsize=8)
+    ax.set_title(f"Per-tenant {metric} (stacked)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("inputs", nargs="+",
@@ -177,7 +258,33 @@ def main():
     ap.add_argument("--top", type=int, default=8,
                     help="blame reports: segments before collapsing "
                          "into (rest)")
+    ap.add_argument("--tenants", action="store_true",
+                    help="tenant-stacked mode: input is a MetricSampler "
+                         "JSONL from a --tenants serve run")
+    ap.add_argument("--tenant-metric", default="pending",
+                    choices=["pending", "admitted", "completed"],
+                    help="which serve.tenant.* gauge to stack")
     args = ap.parse_args()
+
+    if args.tenants:
+        if len(args.inputs) != 1:
+            sys.exit("--tenants takes exactly one metrics JSONL")
+        ts, series = load_tenant_series(args.inputs[0],
+                                        args.tenant_metric)
+        use_ascii = args.ascii
+        if not use_ascii:
+            try:
+                import matplotlib  # noqa: F401
+            except ImportError:
+                print("matplotlib not available; falling back to "
+                      "ASCII\n", file=sys.stderr)
+                use_ascii = True
+        if use_ascii:
+            ascii_tenant_chart(ts, series, args.tenant_metric)
+        else:
+            matplotlib_tenant_chart(ts, series, args.tenant_metric,
+                                    args.out)
+        return
 
     reports = [load_report(f, tail=args.tail, top=args.top)
                for f in collect_inputs(args.inputs)]

@@ -66,6 +66,7 @@ QueryShape
 LoadGenerator::nextShape()
 {
     QueryShape s;
+    s.tenantId = tenant_;
     s.batchSize = static_cast<unsigned>(
         rng_.uniformRange(shape_.minBatch, shape_.maxBatch));
     if (shape_.maxTables == 0) {

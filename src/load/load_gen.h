@@ -54,6 +54,9 @@ struct QueryShape
     unsigned tablesTouched = ~0u;
     /** Multiplier on every table's lookups-per-sample. */
     double poolingScale = 1.0;
+    /** Owning tenant (index into the run's `TenantSet`); 0 for
+     *  single-tenant harnesses, which never read it. */
+    std::uint32_t tenantId = 0;
     /** Observability: trace request id for this query's execution
      *  (assigned by the batch scheduler; 0 = allocate fresh). */
     std::uint64_t traceId = 0;
@@ -84,6 +87,10 @@ class LoadGenerator
     LoadGenerator(const ArrivalSpec &arrivals, const QueryShapeSpec &shape,
                   std::uint64_t seed);
 
+    /** Stamp every generated shape with `tenant` (multi-tenant
+     *  harnesses; the default 0 leaves single-tenant runs untouched). */
+    void setTenant(std::uint32_t tenant) { tenant_ = tenant; }
+
     /** Next inter-arrival gap in ticks (>= 1). */
     Tick nextGap();
 
@@ -104,6 +111,7 @@ class LoadGenerator
     QueryShapeSpec shape_;
     Rng rng_;
     double meanGapNs_;
+    std::uint32_t tenant_ = 0;
 };
 
 }  // namespace recssd

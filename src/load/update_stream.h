@@ -39,6 +39,12 @@ struct UpdateStreamSpec
     unsigned maxInFlight = 2;
     /** Stream seed (combined with the serve seed by the flusher). */
     std::uint64_t seed = 1;
+    /** Owning tenant (index into the run's `TenantSet`). The
+     *  multi-tenant harness charges this tenant's QoS limit budget for
+     *  every flush, so a mixed read-write antagonist is throttled by
+     *  the same share triple as its reads. Single-tenant harnesses
+     *  leave it 0 and never read it. */
+    std::uint32_t tenant = 0;
 
     bool enabled() const { return rate > 0.0; }
 };

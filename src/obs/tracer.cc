@@ -48,6 +48,18 @@ Tracer::track(const std::string &name)
     return id;
 }
 
+const char *
+Tracer::internName(const std::string &name)
+{
+    auto it = internedIdx_.find(name);
+    if (it != internedIdx_.end())
+        return it->second;
+    internedNames_.push_back(name);
+    const char *stable = internedNames_.back().c_str();
+    internedIdx_.emplace(name, stable);
+    return stable;
+}
+
 SpanId
 Tracer::beginRequest(const char *name, std::uint64_t req)
 {

@@ -20,6 +20,7 @@
 #define RECSSD_OBS_TRACER_H
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
@@ -75,6 +76,15 @@ class Tracer
 
     /** Intern a track by name; repeated calls return the same id. */
     TrackId track(const std::string &name);
+
+    /**
+     * Intern a runtime-built span label. `SpanRecord::name` stores a
+     * raw pointer, so a name composed at runtime (per-tenant labels
+     * like "query.victim") must outlive every span that uses it:
+     * interned strings live as long as the tracer, and repeated calls
+     * with equal text return the same pointer.
+     */
+    const char *internName(const std::string &name);
 
     /** Fresh request id (query, fused batch, command chain, ...). */
     std::uint64_t newRequestId() { return ++nextReq_; }
@@ -141,6 +151,10 @@ class Tracer
     std::vector<std::string> trackNames_;
     std::unordered_map<std::string, TrackId> trackIds_;
     std::unordered_map<std::uint64_t, SpanId> roots_;
+    /** Interned span labels: a deque so addresses stay stable as more
+     *  names intern; the map is a point-lookup index, never iterated. */
+    std::deque<std::string> internedNames_;
+    std::unordered_map<std::string, const char *> internedIdx_;
 };
 
 /**

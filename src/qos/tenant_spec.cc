@@ -1,0 +1,221 @@
+#include "src/qos/tenant_spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace recssd
+{
+
+namespace
+{
+
+/** "3ms" / "250us" / "1.5s" -> Tick. */
+Tick
+parseTime(const std::string &text, const std::string &where)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (...) {
+        panic("tenant spec: bad time '%s' in '%s'", text.c_str(),
+              where.c_str());
+    }
+    std::string suffix = text.substr(pos);
+    Tick unit = 0;
+    if (suffix == "ns")
+        unit = nsec;
+    else if (suffix == "us")
+        unit = usec;
+    else if (suffix == "ms")
+        unit = msec;
+    else if (suffix == "s")
+        unit = sec;
+    else
+        panic("tenant spec: time '%s' needs a ns/us/ms/s suffix in '%s'",
+              text.c_str(), where.c_str());
+    recssd_assert(value >= 0.0, "tenant spec: negative time in '%s'",
+                  where.c_str());
+    return static_cast<Tick>(value * static_cast<double>(unit));
+}
+
+double
+parseDouble(const std::string &text, const std::string &where)
+{
+    try {
+        return std::stod(text);
+    } catch (...) {
+        panic("tenant spec: bad number '%s' in '%s'", text.c_str(),
+              where.c_str());
+    }
+}
+
+unsigned
+parseUnsigned(const std::string &text, const std::string &where)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        panic("tenant spec: bad integer '%s' in '%s'", text.c_str(),
+              where.c_str());
+    return static_cast<unsigned>(v);
+}
+
+TenantSpec
+parseTenant(const std::string &text)
+{
+    auto colon = text.find(':');
+    TenantSpec t;
+    t.name = colon == std::string::npos ? text : text.substr(0, colon);
+    recssd_assert(!t.name.empty(), "tenant spec: empty tenant name in "
+                  "'%s'", text.c_str());
+    for (char c : t.name) {
+        recssd_assert(std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '-',
+                      "tenant spec: name '%s' must be [A-Za-z0-9_-]",
+                      t.name.c_str());
+    }
+    std::string kvs = colon == std::string::npos ? ""
+                                                 : text.substr(colon + 1);
+    std::stringstream ss(kvs);
+    std::string kv;
+    while (std::getline(ss, kv, ',')) {
+        if (kv.empty())
+            continue;
+        auto eq = kv.find('=');
+        recssd_assert(eq != std::string::npos,
+                      "tenant spec: expected key=value, got '%s' in '%s'",
+                      kv.c_str(), text.c_str());
+        std::string key = kv.substr(0, eq);
+        std::string value = kv.substr(eq + 1);
+        if (key == "model") {
+            t.model = value;
+        } else if (key == "arrival") {
+            if (value == "poisson")
+                t.arrivals.process = ArrivalProcess::Poisson;
+            else if (value == "fixed")
+                t.arrivals.process = ArrivalProcess::Fixed;
+            else if (value == "bursty")
+                t.arrivals.process = ArrivalProcess::Bursty;
+            else
+                panic("tenant spec: unknown arrival '%s' (poisson|fixed|"
+                      "bursty)", value.c_str());
+        } else if (key == "qps") {
+            t.arrivals.qps = parseDouble(value, text);
+        } else if (key == "burst") {
+            t.arrivals.burstiness = parseDouble(value, text);
+        } else if (key == "batch") {
+            unsigned b = parseUnsigned(value, text);
+            recssd_assert(b > 0, "tenant spec: batch must be > 0 in '%s'",
+                          text.c_str());
+            t.shape.minBatch = b;
+            t.shape.maxBatch = b;
+        } else if (key == "tables") {
+            unsigned n = parseUnsigned(value, text);
+            t.shape.minTables = n;
+            t.shape.maxTables = n;
+        } else if (key == "pool") {
+            double p = parseDouble(value, text);
+            t.shape.minPoolingScale = p;
+            t.shape.maxPoolingScale = p;
+        } else if (key == "slo") {
+            t.slo = parseTime(value, text);
+        } else if (key == "res") {
+            t.share.reservation = parseDouble(value, text);
+        } else if (key == "weight") {
+            t.share.weight = parseDouble(value, text);
+        } else if (key == "limit") {
+            t.share.limit = parseDouble(value, text);
+        } else if (key == "queries") {
+            t.queries = parseUnsigned(value, text);
+        } else if (key == "update_rate") {
+            t.updates.rate = parseDouble(value, text);
+        } else if (key == "update_skew") {
+            t.updates.skew = parseDouble(value, text);
+        } else if (key == "seed") {
+            t.seed = parseUnsigned(value, text);
+        } else {
+            panic("tenant spec: unknown key '%s' in '%s'", key.c_str(),
+                  text.c_str());
+        }
+    }
+    recssd_assert(t.arrivals.qps > 0.0,
+                  "tenant spec: '%s' needs qps > 0", t.name.c_str());
+    recssd_assert(t.share.weight > 0.0,
+                  "tenant spec: '%s' needs weight > 0", t.name.c_str());
+    recssd_assert(t.share.reservation >= 0.0 && t.share.limit >= 0.0,
+                  "tenant spec: '%s' has a negative share", t.name.c_str());
+    recssd_assert(t.share.limit == 0.0 ||
+                      t.share.limit >= t.share.reservation,
+                  "tenant spec: '%s' limit below its reservation",
+                  t.name.c_str());
+    recssd_assert(t.updates.rate >= 0.0 && t.updates.skew >= 0.0,
+                  "tenant spec: '%s' has a negative update knob",
+                  t.name.c_str());
+    return t;
+}
+
+}  // namespace
+
+TenantSet
+TenantSet::parse(const std::string &spec)
+{
+    TenantSet set;
+    std::stringstream ss(spec);
+    std::string element;
+    while (std::getline(ss, element, ';')) {
+        // Trim whitespace (the file form funnels through here too).
+        auto first = element.find_first_not_of(" \t\r\n");
+        if (first == std::string::npos)
+            continue;
+        auto last = element.find_last_not_of(" \t\r\n");
+        element = element.substr(first, last - first + 1);
+        if (element.empty() || element[0] == '#')
+            continue;
+        set.tenants.push_back(parseTenant(element));
+    }
+    recssd_assert(!set.tenants.empty(), "tenant spec: no tenants in '%s'",
+                  spec.c_str());
+    for (std::size_t i = 0; i < set.tenants.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.tenants.size(); ++j) {
+            recssd_assert(set.tenants[i].name != set.tenants[j].name,
+                          "tenant spec: duplicate tenant name '%s'",
+                          set.tenants[i].name.c_str());
+        }
+    }
+    return set;
+}
+
+TenantSet
+TenantSet::parseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    recssd_assert(is.good(), "tenant spec: cannot read '%s'",
+                  path.c_str());
+    std::ostringstream joined;
+    std::string line;
+    while (std::getline(is, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        joined << line << ';';
+    }
+    return parse(joined.str());
+}
+
+TenantSet
+TenantSet::load(const std::string &spec)
+{
+    std::ifstream probe(spec);
+    if (probe.good())
+        return parseFile(spec);
+    return parse(spec);
+}
+
+}  // namespace recssd

@@ -102,15 +102,26 @@ BatchScheduler::BatchScheduler(ModelRunner &runner,
 void
 BatchScheduler::submit(const QueryShape &shape, QueryDone done)
 {
+    std::uint64_t trace_id = 0;
+    SpanId root = invalidSpan;
+    if (Tracer *tracer = tracerOf(runner_.sys().eq())) {
+        trace_id = tracer->newRequestId();
+        root = tracer->beginRequest("query", trace_id);
+    }
+    submitTagged(shape, std::move(done), trace_id, root);
+}
+
+void
+BatchScheduler::submitTagged(const QueryShape &shape, QueryDone done,
+                             std::uint64_t traceId, SpanId rootSpan)
+{
     recssd_assert(shape.batchSize > 0, "empty query");
     PendingQuery p;
     p.shape = shape;
     p.arrival = runner_.sys().eq().now();
     p.done = std::move(done);
-    if (Tracer *tracer = tracerOf(runner_.sys().eq())) {
-        p.traceId = tracer->newRequestId();
-        p.rootSpan = tracer->beginRequest("query", p.traceId);
-    }
+    p.traceId = traceId;
+    p.rootSpan = rootSpan;
     pending_.push_back(std::move(p));
     pendingSamples_ += shape.batchSize;
     maxDepth_ = std::max(maxDepth_,
@@ -167,6 +178,15 @@ BatchScheduler::dispatchOne()
     while (!pending_.empty()) {
         unsigned next = pending_.front().shape.batchSize;
         if (!members->empty() && samples + next > policy_.maxBatchSamples)
+            break;
+        // Tenant-aware formation: never fuse incompatible shapes (a
+        // co-rider with heavier pooling or wider table fan-out would
+        // inflate everyone's service time).
+        if (policy_.tenantAware && !members->empty() &&
+            (pending_.front().shape.tablesTouched !=
+                 members->front().shape.tablesTouched ||
+             pending_.front().shape.poolingScale !=
+                 members->front().shape.poolingScale))
             break;
         PendingQuery p = std::move(pending_.front());
         pending_.pop_front();

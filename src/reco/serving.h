@@ -98,6 +98,14 @@ struct BatchPolicy
     Tick maxWait = 200 * usec;
     /** Concurrent fused batches in flight on the runner. */
     unsigned maxInFlight = 4;
+    /**
+     * Multi-tenant batch formation: only fuse queries with identical
+     * (tablesTouched, poolingScale), so tenants with incompatible
+     * shapes never share a fused batch (one tenant's heavy pooling
+     * can't inflate another's service time). Off by default — the
+     * single-tenant fuse rule, and its artifacts, are untouched.
+     */
+    bool tenantAware = false;
 };
 
 /**
@@ -115,6 +123,15 @@ class BatchScheduler
 
     /** Enqueue one query; `done` fires when its fused batch completes. */
     void submit(const QueryShape &shape, QueryDone done);
+
+    /**
+     * Enqueue one query whose trace identity was opened upstream (the
+     * QoS admission layer): the scheduler takes ownership of
+     * `rootSpan` and ends it when the fused batch completes. Plain
+     * `submit` is this with a freshly opened root.
+     */
+    void submitTagged(const QueryShape &shape, QueryDone done,
+                      std::uint64_t traceId, SpanId rootSpan);
 
     /** Queries waiting for dispatch. */
     unsigned pendingQueries() const

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/common/analysis.h"
 #include "src/common/logging.h"
 #include "src/embedding/synthetic_values.h"
 #include "src/embedding/table_update.h"
@@ -55,12 +56,37 @@ UpdateFlusher::maybeDispatch(bool timer_fired)
 {
     while (inFlight_ < spec_.maxInFlight && !pending_.empty() &&
            (pending_.size() >= spec_.flushRows || timer_fired)) {
+        if (admission_ != nullptr && !admitted_) {
+            if (admissionWait_)
+                return;  // a maturity wakeup is already scheduled
+            Tick now = sys_.eq().now();
+            Tick allowed = admission_(now);
+            if (allowed > now) {
+                // Budget exhausted: the charge is banked (`admitted_`
+                // at the wakeup) and the flush waits for it to mature.
+                admissionWait_ = true;
+                ++deferrals_;
+                sys_.eq().schedule(allowed, [this, timer_fired]() {
+                    RECSSD_CAPTURES_MAPPING("flusher outlives the "
+                                            "drained event queue; the "
+                                            "banked charge is consumed "
+                                            "by exactly one dispatch");
+                    admissionWait_ = false;
+                    admitted_ = true;
+                    maybeDispatch(timer_fired);
+                });
+                return;
+            }
+            admitted_ = true;
+        }
+        admitted_ = false;  // one charge pays for one flush
         dispatchOne();
         // A timeout flushes one partial batch; further dispatches in
         // this round must earn a full one.
         timer_fired = false;
     }
-    if (!pending_.empty() && inFlight_ < spec_.maxInFlight)
+    if (!pending_.empty() && inFlight_ < spec_.maxInFlight &&
+        !admissionWait_)
         armTimer();
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -56,6 +57,20 @@ class UpdateFlusher
     /** Enqueue one row update now (normally via scheduleUntil). */
     void submit(const UpdateDesc &update);
 
+    /**
+     * QoS admission hook: called once per flush with the current tick;
+     * charges the owning tenant's budget and returns the earliest tick
+     * the flush may dispatch. A future tick holds the flush (and the
+     * whole queue behind it) until the charge matures, so update
+     * traffic drains the same limit budget as the tenant's reads.
+     * Unset (the default) admits every flush immediately.
+     */
+    using AdmissionHook = std::function<Tick(Tick now)>;
+    void setAdmission(AdmissionHook hook) { admission_ = std::move(hook); }
+
+    /** Flushes held back by the admission hook. */
+    std::uint64_t admissionDeferrals() const { return deferrals_; }
+
     /** @{ Stream accounting. */
     std::uint64_t submitted() const { return submitted_; }
     /** Row updates whose flush completed on every live target. */
@@ -82,6 +97,14 @@ class UpdateFlusher
     unsigned inFlight_ = 0;
     bool timerArmed_ = false;
     std::uint64_t timerGen_ = 0;
+
+    /** @{ QoS admission state: `admitted_` holds one matured charge;
+     *  `admissionWait_` marks a scheduled maturity wakeup. */
+    AdmissionHook admission_;
+    bool admitted_ = false;
+    bool admissionWait_ = false;
+    std::uint64_t deferrals_ = 0;
+    /** @} */
 
     /** Committed update count per (tableIdx, row): the version the
      *  deterministic payload (`synthetic::updatedVector`) encodes. */

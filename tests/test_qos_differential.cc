@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Zero-tenant byte-identity of the QoS layer (`ctest -L qos`).
+ *
+ * The multi-tenant path must cost nothing when unused: a default
+ * serve run never constructs a `QosScheduler`, exports no
+ * `serve.tenant.*` / qos stats, and every serving-path edit this
+ * subsystem made (`submitTagged`, the `tenantAware` fuse gate, the
+ * `tenantId` shape field) is gated so the artifacts — total ticks,
+ * final clock, stats JSON — stay bit-identical to the seed. Same
+ * pattern as tests/test_layout_differential.cc; the absolute seed
+ * timing itself is pinned by tests/test_golden_latency.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/qos/tenant_serve.h"
+#include "src/reco/serving.h"
+#include "tests/test_helpers.h"
+
+namespace recssd
+{
+namespace
+{
+
+struct RunArtifacts
+{
+    Tick finalNow = 0;
+    double p99Us = 0.0;
+    unsigned completed = 0;
+    std::string statsJson;
+};
+
+ModelConfig
+tinyModel()
+{
+    ModelConfig m;
+    m.name = "tiny";
+    m.tables = {TableGroup{2, 50'000, 16, 8}};
+    m.denseInputs = 8;
+    m.bottomMlp = {16, 8};
+    m.topMlp = {32, 1};
+    m.embeddingDominated = true;
+    return m;
+}
+
+RunnerOptions
+ndpOptions()
+{
+    RunnerOptions opt;
+    opt.backend = EmbeddingBackendKind::Ndp;
+    opt.forceAllTablesOnSsd = true;
+    return opt;
+}
+
+ServeConfig
+serveConfig()
+{
+    ServeConfig scfg;
+    scfg.arrivals.qps = 50.0;
+    scfg.shape.minBatch = 2;
+    scfg.shape.maxBatch = 4;
+    scfg.batching.maxBatchSamples = 8;
+    scfg.batching.maxWait = 200 * usec;
+    scfg.batching.maxInFlight = 2;
+    scfg.queries = 30;
+    scfg.warmupQueries = 3;
+    scfg.seed = 42;
+    return scfg;
+}
+
+/** One plain (zero-tenant) serve run; everything a diff can bite. */
+RunArtifacts
+runPlainServe(const BatchPolicy &batching)
+{
+    System sys(test::smallSystem());
+    ModelRunner runner(sys, tinyModel(), ndpOptions());
+    ServeConfig scfg = serveConfig();
+    scfg.batching = batching;
+    ServeStats s = runServe(runner, scfg);
+
+    RunArtifacts out;
+    out.finalNow = sys.eq().now();
+    out.p99Us = s.p99Us;
+    out.completed = s.completedQueries;
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    out.statsJson = os.str();
+    return out;
+}
+
+TEST(QosDifferential, PlainServeExportsNoTenantStats)
+{
+    RunArtifacts seed = runPlainServe(serveConfig().batching);
+    EXPECT_EQ(seed.statsJson.find("serve.tenant"), std::string::npos)
+        << "no serve.tenant.* keys may exist without --tenants";
+    EXPECT_EQ(seed.statsJson.find("qos"), std::string::npos)
+        << "no qos keys may exist without --tenants";
+    EXPECT_EQ(seed.completed, 30u);
+}
+
+TEST(QosDifferential, TenantAwareFlagIsInertOnUniformShapes)
+{
+    // `tenantAware` only changes batch formation when adjacent queries
+    // differ in (tablesTouched, poolingScale). A uniform-shape load
+    // must be tick-for-tick and stats-JSON byte-identical either way:
+    // the flag gates the fuse break, nothing else.
+    ServeConfig base = serveConfig();
+
+    BatchPolicy off = base.batching;
+    RunArtifacts seed = runPlainServe(off);
+
+    BatchPolicy on = base.batching;
+    on.tenantAware = true;
+    RunArtifacts aware = runPlainServe(on);
+
+    EXPECT_EQ(seed.finalNow, aware.finalNow)
+        << "tenantAware must be tick-for-tick inert on uniform shapes";
+    EXPECT_EQ(seed.p99Us, aware.p99Us);
+    EXPECT_EQ(seed.statsJson, aware.statsJson)
+        << "tenantAware must export byte-identical stats JSON";
+}
+
+TEST(QosDifferential, PlainServeIsByteReproducible)
+{
+    // The full zero-tenant artifact set replays byte-equal: the
+    // tenantId field rides every QueryShape and submitTagged carries
+    // every query, so any nondeterminism they introduced would
+    // surface here (and against the golden pins).
+    RunArtifacts first = runPlainServe(serveConfig().batching);
+    RunArtifacts second = runPlainServe(serveConfig().batching);
+    EXPECT_EQ(first.finalNow, second.finalNow);
+    EXPECT_EQ(first.statsJson, second.statsJson);
+}
+
+TEST(QosDifferential, UniformShapeLoadFusesIdenticallyWhenAware)
+{
+    // Same check at the fuse-accounting level: identical batch counts
+    // and coalescing under both flag values.
+    ServeConfig base = serveConfig();
+    System sysA(test::smallSystem());
+    ModelRunner runnerA(sysA, tinyModel(), ndpOptions());
+    ServeStats a = runServe(runnerA, base);
+
+    ServeConfig awareCfg = base;
+    awareCfg.batching.tenantAware = true;
+    System sysB(test::smallSystem());
+    ModelRunner runnerB(sysB, tinyModel(), ndpOptions());
+    ServeStats b = runServe(runnerB, awareCfg);
+
+    EXPECT_EQ(a.batchesDispatched, b.batchesDispatched);
+    EXPECT_EQ(a.avgCoalescedSamples, b.avgCoalescedSamples);
+}
+
+}  // namespace
+}  // namespace recssd

@@ -87,6 +87,20 @@
  *                       update rate so reads are fraction F of all
  *                       row operations (lookups + updates), F in
  *                       (0,1]
+ *
+ * Multi-tenant QoS (serve mode; see README "Multi-tenant QoS"):
+ *   --tenants SPEC      serve a tenant mix instead of one anonymous
+ *                       stream; SPEC is a tenant file or an inline
+ *                       spec (src/qos/tenant_spec.h grammar). Each
+ *                       tenant names its model, arrival process, SLO
+ *                       and reservation/weight/limit share; per-tenant
+ *                       latency, attainment and QoS counters are
+ *                       reported (and exported as
+ *                       serve.tenant.<name>.* registry stats)
+ *   --qos-policy P      dmclock | fifo admission policy (default
+ *                       dmclock; fifo is the no-isolation baseline)
+ *   --qos-window N      admission window: queries admitted downstream
+ *                       but not yet completed (default 8)
  */
 
 #include <algorithm>
@@ -95,6 +109,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
@@ -102,6 +117,7 @@
 #include "src/obs/attribution.h"
 #include "src/obs/critical_path.h"
 #include "src/obs/utilization.h"
+#include "src/qos/tenant_serve.h"
 #include "src/reco/model_runner.h"
 #include "src/reco/serving.h"
 
@@ -135,7 +151,9 @@ usage(const char *argv0)
                  "SLO flags (serve mode): [--slo-target-us N] "
                  "[--slo-goal F] [--slo-window-us N]\n"
                  "update flags (serve mode): [--update-rate R] "
-                 "[--update-skew A] [--rw-ratio F]\n",
+                 "[--update-skew A] [--rw-ratio F]\n"
+                 "QoS flags (serve mode): [--tenants FILE|SPEC] "
+                 "[--qos-policy dmclock|fifo] [--qos-window N]\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -203,6 +221,9 @@ main(int argc, char **argv)
     unsigned replication = 1;
     std::string hedge_delay;
     unsigned deadline_us = 0;
+    std::string tenants_spec;
+    std::string qos_policy = "dmclock";
+    unsigned qos_window = 8;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -303,6 +324,12 @@ main(int argc, char **argv)
             hedge_delay = need_value(i);
         } else if (!std::strcmp(arg, "--deadline-us")) {
             deadline_us = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (!std::strcmp(arg, "--tenants")) {
+            tenants_spec = need_value(i);
+        } else if (!std::strcmp(arg, "--qos-policy")) {
+            qos_policy = need_value(i);
+        } else if (!std::strcmp(arg, "--qos-window")) {
+            qos_window = static_cast<unsigned>(std::atoi(need_value(i)));
         } else if (!std::strcmp(arg, "--list-models")) {
             listModels();
             return 0;
@@ -318,6 +345,15 @@ main(int argc, char **argv)
         usage(argv[0]);
     if (!serve && (update_rate > 0.0 || update_skew > 0.0 || rw_ratio > 0.0))
         usage(argv[0]);  // the update stream rides the serve harness
+    // Tenant mixes ride the serve harness and own their update
+    // streams (per-tenant update_rate/update_skew in the spec).
+    if (!tenants_spec.empty() &&
+        (!serve || update_rate > 0.0 || rw_ratio > 0.0))
+        usage(argv[0]);
+    if (qos_policy != "dmclock" && qos_policy != "fifo")
+        usage(argv[0]);
+    if (qos_window == 0)
+        usage(argv[0]);
 
     if (num_ssds == 0)
         usage(argv[0]);
@@ -392,7 +428,12 @@ main(int argc, char **argv)
     }
 
     const ModelConfig &model = modelByName(model_name);
-    ModelRunner runner(sys, model, opt);
+    // Tenant mixes build their own per-model runners inside
+    // runServeTenants; constructing the default runner too would
+    // install a second, unused copy of its tables on the machine.
+    std::unique_ptr<ModelRunner> runner;
+    if (tenants_spec.empty())
+        runner = std::make_unique<ModelRunner>(sys, model, opt);
 
     if (metrics_interval_us == 0 || util_bucket_us == 0)
         usage(argv[0]);
@@ -481,6 +522,92 @@ main(int argc, char **argv)
         }
     };
 
+    if (serve && !tenants_spec.empty()) {
+        TenantServeConfig tcfg;
+        tcfg.tenants = TenantSet::load(tenants_spec);
+        tcfg.qos.policy = qos_policy == "fifo" ? QosPolicy::Fifo
+                                               : QosPolicy::Dmclock;
+        tcfg.qos.window = qos_window;
+        tcfg.batching.maxBatchSamples = max_batch ? max_batch : 4 * batch;
+        tcfg.batching.maxWait = Tick(max_wait_us) * usec;
+        tcfg.batching.maxInFlight = max_inflight;
+        tcfg.defaultQueries = queries;
+        tcfg.warmupQueries = std::max(1u, queries / 10);
+        tcfg.seed = seed;
+        if (slo_target_us > 0) {
+            if (slo_window_us == 0 || slo_goal <= 0.0 || slo_goal >= 1.0)
+                usage(argv[0]);
+            // Window width and objective are global; each tenant's
+            // monitor targets its own spec'd SLO.
+            tcfg.slo.enabled = true;
+            tcfg.slo.objective = slo_goal;
+            tcfg.slo.window = Tick(slo_window_us) * usec;
+        }
+
+        std::printf("serving %zu tenants, backend %s, qos %s "
+                    "(window %u), coalesce cap %u, %u queue pairs, "
+                    "%u SSD(s) [%s]\n",
+                    tcfg.tenants.size(), backend.c_str(),
+                    qosPolicyName(tcfg.qos.policy), tcfg.qos.window,
+                    tcfg.batching.maxBatchSamples, io_queues,
+                    sys.numSsds(), shardPolicyName(cfg.shard.policy));
+        auto ts = runServeTenants(sys, opt, tcfg);
+        for (const auto &pt : ts.perTenant) {
+            std::printf("tenant %s [%s]: p50 %.1fus  p95 %.1fus  "
+                        "p99 %.1fus  mean %.1fus  max %.1fus  "
+                        "attainment %.4f  qps %.1f\n",
+                        pt.name.c_str(), pt.model.c_str(), pt.p50Us,
+                        pt.p95Us, pt.p99Us, pt.meanLatencyUs,
+                        pt.maxLatencyUs, pt.sloAttainment,
+                        pt.achievedQps);
+            std::printf("tenant %s qos: %llu admitted (%llu reservation "
+                        "/ %llu weight), %llu limit deferrals, queue "
+                        "depth max %u, queueing %.1fus mean\n",
+                        pt.name.c_str(),
+                        static_cast<unsigned long long>(pt.qos.admitted),
+                        static_cast<unsigned long long>(
+                            pt.qos.reservationGrants),
+                        static_cast<unsigned long long>(
+                            pt.qos.weightGrants),
+                        static_cast<unsigned long long>(
+                            pt.qos.limitDeferrals),
+                        pt.qos.maxQueueDepth, pt.meanQueueUs);
+            if (pt.updatesSubmitted > 0) {
+                std::printf("tenant %s updates: %llu applied / %llu "
+                            "submitted in %llu flushes, %llu deferred "
+                            "by qos budget\n",
+                            pt.name.c_str(),
+                            static_cast<unsigned long long>(
+                                pt.updatesApplied),
+                            static_cast<unsigned long long>(
+                                pt.updatesSubmitted),
+                            static_cast<unsigned long long>(
+                                pt.updateFlushes),
+                            static_cast<unsigned long long>(
+                                pt.updateAdmissionDeferrals));
+            }
+            if (tcfg.slo.enabled) {
+                std::printf("tenant %s slo: %u windows, attainment "
+                            "%.4f vs goal %.2f, burn rate %.2f (worst "
+                            "window %.2f)\n",
+                            pt.name.c_str(),
+                            static_cast<unsigned>(pt.sloWindows.size()),
+                            pt.sloMonitorAttainment, slo_goal,
+                            pt.errorBudgetBurnRate,
+                            pt.worstWindowBurnRate);
+            }
+        }
+        std::printf("mix: %u queries, %.1f qps sustained, %llu fused "
+                    "batches, %llu admissions\n",
+                    ts.completedQueries, ts.achievedQps,
+                    static_cast<unsigned long long>(ts.batchesDispatched),
+                    static_cast<unsigned long long>(ts.totalAdmitted));
+        if (dump_stats)
+            sys.dumpStats(std::cout);
+        writeObservability();
+        return 0;
+    }
+
     if (serve) {
         ServeConfig scfg;
         if (arrival == "poisson") {
@@ -529,7 +656,7 @@ main(int argc, char **argv)
         if (scfg.updates.enabled())
             std::printf("update stream: %.1f rows/s, zipf skew %.2f\n",
                         scfg.updates.rate, scfg.updates.skew);
-        auto s = runServe(runner, scfg);
+        auto s = runServe(*runner, scfg);
         std::printf("latency: p50 %.1fus  p95 %.1fus  p99 %.1fus  "
                     "p999 %.1fus  mean %.1fus  max %.1fus\n",
                     s.p50Us, s.p95Us, s.p99Us, s.p999Us, s.meanLatencyUs,
@@ -600,7 +727,7 @@ main(int argc, char **argv)
             std::printf("scatter: %llu ops fanned out to >1 device\n",
                         static_cast<unsigned long long>(s.scatteredOps));
         }
-        if (runner.resilientBackend()) {
+        if (runner->resilientBackend()) {
             std::printf("resilience: %u degraded queries, %llu deadline "
                         "misses, %llu hedges fired (%llu won), %llu "
                         "duplicate completions, %llu failovers\n",
@@ -627,9 +754,9 @@ main(int argc, char **argv)
     std::printf("model %s, backend %s, trace %s, batch %u, %u+%u "
                 "batches, %u/%u tables on SSD\n",
                 model.name.c_str(), backend.c_str(), trace.c_str(), batch,
-                warmup, batches, runner.ssdTables(), model.numTables());
+                warmup, batches, runner->ssdTables(), model.numTables());
 
-    auto stats = runner.measure(batch, warmup, batches);
+    auto stats = runner->measure(batch, warmup, batches);
     std::printf("latency: avg %.1fus  min %.1fus  max %.1fus\n",
                 stats.avgLatencyUs, stats.minLatencyUs,
                 stats.maxLatencyUs);

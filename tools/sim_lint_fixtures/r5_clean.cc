@@ -98,6 +98,43 @@ struct Device
     }
 };
 
+// The QoS scheduler's clean deferred shapes: the limit-timer wakeup
+// either re-resolves the head row through the live map at fire time,
+// or captures only completion-stable identifiers (tenant ids, tag
+// sequence numbers) and justifies the capture.
+struct QosScheduler
+{
+    MappingTable map_;
+    EventQueue eq_;
+    PageCache cache_;
+
+    // Dequeue-at-fire-time re-resolves: the tag queue holds LPNs
+    // (stable identifiers), and the PPN is looked up only when the
+    // grant actually dispatches.
+    void armLimitTimerGuarded(Lpn headRow, long dueTick)
+    {
+        Ppn ppn = map_.lookup(headRow);
+        eq_.scheduleAfter(dueTick, [this, headRow, ppn]() {
+            if (map_.lookup(headRow) == ppn)
+                cache_.insert(headRow, ppn);
+        });
+    }
+
+    // Tenant ids, virtual-clock tags, and generation counters are
+    // scheduler state, not mapping state: the justification records
+    // why the capture cannot go stale.
+    void armGenerationTimer(Lpn headRow, long dueTick, long generation)
+    {
+        Ppn ppn = map_.lookup(headRow);
+        eq_.scheduleAfter(dueTick, [this, headRow, ppn, generation]() {
+            RECSSD_CAPTURES_MAPPING("generation counter invalidates "
+                                    "stale wakeups before any use");
+            if (generation >= 0 && map_.lookup(headRow) == ppn)
+                cache_.insert(headRow, ppn);
+        });
+    }
+};
+
 // An immediate helper lambda is not a deferred body: captures are
 // consumed synchronously while every snapshot is still current.
 inline long

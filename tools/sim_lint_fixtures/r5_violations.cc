@@ -104,4 +104,39 @@ struct Device
     }
 };
 
+// The QoS subsystem's deferred shapes. A limit-throttled tenant's
+// head query sits in a tag queue until the scheduler's wakeup timer
+// fires; anything resolved through the mapping when the timer was
+// *armed* is a snapshot by the time the deferred dequeue runs -- a
+// racing update flush (same tick budget, by design) may have remapped
+// the row in between.
+struct QosScheduler
+{
+    MappingTable map_;
+    EventQueue eq_;
+    PageCache cache_;
+
+    // Head row resolved at arm time, consumed at fire time: the
+    // dmClock timer wakeup is a deferred body like any flash
+    // completion, with the same staleness window.
+    void armLimitTimer(Lpn headRow, long dueTick)
+    {
+        Ppn ppn = map_.lookup(headRow);
+        eq_.scheduleAfter(dueTick, [this, headRow, ppn]() {
+            cache_.insert(headRow, ppn);  // expect: R5
+        });
+    }
+
+    // Same bug through the aux-charge path: the update flusher's
+    // admission retry captures the mapping state of the deferred
+    // batch, then consumes it when the budget frees up.
+    void deferAdmission(Lpn batchRow, long retryTick)
+    {
+        Ppn ppn = map_.lookup(batchRow);
+        eq_.scheduleAfter(retryTick, [this, batchRow, ppn]() {
+            if (ppn != 0) cache_.insert(batchRow, ppn);  // expect: R5
+        });
+    }
+};
+
 }  // namespace r5_fixture

@@ -76,6 +76,42 @@ stash(Tracer &tracer, Pending &pending)
     pending.span = span;
 }
 
+struct QueuedQuery
+{
+    unsigned tenant;
+    SpanId rootSpan;
+};
+
+// The QoS submission shape: the root span opened at tag-queue entry
+// is stored into the queued record, whose grant path ends it when
+// the query dispatches -- storage is a handoff, and the early reject
+// ends the span before bailing.
+int
+submitHandsOff(Tracer &tracer, QueuedQuery &slot, unsigned tenant,
+               int batch)
+{
+    SpanId rootSpan = tracer.begin("qos", "queue_wait");
+    if (batch <= 0) {
+        tracer.end(rootSpan);
+        return -1;
+    }
+    slot.tenant = tenant;
+    slot.rootSpan = rootSpan;
+    return batch;
+}
+
+// The grant side of the handoff: the span arrives in the record and
+// is ended when the dispatch completion fires.
+void
+grantEnds(Tracer &tracer, EventQueue &eq, QueuedQuery &slot, long delay)
+{
+    SpanId span = slot.rootSpan;
+    eq.scheduleAfter(delay, [&tracer, span]() {
+        RECSSD_CAPTURES_MAPPING("tracer outlives the drained queue");
+        tracer.end(span);
+    });
+}
+
 // A container `.begin()` assignment is not a span begin (zero-arg
 // call): iterators are exempt even though the method is named begin.
 template <typename Map>

@@ -46,4 +46,19 @@ earlyReturn(Tracer &tracer, int rows)
     return rows;
 }
 
+// The QoS submission shape gone wrong: the per-query root span is
+// opened when the query enters the tag queue, but the reject path
+// (malformed shape, tenant over hard cap) bails before the span is
+// ended or handed to the pending record -- the query's whole
+// queueing phase vanishes from the trace.
+int
+submitRejectLeaks(Tracer &tracer, unsigned tenant, int batch)
+{
+    SpanId rootSpan = tracer.beginRequest("qos.submit", tenant);
+    if (batch <= 0)
+        return -1;  // expect: R7
+    tracer.end(rootSpan);
+    return batch;
+}
+
 }  // namespace r7_fixture
